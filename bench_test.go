@@ -1,0 +1,286 @@
+package retina_test
+
+// Benchmarks regenerating each of the paper's tables and figures at
+// reduced scale, plus ablation benches for the design choices DESIGN.md
+// calls out. The retina-bench CLI runs the full-scale versions; these
+// exist so `go test -bench=.` exercises every experiment pipeline and
+// reports the relevant throughput/allocation numbers.
+
+import (
+	"retina"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"retina/internal/baseline"
+	"retina/internal/experiments"
+	"retina/internal/metrics"
+	"retina/internal/traffic"
+)
+
+// materialize pre-generates a workload so generation cost stays out of
+// the measured loop.
+func materialize(src retina.Source) (frames [][]byte, ticks []uint64, bytes int64) {
+	for {
+		f, tk, ok := src.Next()
+		if !ok {
+			return
+		}
+		frames = append(frames, append([]byte(nil), f...))
+		ticks = append(ticks, tk)
+		bytes += int64(len(f))
+	}
+}
+
+type replay struct {
+	frames [][]byte
+	ticks  []uint64
+	i      int
+}
+
+func (r *replay) Next() ([]byte, uint64, bool) {
+	if r.i >= len(r.frames) {
+		return nil, 0, false
+	}
+	f, t := r.frames[r.i], r.ticks[r.i]
+	r.i++
+	return f, t, true
+}
+
+// benchPipeline measures end-to-end single-core processing of a
+// pre-generated workload under a filter and subscription.
+func benchPipeline(b *testing.B, filter string, mkSub func(*atomic.Uint64) *retina.Subscription, src retina.Source) {
+	b.Helper()
+	frames, ticks, bytes := materialize(src)
+	var delivered atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := retina.DefaultConfig()
+		cfg.Filter = filter
+		cfg.Cores = 1
+		cfg.PoolSize = 8192
+		rt, err := retina.New(cfg, mkSub(&delivered))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rt.RunOffline(&replay{frames: frames, ticks: ticks})
+	}
+	b.SetBytes(bytes)
+	b.ReportMetric(float64(delivered.Load())/float64(b.N), "deliveries/op")
+}
+
+// --- Figure 5: zero-loss throughput by subscription type ---
+
+func BenchmarkFig5aRawPackets(b *testing.B) {
+	benchPipeline(b, "",
+		func(d *atomic.Uint64) *retina.Subscription {
+			return retina.Packets(func(*retina.Packet) { d.Add(1) })
+		},
+		traffic.NewCampusMix(traffic.CampusConfig{Seed: 1, Flows: 400, Gbps: 40}))
+}
+
+func BenchmarkFig5bConnRecords(b *testing.B) {
+	benchPipeline(b, "ipv4 and tcp",
+		func(d *atomic.Uint64) *retina.Subscription {
+			return retina.Connections(func(*retina.ConnRecord) { d.Add(1) })
+		},
+		traffic.NewCampusMix(traffic.CampusConfig{Seed: 1, Flows: 400, Gbps: 40}))
+}
+
+func BenchmarkFig5cTLSHandshakes(b *testing.B) {
+	benchPipeline(b, "tls",
+		func(d *atomic.Uint64) *retina.Subscription {
+			return retina.TLSHandshakes(func(*retina.TLSHandshake, *retina.SessionEvent) { d.Add(1) })
+		},
+		traffic.NewCampusMix(traffic.CampusConfig{Seed: 1, Flows: 400, Gbps: 40}))
+}
+
+func BenchmarkFig5CallbackCost1K(b *testing.B) {
+	benchPipeline(b, "ipv4 and tcp",
+		func(d *atomic.Uint64) *retina.Subscription {
+			return retina.Connections(func(*retina.ConnRecord) { metrics.SpinCycles(1000); d.Add(1) })
+		},
+		traffic.NewCampusMix(traffic.CampusConfig{Seed: 1, Flows: 400, Gbps: 40}))
+}
+
+// --- Figure 6: Retina vs eager monitors, single core ---
+
+func fig6Workload() ([][]byte, []uint64, int64) {
+	return materialize(traffic.NewHTTPSWorkload(1, 60, 32, 5, "bench.example.com"))
+}
+
+func BenchmarkFig6Retina(b *testing.B) {
+	frames, ticks, bytes := fig6Workload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := retina.DefaultConfig()
+		cfg.Filter = `tls.sni matches 'bench'`
+		cfg.Cores = 1
+		cfg.PoolSize = 8192
+		rt, _ := retina.New(cfg, retina.Connections(func(*retina.ConnRecord) {}))
+		b.StartTimer()
+		rt.RunOffline(&replay{frames: frames, ticks: ticks})
+	}
+	b.SetBytes(bytes)
+}
+
+func benchFig6Baseline(b *testing.B, sys baseline.System) {
+	frames, ticks, bytes := fig6Workload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, _ := baseline.New(sys, "bench")
+		b.StartTimer()
+		for j, f := range frames {
+			m.Process(f, ticks[j])
+		}
+	}
+	b.SetBytes(bytes)
+}
+
+func BenchmarkFig6ZeekLike(b *testing.B)     { benchFig6Baseline(b, baseline.ZeekLike) }
+func BenchmarkFig6SnortLike(b *testing.B)    { benchFig6Baseline(b, baseline.SnortLike) }
+func BenchmarkFig6SuricataLike(b *testing.B) { benchFig6Baseline(b, baseline.SuricataLike) }
+
+// --- Figure 7: multi-layer filtering workload ---
+
+func BenchmarkFig7NetflixFilter(b *testing.B) {
+	benchPipeline(b, experiments.Fig7Filter,
+		func(d *atomic.Uint64) *retina.Subscription {
+			return retina.Connections(func(*retina.ConnRecord) { d.Add(1) })
+		},
+		traffic.NewCampusMix(traffic.CampusConfig{Seed: 1, Flows: 400, Gbps: 40}))
+}
+
+// --- Figure 8: state management under timeout schemes ---
+
+func benchFig8(b *testing.B, est, inact time.Duration) {
+	frames, ticks, bytes := materialize(
+		traffic.NewCampusMix(traffic.CampusConfig{Seed: 1, Flows: 3000, Gbps: 2, Concurrent: 192}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := retina.DefaultConfig()
+		cfg.Filter = "ipv4 and tcp"
+		cfg.Cores = 1
+		cfg.PoolSize = 8192
+		cfg.EstablishTimeout = est
+		cfg.InactivityTimeout = inact
+		rt, _ := retina.New(cfg, retina.Connections(func(*retina.ConnRecord) {}))
+		b.StartTimer()
+		rt.RunOffline(&replay{frames: frames, ticks: ticks})
+		b.StopTimer()
+		b.ReportMetric(float64(rt.Cores()[0].Table().Len()), "live-conns")
+		b.StartTimer()
+	}
+	b.SetBytes(bytes)
+}
+
+func BenchmarkFig8DefaultTimeouts(b *testing.B) { benchFig8(b, 500*time.Millisecond, 30*time.Second) }
+func BenchmarkFig8InactivityOnly(b *testing.B)  { benchFig8(b, -1, 30*time.Second) }
+func BenchmarkFig8NoTimeouts(b *testing.B)      { benchFig8(b, -1, -1) }
+
+// --- Figure 9: video feature extraction ---
+
+func BenchmarkFig9VideoFeatures(b *testing.B) {
+	benchPipeline(b, experiments.Fig9Filters["Netflix"],
+		func(d *atomic.Uint64) *retina.Subscription {
+			return retina.Connections(func(*retina.ConnRecord) { d.Add(1) })
+		},
+		traffic.NewVideoWorkload(1, 15, traffic.ServiceNetflix, 40))
+}
+
+// --- Figure 12: compiled vs interpreted filters ---
+
+func benchFig12(b *testing.B, interpreted bool) {
+	frames, ticks, bytes := materialize(traffic.NewStratosphereLike(traffic.Norm7, 300))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := retina.DefaultConfig()
+		cfg.Filter = `tls.cipher ~ 'AES_128_GCM'`
+		cfg.Cores = 1
+		cfg.PoolSize = 8192
+		cfg.Interpreted = interpreted
+		rt, _ := retina.New(cfg, retina.TLSHandshakes(func(*retina.TLSHandshake, *retina.SessionEvent) {}))
+		b.StartTimer()
+		rt.RunOffline(&replay{frames: frames, ticks: ticks})
+	}
+	b.SetBytes(bytes)
+}
+
+func BenchmarkFig12Compiled(b *testing.B)    { benchFig12(b, false) }
+func BenchmarkFig12Interpreted(b *testing.B) { benchFig12(b, true) }
+
+// --- Table 2 / Figure 13: traffic characterization app ---
+
+func BenchmarkTable2Characterization(b *testing.B) {
+	benchPipeline(b, "",
+		func(d *atomic.Uint64) *retina.Subscription {
+			return retina.Packets(func(p *retina.Packet) { d.Add(1) })
+		},
+		traffic.NewCampusMix(traffic.CampusConfig{Seed: 1, Flows: 400, Gbps: 40}))
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationHWFilterOn/Off: zero-CPU hardware winnowing.
+func benchHWAblation(b *testing.B, hw bool) {
+	frames, ticks, bytes := materialize(
+		traffic.NewCampusMix(traffic.CampusConfig{Seed: 1, Flows: 400, Gbps: 40}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := retina.DefaultConfig()
+		cfg.Filter = experiments.Fig7Filter
+		cfg.Cores = 1
+		cfg.RingSize = 1 << 16
+		cfg.PoolSize = 1 << 17
+		cfg.HardwareFilter = hw
+		rt, _ := retina.New(cfg, retina.Connections(func(*retina.ConnRecord) {}))
+		done := make(chan struct{})
+		go func() {
+			rt.Cores()[0].Run(rt.NIC().Queue(0))
+			close(done)
+		}()
+		b.StartTimer()
+		for j, f := range frames {
+			rt.NIC().Deliver(f, ticks[j])
+		}
+		rt.NIC().Close()
+		<-done
+	}
+	b.SetBytes(bytes)
+}
+
+func BenchmarkAblationHWFilterOn(b *testing.B)  { benchHWAblation(b, true) }
+func BenchmarkAblationHWFilterOff(b *testing.B) { benchHWAblation(b, false) }
+
+// BenchmarkAblationLazyParsing: subscription-aware early discard vs
+// parsing every protocol on every connection.
+func BenchmarkAblationLazyParsingOn(b *testing.B) {
+	benchPipeline(b, `tls.sni ~ '\.com'`,
+		func(d *atomic.Uint64) *retina.Subscription {
+			return retina.TLSHandshakes(func(*retina.TLSHandshake, *retina.SessionEvent) { d.Add(1) })
+		},
+		traffic.NewCampusMix(traffic.CampusConfig{Seed: 1, Flows: 400, Gbps: 40}))
+}
+
+func BenchmarkAblationLazyParsingOff(b *testing.B) {
+	benchPipeline(b, "",
+		func(d *atomic.Uint64) *retina.Subscription {
+			s := retina.Sessions(func(*retina.SessionEvent) { d.Add(1) })
+			s.SessionProtos = []string{"tls", "http", "ssh", "dns"}
+			return s
+		},
+		traffic.NewCampusMix(traffic.CampusConfig{Seed: 1, Flows: 400, Gbps: 40}))
+}

@@ -1,0 +1,78 @@
+// Command retina-bench regenerates the paper's tables and figures on
+// the simulated substrate. Each experiment prints the measured values
+// next to the paper's reported ones; EXPERIMENTS.md records both.
+//
+// Usage:
+//
+//	retina-bench -experiment fig5|fig6|fig7|fig8|fig9|fig12|table2|ablations|all [-scale 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"retina/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment to run: fig5, fig6, fig7, fig8, fig9, fig12, table2, ablations, all")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full documented configuration)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	w := os.Stdout
+	run := func(name string) {
+		fmt.Fprintf(w, "\n================ %s ================\n\n", name)
+		switch name {
+		case "fig5":
+			experiments.PrintFig5(w, experiments.RunFig5(experiments.DefaultFig5(), *scale))
+		case "fig6":
+			experiments.PrintFig6(w, experiments.RunFig6(experiments.DefaultFig6(), *scale))
+		case "fig7":
+			flows := int(3000 * *scale)
+			if flows < 300 {
+				flows = 300
+			}
+			experiments.PrintFig7(w, experiments.RunFig7(*seed, flows))
+		case "fig8":
+			experiments.PrintFig8(w, experiments.RunFig8(experiments.DefaultFig8(), *scale))
+		case "fig9":
+			experiments.PrintFig9(w, experiments.RunFig9(experiments.DefaultFig9(), *scale))
+		case "fig12":
+			experiments.PrintFig12(w, experiments.RunFig12(experiments.DefaultFig12(), *scale))
+		case "table2":
+			flows := int(6000 * *scale)
+			if flows < 500 {
+				flows = 500
+			}
+			experiments.PrintTable2(w, experiments.RunTable2(*seed, flows))
+		case "zeroloss":
+			flows := int(2000 * *scale)
+			if flows < 200 {
+				flows = 200
+			}
+			experiments.PrintZeroLoss(w, experiments.RunZeroLossSearch("ipv4 and tcp", 2, flows))
+		case "ablations":
+			flows := int(1500 * *scale)
+			if flows < 150 {
+				flows = 150
+			}
+			experiments.PrintAblations(w, []experiments.AblationResult{
+				experiments.RunHWFilterAblation(*seed, flows),
+				experiments.RunLazyParsingAblation(*seed, flows),
+			})
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table2", "fig7", "fig6", "fig5", "fig8", "fig9", "fig12", "ablations"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,64 @@
+// Command retina-gen writes calibrated synthetic traces to pcap files
+// for offline experimentation.
+//
+// Usage:
+//
+//	retina-gen -o campus.pcap -workload campus -flows 5000 -gbps 20
+//	retina-gen -o https.pcap -workload https -flows 500
+//	retina-gen -o video.pcap -workload video-netflix -flows 100
+//	retina-gen -o norm7.pcap -workload stratosphere-7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"retina/internal/traffic"
+)
+
+func main() {
+	out := flag.String("o", "", "output pcap path (required)")
+	workload := flag.String("workload", "campus",
+		"campus, https, video-netflix, video-youtube, stratosphere-7|12|20|30")
+	flows := flag.Int("flows", 2000, "number of flows / requests / sessions")
+	gbps := flag.Float64("gbps", 20, "offered rate for virtual timestamps")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var src interface {
+		Next() ([]byte, uint64, bool)
+	}
+	switch *workload {
+	case "campus":
+		src = traffic.NewCampusMix(traffic.CampusConfig{Seed: *seed, Flows: *flows, Gbps: *gbps})
+	case "https":
+		src = traffic.NewHTTPSWorkload(*seed, *flows, 128, *gbps/2.2, "bench.example.com")
+	case "video-netflix":
+		src = traffic.NewVideoWorkload(*seed, *flows, traffic.ServiceNetflix, *gbps)
+	case "video-youtube":
+		src = traffic.NewVideoWorkload(*seed, *flows, traffic.ServiceYouTube, *gbps)
+	case "stratosphere-7":
+		src = traffic.NewStratosphereLike(traffic.Norm7, *flows)
+	case "stratosphere-12":
+		src = traffic.NewStratosphereLike(traffic.Norm12, *flows)
+	case "stratosphere-20":
+		src = traffic.NewStratosphereLike(traffic.Norm20, *flows)
+	case "stratosphere-30":
+		src = traffic.NewStratosphereLike(traffic.Norm30, *flows)
+	default:
+		log.Fatalf("unknown workload %q", *workload)
+	}
+
+	n, err := traffic.WriteSourceToPcap(src, *out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d frames to %s\n", n, *out)
+}

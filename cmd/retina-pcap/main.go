@@ -1,0 +1,122 @@
+// Command retina-pcap runs a Retina subscription over a pcap trace
+// (offline mode). It supports the three data abstraction levels and
+// prints what the subscription delivers.
+//
+// Usage:
+//
+//	retina-pcap -r trace.pcap -filter "tls.sni matches '\.com$'" -subscribe tls
+//	retina-pcap -r trace.pcap -filter "ipv4 and tcp" -subscribe conns
+//	retina-pcap -r trace.pcap -filter "udp" -subscribe packets -quiet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"retina"
+	"retina/internal/export"
+	"retina/internal/filter"
+	"retina/internal/nic"
+	"retina/internal/traffic"
+)
+
+func main() {
+	path := flag.String("r", "", "pcap file to read (required)")
+	filterSrc := flag.String("filter", "", "subscription filter expression")
+	subType := flag.String("subscribe", "conns", "data type: packets, conns, sessions, tls, http")
+	quiet := flag.Bool("quiet", false, "suppress per-record output; print summary only")
+	interpreted := flag.Bool("interpreted", false, "use the interpreted filter engine")
+	explain := flag.Bool("explain", false, "print the filter decomposition and exit")
+	jsonlOut := flag.String("o", "", "write connection records as JSONL to this file (conns subscription)")
+	flag.Parse()
+
+	if *explain {
+		out, err := filter.Explain(*filterSrc, filter.Options{HW: nic.ConnectX5Model()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := retina.DefaultConfig()
+	cfg.Filter = *filterSrc
+	cfg.Cores = 1
+	cfg.Interpreted = *interpreted
+
+	count := 0
+	emit := func(format string, args ...any) {
+		count++
+		if !*quiet {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	var rec *export.JSONL
+	if *jsonlOut != "" {
+		f, err := os.Create(*jsonlOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		rec = export.NewJSONL(f)
+		defer rec.Flush()
+	}
+
+	var sub *retina.Subscription
+	switch *subType {
+	case "packets":
+		sub = retina.Packets(func(p *retina.Packet) {
+			emit("packet tick=%d len=%d", p.Tick, len(p.Data))
+		})
+	case "conns":
+		sub = retina.Connections(func(r *retina.ConnRecord) {
+			if rec != nil {
+				if err := rec.Write(r); err != nil {
+					log.Fatalf("writing record: %v", err)
+				}
+			}
+			emit("conn proto=%d service=%s pkts=%d/%d bytes=%d/%d established=%v",
+				r.Tuple.Proto, r.Service, r.PktsOrig, r.PktsResp,
+				r.BytesOrig, r.BytesResp, r.Established)
+		})
+	case "sessions":
+		sub = retina.Sessions(func(ev *retina.SessionEvent) {
+			emit("session proto=%s id=%d", ev.Session.Proto, ev.Session.ID)
+		})
+	case "tls":
+		sub = retina.TLSHandshakes(func(h *retina.TLSHandshake, ev *retina.SessionEvent) {
+			emit("tls sni=%q cipher=%s version=%#04x", h.SNI, h.CipherName(), h.ServerVersion)
+		})
+	case "http":
+		sub = retina.HTTPTransactions(func(tx *retina.HTTPTransaction, ev *retina.SessionEvent) {
+			emit("http %s %s host=%q status=%d", tx.Method, tx.URI, tx.Host, tx.StatusCode)
+		})
+	default:
+		log.Fatalf("unknown subscription type %q", *subType)
+	}
+
+	rt, err := retina.New(cfg, sub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := traffic.OpenPcap(*path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+
+	stats := rt.RunOffline(r)
+	if err := r.Err(); err != nil {
+		log.Fatalf("pcap read error: %v", err)
+	}
+	fmt.Printf("\n%d frames read, %d matched the filter, %d deliveries, %v elapsed\n",
+		r.Frames(), stats.Cores[0].Processed-stats.Cores[0].FilterDropped, count, stats.Elapsed)
+}

@@ -1,0 +1,100 @@
+// Videofeatures reproduces §7.3: isolate Netflix and YouTube video
+// traffic by SNI, aggregate flows into per-client video sessions, and
+// extract the transport features Bronzino et al. use for video-quality
+// inference — parallel flow count, bytes up/down, out-of-order packets,
+// and download throughput.
+//
+//	go run ./examples/videofeatures
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"retina"
+	"retina/internal/traffic"
+)
+
+// sessionFeatures aggregates the features of one client's video session.
+type sessionFeatures struct {
+	Flows     int
+	BytesUp   uint64
+	BytesDown uint64
+	OOOUp     uint64
+	OOODown   uint64
+	FirstTick uint64
+	LastTick  uint64
+}
+
+// DownMbps is the session's average download throughput in Mbit/s of
+// virtual time.
+func (s *sessionFeatures) DownMbps() float64 {
+	d := float64(s.LastTick-s.FirstTick) / 1e6
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.BytesDown) * 8 / d / 1e6
+}
+
+func run(service string, filter string, src retina.Source) {
+	cfg := retina.DefaultConfig()
+	cfg.Filter = filter
+
+	var mu sync.Mutex
+	sessions := map[[16]byte]*sessionFeatures{}
+
+	rt, err := retina.New(cfg, retina.Connections(func(r *retina.ConnRecord) {
+		mu.Lock()
+		defer mu.Unlock()
+		s := sessions[r.Tuple.SrcIP]
+		if s == nil {
+			s = &sessionFeatures{FirstTick: r.FirstTick}
+			sessions[r.Tuple.SrcIP] = s
+		}
+		s.Flows++
+		s.BytesUp += r.BytesOrig
+		s.BytesDown += r.BytesResp
+		s.OOOUp += r.OOOOrig
+		s.OOODown += r.OOOResp
+		if r.FirstTick < s.FirstTick {
+			s.FirstTick = r.FirstTick
+		}
+		if r.LastTick > s.LastTick {
+			s.LastTick = r.LastTick
+		}
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.Run(src)
+
+	var downs []float64
+	for _, s := range sessions {
+		downs = append(downs, float64(s.BytesDown)/1e6)
+	}
+	sort.Float64s(downs)
+	med := 0.0
+	if len(downs) > 0 {
+		med = downs[len(downs)/2]
+	}
+	fmt.Printf("%s: %d video sessions, median %.1f MB down\n", service, len(sessions), med)
+	n := 0
+	for _, s := range sessions {
+		if n >= 3 {
+			break
+		}
+		fmt.Printf("  session: flows=%d up=%.2fMB down=%.2fMB ooo=%d/%d down_rate=%.1fMbps\n",
+			s.Flows, float64(s.BytesUp)/1e6, float64(s.BytesDown)/1e6,
+			s.OOOUp, s.OOODown, s.DownMbps())
+		n++
+	}
+}
+
+func main() {
+	run("Netflix", `tcp.port = 443 and tls.sni ~ '(.+?\.)?nflxvideo\.net'`,
+		traffic.NewVideoWorkload(1, 40, traffic.ServiceNetflix, 40))
+	run("YouTube", `tcp.port = 443 and tls.sni ~ 'googlevideo'`,
+		traffic.NewVideoWorkload(2, 40, traffic.ServiceYouTube, 40))
+}

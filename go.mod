@@ -1,0 +1,3 @@
+module retina
+
+go 1.24

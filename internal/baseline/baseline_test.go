@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"testing"
+
+	"retina/internal/traffic"
+)
+
+func runMonitor(t *testing.T, sys System, src *traffic.Mixer) Result {
+	t.Helper()
+	m, err := New(sys, "bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		frame, tick, ok := src.Next()
+		if !ok {
+			break
+		}
+		m.Process(frame, tick)
+	}
+	return m.Results()
+}
+
+func TestAllSystemsFindMatches(t *testing.T) {
+	for _, sys := range []System{ZeekLike, SnortLike, SuricataLike} {
+		src := traffic.NewHTTPSWorkload(1, 20, 8, 1.0, "bench.example.com")
+		res := runMonitor(t, sys, src)
+		if res.Matches != 20 {
+			t.Errorf("%s: matches = %d, want 20", sys.Name(), res.Matches)
+		}
+		if res.Sessions != 20 {
+			t.Errorf("%s: sessions = %d, want 20", sys.Name(), res.Sessions)
+		}
+		if res.Packets == 0 || res.Conns == 0 {
+			t.Errorf("%s: empty result %+v", sys.Name(), res)
+		}
+	}
+}
+
+func TestNonMatchingSNINotCounted(t *testing.T) {
+	src := traffic.NewHTTPSWorkload(2, 10, 4, 1.0, "other.host.org")
+	res := runMonitor(t, SuricataLike, src)
+	if res.Matches != 0 {
+		t.Fatalf("matches = %d, want 0", res.Matches)
+	}
+	if res.Sessions != 10 {
+		t.Fatalf("sessions = %d, want 10", res.Sessions)
+	}
+}
+
+func TestMixedTrafficProcessesEverything(t *testing.T) {
+	// The defining property of these systems: they track and reassemble
+	// every connection, even when the rule targets a tiny subset.
+	src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 3, Flows: 200, Gbps: 10})
+	m, err := New(ZeekLike, "nflxvideo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		frame, tick, ok := src.Next()
+		if !ok {
+			break
+		}
+		m.Process(frame, tick)
+	}
+	res := m.Results()
+	if res.Conns < 100 {
+		t.Fatalf("conns = %d: baseline should track every connection", res.Conns)
+	}
+}
+
+func TestIdleSweepEvicts(t *testing.T) {
+	m, err := New(SuricataLike, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 5, Flows: 50, Gbps: 10})
+	var lastTick uint64
+	for {
+		frame, tick, ok := src.Next()
+		if !ok {
+			break
+		}
+		m.Process(frame, tick)
+		lastTick = tick
+	}
+	before := len(m.conns)
+	if before == 0 {
+		t.Skip("no residual connections")
+	}
+	// Advance far and force a sweep by feeding filler packets.
+	far := lastTick + 120e6
+	src2 := traffic.NewCampusMix(traffic.CampusConfig{Seed: 6, Flows: 400, Gbps: 10})
+	for i := 0; i < sweepInterval+1; i++ {
+		frame, _, ok := src2.Next()
+		if !ok {
+			src2 = traffic.NewCampusMix(traffic.CampusConfig{Seed: int64(7 + i), Flows: 400, Gbps: 10})
+			continue
+		}
+		m.Process(frame, far)
+	}
+	// Old connections (idle > 60s) must be gone; the map shouldn't
+	// contain more than the new batch.
+	for _, e := range m.conns {
+		if far-e.lastTick > idleTicks {
+			t.Fatal("idle connection survived sweep")
+		}
+	}
+}
+
+func TestBadPatternRejected(t *testing.T) {
+	if _, err := New(ZeekLike, "a(b"); err == nil {
+		t.Fatal("bad regex accepted")
+	}
+}
+
+func BenchmarkBaselineVsArchitectures(b *testing.B) {
+	for _, sys := range []System{ZeekLike, SnortLike, SuricataLike} {
+		b.Run(sys.Name(), func(b *testing.B) {
+			m, _ := New(sys, "bench")
+			src := traffic.NewHTTPSWorkload(1, 1<<30, 16, 10, "bench.example.com")
+			b.ReportAllocs()
+			var bytes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				frame, tick, ok := src.Next()
+				if !ok {
+					b.Fatal("source exhausted")
+				}
+				m.Process(frame, tick)
+				bytes += int64(len(frame))
+			}
+			b.SetBytes(bytes / int64(b.N))
+		})
+	}
+}

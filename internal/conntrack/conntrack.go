@@ -1,0 +1,392 @@
+// Package conntrack implements Retina's per-core connection table:
+// canonical five-tuple keyed state with two-level timeout expiry
+// (paper §5.2, "Connection Tracking").
+//
+// Each core owns one Table and tracks only the connections symmetric RSS
+// delivers to it, so there is no locking anywhere in this package. The
+// expiry design follows the paper's empirical observation that ~65% of
+// connections are a single unanswered SYN: a short establishment timeout
+// evicts those quickly, while a longer inactivity timeout governs
+// established connections. Timer wheels fire lazily and the table
+// revalidates deadlines, so refreshing a connection costs O(1).
+package conntrack
+
+import (
+	"sync/atomic"
+
+	"retina/internal/layers"
+	"retina/internal/timerwheel"
+)
+
+// State is a connection's processing state (Figure 4). The state decides
+// how much work each subsequent packet of the connection receives.
+type State uint8
+
+const (
+	// StateProbe buffers and inspects packets to identify the L7
+	// protocol.
+	StateProbe State = iota
+	// StateParse runs the application-layer parser on reassembled data.
+	StateParse
+	// StateTrack keeps per-connection counters but skips reassembly and
+	// parsing.
+	StateTrack
+	// StateDelete marks the connection for removal from the table.
+	StateDelete
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateProbe:
+		return "probe"
+	case StateParse:
+		return "parse"
+	case StateTrack:
+		return "track"
+	case StateDelete:
+		return "delete"
+	}
+	return "?"
+}
+
+// ExpireReason distinguishes why a connection left the table.
+type ExpireReason uint8
+
+const (
+	// ExpireEstablishTimeout fires for connections that never completed
+	// a handshake within the establishment timeout (unanswered SYNs).
+	ExpireEstablishTimeout ExpireReason = iota
+	// ExpireInactivityTimeout fires for established connections idle
+	// longer than the inactivity timeout.
+	ExpireInactivityTimeout
+	// ExpireTermination fires on graceful FIN/RST removal.
+	ExpireTermination
+	// ExpireEvicted fires when the subscription no longer needs the
+	// connection and the framework discards it early (dashed arrows in
+	// Figure 4).
+	ExpireEvicted
+)
+
+// Conn is one tracked connection. Tuple preserves the orientation of the
+// first packet seen (originator → responder).
+type Conn struct {
+	ID    uint64
+	Tuple layers.FiveTuple
+	State State
+
+	// Service is the identified application protocol ("tls", "http"),
+	// empty while probing. Implements filter.ConnView via ServiceName.
+	Service string
+
+	// PktMark is the deepest packet-filter trie node matched by the
+	// connection's packets; ConnMark the connection filter's node.
+	PktMark  uint32
+	ConnMark int
+
+	FirstTick uint64
+	LastTick  uint64
+
+	Established bool
+	SynSeen     bool
+	FinSeen     bool
+	RstSeen     bool
+
+	PktsOrig, PktsResp       uint64
+	BytesOrig, BytesResp     uint64
+	PayloadOrig, PayloadResp uint64
+	// OOOOrig/OOOResp count TCP segments arriving out of sequence
+	// order, detected from sequence numbers in Touch so the statistic
+	// exists even for connections whose streams are never reassembled.
+	OOOOrig, OOOResp uint64
+
+	expSeq     [2]uint32 // next expected TCP sequence number per direction
+	expSeqInit [2]bool
+
+	// ExtraMem accounts buffers owned by reassembly/parsing for this
+	// connection, included in Table.MemoryBytes (Figure 8).
+	ExtraMem int
+
+	// UserData carries the subscription's Trackable state.
+	UserData any
+}
+
+// ServiceName implements filter.ConnView.
+func (c *Conn) ServiceName() string { return c.Service }
+
+// Orig reports whether ft runs in the connection's original direction.
+func (c *Conn) Orig(ft layers.FiveTuple) bool { return ft == c.Tuple }
+
+// connBaseBytes approximates the in-memory footprint of one tracked
+// connection (struct, table entry, timer entries), used for the memory
+// accounting in Figure 8.
+const connBaseBytes = 320
+
+// Config controls table behavior. Timeouts are in virtual-clock ticks;
+// the runtime uses 1 tick = 1 microsecond.
+type Config struct {
+	// EstablishTimeout evicts connections that have not established
+	// within this many ticks (0 disables). Paper default: 5 seconds.
+	EstablishTimeout uint64
+	// InactivityTimeout evicts established connections idle this long
+	// (0 disables). Paper default: 5 minutes.
+	InactivityTimeout uint64
+	// WheelGranularity is the timer wheel slot width in ticks
+	// (default 100ms of virtual time).
+	WheelGranularity uint64
+	// MaxConns bounds the table; 0 is unlimited. At the bound,
+	// GetOrCreate fails, modeling memory exhaustion.
+	MaxConns int
+}
+
+// Ticks per time unit at the runtime's 1µs virtual tick.
+const (
+	TickMicrosecond uint64 = 1
+	TickMillisecond        = 1000 * TickMicrosecond
+	TickSecond             = 1000 * TickMillisecond
+	TickMinute             = 60 * TickSecond
+)
+
+// DefaultConfig returns the paper's defaults: 5s establishment timeout,
+// 5m inactivity timeout.
+func DefaultConfig() Config {
+	return Config{
+		EstablishTimeout:  5 * TickSecond,
+		InactivityTimeout: 5 * TickMinute,
+		WheelGranularity:  100 * TickMillisecond,
+	}
+}
+
+// Table is a single core's connection table.
+type Table struct {
+	cfg    Config
+	conns  map[layers.FiveTuple]*Conn // canonical-tuple key
+	byID   map[uint64]*Conn
+	wheel  *timerwheel.Hierarchical
+	nextID uint64
+	now    uint64
+
+	created uint64
+	expired [4]uint64
+
+	// count mirrors len(conns) atomically so monitoring goroutines can
+	// observe table occupancy without touching the (unsynchronized,
+	// core-owned) map.
+	count atomic.Int64
+}
+
+// NewTable builds a table for one core.
+func NewTable(cfg Config) *Table {
+	gran := cfg.WheelGranularity
+	if gran == 0 {
+		gran = 100 * TickMillisecond
+	}
+	cfg.WheelGranularity = gran
+	// Inner wheel: 512 slots (51.2s horizon at default granularity);
+	// outer: 64 laps (~54 min), comfortably above the 5m default.
+	return &Table{
+		cfg:   cfg,
+		conns: make(map[layers.FiveTuple]*Conn),
+		byID:  make(map[uint64]*Conn),
+		wheel: timerwheel.NewHierarchical(512, 64, gran),
+	}
+}
+
+// Len returns the number of tracked connections.
+func (t *Table) Len() int { return len(t.conns) }
+
+// ConcurrentLen returns the number of tracked connections via an atomic
+// mirror, safe to call from monitoring goroutines while the owning core
+// is processing.
+func (t *Table) ConcurrentLen() int { return int(t.count.Load()) }
+
+// MemoryBytes estimates the memory held by tracked connections.
+func (t *Table) MemoryBytes() uint64 {
+	total := uint64(0)
+	for _, c := range t.conns {
+		total += connBaseBytes + uint64(c.ExtraMem)
+	}
+	return total
+}
+
+// Stats reports cumulative creations and expirations by reason.
+func (t *Table) Stats() (created uint64, expired [4]uint64) {
+	return t.created, t.expired
+}
+
+// Lookup finds the connection for a five-tuple in either direction.
+func (t *Table) Lookup(ft layers.FiveTuple) (*Conn, bool) {
+	key, _ := ft.Canonical()
+	c, ok := t.conns[key]
+	return c, ok
+}
+
+// GetOrCreate returns the connection for ft, creating it at tick if
+// absent. created reports whether a new entry was made; ok is false only
+// when the table is at MaxConns.
+func (t *Table) GetOrCreate(ft layers.FiveTuple, tick uint64) (c *Conn, created, ok bool) {
+	key, _ := ft.Canonical()
+	if c, exists := t.conns[key]; exists {
+		return c, false, true
+	}
+	if t.cfg.MaxConns > 0 && len(t.conns) >= t.cfg.MaxConns {
+		return nil, false, false
+	}
+	t.nextID++
+	c = &Conn{
+		ID:        t.nextID,
+		Tuple:     ft, // orientation of the first packet
+		FirstTick: tick,
+		LastTick:  tick,
+	}
+	t.conns[key] = c
+	t.byID[c.ID] = c
+	t.count.Store(int64(len(t.conns)))
+	t.created++
+	t.scheduleExpiry(c)
+	return c, true, true
+}
+
+// deadline computes when c should expire given its current state.
+// Returns 0 when no timeout applies.
+func (t *Table) deadline(c *Conn) uint64 {
+	if c.Established {
+		if t.cfg.InactivityTimeout == 0 {
+			return 0
+		}
+		return c.LastTick + t.cfg.InactivityTimeout
+	}
+	if t.cfg.EstablishTimeout == 0 {
+		if t.cfg.InactivityTimeout == 0 {
+			return 0
+		}
+		return c.LastTick + t.cfg.InactivityTimeout
+	}
+	return c.LastTick + t.cfg.EstablishTimeout
+}
+
+func (t *Table) scheduleExpiry(c *Conn) {
+	if d := t.deadline(c); d > 0 {
+		t.wheel.Schedule(c.ID, d)
+	}
+}
+
+// Touch records a packet on the connection: direction-aware counters and
+// activity refresh. Refreshing does not reschedule the timer; the stale
+// timer entry revalidates against LastTick when it fires.
+func (t *Table) Touch(c *Conn, ft layers.FiveTuple, tick uint64, wireBytes, payloadBytes int, tcpFlags uint8) {
+	t.TouchSeq(c, ft, tick, wireBytes, payloadBytes, tcpFlags, 0, false)
+}
+
+// TouchSeq is Touch with the TCP sequence number, enabling out-of-order
+// detection. hasSeq is false for non-TCP packets.
+func (t *Table) TouchSeq(c *Conn, ft layers.FiveTuple, tick uint64, wireBytes, payloadBytes int, tcpFlags uint8, seq uint32, hasSeq bool) {
+	c.LastTick = tick
+	orig := c.Orig(ft)
+	if hasSeq {
+		seqLen := uint32(payloadBytes)
+		if tcpFlags&(layers.TCPSyn|layers.TCPFin) != 0 {
+			seqLen++
+		}
+		if seqLen > 0 {
+			d := 0
+			if !orig {
+				d = 1
+			}
+			if c.expSeqInit[d] && seq != c.expSeq[d] {
+				if orig {
+					c.OOOOrig++
+				} else {
+					c.OOOResp++
+				}
+			}
+			next := seq + seqLen
+			if !c.expSeqInit[d] || int32(next-c.expSeq[d]) > 0 {
+				c.expSeq[d] = next
+			}
+			c.expSeqInit[d] = true
+		}
+	}
+	if orig {
+		c.PktsOrig++
+		c.BytesOrig += uint64(wireBytes)
+		c.PayloadOrig += uint64(payloadBytes)
+	} else {
+		c.PktsResp++
+		c.BytesResp += uint64(wireBytes)
+		c.PayloadResp += uint64(payloadBytes)
+	}
+	if tcpFlags&layers.TCPSyn != 0 {
+		c.SynSeen = true
+		if tcpFlags&layers.TCPAck != 0 && !orig {
+			// SYN-ACK from the responder establishes the connection and
+			// moves it onto the long (inactivity) timeout.
+			if !c.Established {
+				c.Established = true
+				t.scheduleExpiry(c)
+			}
+		}
+	}
+	// Data flowing both ways also establishes (covers UDP and captures
+	// joined mid-connection).
+	if !c.Established && c.PktsOrig > 0 && c.PktsResp > 0 {
+		c.Established = true
+		t.scheduleExpiry(c)
+	}
+	if tcpFlags&layers.TCPFin != 0 {
+		c.FinSeen = true
+	}
+	if tcpFlags&layers.TCPRst != 0 {
+		c.RstSeen = true
+	}
+}
+
+// Remove deletes c from the table with the given reason.
+func (t *Table) Remove(c *Conn, reason ExpireReason) {
+	key, _ := c.Tuple.Canonical()
+	if cur, ok := t.conns[key]; !ok || cur != c {
+		return
+	}
+	delete(t.conns, key)
+	delete(t.byID, c.ID)
+	t.count.Store(int64(len(t.conns)))
+	t.expired[reason]++
+}
+
+// Advance moves the virtual clock, expiring due connections. onExpire
+// runs for each expired connection before it leaves the table, letting
+// the runtime deliver connection records and tear down subscriptions.
+func (t *Table) Advance(tick uint64, onExpire func(*Conn, ExpireReason)) {
+	t.now = tick
+	t.wheel.Advance(tick, func(id uint64) {
+		c, ok := t.byID[id]
+		if !ok {
+			return // already removed; stale timer entry
+		}
+		d := t.deadline(c)
+		if d == 0 {
+			return // timeouts disabled for this state
+		}
+		if d > tick {
+			// Refreshed since scheduling: re-arm for the new deadline.
+			t.wheel.Schedule(id, d)
+			return
+		}
+		reason := ExpireEstablishTimeout
+		if c.Established {
+			reason = ExpireInactivityTimeout
+		}
+		if onExpire != nil {
+			onExpire(c, reason)
+		}
+		t.Remove(c, reason)
+	})
+}
+
+// Each iterates over all tracked connections (diagnostics, Figure 8
+// sampling). The callback must not mutate the table.
+func (t *Table) Each(fn func(*Conn)) {
+	for _, c := range t.conns {
+		fn(c)
+	}
+}

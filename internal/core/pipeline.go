@@ -1,0 +1,757 @@
+package core
+
+import (
+	"fmt"
+
+	"retina/internal/conntrack"
+	"retina/internal/filter"
+	"retina/internal/layers"
+	"retina/internal/mbuf"
+	"retina/internal/proto"
+	"retina/internal/reassembly"
+)
+
+// probeBudget bounds how many stream bytes may be spent identifying a
+// protocol before the connection is declared unidentifiable.
+const probeBudget = 8 << 10
+
+// pktBufferCap bounds packets buffered per connection while awaiting a
+// filter verdict (packet-level subscriptions, Figure 4a's Probe state).
+const defaultPktBufferCap = 512
+
+// maxStreamBufBytes bounds stream bytes buffered per connection while a
+// byte-stream subscription awaits the filter verdict.
+const maxStreamBufBytes = 256 << 10
+
+// Config configures one processing core.
+type Config struct {
+	// Program is the compiled filter.
+	Program *filter.Program
+	// Sub is the user's subscription.
+	Sub *Subscription
+	// Conntrack configures the core's connection table.
+	Conntrack conntrack.Config
+	// MaxOutOfOrder bounds the per-connection reorder buffer.
+	MaxOutOfOrder int
+	// Profile enables per-stage wall-time sampling (Figure 7).
+	Profile bool
+	// PacketBufferCap overrides the per-connection packet buffer bound.
+	PacketBufferCap int
+	// ExtraParsers supplies user-defined protocol parser factories
+	// (Appendix A), layered over the built-ins.
+	ExtraParsers map[string]proto.Factory
+}
+
+// Core is one share-nothing processing pipeline instance.
+type Core struct {
+	ID int
+
+	cfg    Config
+	prog   *filter.Program
+	sub    *Subscription
+	table  *conntrack.Table
+	parReg *proto.Registry
+	stages *StageStats
+	stats  CoreStats
+
+	parsed layers.Parsed
+	now    uint64
+}
+
+// connState is the per-connection processing state the subscription
+// derives (the Trackable of Appendix A).
+type connState struct {
+	reasm      *reassembly.Lite
+	candidates []proto.Parser
+	active     proto.Parser
+	pktBuf     []*mbuf.Mbuf
+	probeBytes int
+	matched    bool // full filter match achieved
+	rejected   bool // connection failed the filter; kept as a tombstone
+	finOrig    bool
+	finResp    bool
+
+	// Byte-stream subscriptions: chunks copied while the verdict is
+	// pending, flushed on match.
+	streamBuf      []StreamChunk
+	streamBufBytes int
+	streamOverflow bool
+}
+
+// NewCore builds a core. The parser registry is populated with the union
+// of the filter's connection protocols and the subscription's data-type
+// protocols — probing work is proportional to the subscription (§5.2).
+func NewCore(id int, cfg Config) (*Core, error) {
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("core: nil filter program")
+	}
+	if cfg.Sub == nil {
+		return nil, fmt.Errorf("core: nil subscription")
+	}
+	if err := cfg.Sub.Validate(); err != nil {
+		return nil, err
+	}
+	names := cfg.Program.ConnProtocols()
+	for _, p := range cfg.Sub.SessionProtos {
+		dup := false
+		for _, n := range names {
+			if n == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			names = append(names, p)
+		}
+	}
+	reg, err := proto.BuildRegistryWith(names, cfg.ExtraParsers)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PacketBufferCap <= 0 {
+		cfg.PacketBufferCap = defaultPktBufferCap
+	}
+	return &Core{
+		ID:     id,
+		cfg:    cfg,
+		prog:   cfg.Program,
+		sub:    cfg.Sub,
+		table:  conntrack.NewTable(cfg.Conntrack),
+		parReg: reg,
+		stages: NewStageStats(cfg.Profile),
+	}, nil
+}
+
+// Stats returns the core's packet counters.
+func (c *Core) Stats() CoreStats { return c.stats }
+
+// Stages returns the core's stage counters.
+func (c *Core) StageStats() *StageStats { return c.stages }
+
+// Table exposes the connection table (monitoring, Figure 8 sampling).
+func (c *Core) Table() *conntrack.Table { return c.table }
+
+// Now returns the core's current virtual tick.
+func (c *Core) Now() uint64 { return c.now }
+
+// ProcessMbuf consumes one packet buffer from the core's receive queue.
+// It owns the mbuf and frees it (directly or after buffering).
+func (c *Core) ProcessMbuf(m *mbuf.Mbuf) {
+	c.stats.Processed++
+	if m.RxTick > c.now {
+		c.now = m.RxTick
+	}
+
+	// Stage: software packet filter (decode + trie match).
+	var res filter.Result
+	c.stages.Time(StageSWFilter, func() {
+		if err := c.parsed.DecodeLayers(m.Data()); err != nil {
+			res = filter.NoMatch
+			return
+		}
+		res = c.prog.Packet(&c.parsed)
+	})
+	if !res.Match {
+		c.stats.FilterDropped++
+		m.Free()
+		c.advance()
+		return
+	}
+	m.Mark = uint32(res.Node)
+
+	// Fast path: a terminal packet match with a packet-level
+	// subscription invokes the callback immediately, bypassing all
+	// stateful processing (§5.1).
+	if res.Terminal && c.sub.Level == LevelPacket && len(c.sub.SessionProtos) == 0 {
+		c.deliverPacket(m)
+		m.Free()
+		c.advance()
+		return
+	}
+
+	c.processStateful(m, res)
+	c.advance()
+}
+
+// advance moves the connection table's clock, firing expirations.
+func (c *Core) advance() {
+	c.table.Advance(c.now, c.onExpire)
+}
+
+// AdvanceTime explicitly moves the virtual clock (idle periods, end of
+// input) so timeouts fire without packet arrivals.
+func (c *Core) AdvanceTime(tick uint64) {
+	if tick > c.now {
+		c.now = tick
+	}
+	c.advance()
+}
+
+func (c *Core) processStateful(m *mbuf.Mbuf, res filter.Result) {
+	ft, ok := layers.FiveTupleFrom(&c.parsed)
+	if !ok {
+		// Not a trackable flow (no L4 ports). A terminal match can
+		// still satisfy packet-level delivery; stateful subscriptions
+		// cannot use it.
+		if res.Terminal && c.sub.Level == LevelPacket {
+			c.deliverPacket(m)
+		}
+		m.Free()
+		return
+	}
+
+	var conn *conntrack.Conn
+	var created, okc bool
+	payload := c.parsed.Payload()
+	flags := uint8(0)
+	if c.parsed.L4 == layers.LayerTypeTCP {
+		flags = c.parsed.TCP.Flags
+	}
+	isTCP := c.parsed.L4 == layers.LayerTypeTCP
+	seq := uint32(0)
+	if isTCP {
+		seq = c.parsed.TCP.Seq
+	}
+	c.stages.Time(StageConnTrack, func() {
+		conn, created, okc = c.table.GetOrCreate(ft, c.now)
+		if okc {
+			c.table.TouchSeq(conn, ft, c.now, m.Len(), len(payload), flags, seq, isTCP)
+		}
+	})
+	if !okc {
+		m.Free() // table full: connection-level loss
+		return
+	}
+
+	if created {
+		c.stats.ConnsCreated++
+		conn.PktMark = m.Mark
+		c.initConn(conn)
+	} else if m.Mark > conn.PktMark && !c.state(conn).matched {
+		// A later packet matched deeper in the trie (e.g. a predicate
+		// satisfied only by some packets); keep the most specific mark.
+		conn.PktMark = m.Mark
+	}
+	cs := c.state(conn)
+
+	if cs.rejected {
+		c.stats.TombstonePkts++
+		c.maybeTerminate(conn, cs, ft, flags)
+		m.Free()
+		return
+	}
+
+	// Feed the stream machinery while the connection needs it. Stream
+	// subscriptions keep the reassembler for the connection's lifetime.
+	if conn.State == conntrack.StateProbe || conn.State == conntrack.StateParse ||
+		c.sub.Level == LevelStream {
+		c.feed(conn, cs, m, ft, payload, flags)
+	}
+
+	// Packet-level delivery/buffering.
+	if c.sub.Level == LevelPacket && !cs.rejected && conn.State != conntrack.StateDelete {
+		if cs.matched {
+			c.deliverPacket(m)
+		} else if len(cs.pktBuf) < c.cfg.PacketBufferCap {
+			cs.pktBuf = append(cs.pktBuf, m.Ref())
+			conn.ExtraMem += m.Len()
+			c.stats.BufferedPkts++
+		}
+	}
+
+	c.maybeTerminate(conn, cs, ft, flags)
+	m.Free()
+}
+
+// state returns the connection's subscription state, creating it if the
+// connection was made before initConn ran (defensive).
+func (c *Core) state(conn *conntrack.Conn) *connState {
+	cs, ok := conn.UserData.(*connState)
+	if !ok {
+		cs = &connState{}
+		conn.UserData = cs
+	}
+	return cs
+}
+
+// initConn derives the connection's initial processing state from the
+// subscription and the packet filter verdict (Figure 4).
+func (c *Core) initConn(conn *conntrack.Conn) {
+	cs := &connState{}
+	conn.UserData = cs
+
+	mark := int(conn.PktMark)
+	needParse := len(c.parReg.Names()) > 0
+
+	// A packet-terminal mark means the whole filter is already
+	// satisfied for this connection.
+	cr := c.prog.Conn(conn, mark)
+	if cr.Match && cr.Terminal {
+		conn.ConnMark = cr.Node
+		cs.matched = true
+		c.onFullMatch(conn, cs)
+		// Keep probing only when the data type needs sessions (session
+		// level) or the user explicitly requested protocol
+		// identification (SessionProtos on a packet/connection
+		// subscription); otherwise payload processing is bypassed
+		// entirely (§6.1's TCP connection records configuration).
+		wantsParsing := c.sub.Level == LevelSession || len(c.sub.SessionProtos) > 0
+		if wantsParsing && needParse {
+			conn.State = conntrack.StateProbe
+		} else {
+			conn.State = conntrack.StateTrack
+		}
+	} else {
+		conn.State = conntrack.StateProbe
+	}
+
+	if conn.State == conntrack.StateProbe {
+		if !needParse {
+			// Nothing can identify the protocol; without identification
+			// the connection filter can never pass a non-terminal mark.
+			if cs.matched {
+				conn.State = conntrack.StateTrack
+			} else {
+				c.reject(conn, cs)
+				return
+			}
+		} else {
+			cs.candidates = c.parReg.NewParsers()
+		}
+	}
+	// Byte-stream subscriptions always reassemble matched-or-pending
+	// TCP connections; other levels only reassemble while probing or
+	// parsing.
+	needReasm := conn.Tuple.Proto == layers.IPProtoTCP &&
+		(conn.State == conntrack.StateProbe || conn.State == conntrack.StateParse ||
+			c.sub.Level == LevelStream)
+	if needReasm {
+		cs.reasm = reassembly.NewLite(c.cfg.MaxOutOfOrder)
+	}
+}
+
+// feed pushes one packet's stream payload through reassembly into
+// probing/parsing.
+func (c *Core) feed(conn *conntrack.Conn, cs *connState, m *mbuf.Mbuf, ft layers.FiveTuple, payload []byte, flags uint8) {
+	orig := conn.Orig(ft)
+	if conn.Tuple.Proto == layers.IPProtoUDP {
+		if len(payload) == 0 {
+			return
+		}
+		if conn.State == conntrack.StateProbe || conn.State == conntrack.StateParse {
+			c.stages.Time(StageParsing, func() {
+				c.handleStreamData(conn, cs, payload, orig)
+			})
+		}
+		if c.sub.Level == LevelStream && !cs.rejected {
+			c.emitStream(conn, cs, 0, payload, orig)
+		}
+		return
+	}
+	if cs.reasm == nil {
+		return
+	}
+	syn := flags&layers.TCPSyn != 0
+	fin := flags&layers.TCPFin != 0
+	if len(payload) == 0 && !syn && !fin {
+		return // pure ACK: nothing for the stream
+	}
+	seg := reassembly.Segment{
+		Seq:     c.parsed.TCP.Seq,
+		Payload: payload,
+		Orig:    orig,
+		Tick:    c.now,
+		SYN:     syn,
+		FIN:     fin,
+	}
+	if len(payload) > 0 {
+		// The reassembler may park the segment; hold a buffer reference
+		// until it lets go.
+		held := m.Ref()
+		before := conn.ExtraMem
+		_ = before
+		seg.Release = func() { held.Free() }
+	}
+	reasm := cs.reasm // emit callbacks may release cs.reasm mid-insert
+	c.stages.Time(StageReassembly, func() {
+		reasm.Insert(seg, func(out reassembly.Segment) {
+			if len(out.Payload) == 0 {
+				return
+			}
+			if conn.State == conntrack.StateProbe || conn.State == conntrack.StateParse {
+				c.stages.Time(StageParsing, func() {
+					c.handleStreamData(conn, cs, out.Payload, out.Orig)
+				})
+			}
+			if c.sub.Level == LevelStream && !cs.rejected {
+				c.emitStream(conn, cs, out.Seq, out.Payload, out.Orig)
+			}
+		})
+	})
+	if cs.reasm != nil {
+		conn.ExtraMem = cs.reasm.BufferedBytes()
+	}
+}
+
+// handleStreamData runs protocol identification and parsing on in-order
+// stream bytes.
+func (c *Core) handleStreamData(conn *conntrack.Conn, cs *connState, data []byte, orig bool) {
+	if conn.State == conntrack.StateProbe && cs.active == nil {
+		cs.probeBytes += len(data)
+		kept := cs.candidates[:0]
+		for _, p := range cs.candidates {
+			switch p.Probe(data, orig) {
+			case proto.ProbeMatch:
+				cs.active = p
+				conn.Service = p.Name()
+			case proto.ProbeUnsure:
+				kept = append(kept, p)
+			case proto.ProbeReject:
+				// dropped
+			}
+			if cs.active != nil {
+				break
+			}
+		}
+		cs.candidates = kept
+
+		if cs.active != nil {
+			cs.candidates = nil
+			c.onServiceIdentified(conn, cs)
+			if cs.rejected {
+				return
+			}
+		} else if len(cs.candidates) == 0 || cs.probeBytes > probeBudget {
+			// Unidentifiable protocol.
+			cs.candidates = nil
+			if cs.matched {
+				// Filter already satisfied; sessions will never come.
+				conn.State = conntrack.StateTrack
+				c.releaseStreamState(conn, cs)
+			} else {
+				c.reject(conn, cs)
+			}
+			return
+		} else {
+			return // keep probing
+		}
+	}
+
+	if conn.State == conntrack.StateParse && cs.active != nil {
+		res := cs.active.Parse(data, orig)
+		for _, s := range cs.active.DrainSessions() {
+			c.onSessionParsed(conn, cs, s)
+			if cs.rejected || conn.State == conntrack.StateDelete {
+				return
+			}
+		}
+		switch res {
+		case proto.ParseDone:
+			c.afterParsing(conn, cs)
+		case proto.ParseError:
+			if cs.matched {
+				conn.State = conntrack.StateTrack
+				c.releaseStreamState(conn, cs)
+			} else {
+				c.reject(conn, cs)
+			}
+		}
+	}
+}
+
+// onServiceIdentified applies the connection filter the moment the L7
+// protocol is known (§5.2: "as soon as enough data has been observed to
+// identify the L7 protocol but before full L7 parsing occurs").
+func (c *Core) onServiceIdentified(conn *conntrack.Conn, cs *connState) {
+	if cs.matched {
+		// Filter already terminal; parsing continues only to feed the
+		// data type.
+		conn.State = conntrack.StateParse
+		return
+	}
+	cr := c.prog.Conn(conn, int(conn.PktMark))
+	if !cr.Match {
+		c.reject(conn, cs)
+		return
+	}
+	conn.ConnMark = cr.Node
+	if cr.Terminal {
+		cs.matched = true
+		c.onFullMatch(conn, cs)
+		if c.sub.Level == LevelSession {
+			conn.State = conntrack.StateParse // deliver every session
+		} else {
+			conn.State = conntrack.StateTrack
+			c.releaseStreamState(conn, cs)
+		}
+		return
+	}
+	// Session predicates pending: parse until the session filter can
+	// rule (Figure 4b).
+	conn.State = conntrack.StateParse
+}
+
+// onSessionParsed applies the session filter to one parsed session and
+// routes the verdict (Figure 4's session-filter pseudostate).
+func (c *Core) onSessionParsed(conn *conntrack.Conn, cs *connState, s *proto.Session) {
+	c.stats.SessionsSeen++
+	var ok bool
+	c.stages.Time(StageSessionFilter, func() {
+		ok = c.prog.Session(s.Data, conn.ConnMark)
+	})
+	if ok {
+		c.stats.SessionsMatch++
+		first := !cs.matched
+		cs.matched = true
+		if first {
+			c.onFullMatch(conn, cs)
+		}
+		if c.sub.Level == LevelSession {
+			c.deliverSession(conn, s)
+		}
+		// Post-match state: the parser's default, overridden by
+		// subscriptions that still need the connection.
+		next := cs.active.SessionMatchState()
+		switch c.sub.Level {
+		case LevelPacket, LevelConnection, LevelStream:
+			if next == conntrack.StateDelete {
+				// The subscription still needs packets/records/bytes;
+				// keep tracking instead of deleting (Figure 4a vs 4b).
+				next = conntrack.StateTrack
+			}
+		}
+		c.applyState(conn, cs, next)
+		return
+	}
+	// Session failed the filter.
+	next := cs.active.SessionNoMatchState()
+	if next == conntrack.StateDelete && !cs.matched {
+		c.reject(conn, cs)
+		return
+	}
+	if next == conntrack.StateDelete {
+		next = conntrack.StateTrack
+	}
+	c.applyState(conn, cs, next)
+}
+
+func (c *Core) applyState(conn *conntrack.Conn, cs *connState, next conntrack.State) {
+	switch next {
+	case conntrack.StateDelete:
+		// Deliver before removal, then drop all state mid-connection
+		// (Figure 4b's "Done → DEL"). Straggler packets of the deleted
+		// connection will recreate an entry whose probe fails fast and
+		// leaves a light tombstone.
+		conn.State = conntrack.StateDelete
+		c.finishConn(conn, cs, conntrack.ExpireEvicted)
+		c.table.Remove(conn, conntrack.ExpireEvicted)
+	case conntrack.StateTrack:
+		conn.State = conntrack.StateTrack
+		c.releaseStreamState(conn, cs)
+	default:
+		conn.State = next
+	}
+}
+
+// afterParsing handles a parser that is done for the connection.
+func (c *Core) afterParsing(conn *conntrack.Conn, cs *connState) {
+	if conn.State != conntrack.StateParse {
+		return
+	}
+	if cs.matched {
+		switch c.sub.Level {
+		case LevelSession:
+			st := cs.active.SessionMatchState()
+			if st == conntrack.StateDelete {
+				c.applyState(conn, cs, conntrack.StateDelete)
+				return
+			}
+		}
+		conn.State = conntrack.StateTrack
+		c.releaseStreamState(conn, cs)
+		return
+	}
+	// Parser finished without any matching session.
+	c.reject(conn, cs)
+}
+
+// onFullMatch runs once when the connection first satisfies the whole
+// filter.
+func (c *Core) onFullMatch(conn *conntrack.Conn, cs *connState) {
+	switch c.sub.Level {
+	case LevelPacket:
+		// Flush packets buffered while the verdict was pending
+		// (Figure 4a: "run callback on any buffered packets").
+		for _, bm := range cs.pktBuf {
+			c.deliverPacketBuf(bm)
+			bm.Free()
+		}
+		conn.ExtraMem = 0
+		cs.pktBuf = nil
+	case LevelStream:
+		for i := range cs.streamBuf {
+			ch := &cs.streamBuf[i]
+			c.stages.Time(StageCallback, func() { c.sub.OnStream(ch) })
+			c.stats.Delivered++
+		}
+		cs.streamBuf = nil
+		cs.streamBufBytes = 0
+		conn.ExtraMem = 0
+	}
+}
+
+// emitStream delivers or buffers one reconstructed chunk for a
+// byte-stream subscription. Pre-verdict bytes are copied (bounded);
+// post-match bytes are copied once into the callback's chunk.
+func (c *Core) emitStream(conn *conntrack.Conn, cs *connState, seq uint32, payload []byte, orig bool) {
+	chunk := StreamChunk{
+		Tuple:  conn.Tuple,
+		Orig:   orig,
+		Seq:    seq,
+		Data:   append([]byte(nil), payload...),
+		Tick:   c.now,
+		CoreID: c.ID,
+	}
+	if cs.matched {
+		c.stages.Time(StageCallback, func() { c.sub.OnStream(&chunk) })
+		c.stats.Delivered++
+		return
+	}
+	if cs.streamBufBytes+len(payload) > maxStreamBufBytes {
+		cs.streamOverflow = true
+		return
+	}
+	cs.streamBuf = append(cs.streamBuf, chunk)
+	cs.streamBufBytes += len(payload)
+	conn.ExtraMem += len(payload)
+}
+
+// reject marks the connection as failing the filter and releases its
+// processing state. The paper's state machine deletes such connections
+// outright; deleting means the next packet of the connection would
+// recreate and re-probe it, so we keep a zero-cost tombstone entry that
+// the normal timeouts collect. The heavy state (buffers, parsers) is
+// freed either way.
+func (c *Core) reject(conn *conntrack.Conn, cs *connState) {
+	cs.rejected = true
+	conn.State = conntrack.StateTrack
+	c.releaseStreamState(conn, cs)
+	for _, bm := range cs.pktBuf {
+		bm.Free()
+	}
+	cs.pktBuf = nil
+	conn.ExtraMem = 0
+}
+
+// releaseStreamState frees reassembly and parser resources once the
+// connection no longer needs stream processing. Byte-stream
+// subscriptions retain the reassembler for connections that are still
+// in scope (matched or verdict pending).
+func (c *Core) releaseStreamState(conn *conntrack.Conn, cs *connState) {
+	keepReasm := c.sub.Level == LevelStream && !cs.rejected
+	if cs.reasm != nil && !keepReasm {
+		cs.reasm.FlushAll(func(reassembly.Segment) {})
+		cs.reasm = nil
+	}
+	cs.candidates = nil
+	cs.active = nil
+	conn.ExtraMem = len(cs.pktBuf)*mbuf.DefaultBufSize + cs.streamBufBytes
+}
+
+// maybeTerminate removes gracefully finished connections.
+func (c *Core) maybeTerminate(conn *conntrack.Conn, cs *connState, ft layers.FiveTuple, flags uint8) {
+	if flags&layers.TCPFin != 0 {
+		if conn.Orig(ft) {
+			cs.finOrig = true
+		} else {
+			cs.finResp = true
+		}
+	}
+	if conn.RstSeen || (cs.finOrig && cs.finResp) {
+		c.finishConn(conn, cs, conntrack.ExpireTermination)
+		c.table.Remove(conn, conntrack.ExpireTermination)
+	}
+}
+
+// onExpire handles timer-driven connection removal.
+func (c *Core) onExpire(conn *conntrack.Conn, reason conntrack.ExpireReason) {
+	cs := c.state(conn)
+	c.finishConn(conn, cs, reason)
+}
+
+// finishConn delivers the connection record (if subscribed and matched)
+// and frees held resources. Safe to call more than once.
+func (c *Core) finishConn(conn *conntrack.Conn, cs *connState, reason conntrack.ExpireReason) {
+	if c.sub.Level == LevelConnection && cs.matched && !cs.rejected {
+		rec := &ConnRecord{
+			Tuple:       conn.Tuple,
+			Service:     conn.Service,
+			FirstTick:   conn.FirstTick,
+			LastTick:    conn.LastTick,
+			PktsOrig:    conn.PktsOrig,
+			PktsResp:    conn.PktsResp,
+			BytesOrig:   conn.BytesOrig,
+			BytesResp:   conn.BytesResp,
+			PayloadOrig: conn.PayloadOrig,
+			PayloadResp: conn.PayloadResp,
+			OOOOrig:     conn.OOOOrig,
+			OOOResp:     conn.OOOResp,
+			Established: conn.Established,
+			SynSeen:     conn.SynSeen,
+			FinSeen:     conn.FinSeen,
+			RstSeen:     conn.RstSeen,
+			Why:         reason,
+			CoreID:      c.ID,
+		}
+		c.stages.Time(StageCallback, func() { c.sub.OnConn(rec) })
+		c.stats.Delivered++
+	}
+	cs.matched = false // prevent double delivery
+	cs.rejected = true // force full release, including stream state
+	c.releaseStreamState(conn, cs)
+	for _, bm := range cs.pktBuf {
+		bm.Free()
+	}
+	cs.pktBuf = nil
+	cs.streamBuf = nil
+	cs.streamBufBytes = 0
+	conn.ExtraMem = 0
+}
+
+// Flush delivers records for all live connections (end of run) and
+// clears the table.
+func (c *Core) Flush() {
+	var conns []*conntrack.Conn
+	c.table.Each(func(conn *conntrack.Conn) { conns = append(conns, conn) })
+	for _, conn := range conns {
+		cs := c.state(conn)
+		c.finishConn(conn, cs, conntrack.ExpireEvicted)
+		c.table.Remove(conn, conntrack.ExpireEvicted)
+	}
+}
+
+func (c *Core) deliverPacket(m *mbuf.Mbuf) {
+	pkt := &Packet{Data: m.Data(), Tick: m.RxTick, CoreID: c.ID}
+	c.stages.Time(StageCallback, func() { c.sub.OnPacket(pkt) })
+	c.stats.Delivered++
+}
+
+func (c *Core) deliverPacketBuf(m *mbuf.Mbuf) {
+	pkt := &Packet{Data: m.Data(), Tick: m.RxTick, CoreID: c.ID}
+	c.stages.Time(StageCallback, func() { c.sub.OnPacket(pkt) })
+	c.stats.Delivered++
+}
+
+func (c *Core) deliverSession(conn *conntrack.Conn, s *proto.Session) {
+	ev := &SessionEvent{Session: s, Tuple: conn.Tuple, Tick: c.now, CoreID: c.ID}
+	c.stages.Time(StageCallback, func() { c.sub.OnSession(ev) })
+	c.stats.Delivered++
+}
+
+// Run consumes mbufs from a receive queue until it closes, then flushes.
+func (c *Core) Run(queue <-chan *mbuf.Mbuf) {
+	for m := range queue {
+		c.ProcessMbuf(m)
+	}
+	c.Flush()
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"time"
+
+	"retina/internal/metrics"
+)
+
+// Stage identifies one pipeline stage for the Figure 7 breakdown.
+type Stage int
+
+const (
+	// StageSWFilter is the software packet filter (decode + match).
+	StageSWFilter Stage = iota
+	// StageConnTrack is connection table lookup/insert and touch.
+	StageConnTrack
+	// StageReassembly is stream reassembly (segments offered).
+	StageReassembly
+	// StageParsing is application-layer probing and parsing.
+	StageParsing
+	// StageSessionFilter is session filter evaluation.
+	StageSessionFilter
+	// StageCallback is user callback execution.
+	StageCallback
+
+	numStages
+)
+
+// String names the stage as in Figure 7.
+func (s Stage) String() string {
+	switch s {
+	case StageSWFilter:
+		return "SW Packet Filter"
+	case StageConnTrack:
+		return "Connection Tracking"
+	case StageReassembly:
+		return "Stream Reassembly"
+	case StageParsing:
+		return "App-layer Parsing"
+	case StageSessionFilter:
+		return "Session Filter"
+	case StageCallback:
+		return "Run Callback"
+	}
+	return "?"
+}
+
+// StageStats accumulates per-stage counts and (optionally) time.
+type StageStats struct {
+	timers  [numStages]metrics.StageTimer
+	profile bool
+}
+
+// NewStageStats creates stage counters; profile enables wall-time
+// sampling per invocation (slower but yields the cycles column).
+func NewStageStats(profile bool) *StageStats {
+	return &StageStats{profile: profile}
+}
+
+// Count bumps a stage's invocation count by n without timing.
+func (s *StageStats) Count(st Stage, n uint64) {
+	s.timers[st].Add(n, 0)
+}
+
+// Time runs fn under the stage's timer (or untimed when profiling is
+// off).
+func (s *StageStats) Time(st Stage, fn func()) {
+	if !s.profile {
+		s.timers[st].Add(1, 0)
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	s.timers[st].Observe(time.Since(start))
+}
+
+// Invocations returns how many times the stage ran.
+func (s *StageStats) Invocations(st Stage) uint64 { return s.timers[st].Count() }
+
+// AvgCycles returns the stage's mean cost in nominal CPU cycles
+// (zero when profiling was off).
+func (s *StageStats) AvgCycles(st Stage) float64 { return s.timers[st].AvgCycles() }
+
+// Merge adds other's counters into s (for aggregating per-core stats).
+func (s *StageStats) Merge(other *StageStats) {
+	for i := Stage(0); i < numStages; i++ {
+		n := other.timers[i].Count()
+		if n == 0 {
+			continue
+		}
+		avg := other.timers[i].AvgCycles()
+		total := time.Duration(metrics.CyclesToNs(avg * float64(n)))
+		s.timers[i].Add(n, total)
+	}
+}
+
+// Stages lists all stages in pipeline order.
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// CoreStats aggregates one core's packet-level counters.
+type CoreStats struct {
+	Processed     uint64 // mbufs consumed from the ring
+	FilterDropped uint64 // dropped by the software packet filter
+	Delivered     uint64 // callback invocations
+	ConnsCreated  uint64
+	SessionsSeen  uint64
+	SessionsMatch uint64
+	TombstonePkts uint64 // packets landing on rejected connections
+	BufferedPkts  uint64 // packets buffered awaiting a filter verdict
+}

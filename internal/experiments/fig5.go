@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"retina"
+	"retina/internal/metrics"
+	"retina/internal/traffic"
+)
+
+// Fig5SubType selects the subscription under test.
+type Fig5SubType int
+
+// The three subscription types of Figure 5.
+const (
+	Fig5RawPackets Fig5SubType = iota
+	Fig5ConnRecords
+	Fig5TLSHandshakes
+)
+
+// Name returns the subplot title.
+func (t Fig5SubType) Name() string {
+	switch t {
+	case Fig5RawPackets:
+		return "Raw Packets"
+	case Fig5ConnRecords:
+		return "TCP Connection Records"
+	case Fig5TLSHandshakes:
+		return "TLS Handshakes"
+	}
+	return "?"
+}
+
+func (t Fig5SubType) filter() string {
+	switch t {
+	case Fig5ConnRecords:
+		return "ipv4 and tcp"
+	case Fig5TLSHandshakes:
+		return "tls"
+	}
+	return ""
+}
+
+func (t Fig5SubType) subscription(spin uint64, delivered *atomic.Uint64) *retina.Subscription {
+	switch t {
+	case Fig5ConnRecords:
+		return retina.Connections(func(*retina.ConnRecord) {
+			metrics.SpinCycles(spin)
+			delivered.Add(1)
+		})
+	case Fig5TLSHandshakes:
+		return retina.TLSHandshakes(func(*retina.TLSHandshake, *retina.SessionEvent) {
+			metrics.SpinCycles(spin)
+			delivered.Add(1)
+		})
+	default:
+		return retina.Packets(func(*retina.Packet) {
+			metrics.SpinCycles(spin)
+			delivered.Add(1)
+		})
+	}
+}
+
+// Fig5Point is one bar of Figure 5: the maximum zero-loss processing
+// throughput for a core count and per-callback cycle cost.
+type Fig5Point struct {
+	Sub       Fig5SubType
+	Cores     int
+	Cycles    uint64
+	Gbps      float64 // measured processing capacity
+	Mpps      float64
+	Delivered uint64
+}
+
+// Fig5Config parameterizes the experiment.
+type Fig5Config struct {
+	Cores     []int
+	Cycles    []uint64
+	Subs      []Fig5SubType
+	FlowsBase int // flows per core at Scale=1
+	Seed      int64
+}
+
+// DefaultFig5 mirrors the paper's grid (core counts capped by the
+// machine; scaling shape is what transfers).
+func DefaultFig5() Fig5Config {
+	return Fig5Config{
+		Cores:     []int{1, 2, 4},
+		Cycles:    []uint64{0, 1_000, 100_000, 1_000_000},
+		Subs:      []Fig5SubType{Fig5RawPackets, Fig5ConnRecords, Fig5TLSHandshakes},
+		FlowsBase: 1500,
+		Seed:      1,
+	}
+}
+
+// RunFig5 measures processing capacity for every grid point: each core
+// consumes an independently pre-generated campus-mix stream as fast as
+// it can (the paper finds the maximum ingress rate with zero loss; on a
+// simulated NIC the equivalent observable is aggregate processing
+// capacity — offered load beyond it is exactly what produces loss).
+func RunFig5(cfg Fig5Config, scale float64) []Fig5Point {
+	var out []Fig5Point
+	for _, sub := range cfg.Subs {
+		for _, cores := range cfg.Cores {
+			for _, cyc := range cfg.Cycles {
+				out = append(out, runFig5Point(cfg, sub, cores, cyc, scale))
+			}
+		}
+	}
+	return out
+}
+
+func runFig5Point(cfg Fig5Config, sub Fig5SubType, cores int, cyc uint64, scale float64) Fig5Point {
+	flows := int(float64(cfg.FlowsBase) * scale)
+	if flows < 50 {
+		flows = 50
+	}
+
+	// Pre-generate one frame stream per core so generation cost is off
+	// the measured path (the paper's traffic arrives from the wire).
+	type stream struct {
+		frames [][]byte
+		ticks  []uint64
+		bytes  uint64
+	}
+	streams := make([]stream, cores)
+	var genWG sync.WaitGroup
+	for i := range streams {
+		genWG.Add(1)
+		go func(i int) {
+			defer genWG.Done()
+			mix := traffic.NewCampusMix(traffic.CampusConfig{
+				Seed: cfg.Seed + int64(i)*101, Flows: flows, Gbps: 40,
+			})
+			s := &streams[i]
+			for {
+				f, tk, ok := mix.Next()
+				if !ok {
+					break
+				}
+				cp := append([]byte(nil), f...)
+				s.frames = append(s.frames, cp)
+				s.ticks = append(s.ticks, tk)
+				s.bytes += uint64(len(cp))
+			}
+		}(i)
+	}
+	genWG.Wait()
+
+	var delivered atomic.Uint64
+	runtimes := make([]*retina.Runtime, cores)
+	for i := range runtimes {
+		rcfg := retina.DefaultConfig()
+		rcfg.Filter = sub.filter()
+		rcfg.Cores = 1
+		rcfg.PoolSize = 8192
+		rt, err := retina.New(rcfg, sub.subscription(cyc, &delivered))
+		if err != nil {
+			panic(err)
+		}
+		runtimes[i] = rt
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cores; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := &sliceSource{frames: streams[i].frames, ticks: streams[i].ticks}
+			runtimes[i].RunOffline(src)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var totalBytes uint64
+	var totalFrames int
+	for _, s := range streams {
+		totalBytes += s.bytes
+		totalFrames += len(s.frames)
+	}
+	return Fig5Point{
+		Sub:       sub,
+		Cores:     cores,
+		Cycles:    cyc,
+		Gbps:      metrics.GbpsOver(totalBytes, elapsed),
+		Mpps:      float64(totalFrames) / elapsed.Seconds() / 1e6,
+		Delivered: delivered.Load(),
+	}
+}
+
+// sliceSource replays pre-generated frames.
+type sliceSource struct {
+	frames [][]byte
+	ticks  []uint64
+	i      int
+}
+
+// Next implements retina.Source.
+func (s *sliceSource) Next() ([]byte, uint64, bool) {
+	if s.i >= len(s.frames) {
+		return nil, 0, false
+	}
+	f, t := s.frames[s.i], s.ticks[s.i]
+	s.i++
+	return f, t, true
+}
+
+// PrintFig5 renders the grid with the paper's qualitative expectations.
+func PrintFig5(w io.Writer, pts []Fig5Point) {
+	fmt.Fprintln(w, "Figure 5: zero-loss processing throughput (measured capacity on this host)")
+	fmt.Fprintln(w, "Paper (24-core Xeon + 100GbE): raw packets >162G @2 cores; conn records 127G @8 cores;")
+	fmt.Fprintln(w, "TLS handshakes >160G @8 cores; throughput falls as callback cycles grow.")
+	fmt.Fprintln(w)
+	var cur Fig5SubType = -1
+	var tbl *Table
+	flush := func() {
+		if tbl != nil {
+			tbl.Write(w)
+			fmt.Fprintln(w)
+		}
+	}
+	for _, p := range pts {
+		if p.Sub != cur {
+			flush()
+			cur = p.Sub
+			fmt.Fprintf(w, "(%s)\n", p.Sub.Name())
+			tbl = &Table{Header: []string{"cores", "callback cycles", "Gbps", "Mpps", "callbacks"}}
+		}
+		tbl.Add(fmt.Sprint(p.Cores), fmt.Sprint(p.Cycles), F(p.Gbps), F(p.Mpps), fmt.Sprint(p.Delivered))
+	}
+	flush()
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"retina"
+	"retina/internal/baseline"
+	"retina/internal/metrics"
+	"retina/internal/traffic"
+)
+
+// Fig6Result is one system's single-core capacity on the HTTPS workload.
+type Fig6Result struct {
+	System    string
+	Gbps      float64 // zero-loss processing capacity (measured)
+	KreqPerS  float64 // capacity expressed as the x-axis of Figure 6
+	Matches   uint64
+	PaperGbps float64 // the paper's reported zero-loss throughput
+}
+
+// Fig6Config parameterizes the comparison.
+type Fig6Config struct {
+	Requests int // closed-loop requests per measurement at Scale=1
+	SNI      string
+	Seed     int64
+}
+
+// DefaultFig6 mirrors §6.2's setup: 256KB HTTPS requests, single core,
+// no hardware filtering, rule matching the TLS server name.
+func DefaultFig6() Fig6Config {
+	return Fig6Config{Requests: 400, SNI: "bench.example.com", Seed: 1}
+}
+
+// bytesPerRequest is the approximate wire bytes of one 256KB HTTPS
+// exchange (response + handshake + ACK overhead).
+const bytesPerRequest = 276_000.0
+
+// RunFig6 measures the single-core zero-loss capacity of Retina and the
+// three baseline architectures on the same task: log TLS connections
+// matching the server name.
+func RunFig6(cfg Fig6Config, scale float64) []Fig6Result {
+	reqs := int(float64(cfg.Requests) * scale)
+	if reqs < 20 {
+		reqs = 20
+	}
+
+	// Pre-generate the workload once; all systems replay it.
+	src := traffic.NewHTTPSWorkload(cfg.Seed, reqs, 128, 10, cfg.SNI)
+	var frames [][]byte
+	var ticks []uint64
+	var bytes uint64
+	for {
+		f, tk, ok := src.Next()
+		if !ok {
+			break
+		}
+		cp := append([]byte(nil), f...)
+		frames = append(frames, cp)
+		ticks = append(ticks, tk)
+		bytes += uint64(len(cp))
+	}
+
+	var out []Fig6Result
+	const repeats = 3 // best-of to shed cold-cache and GC noise
+
+	// Retina, single core, offline (no hardware filter), matching the
+	// paper's configuration.
+	{
+		var best float64
+		var matches uint64
+		for r := 0; r < repeats; r++ {
+			rcfg := retina.DefaultConfig()
+			rcfg.Filter = `tls.sni matches 'bench'`
+			rcfg.Cores = 1
+			rcfg.PoolSize = 8192
+			matches = 0
+			rt, err := retina.New(rcfg, retina.Connections(func(r *retina.ConnRecord) { matches++ }))
+			if err != nil {
+				panic(err)
+			}
+			start := time.Now()
+			rt.RunOffline(&sliceSource{frames: frames, ticks: ticks})
+			if g := metrics.GbpsOver(bytes, time.Since(start)); g > best {
+				best = g
+			}
+		}
+		out = append(out, Fig6Result{
+			System: "Retina", Gbps: best,
+			KreqPerS: best * 1e9 / 8 / bytesPerRequest / 1000,
+			Matches:  matches, PaperGbps: 49,
+		})
+	}
+
+	for _, sys := range []struct {
+		s     baseline.System
+		paper float64
+	}{
+		{baseline.SuricataLike, 10}, {baseline.ZeekLike, 4}, {baseline.SnortLike, 0.4},
+	} {
+		var best float64
+		var matches uint64
+		for r := 0; r < repeats; r++ {
+			m, err := baseline.New(sys.s, "bench")
+			if err != nil {
+				panic(err)
+			}
+			start := time.Now()
+			for i, f := range frames {
+				m.Process(f, ticks[i])
+			}
+			if g := metrics.GbpsOver(bytes, time.Since(start)); g > best {
+				best = g
+			}
+			matches = m.Results().Matches
+		}
+		out = append(out, Fig6Result{
+			System: sys.s.Name(), Gbps: best,
+			KreqPerS: best * 1e9 / 8 / bytesPerRequest / 1000,
+			Matches:  matches, PaperGbps: sys.paper,
+		})
+	}
+	return out
+}
+
+// PrintFig6 renders the comparison with paper-reported values and the
+// resulting speedup ratios.
+func PrintFig6(w io.Writer, res []Fig6Result) {
+	fmt.Fprintln(w, "Figure 6: single-core zero-loss capacity, HTTPS SNI-logging task")
+	fmt.Fprintln(w, "Paper: Retina ~49 Gbps, Suricata ~10, Zeek ~4-5, Snort ~0.4-1 (5-100x gap)")
+	fmt.Fprintln(w)
+	tbl := &Table{Header: []string{"system", "measured Gbps", "measured kreq/s", "matches", "paper Gbps", "Retina speedup"}}
+	var retinaGbps float64
+	for _, r := range res {
+		if r.System == "Retina" {
+			retinaGbps = r.Gbps
+		}
+	}
+	for _, r := range res {
+		speedup := "-"
+		if r.System != "Retina" && r.Gbps > 0 {
+			speedup = fmt.Sprintf("%.1fx", retinaGbps/r.Gbps)
+		}
+		tbl.Add(r.System, F(r.Gbps), F(r.KreqPerS), fmt.Sprint(r.Matches), F(r.PaperGbps), speedup)
+	}
+	tbl.Write(w)
+}

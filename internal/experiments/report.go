@@ -1,0 +1,93 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6, §7, Appendices B–C) on the simulated substrate. Each
+// experiment returns a structured result with the paper's reported
+// values alongside the measured ones, and renders the same rows/series
+// the paper plots. The retina-bench CLI and the repository-root
+// benchmarks both drive these entry points.
+//
+// Scale notes: experiments accept a Scale factor that shrinks workload
+// sizes for quick runs (benchmarks, CI); Scale=1 is the full
+// configuration documented in EXPERIMENTS.md. Absolute throughputs are
+// hardware-dependent; the reproduced quantity is the *shape* — who wins,
+// by what factor, where the knees fall.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders aligned text tables for experiment output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// F formats a float compactly.
+func F(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	case v >= 0.001:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string {
+	switch {
+	case v >= 0.01:
+		return fmt.Sprintf("%.1f%%", v*100)
+	case v > 0:
+		return fmt.Sprintf("%.3g%%", v*100)
+	}
+	return "0%"
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestZeroLossSearchSmall(t *testing.T) {
+	res := RunZeroLossSearch("ipv4 and tcp", 1, 150)
+	if len(res.Points) == 0 {
+		t.Fatal("no titration points")
+	}
+	// The sweep must terminate at a zero-loss point (with a 90% sink
+	// almost any host keeps up) or record losses all the way down.
+	last := res.Points[len(res.Points)-1]
+	if last.Loss == 0 && res.MaxZeroLoss <= 0 {
+		t.Fatalf("zero-loss point not recorded: %+v", res)
+	}
+	for _, p := range res.Points {
+		if p.EffectiveGbps < 0 {
+			t.Fatalf("negative rate: %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	PrintZeroLoss(&buf, res)
+	if !strings.Contains(buf.String(), "sink fraction") {
+		t.Fatal("PrintZeroLoss output incomplete")
+	}
+}

@@ -1,0 +1,160 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"retina/internal/core"
+	"retina/internal/layers"
+)
+
+func sampleRecord() *core.ConnRecord {
+	return &core.ConnRecord{
+		Tuple:     TupleOf("10.0.0.1", 1234, "93.184.216.34", 443, layers.IPProtoTCP),
+		Service:   "tls",
+		FirstTick: 100,
+		LastTick:  5000,
+		PktsOrig:  10, PktsResp: 12,
+		BytesOrig: 1500, BytesResp: 90000,
+		Established: true,
+		SynSeen:     true,
+		FinSeen:     true,
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONL(&buf)
+	if err := w.Write(sampleRecord()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 1 {
+		t.Fatalf("Records = %d", w.Records())
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, buf.String())
+	}
+	if got["src_addr"] != "10.0.0.1" || got["dst_addr"] != "93.184.216.34" {
+		t.Fatalf("addresses wrong: %v", got)
+	}
+	if got["service"] != "tls" || got["established"] != true {
+		t.Fatalf("fields wrong: %v", got)
+	}
+	if got["bytes_resp"].(float64) != 90000 {
+		t.Fatalf("bytes wrong: %v", got)
+	}
+}
+
+func TestJSONLIPv6(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONL(&buf)
+	r := sampleRecord()
+	r.Tuple = TupleOf("2001:db8::1", 1, "2001:db8::2", 2, layers.IPProtoTCP)
+	w.Write(r)
+	w.Flush()
+	if !strings.Contains(buf.String(), `"2001:db8::1"`) {
+		t.Fatalf("v6 address not rendered: %s", buf.String())
+	}
+}
+
+func TestCSVShape(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(sampleRecord())
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "src_addr,") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	cols := strings.Split(lines[1], ",")
+	want := len(strings.Split(lines[0], ","))
+	if len(cols) != want {
+		t.Fatalf("row has %d cols, header %d", len(cols), want)
+	}
+	if cols[0] != "10.0.0.1" || cols[3] != "443" {
+		t.Fatalf("row: %s", lines[1])
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONL(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w.Write(sampleRecord())
+			}
+		}()
+	}
+	wg.Wait()
+	w.Flush()
+	if w.Records() != 1600 {
+		t.Fatalf("Records = %d", w.Records())
+	}
+	// Every line must be valid JSON (no interleaving).
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("line %d corrupt: %q", i, line)
+		}
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	return 0, errClosed
+}
+
+var errClosed = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "sink closed" }
+
+func TestWriteErrorsSticky(t *testing.T) {
+	w := NewJSONL(&failingWriter{})
+	// Fill the buffer until the flush path hits the failing sink.
+	for i := 0; i < 10000; i++ {
+		if err := w.Write(sampleRecord()); err != nil {
+			// Subsequent writes must keep failing.
+			if err2 := w.Write(sampleRecord()); err2 == nil {
+				t.Fatal("error not sticky")
+			}
+			return
+		}
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("flush to failed sink succeeded")
+	}
+}
+
+func BenchmarkJSONLWrite(b *testing.B) {
+	w := NewJSONL(discard{})
+	r := sampleRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Write(r)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,194 @@
+package filter
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GenerateGoSource emits Go source text for the three software
+// sub-filters of a trie — the direct analogue of the Rust code Retina's
+// procedural macros generate (Figure 3). The emitted file is valid,
+// self-contained Go (verified by a go/parser test); it exists to make
+// the decomposition inspectable and to document what the closure
+// compiler builds in memory.
+func GenerateGoSource(reg *Registry, t *Trie, pkg string) (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// Code generated for filter trie; mirrors Figure 3 of the paper.\n")
+	fmt.Fprintf(&sb, "package %s\n\n", pkg)
+	sb.WriteString("type filterResult struct{ match, terminal bool; node int }\n\n")
+
+	if err := genPacketFilter(&sb, reg, t); err != nil {
+		return "", err
+	}
+	genConnFilter(&sb, t)
+	if err := genSessionFilter(&sb, reg, t); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func genPacketFilter(sb *strings.Builder, reg *Registry, t *Trie) error {
+	sb.WriteString("func packetFilter(p *Parsed) filterResult {\n")
+	var walk func(n *Node, depth int) error
+	walk = func(n *Node, depth int) error {
+		ind := strings.Repeat("\t", depth)
+		cond, err := packetPredGo(reg, n.Pred)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sb, "%sif %s { // node %d: %s\n", ind, cond, n.ID, n.Pred)
+		hasNonPacketChild := false
+		for _, c := range n.Children {
+			if c.Layer != LayerPacket {
+				hasNonPacketChild = true
+				continue
+			}
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		inner := strings.Repeat("\t", depth+1)
+		switch {
+		case n.Terminal:
+			fmt.Fprintf(sb, "%sreturn filterResult{true, true, %d}\n", inner, n.ID)
+		case hasNonPacketChild:
+			fmt.Fprintf(sb, "%sreturn filterResult{true, false, %d}\n", inner, n.ID)
+		}
+		fmt.Fprintf(sb, "%s}\n", ind)
+		return nil
+	}
+	if err := walk(t.Root, 1); err != nil {
+		return err
+	}
+	sb.WriteString("\treturn filterResult{}\n}\n\n")
+	return nil
+}
+
+func packetPredGo(reg *Registry, pred Predicate) (string, error) {
+	if pred.Unary() {
+		switch pred.Proto {
+		case "eth":
+			return "p.NLayers > 0", nil
+		case "vlan":
+			return "p.HasVLAN()", nil
+		case "ipv4", "ipv6", "tcp", "udp", "icmp":
+			return fmt.Sprintf("p.Is%s()", strings.ToUpper(pred.Proto[:1])+pred.Proto[1:]), nil
+		default:
+			return "", fmt.Errorf("codegen: unknown packet protocol %q", pred.Proto)
+		}
+	}
+	lhs := fmt.Sprintf("p.%s_%s()", pred.Proto, pred.Field)
+	switch pred.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		op := pred.Op.String()
+		if op == "=" {
+			op = "=="
+		}
+		return fmt.Sprintf("%s %s %s", lhs, op, goValue(pred.Val)), nil
+	case OpIn:
+		if pred.Val.Kind == KindIntRange {
+			return fmt.Sprintf("(%s >= %d && %s <= %d)", lhs, pred.Val.Lo, lhs, pred.Val.Hi), nil
+		}
+		return fmt.Sprintf("prefixContains(%q, %s)", pred.Val.Pfx.String(), lhs), nil
+	case OpMatches:
+		return fmt.Sprintf("re%d.MatchString(%s)", hashRe(pred.Val.Str), lhs), nil
+	}
+	return "", fmt.Errorf("codegen: unsupported op %v", pred.Op)
+}
+
+func genConnFilter(sb *strings.Builder, t *Trie) {
+	sb.WriteString("func connFilter(conn ConnData, pktTermNode int) filterResult {\n")
+	sb.WriteString("\tswitch pktTermNode {\n")
+	for _, n := range t.Nodes {
+		if n.Layer != LayerPacket || !isPacketMark(n) {
+			continue
+		}
+		fmt.Fprintf(sb, "\tcase %d:\n", n.ID)
+		if n.Terminal {
+			fmt.Fprintf(sb, "\t\treturn filterResult{true, true, %d}\n", n.ID)
+			continue
+		}
+		for _, b := range collectConnBranches(n) {
+			fmt.Fprintf(sb, "\t\tif conn.Service() == %q {\n", b.proto)
+			fmt.Fprintf(sb, "\t\t\treturn filterResult{true, %v, %d}\n", b.terminal, b.node)
+			sb.WriteString("\t\t}\n")
+		}
+	}
+	sb.WriteString("\t}\n\treturn filterResult{}\n}\n\n")
+}
+
+func genSessionFilter(sb *strings.Builder, reg *Registry, t *Trie) error {
+	var regexes []string
+	sb.WriteString("func sessionFilter(s Session, connTermNode int) bool {\n")
+	sb.WriteString("\tswitch connTermNode {\n")
+	for _, n := range t.Nodes {
+		switch {
+		case n.Terminal && (n.Layer == LayerPacket || n.Layer == LayerConnection):
+			if n.Layer == LayerPacket && !isPacketMark(n) {
+				continue
+			}
+			fmt.Fprintf(sb, "\tcase %d:\n\t\treturn true\n", n.ID)
+		case n.Layer == LayerConnection && n.HasSessionDesc:
+			fmt.Fprintf(sb, "\tcase %d:\n", n.ID)
+			for _, c := range n.Children {
+				if c.Layer != LayerSession {
+					continue
+				}
+				cond, res := sessionPredGo(c.Pred)
+				regexes = append(regexes, res...)
+				fmt.Fprintf(sb, "\t\tif %s {\n\t\t\treturn true\n\t\t}\n", cond)
+			}
+		}
+	}
+	sb.WriteString("\t}\n\treturn false\n}\n\n")
+
+	// The lazily initialized static regexes (lazy_static! in the paper's
+	// generated Rust): compiled once at program start, not per packet.
+	seen := map[string]bool{}
+	for _, re := range regexes {
+		if seen[re] {
+			continue
+		}
+		seen[re] = true
+		fmt.Fprintf(sb, "var re%d = regexp.MustCompile(%q)\n", hashRe(re), re)
+	}
+	return nil
+}
+
+func sessionPredGo(pred Predicate) (string, []string) {
+	lhs := fmt.Sprintf("s.%s_%s()", pred.Proto, pred.Field)
+	switch pred.Op {
+	case OpMatches:
+		return fmt.Sprintf("re%d.MatchString(%s)", hashRe(pred.Val.Str), lhs), []string{pred.Val.Str}
+	case OpEq:
+		return fmt.Sprintf("%s == %s", lhs, goValue(pred.Val)), nil
+	case OpNe:
+		return fmt.Sprintf("%s != %s", lhs, goValue(pred.Val)), nil
+	default:
+		op := pred.Op.String()
+		return fmt.Sprintf("%s %s %s", lhs, op, goValue(pred.Val)), nil
+	}
+}
+
+func goValue(v Value) string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case KindString:
+		return fmt.Sprintf("%q", v.Str)
+	case KindIP:
+		return fmt.Sprintf("%q", v.IP.String())
+	default:
+		return fmt.Sprintf("%q", v.String())
+	}
+}
+
+// hashRe gives regex variables stable, collision-unlikely names.
+func hashRe(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

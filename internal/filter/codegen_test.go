@@ -1,0 +1,63 @@
+package filter
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestGenerateGoSourceFigure3(t *testing.T) {
+	reg := DefaultRegistry()
+	trie := buildTrieSrc(t, "(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http")
+	src, err := GenerateGoSource(reg, trie, "generated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"func packetFilter(", "func connFilter(", "func sessionFilter(",
+		"p.IsIpv4()", "p.IsIpv6()", "p.IsTcp()",
+		"conn.Service() == \"tls\"", "conn.Service() == \"http\"",
+		"regexp.MustCompile(\"netflix\")",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+// TestGeneratedSourceParses proves that what the code generator emits is
+// syntactically valid Go, for a spread of filters.
+func TestGeneratedSourceParses(t *testing.T) {
+	reg := DefaultRegistry()
+	for _, f := range []string{
+		"(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http",
+		"ipv4.addr in 10.0.0.0/8 and tcp.port in 100..200",
+		"tls.sni matches '.*\\.com$' and tls.version = 0x0303",
+		"ipv4 and (tls or ssh)",
+		"",
+	} {
+		trie := buildTrieSrc(t, f)
+		src, err := GenerateGoSource(reg, trie, "generated")
+		if err != nil {
+			t.Fatalf("GenerateGoSource(%q): %v", f, err)
+		}
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, "gen.go", src, parser.SkipObjectResolution); err != nil {
+			t.Errorf("filter %q: generated source does not parse: %v\n%s", f, err, src)
+		}
+	}
+}
+
+func TestGeneratedRegexesDeduplicated(t *testing.T) {
+	reg := DefaultRegistry()
+	// Same regex on two branches must yield a single static var.
+	trie := buildTrieSrc(t, "(ipv4 and tls.sni ~ 'netflix') or (ipv6 and tls.sni ~ 'netflix')")
+	src, err := GenerateGoSource(reg, trie, "generated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(src, "regexp.MustCompile(\"netflix\")"); n != 1 {
+		t.Fatalf("regex declared %d times, want 1\n%s", n, src)
+	}
+}

@@ -1,0 +1,272 @@
+package filter
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pattern is one conjunction of predicates from the filter's disjunctive
+// normal form: input data satisfies the filter iff it satisfies at least
+// one pattern.
+type Pattern []Predicate
+
+// String renders the pattern as a conjunction.
+func (p Pattern) String() string {
+	parts := make([]string, len(p))
+	for i, pred := range p {
+		parts[i] = pred.String()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// ToDNF converts an expression to disjunctive normal form: a set of
+// patterns, each a conjunction of atomic predicates (§4.1).
+func ToDNF(e Expr) []Pattern {
+	switch x := e.(type) {
+	case *PredExpr:
+		return []Pattern{{x.Pred}}
+	case *OrExpr:
+		var out []Pattern
+		for _, s := range x.Subs {
+			out = append(out, ToDNF(s)...)
+		}
+		return out
+	case *AndExpr:
+		// Cross product of the sub-expressions' DNFs.
+		acc := []Pattern{{}}
+		for _, s := range x.Subs {
+			sub := ToDNF(s)
+			next := make([]Pattern, 0, len(acc)*len(sub))
+			for _, a := range acc {
+				for _, b := range sub {
+					merged := make(Pattern, 0, len(a)+len(b))
+					merged = append(merged, a...)
+					merged = append(merged, b...)
+					next = append(next, merged)
+				}
+			}
+			acc = next
+		}
+		return acc
+	}
+	return nil
+}
+
+// chain captures a single encapsulation path for one expanded pattern.
+type chain struct {
+	l3   string // "ipv4" or "ipv6"
+	l4   string // "tcp", "udp", "icmp" or ""
+	conn string // "tls", "http", "ssh", "dns" or ""
+}
+
+// Expand rewrites DNF patterns so every pattern lists its predicates in
+// parse order along a single encapsulation path: eth, L3 (+fields), L4
+// (+fields), application protocol, session fields. Missing ancestor
+// protocols are inserted using registry metadata; patterns whose L3 is
+// unconstrained are split into an IPv4 and an IPv6 variant (Figure 3
+// shows this split for the bare "http" pattern). Contradictory patterns
+// (e.g. "ipv4 and ipv6", "tls and dns") are dropped; Expand fails only
+// if every pattern is contradictory or a predicate fails validation.
+func Expand(reg *Registry, pats []Pattern) ([]Pattern, error) {
+	var out []Pattern
+	var firstErr error
+	for _, pat := range pats {
+		exp, err := expandOne(reg, pat)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("pattern %q: %w", pat, err)
+			}
+			continue
+		}
+		out = append(out, exp...)
+	}
+	if len(out) == 0 {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("filter: no satisfiable patterns")
+	}
+	return dedupePatterns(out), nil
+}
+
+func expandOne(reg *Registry, pat Pattern) ([]Pattern, error) {
+	// Bucket predicates by protocol, validating as we go.
+	unary := map[string]bool{}
+	fields := map[string][]Predicate{}
+	for _, pr := range pat {
+		if err := reg.Validate(pr); err != nil {
+			return nil, err
+		}
+		if pr.Unary() {
+			unary[pr.Proto] = true
+		} else {
+			fields[pr.Proto] = append(fields[pr.Proto], pr)
+		}
+	}
+
+	// Determine the constrained protocols at each level.
+	var l3s, l4s, conns []string
+	seen := map[string]bool{}
+	consider := func(proto string) error {
+		if seen[proto] {
+			return nil
+		}
+		seen[proto] = true
+		def, ok := reg.Proto(proto)
+		if !ok {
+			return fmt.Errorf("filter: unknown protocol %q", proto)
+		}
+		switch {
+		case proto == "eth" || proto == "vlan":
+			// always implicit
+		case def.Layer == LayerConnection:
+			conns = append(conns, proto)
+		case proto == "ipv4" || proto == "ipv6":
+			l3s = append(l3s, proto)
+		default:
+			l4s = append(l4s, proto)
+		}
+		return nil
+	}
+	for _, pr := range pat {
+		if err := consider(pr.Proto); err != nil {
+			return nil, err
+		}
+	}
+
+	if len(conns) > 1 {
+		return nil, errContradiction(conns...)
+	}
+	if len(l4s) > 1 {
+		return nil, errContradiction(l4s...)
+	}
+	if len(l3s) > 1 {
+		return nil, errContradiction(l3s...)
+	}
+
+	// Resolve the single encapsulation chain, inferring missing levels
+	// from parent metadata.
+	var c chain
+	if len(conns) == 1 {
+		c.conn = conns[0]
+		def, _ := reg.Proto(c.conn)
+		if len(def.Parents) != 1 {
+			return nil, fmt.Errorf("filter: protocol %q must declare exactly one parent", c.conn)
+		}
+		parent := def.Parents[0]
+		if len(l4s) == 1 && l4s[0] != parent {
+			return nil, errContradiction(l4s[0], c.conn)
+		}
+		c.l4 = parent
+	} else if len(l4s) == 1 {
+		c.l4 = l4s[0]
+	}
+	if len(l3s) == 1 {
+		c.l3 = l3s[0]
+	}
+
+	// Build the variants: if L3 is unconstrained but an L4 or deeper
+	// predicate exists, split into per-L3 patterns.
+	var variants []chain
+	switch {
+	case c.l3 != "":
+		variants = []chain{c}
+	case c.l4 != "" || c.conn != "":
+		v4, v6 := c, c
+		v4.l3, v6.l3 = "ipv4", "ipv6"
+		variants = []chain{v4, v6}
+	default:
+		variants = []chain{c} // eth-only pattern
+	}
+
+	var out []Pattern
+	for _, v := range variants {
+		p, err := emitPattern(reg, v, unary, fields)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// emitPattern lays out the pattern's predicates in parse order along the
+// chosen chain, splitting each protocol's field predicates by the layer
+// at which they become evaluable.
+func emitPattern(reg *Registry, c chain, unary map[string]bool, fields map[string][]Predicate) (Pattern, error) {
+	var out Pattern
+	add := func(proto string) {
+		out = append(out, Predicate{Proto: proto, Op: OpTrue})
+		// Packet-layer fields of this protocol directly follow its
+		// unary node so header parse order is respected.
+		for _, pr := range fields[proto] {
+			if l, _ := reg.FieldLayer(pr); l == LayerPacket {
+				out = append(out, pr)
+			}
+		}
+	}
+
+	add("eth")
+	if unary["vlan"] || len(fields["vlan"]) > 0 {
+		add("vlan")
+	}
+	if c.l3 != "" {
+		add(c.l3)
+	}
+	if c.l4 != "" {
+		add(c.l4)
+	}
+	if c.conn != "" {
+		add(c.conn)
+		// Session fields follow the connection protocol node.
+		for _, pr := range fields[c.conn] {
+			if l, _ := reg.FieldLayer(pr); l == LayerSession {
+				out = append(out, pr)
+			}
+		}
+	}
+
+	// Any field predicates whose protocol is not on the chain indicate
+	// an internal inconsistency (should have been caught earlier).
+	for proto := range fields {
+		onChain := proto == "eth" || proto == "vlan" || proto == c.l3 || proto == c.l4 || proto == c.conn
+		if !onChain {
+			return nil, fmt.Errorf("filter: predicate on %q unreachable along chain", proto)
+		}
+	}
+	return out, nil
+}
+
+func errContradiction(protos ...string) error {
+	return fmt.Errorf("filter: contradictory protocols %s in one conjunction", strings.Join(protos, " and "))
+}
+
+// dedupePatterns removes exact duplicate patterns, preserving order.
+func dedupePatterns(pats []Pattern) []Pattern {
+	var out []Pattern
+	for _, p := range pats {
+		dup := false
+		for _, q := range out {
+			if patternsEqual(p, q) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func patternsEqual(a, b Pattern) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,165 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+)
+
+func expandSrc(t *testing.T, src string) []Pattern {
+	t.Helper()
+	e := mustParse(t, src)
+	pats, err := Expand(DefaultRegistry(), ToDNF(e))
+	if err != nil {
+		t.Fatalf("Expand(%q): %v", src, err)
+	}
+	return pats
+}
+
+func TestToDNFDistributes(t *testing.T) {
+	// (a or b) and (c or d) -> 4 patterns.
+	e := mustParse(t, "(ipv4 or ipv6) and (tls or ssh)")
+	pats := ToDNF(e)
+	if len(pats) != 4 {
+		t.Fatalf("DNF pattern count = %d, want 4", len(pats))
+	}
+	for _, p := range pats {
+		if len(p) != 2 {
+			t.Fatalf("pattern %v has %d predicates, want 2", p, len(p))
+		}
+	}
+}
+
+func TestToDNFSinglePredicate(t *testing.T) {
+	pats := ToDNF(mustParse(t, "ipv4"))
+	if len(pats) != 1 || len(pats[0]) != 1 {
+		t.Fatalf("DNF of single pred = %v", pats)
+	}
+}
+
+func TestExpandInsertsAncestors(t *testing.T) {
+	pats := expandSrc(t, "tls.sni ~ 'netflix' and ipv4")
+	if len(pats) != 1 {
+		t.Fatalf("patterns = %d, want 1 (L3 constrained)", len(pats))
+	}
+	want := []string{"eth", "ipv4", "tcp", "tls", "tls.sni matches 'netflix'"}
+	got := make([]string, len(pats[0]))
+	for i, p := range pats[0] {
+		got[i] = p.String()
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("expanded pattern = %v, want %v", got, want)
+	}
+}
+
+func TestExpandSplitsUnconstrainedL3(t *testing.T) {
+	// Figure 3: bare "http" expands under both ipv4 and ipv6.
+	pats := expandSrc(t, "http")
+	if len(pats) != 2 {
+		t.Fatalf("patterns = %d, want 2", len(pats))
+	}
+	l3s := map[string]bool{}
+	for _, pat := range pats {
+		l3s[pat[1].Proto] = true
+		if pat[2].Proto != "tcp" || pat[3].Proto != "http" {
+			t.Fatalf("unexpected chain %v", pat)
+		}
+	}
+	if !l3s["ipv4"] || !l3s["ipv6"] {
+		t.Fatalf("expected ipv4 and ipv6 variants, got %v", l3s)
+	}
+}
+
+func TestExpandDNSRequiresUDP(t *testing.T) {
+	pats := expandSrc(t, "dns.query_name ~ 'example'")
+	for _, pat := range pats {
+		if pat[2].Proto != "udp" {
+			t.Fatalf("dns pattern chain = %v, want udp parent", pat)
+		}
+	}
+}
+
+func TestExpandDropsContradictions(t *testing.T) {
+	// ipv4 and ipv6 in one conjunction is unsatisfiable; the other arm
+	// survives.
+	pats := expandSrc(t, "(ipv4 and ipv6) or tcp")
+	for _, pat := range pats {
+		for _, p := range pat {
+			if p.Proto == "ipv6" && pat[1].Proto == "ipv4" {
+				t.Fatalf("contradictory pattern survived: %v", pat)
+			}
+		}
+	}
+}
+
+func TestExpandAllContradictoryFails(t *testing.T) {
+	e := mustParse(t, "ipv4 and ipv6")
+	if _, err := Expand(DefaultRegistry(), ToDNF(e)); err == nil {
+		t.Fatal("Expand of unsatisfiable filter succeeded")
+	}
+	e = mustParse(t, "tls and dns")
+	if _, err := Expand(DefaultRegistry(), ToDNF(e)); err == nil {
+		t.Fatal("tls and dns (tcp vs udp parents) should be unsatisfiable")
+	}
+	e = mustParse(t, "tcp and udp")
+	if _, err := Expand(DefaultRegistry(), ToDNF(e)); err == nil {
+		t.Fatal("tcp and udp should be unsatisfiable")
+	}
+}
+
+func TestExpandRejectsUnknownProtoAndField(t *testing.T) {
+	for _, src := range []string{"gopher", "tcp.bogus = 1", "tls.sni > 10"} {
+		e, err := Parse(src)
+		if err != nil {
+			continue // some are parse-time errors, fine
+		}
+		if _, err := Expand(DefaultRegistry(), ToDNF(e)); err == nil {
+			t.Errorf("Expand(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestExpandTypeChecks(t *testing.T) {
+	bad := []string{
+		"ipv4.ttl = 'abc'",       // int field vs string
+		"ipv4.addr > 10.0.0.1",   // ordering on addresses
+		"http.host < 'a'",        // ordering on strings
+		"tcp.port in 10.0.0.0/8", // prefix on int field
+		"ipv4.addr in 100..200",  // int range on addr field
+	}
+	for _, src := range bad {
+		e, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		if _, err := Expand(DefaultRegistry(), ToDNF(e)); err == nil {
+			t.Errorf("Expand(%q) should fail type checking", src)
+		}
+	}
+}
+
+func TestExpandDedupes(t *testing.T) {
+	pats := expandSrc(t, "ipv4 or ipv4")
+	if len(pats) != 1 {
+		t.Fatalf("duplicate patterns not removed: %d", len(pats))
+	}
+}
+
+func TestExpandPacketFieldsFollowProto(t *testing.T) {
+	pats := expandSrc(t, "ipv4.ttl > 64 and tcp.port = 443")
+	pat := pats[0]
+	order := make([]string, len(pat))
+	for i, p := range pat {
+		order[i] = p.String()
+	}
+	want := "eth,ipv4,ipv4.ttl > 64,tcp,tcp.port = 443"
+	if strings.Join(order, ",") != want {
+		t.Fatalf("pattern order = %v, want %s", order, want)
+	}
+}
+
+func TestExpandEmptyFilter(t *testing.T) {
+	pats := expandSrc(t, "")
+	if len(pats) != 1 || len(pats[0]) != 1 || pats[0][0].Proto != "eth" {
+		t.Fatalf("empty filter expanded to %v", pats)
+	}
+}

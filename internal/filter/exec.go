@@ -1,0 +1,338 @@
+package filter
+
+import (
+	"fmt"
+
+	"retina/internal/layers"
+)
+
+// Result is the outcome of the packet or connection sub-filter.
+// A terminal match means the entire pattern is satisfied; a non-terminal
+// match means predicates at later stages remain, and Node carries the
+// deepest matched trie node so downstream filters resume from it without
+// re-traversing the trie (the paper's packet "tag").
+type Result struct {
+	Match    bool
+	Terminal bool
+	Node     int
+}
+
+// NoMatch is the zero Result.
+var NoMatch = Result{}
+
+// PacketFilterFunc is the software packet filter (§4.1): it evaluates
+// packet-layer predicates against a decoded packet.
+type PacketFilterFunc func(p *layers.Parsed) Result
+
+// ConnFilterFunc is the connection filter: given the identified service
+// and the packet filter's terminal node, it decides whether the
+// connection can still satisfy some pattern.
+type ConnFilterFunc func(view ConnView, pktNode int) Result
+
+// SessionFilterFunc is the application-layer session filter: given a
+// fully parsed session and the connection filter's node, it renders the
+// final verdict for the pattern.
+type SessionFilterFunc func(s Session, connNode int) bool
+
+// CompilePredicateMatcher builds a standalone matcher for one
+// packet-layer predicate. The simulated NIC uses it to evaluate
+// installed flow rules against ingress frames.
+func CompilePredicateMatcher(reg *Registry, pred Predicate) (func(p *layers.Parsed) bool, error) {
+	return compilePacketPred(reg, pred)
+}
+
+// compilePacketPred builds a monomorphic matcher closure for one
+// packet-layer predicate. All registry lookups, operator dispatch and
+// regex compilation happen here — once, at filter build time — so the
+// per-packet path is a direct closure call, the Go analogue of the
+// paper's statically generated filter code.
+func compilePacketPred(reg *Registry, pred Predicate) (func(p *layers.Parsed) bool, error) {
+	def, ok := reg.Proto(pred.Proto)
+	if !ok {
+		return nil, fmt.Errorf("filter: unknown protocol %q", pred.Proto)
+	}
+	if pred.Unary() {
+		if def.Match == nil {
+			return nil, fmt.Errorf("filter: protocol %q is not packet-matchable", pred.Proto)
+		}
+		return def.Match, nil
+	}
+	_, f, err := reg.Field(pred.Proto, pred.Field)
+	if err != nil {
+		return nil, err
+	}
+	if f.Access == nil {
+		return nil, fmt.Errorf("filter: field %s.%s has no packet accessor", pred.Proto, pred.Field)
+	}
+	acc := f.Access
+	protoMatch := def.Match
+
+	var cmp func(Value) bool
+	switch f.Kind {
+	case KindInt:
+		op, val := pred.Op, pred.Val
+		cmp = func(v Value) bool { return compareInt(v.Int, op, val) }
+	case KindString:
+		op, val := pred.Op, pred.Val
+		cmp = func(v Value) bool { return compareString(v.Str, op, val) }
+	case KindIP:
+		op, val := pred.Op, pred.Val
+		cmp = func(v Value) bool { return compareIP(v.IP, op, val) }
+	default:
+		return nil, fmt.Errorf("filter: unsupported field kind %s", f.Kind)
+	}
+
+	return func(p *layers.Parsed) bool {
+		if protoMatch != nil && !protoMatch(p) {
+			return false
+		}
+		var out [2]Value
+		n := acc(p, &out)
+		for i := 0; i < n; i++ {
+			if cmp(out[i]) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+// CompilePacketFilter generates the software packet filter from the
+// trie. The returned closure tree mirrors the nested conditionals of the
+// paper's generated Rust (Figure 3): each packet-layer node becomes one
+// matcher; on success, packet-layer children are tried depth-first, and
+// if none match, the node itself yields a terminal match (pattern
+// complete) or a non-terminal match (connection/session predicates
+// remain on a direct child).
+func CompilePacketFilter(reg *Registry, t *Trie) (PacketFilterFunc, error) {
+	root, err := compilePacketNode(reg, t.Root)
+	if err != nil {
+		return nil, err
+	}
+	return func(p *layers.Parsed) Result { return root(p) }, nil
+}
+
+func compilePacketNode(reg *Registry, n *Node) (func(p *layers.Parsed) Result, error) {
+	match, err := compilePacketPred(reg, n.Pred)
+	if err != nil {
+		return nil, err
+	}
+	var kids []func(p *layers.Parsed) Result
+	hasNonPacketChild := false
+	for _, c := range n.Children {
+		if c.Layer != LayerPacket {
+			hasNonPacketChild = true
+			continue
+		}
+		k, err := compilePacketNode(reg, c)
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	id := n.ID
+	terminal := n.Terminal
+	return func(p *layers.Parsed) Result {
+		if !match(p) {
+			return NoMatch
+		}
+		for _, k := range kids {
+			if r := k(p); r.Match {
+				return r
+			}
+		}
+		if terminal {
+			return Result{Match: true, Terminal: true, Node: id}
+		}
+		if hasNonPacketChild {
+			return Result{Match: true, Terminal: false, Node: id}
+		}
+		return NoMatch
+	}, nil
+}
+
+// connBranch is one connection-layer node reachable from a packet-filter
+// mark: the packet node itself or any of its packet-layer ancestors may
+// carry connection-layer children (a mark at `tcp.port >= 100` must still
+// consider the bare `http` pattern hanging off the `tcp` ancestor; the
+// paper's Figure 3 truncates these expansions for readability).
+type connBranch struct {
+	proto    string
+	node     int
+	terminal bool
+}
+
+// CompileConnFilter generates the connection filter: a dense dispatch
+// over the packet filter's possible marks, each evaluating the unary
+// service predicates reachable from that mark.
+func CompileConnFilter(reg *Registry, t *Trie) (ConnFilterFunc, error) {
+	cases := make(map[int]func(ConnView) Result, len(t.Nodes))
+	for _, n := range t.Nodes {
+		if n.Layer != LayerPacket || !isPacketMark(n) {
+			continue
+		}
+		if n.Terminal {
+			// Whole pattern already satisfied at the packet layer:
+			// stateful subscriptions treat it as an immediate match.
+			id := n.ID
+			cases[id] = func(ConnView) Result {
+				return Result{Match: true, Terminal: true, Node: id}
+			}
+			continue
+		}
+		branches := collectConnBranches(n)
+		if len(branches) == 0 {
+			continue
+		}
+		bs := branches
+		cases[n.ID] = func(v ConnView) Result {
+			svc := v.ServiceName()
+			for _, b := range bs {
+				if svc == b.proto {
+					return Result{Match: true, Terminal: b.terminal, Node: b.node}
+				}
+			}
+			return NoMatch
+		}
+	}
+	return func(v ConnView, pktNode int) Result {
+		if fn, ok := cases[pktNode]; ok {
+			return fn(v)
+		}
+		return NoMatch
+	}, nil
+}
+
+// isPacketMark reports whether the packet filter can return node n.
+func isPacketMark(n *Node) bool {
+	if n.Terminal {
+		return true
+	}
+	for _, c := range n.Children {
+		if c.Layer != LayerPacket {
+			return true
+		}
+	}
+	return false
+}
+
+func collectConnBranches(n *Node) []connBranch {
+	var out []connBranch
+	seen := map[int]bool{}
+	for a := n; a != nil && a.Layer == LayerPacket; a = a.Parent {
+		for _, c := range a.Children {
+			if c.Layer == LayerConnection && !seen[c.ID] {
+				seen[c.ID] = true
+				out = append(out, connBranch{proto: c.Pred.Proto, node: c.ID, terminal: c.Terminal})
+			}
+		}
+	}
+	return out
+}
+
+// compileSessionPred builds a matcher for one session-layer predicate,
+// evaluated through the Session interface implemented by protocol
+// modules.
+func compileSessionPred(reg *Registry, pred Predicate) (func(s Session) bool, error) {
+	_, f, err := reg.Field(pred.Proto, pred.Field)
+	if err != nil {
+		return nil, err
+	}
+	field := pred.Field
+	op, val := pred.Op, pred.Val
+	switch f.Kind {
+	case KindString:
+		return func(s Session) bool {
+			v, ok := s.StringField(field)
+			return ok && compareString(v, op, val)
+		}, nil
+	case KindInt:
+		return func(s Session) bool {
+			v, ok := s.IntField(field)
+			return ok && compareInt(v, op, val)
+		}, nil
+	}
+	return nil, fmt.Errorf("filter: session field %s.%s has unsupported kind %s", pred.Proto, pred.Field, f.Kind)
+}
+
+// CompileSessionFilter generates the session filter: a dispatch over the
+// connection filter's possible result nodes. Terminal connection nodes
+// map to an unconditional true (Figure 3's `3 => return true` arms);
+// non-terminal nodes evaluate their session-predicate subtrees, where a
+// session matches if any root-to-leaf predicate path holds.
+func CompileSessionFilter(reg *Registry, t *Trie) (SessionFilterFunc, error) {
+	cases := make(map[int]func(Session) bool, len(t.Nodes))
+	for _, n := range t.Nodes {
+		switch {
+		case n.Terminal:
+			// Covers packet-terminal and connection-terminal marks.
+			cases[n.ID] = func(Session) bool { return true }
+		case n.Layer == LayerConnection && n.HasSessionDesc:
+			fn, err := compileSessionSubtree(reg, n)
+			if err != nil {
+				return nil, err
+			}
+			cases[n.ID] = fn
+		}
+	}
+	return func(s Session, connNode int) bool {
+		if fn, ok := cases[connNode]; ok {
+			return fn(s)
+		}
+		return false
+	}, nil
+}
+
+func compileSessionSubtree(reg *Registry, n *Node) (func(Session) bool, error) {
+	var paths []func(Session) bool
+	for _, c := range n.Children {
+		if c.Layer != LayerSession {
+			continue
+		}
+		p, err := compileSessionPath(reg, c)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("filter: connection node %d has no session predicates", n.ID)
+	}
+	return func(s Session) bool {
+		for _, p := range paths {
+			if p(s) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+func compileSessionPath(reg *Registry, n *Node) (func(Session) bool, error) {
+	match, err := compileSessionPred(reg, n.Pred)
+	if err != nil {
+		return nil, err
+	}
+	var kids []func(Session) bool
+	for _, c := range n.Children {
+		k, err := compileSessionPath(reg, c)
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 0 {
+		return match, nil
+	}
+	return func(s Session) bool {
+		if !match(s) {
+			return false
+		}
+		for _, k := range kids {
+			if k(s) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

@@ -1,0 +1,102 @@
+package filter
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders a human-readable report of how a filter decomposes:
+// the DNF patterns, the predicate trie, the generated hardware rules,
+// and which trie nodes each software sub-filter evaluates. It is the
+// inspection companion to the code generator — `retina-pcap -explain`
+// prints it so users can see why traffic is or is not matching.
+func Explain(source string, opts Options) (string, error) {
+	reg := opts.Registry
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	expr, err := Parse(source)
+	if err != nil {
+		return "", err
+	}
+	pats, err := Expand(reg, ToDNF(expr))
+	if err != nil {
+		return "", err
+	}
+	trie, err := BuildTrie(reg, pats)
+	if err != nil {
+		return "", err
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "filter: %s\n", renderSource(source))
+	fmt.Fprintf(&sb, "parsed: %s\n\n", expr)
+
+	fmt.Fprintf(&sb, "patterns (%d, disjunctive normal form, expanded):\n", len(pats))
+	for i, p := range pats {
+		fmt.Fprintf(&sb, "  %2d. %s\n", i+1, p)
+	}
+
+	sb.WriteString("\npredicate trie:\n")
+	for _, line := range strings.Split(strings.TrimRight(trie.String(), "\n"), "\n") {
+		sb.WriteString("  " + line + "\n")
+	}
+
+	sb.WriteString("\nhardware filter:\n")
+	if opts.HW == nil {
+		sb.WriteString("  (no device capability supplied: hardware filtering off, all frames to software)\n")
+	} else {
+		rules := GenerateFlowRules(trie, opts.HW)
+		for _, r := range rules {
+			fmt.Fprintf(&sb, "  %s\n", r)
+		}
+		sb.WriteString("  ELSE -> DROP\n")
+	}
+
+	describeNodes(&sb, trie)
+
+	if trie.NeedsConnTracking() {
+		fmt.Fprintf(&sb, "\nstateful processing: required (application protocols: %s)\n",
+			strings.Join(trie.ConnProtocols(), ", "))
+	} else {
+		sb.WriteString("\nstateful processing: not required by the filter " +
+			"(packet-terminal; connection tracking only if the subscription needs it)\n")
+	}
+	return sb.String(), nil
+}
+
+func renderSource(source string) string {
+	if strings.TrimSpace(source) == "" {
+		return "(empty: match everything)"
+	}
+	return source
+}
+
+func describeNodes(sb *strings.Builder, t *Trie) {
+	var pkt, conn, sess []string
+	for _, n := range t.Nodes {
+		tag := fmt.Sprintf("%d:%s", n.ID, n.Pred)
+		if n.Terminal {
+			tag += "*"
+		}
+		switch n.Layer {
+		case LayerPacket:
+			pkt = append(pkt, tag)
+		case LayerConnection:
+			conn = append(conn, tag)
+		case LayerSession:
+			sess = append(sess, tag)
+		}
+	}
+	sb.WriteString("\nsoftware sub-filters (node id:predicate, * = terminal):\n")
+	fmt.Fprintf(sb, "  packet filter:     %s\n", orNone(pkt))
+	fmt.Fprintf(sb, "  connection filter: %s\n", orNone(conn))
+	fmt.Fprintf(sb, "  session filter:    %s\n", orNone(sess))
+}
+
+func orNone(items []string) string {
+	if len(items) == 0 {
+		return "(none)"
+	}
+	return strings.Join(items, ", ")
+}

@@ -1,0 +1,53 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainFigure3(t *testing.T) {
+	out, err := Explain("(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http",
+		Options{HW: connectX5Like{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"patterns (3",
+		"predicate trie:",
+		"ETH-IPV4-TCP -> RSS",
+		"ETH-IPV6-TCP -> RSS",
+		"ELSE -> DROP",
+		"packet filter:",
+		"connection filter:",
+		"session filter:",
+		"tls.sni matches 'netflix'*",
+		"stateful processing: required",
+		"tls, http",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainMatchAll(t *testing.T) {
+	out, err := Explain("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "match everything") {
+		t.Fatalf("missing match-all note:\n%s", out)
+	}
+	if !strings.Contains(out, "hardware filtering off") {
+		t.Fatalf("missing no-HW note:\n%s", out)
+	}
+	if !strings.Contains(out, "not required by the filter") {
+		t.Fatalf("missing stateless note:\n%s", out)
+	}
+}
+
+func TestExplainBadFilter(t *testing.T) {
+	if _, err := Explain("tcp.port >", Options{}); err == nil {
+		t.Fatal("bad filter explained without error")
+	}
+}

@@ -1,0 +1,128 @@
+package filter
+
+import "strings"
+
+// Capability models what a particular NIC's flow engine can express.
+// NICs "vary in terms of supported protocols, operands, and complexity"
+// (§4.1); Retina validates each predicate against the device and falls
+// back to the software packet filter for anything unsupported.
+type Capability interface {
+	// Supports reports whether the device can match pred in hardware.
+	Supports(pred Predicate) bool
+}
+
+// FlowRule is one hardware flow-table entry: a conjunction of predicates
+// the NIC applies to ingress packets. Packets matching any installed
+// rule are RSS-dispatched to receive queues; everything else is dropped
+// at zero CPU cost.
+type FlowRule struct {
+	Preds []Predicate
+}
+
+// String renders the rule in the style of Figure 3 ("ETH-IPV4-TCP -> RSS").
+func (r FlowRule) String() string {
+	if len(r.Preds) == 0 {
+		return "ANY -> RSS"
+	}
+	parts := make([]string, 0, len(r.Preds)+1)
+	parts = append(parts, "ETH") // implicit: every rule starts at the frame
+	for _, p := range r.Preds {
+		if p.Unary() {
+			parts = append(parts, strings.ToUpper(p.Proto))
+		} else {
+			parts = append(parts, p.String())
+		}
+	}
+	return strings.Join(parts, "-") + " -> RSS"
+}
+
+// CatchAll reports whether the rule matches every packet.
+func (r FlowRule) CatchAll() bool { return len(r.Preds) == 0 }
+
+// GenerateFlowRules derives the hardware packet filter from the trie:
+// for each root-to-leaf pattern it keeps the packet-layer predicates the
+// device supports and widens past the rest, then discards rules subsumed
+// by broader ones. The resulting rule set is always at least as broad as
+// the subscription filter, so hardware filtering never causes false
+// drops — the software packet filter enforces the remainder.
+func GenerateFlowRules(t *Trie, cap Capability) []FlowRule {
+	var rules []FlowRule
+	var walk func(n *Node, acc []Predicate)
+	walk = func(n *Node, acc []Predicate) {
+		// The root "eth" predicate matches every frame and carries no
+		// information in a flow rule, so it is never emitted.
+		isEth := n.Pred.Unary() && n.Pred.Proto == "eth"
+		if n.Layer == LayerPacket && !isEth && cap.Supports(n.Pred) {
+			acc = append(acc[:len(acc):len(acc)], n.Pred)
+		}
+		if len(n.Children) == 0 || n.Layer != LayerPacket {
+			// Leaf of the packet-layer region for this pattern.
+			rules = append(rules, FlowRule{Preds: acc})
+			return
+		}
+		for _, c := range n.Children {
+			walk(c, acc)
+		}
+	}
+	walk(t.Root, nil)
+	return minimizeRules(rules)
+}
+
+// minimizeRules removes duplicates and rules subsumed by broader ones
+// (rule A subsumes B when A's predicates are a subset of B's). If any
+// rule is a catch-all, it is the only rule that survives.
+func minimizeRules(rules []FlowRule) []FlowRule {
+	for _, r := range rules {
+		if r.CatchAll() {
+			return []FlowRule{{}}
+		}
+	}
+	var out []FlowRule
+	for i, r := range rules {
+		subsumed := false
+		for j, q := range rules {
+			if i == j {
+				continue
+			}
+			if predsSubset(q.Preds, r.Preds) && (len(q.Preds) < len(r.Preds) || j < i) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// predsSubset reports whether every predicate in a also appears in b.
+func predsSubset(a, b []Predicate) bool {
+	for _, pa := range a {
+		found := false
+		for _, pb := range b {
+			if pa.Equal(pb) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// PermissiveCapability accepts every packet-layer predicate; useful for
+// tests and for modeling fully programmable devices.
+type PermissiveCapability struct{}
+
+// Supports implements Capability.
+func (PermissiveCapability) Supports(p Predicate) bool { return true }
+
+// NoHardwareCapability rejects everything, modeling hardware filtering
+// disabled (the configuration used for Figures 5 and 6).
+type NoHardwareCapability struct{}
+
+// Supports implements Capability.
+func (NoHardwareCapability) Supports(Predicate) bool { return false }

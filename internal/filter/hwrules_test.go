@@ -1,0 +1,105 @@
+package filter
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// connectX5Like models the paper's Figure 3 NIC: it can match protocol
+// layers and exact port/prefix values but not comparison operands.
+type connectX5Like struct{}
+
+func (connectX5Like) Supports(p Predicate) bool {
+	if p.Unary() {
+		return true
+	}
+	switch p.Op {
+	case OpEq:
+		return true
+	case OpIn:
+		return p.Val.Kind == KindIPPrefix
+	}
+	return false // no <, <=, >, >=, ranges, regex
+}
+
+func rulesFor(t *testing.T, src string, cap Capability) []string {
+	t.Helper()
+	trie := buildTrieSrc(t, src)
+	rules := GenerateFlowRules(trie, cap)
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestFigure3HardwareRules checks the exact widening behavior of the
+// paper's example: the >= operand is unsupported, so hardware permits
+// all TCP and relies on the software packet filter.
+func TestFigure3HardwareRules(t *testing.T) {
+	got := rulesFor(t, "(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http", connectX5Like{})
+	want := []string{"ETH-IPV4-TCP -> RSS", "ETH-IPV6-TCP -> RSS"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("rules = %v, want %v", got, want)
+	}
+}
+
+func TestHardwareRulesExactPortSupported(t *testing.T) {
+	got := rulesFor(t, "ipv4 and tcp.port = 443", connectX5Like{})
+	if len(got) != 1 || !strings.Contains(got[0], "tcp.port = 443") {
+		t.Fatalf("rules = %v", got)
+	}
+}
+
+func TestHardwareRulesPrefixSupported(t *testing.T) {
+	got := rulesFor(t, "ipv4.addr in 10.0.0.0/8 and tcp", connectX5Like{})
+	if len(got) != 1 || !strings.Contains(got[0], "10.0.0.0/8") {
+		t.Fatalf("rules = %v", got)
+	}
+}
+
+func TestHardwareRulesAtLeastAsBroad(t *testing.T) {
+	// Regex on session data can never run in hardware: rule covers the
+	// packet-layer prefix only.
+	got := rulesFor(t, "tls.sni ~ 'netflix'", connectX5Like{})
+	want := []string{"ETH-IPV4-TCP -> RSS", "ETH-IPV6-TCP -> RSS"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("rules = %v, want %v", got, want)
+	}
+}
+
+func TestHardwareRulesSubsumption(t *testing.T) {
+	// "tcp" subsumes "tcp.port = 443": only the broader rule remains.
+	got := rulesFor(t, "(ipv4 and tcp) or (ipv4 and tcp.port = 443 and tls)", connectX5Like{})
+	if len(got) != 1 || got[0] != "ETH-IPV4-TCP -> RSS" {
+		t.Fatalf("rules = %v", got)
+	}
+}
+
+func TestHardwareRulesNoCapability(t *testing.T) {
+	got := rulesFor(t, "ipv4 and tcp.port = 443", NoHardwareCapability{})
+	if len(got) != 1 || got[0] != "ANY -> RSS" {
+		t.Fatalf("rules = %v, want single catch-all", got)
+	}
+}
+
+func TestHardwareRulesCatchAllCollapses(t *testing.T) {
+	trie := buildTrieSrc(t, "eth or (ipv4 and tcp)")
+	rules := GenerateFlowRules(trie, connectX5Like{})
+	if len(rules) != 1 || !rules[0].CatchAll() {
+		t.Fatalf("rules = %v, want single catch-all", rules)
+	}
+}
+
+func TestProgramCompileGeneratesRules(t *testing.T) {
+	prog := MustCompile("ipv4 and tcp.port = 443", Options{HW: connectX5Like{}})
+	if len(prog.Rules) == 0 {
+		t.Fatal("no hardware rules generated")
+	}
+	prog2 := MustCompile("ipv4 and tcp.port = 443", Options{})
+	if len(prog2.Rules) != 0 {
+		t.Fatal("rules generated without a capability")
+	}
+}

@@ -1,0 +1,187 @@
+package filter
+
+import (
+	"regexp"
+	"sync"
+
+	"retina/internal/layers"
+)
+
+// Interpreter evaluates the predicate trie generically at run time: every
+// packet pays registry lookups, operator dispatch, and regex-cache
+// consultation. It is the baseline that the compiled engine is measured
+// against in Appendix B / Figure 12 — functionally identical, but the
+// filter logic is interpreted rather than baked into closures.
+type Interpreter struct {
+	reg  *Registry
+	trie *Trie
+
+	mu    sync.Mutex
+	reCch map[string]*regexp.Regexp
+}
+
+// NewInterpreter builds an interpreter over a trie.
+func NewInterpreter(reg *Registry, t *Trie) *Interpreter {
+	return &Interpreter{reg: reg, trie: t, reCch: make(map[string]*regexp.Regexp)}
+}
+
+// regex returns a cached compiled regex, compiling on first use — the
+// behavior of an engine that discovers patterns at run time.
+func (in *Interpreter) regex(pattern string) *regexp.Regexp {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if re, ok := in.reCch[pattern]; ok {
+		return re
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		re = nil
+	}
+	in.reCch[pattern] = re
+	return re
+}
+
+func (in *Interpreter) evalPacketPred(pred Predicate, p *layers.Parsed) bool {
+	def, ok := in.reg.Proto(pred.Proto)
+	if !ok || def.Match == nil || !def.Match(p) {
+		return false
+	}
+	if pred.Unary() {
+		return true
+	}
+	f, ok := def.Fields[pred.Field]
+	if !ok || f.Access == nil {
+		return false
+	}
+	var out [2]Value
+	n := f.Access(p, &out)
+	for i := 0; i < n; i++ {
+		if in.evalCompare(out[i], pred) {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *Interpreter) evalCompare(lhs Value, pred Predicate) bool {
+	switch lhs.Kind {
+	case KindInt:
+		return compareInt(lhs.Int, pred.Op, pred.Val)
+	case KindString:
+		if pred.Op == OpMatches {
+			re := in.regex(pred.Val.Str)
+			return re != nil && re.MatchString(lhs.Str)
+		}
+		return compareString(lhs.Str, pred.Op, pred.Val)
+	case KindIP:
+		return compareIP(lhs.IP, pred.Op, pred.Val)
+	}
+	return false
+}
+
+// PacketFilter returns an interpreting PacketFilterFunc.
+func (in *Interpreter) PacketFilter() PacketFilterFunc {
+	return func(p *layers.Parsed) Result { return in.walkPacket(in.trie.Root, p) }
+}
+
+func (in *Interpreter) walkPacket(n *Node, p *layers.Parsed) Result {
+	if !in.evalPacketPred(n.Pred, p) {
+		return NoMatch
+	}
+	hasNonPacketChild := false
+	for _, c := range n.Children {
+		if c.Layer != LayerPacket {
+			hasNonPacketChild = true
+			continue
+		}
+		if r := in.walkPacket(c, p); r.Match {
+			return r
+		}
+	}
+	if n.Terminal {
+		return Result{Match: true, Terminal: true, Node: n.ID}
+	}
+	if hasNonPacketChild {
+		return Result{Match: true, Terminal: false, Node: n.ID}
+	}
+	return NoMatch
+}
+
+// ConnFilter returns an interpreting ConnFilterFunc.
+func (in *Interpreter) ConnFilter() ConnFilterFunc {
+	return func(v ConnView, pktNode int) Result {
+		n := in.trie.Node(pktNode)
+		if n == nil {
+			return NoMatch
+		}
+		if n.Terminal {
+			return Result{Match: true, Terminal: true, Node: n.ID}
+		}
+		svc := v.ServiceName()
+		for a := n; a != nil && a.Layer == LayerPacket; a = a.Parent {
+			for _, c := range a.Children {
+				if c.Layer == LayerConnection && c.Pred.Proto == svc {
+					return Result{Match: true, Terminal: c.Terminal, Node: c.ID}
+				}
+			}
+		}
+		return NoMatch
+	}
+}
+
+// SessionFilter returns an interpreting SessionFilterFunc.
+func (in *Interpreter) SessionFilter() SessionFilterFunc {
+	return func(s Session, connNode int) bool {
+		n := in.trie.Node(connNode)
+		if n == nil {
+			return false
+		}
+		if n.Terminal {
+			return true
+		}
+		for _, c := range n.Children {
+			if c.Layer == LayerSession && in.walkSession(c, s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func (in *Interpreter) walkSession(n *Node, s Session) bool {
+	if !in.evalSessionPred(n.Pred, s) {
+		return false
+	}
+	if len(n.Children) == 0 {
+		return true
+	}
+	for _, c := range n.Children {
+		if in.walkSession(c, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *Interpreter) evalSessionPred(pred Predicate, s Session) bool {
+	_, f, err := in.reg.Field(pred.Proto, pred.Field)
+	if err != nil {
+		return false
+	}
+	switch f.Kind {
+	case KindString:
+		v, ok := s.StringField(pred.Field)
+		if !ok {
+			return false
+		}
+		if pred.Op == OpMatches {
+			re := in.regex(pred.Val.Str)
+			return re != nil && re.MatchString(v)
+		}
+		return compareString(v, pred.Op, pred.Val)
+	case KindInt:
+		v, ok := s.IntField(pred.Field)
+		return ok && compareInt(v, pred.Op, pred.Val)
+	}
+	return false
+}

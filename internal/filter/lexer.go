@@ -1,0 +1,144 @@
+package filter
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenType classifies lexer output.
+type tokenType uint8
+
+const (
+	tokEOF    tokenType = iota
+	tokIdent            // protocol / field identifier or unquoted literal
+	tokString           // quoted string, quotes stripped
+	tokOp               // = != < <= > >= ~
+	tokAnd
+	tokOr
+	tokIn
+	tokMatches
+	tokLParen
+	tokRParen
+)
+
+type lexToken struct {
+	typ tokenType
+	lit string
+	pos int
+}
+
+func (t lexToken) String() string {
+	switch t.typ {
+	case tokEOF:
+		return "<eof>"
+	case tokString:
+		return "'" + t.lit + "'"
+	default:
+		return t.lit
+	}
+}
+
+// identRune reports whether r may appear in an identifier or unquoted
+// literal token. Dots (fields, IPv4, ranges), colons (IPv6) and slashes
+// (CIDR) are all literal-token characters; keywords and operators are
+// separated by whitespace or symbols.
+func identRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		r == '.' || r == ':' || r == '/' || r == '_' || r == '-'
+}
+
+// lex tokenizes a filter expression.
+func lex(input string) ([]lexToken, error) {
+	var toks []lexToken
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, lexToken{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, lexToken{tokRParen, ")", i})
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < n && input[j] != quote {
+				if input[j] == '\\' && j+1 < n && (input[j+1] == quote || input[j+1] == '\\') {
+					sb.WriteByte(input[j+1])
+					j += 2
+					continue
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("filter: unterminated string at offset %d", i)
+			}
+			toks = append(toks, lexToken{tokString, sb.String(), i})
+			i = j + 1
+		case c == '=':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, lexToken{tokOp, "=", i})
+				i += 2
+			} else {
+				toks = append(toks, lexToken{tokOp, "=", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, lexToken{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("filter: unexpected '!' at offset %d (negation is not supported; rewrite with != )", i)
+			}
+		case c == '<':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, lexToken{tokOp, "<=", i})
+				i += 2
+			} else {
+				toks = append(toks, lexToken{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, lexToken{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, lexToken{tokOp, ">", i})
+				i++
+			}
+		case c == '~':
+			toks = append(toks, lexToken{tokOp, "~", i})
+			i++
+		case identRune(rune(c)):
+			j := i
+			for j < n && identRune(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			switch strings.ToLower(word) {
+			case "and":
+				toks = append(toks, lexToken{tokAnd, word, i})
+			case "or":
+				toks = append(toks, lexToken{tokOr, word, i})
+			case "in":
+				toks = append(toks, lexToken{tokIn, word, i})
+			case "matches":
+				toks = append(toks, lexToken{tokMatches, word, i})
+			default:
+				toks = append(toks, lexToken{tokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("filter: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, lexToken{tokEOF, "", n})
+	return toks, nil
+}

@@ -1,0 +1,226 @@
+package filter
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Expr is a parsed filter expression: a logical combination of
+// predicates per Table 1 (e := p | e1 and e2 | e1 or e2 | (e)).
+type Expr interface {
+	String() string
+}
+
+// PredExpr is a leaf predicate.
+type PredExpr struct{ Pred Predicate }
+
+// AndExpr is a conjunction of two or more sub-expressions.
+type AndExpr struct{ Subs []Expr }
+
+// OrExpr is a disjunction of two or more sub-expressions.
+type OrExpr struct{ Subs []Expr }
+
+// String renders the expression in filter-language syntax.
+func (e *PredExpr) String() string { return e.Pred.String() }
+
+// String renders the expression in filter-language syntax.
+func (e *AndExpr) String() string { return joinExprs(e.Subs, " and ") }
+
+// String renders the expression in filter-language syntax.
+func (e *OrExpr) String() string { return "(" + joinExprs(e.Subs, " or ") + ")" }
+
+func joinExprs(subs []Expr, sep string) string {
+	parts := make([]string, len(subs))
+	for i, s := range subs {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+// Parse parses a filter expression string into an Expr. The empty string
+// parses to a match-everything expression (unary "eth").
+//
+// Grammar (precedence: or < and < primary):
+//
+//	expr    := term { "or" term }
+//	term    := factor { "and" factor }
+//	factor  := "(" expr ")" | predicate
+//	pred    := ident                          (unary)
+//	         | ident op literal               (binary)
+//	op      := = | != | < | <= | > | >= | in | matches | ~
+func Parse(input string) (Expr, error) {
+	if strings.TrimSpace(input) == "" {
+		return &PredExpr{Pred: Predicate{Proto: "eth", Op: OpTrue}}, nil
+	}
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &exprParser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().typ != tokEOF {
+		return nil, fmt.Errorf("filter: unexpected %s at offset %d", p.peek(), p.peek().pos)
+	}
+	return e, nil
+}
+
+type exprParser struct {
+	toks []lexToken
+	pos  int
+}
+
+func (p *exprParser) peek() lexToken { return p.toks[p.pos] }
+
+func (p *exprParser) next() lexToken {
+	t := p.toks[p.pos]
+	if t.typ != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *exprParser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	subs := []Expr{left}
+	for p.peek().typ == tokOr {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, right)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return &OrExpr{Subs: subs}, nil
+}
+
+func (p *exprParser) parseAnd() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	subs := []Expr{left}
+	for p.peek().typ == tokAnd {
+		p.next()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, right)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return &AndExpr{Subs: subs}, nil
+}
+
+func (p *exprParser) parseFactor() (Expr, error) {
+	t := p.peek()
+	switch t.typ {
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().typ != tokRParen {
+			return nil, fmt.Errorf("filter: expected ')' at offset %d, found %s", p.peek().pos, p.peek())
+		}
+		p.next()
+		return e, nil
+	case tokIdent:
+		return p.parsePredicate()
+	default:
+		return nil, fmt.Errorf("filter: expected predicate or '(' at offset %d, found %s", t.pos, t)
+	}
+}
+
+func (p *exprParser) parsePredicate() (Expr, error) {
+	id := p.next()
+	proto, field := splitIdent(id.lit)
+
+	opTok := p.peek()
+	var op Op
+	switch {
+	case opTok.typ == tokOp:
+		switch opTok.lit {
+		case "=":
+			op = OpEq
+		case "!=":
+			op = OpNe
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">":
+			op = OpGt
+		case ">=":
+			op = OpGe
+		case "~":
+			op = OpMatches
+		}
+		p.next()
+	case opTok.typ == tokIn:
+		op = OpIn
+		p.next()
+	case opTok.typ == tokMatches:
+		op = OpMatches
+		p.next()
+	default:
+		// Unary predicate.
+		if field != "" {
+			return nil, fmt.Errorf("filter: field reference %q requires an operator (offset %d)", id.lit, id.pos)
+		}
+		return &PredExpr{Pred: Predicate{Proto: proto, Op: OpTrue}}, nil
+	}
+
+	if field == "" {
+		return nil, fmt.Errorf("filter: operator %q applied to protocol %q without a field (offset %d)", opTok.lit, proto, id.pos)
+	}
+
+	valTok := p.next()
+	var val Value
+	var err error
+	switch valTok.typ {
+	case tokString:
+		val, err = ParseValue(valTok.lit, true)
+	case tokIdent:
+		val, err = ParseValue(valTok.lit, false)
+	default:
+		return nil, fmt.Errorf("filter: expected value at offset %d, found %s", valTok.pos, valTok)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if op == OpMatches {
+		if val.Kind != KindString {
+			return nil, fmt.Errorf("filter: 'matches' requires a quoted pattern, got %s", val)
+		}
+		re, err := regexp.Compile(val.Str)
+		if err != nil {
+			return nil, fmt.Errorf("filter: bad regex %q: %v", val.Str, err)
+		}
+		val.Re = re
+	}
+	return &PredExpr{Pred: Predicate{Proto: proto, Field: field, Op: op, Val: val}}, nil
+}
+
+// splitIdent splits "tcp.port" into ("tcp", "port"). Protocol names may
+// not themselves contain dots, so everything after the first dot is the
+// field path (e.g. "http.user_agent").
+func splitIdent(s string) (proto, field string) {
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, ""
+}

@@ -1,0 +1,170 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return e
+}
+
+// TestFilterSyntaxTable exercises every example from Table 1 of the
+// paper plus the filters used in its figures.
+func TestFilterSyntaxTable(t *testing.T) {
+	valid := []string{
+		"ipv4.ttl > 64",
+		"ipv4 and (tls or ssh)",
+		"ipv6.addr in 3::b/125 and tcp",
+		"http.user_agent matches 'Firefox'",
+		"(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http",
+		"tls.sni matches '.*\\.com$'",
+		"tcp.port = 443 and tls.sni ~ '(.+?\\.)?nflxvideo\\.net'",
+		"tls.sni ~ 'googlevideo'",
+		"tcp.port = 443",
+		"ipv4",
+		"tls.cipher ~ 'AES_128_GCM'",
+		"ipv4.addr in 23.246.0.0/18 or ipv6.addr in 2a00:86c0::/32 or tls.sni ~ 'netflix.com'",
+		"tcp.port in 100..200",
+		"udp and dns.query_name ~ 'example'",
+		"ipv4.ttl != 64 and tcp.dst_port < 1024",
+		"",
+	}
+	for _, src := range valid {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q) failed: %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	invalid := map[string]string{
+		"ipv4 and":              "expected predicate",
+		"(ipv4 or tcp":          "expected ')'",
+		"tcp.port >":            "expected value",
+		"tcp.port = 'a' extra":  "unexpected",
+		"tls.sni ~ 'a(b'":       "bad regex",
+		"tcp.port":              "requires an operator",
+		"tcp > 100":             "without a field",
+		"tls.sni ~ 99":          "quoted pattern",
+		"tcp.port = 'x":         "unterminated string",
+		"!ipv4":                 "negation is not supported",
+		"tcp.port in 200..100":  "empty int range",
+		"tcp.port = not-number": "cannot parse value",
+	}
+	for src, wantSub := range invalid {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("Parse(%q) error %q does not contain %q", src, err, wantSub)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// and binds tighter than or.
+	e := mustParse(t, "ipv4 and tcp or ipv6 and udp")
+	or, ok := e.(*OrExpr)
+	if !ok {
+		t.Fatalf("top-level expr is %T, want *OrExpr", e)
+	}
+	if len(or.Subs) != 2 {
+		t.Fatalf("or arms = %d, want 2", len(or.Subs))
+	}
+	for i, s := range or.Subs {
+		if _, ok := s.(*AndExpr); !ok {
+			t.Errorf("arm %d is %T, want *AndExpr", i, s)
+		}
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	e := mustParse(t, "ipv4 and (tls or ssh)")
+	and, ok := e.(*AndExpr)
+	if !ok {
+		t.Fatalf("top-level expr is %T, want *AndExpr", e)
+	}
+	if _, ok := and.Subs[1].(*OrExpr); !ok {
+		t.Fatalf("second arm is %T, want *OrExpr", and.Subs[1])
+	}
+}
+
+func TestParseValues(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+	}{
+		{"ipv4.ttl = 64", KindInt},
+		{"ipv4.ttl = 0x40", KindInt},
+		{"tcp.port in 100..200", KindIntRange},
+		{"ipv4.addr = 10.0.0.1", KindIP},
+		{"ipv6.addr = 2001:db8::1", KindIP},
+		{"ipv4.addr in 10.0.0.0/8", KindIPPrefix},
+		{"ipv6.addr in 3::b/125", KindIPPrefix},
+		{"http.host = 'example.com'", KindString},
+	}
+	for _, c := range cases {
+		e := mustParse(t, c.src)
+		pe, ok := e.(*PredExpr)
+		if !ok {
+			t.Fatalf("%q parsed to %T", c.src, e)
+		}
+		if pe.Pred.Val.Kind != c.kind {
+			t.Errorf("%q value kind = %v, want %v", c.src, pe.Pred.Val.Kind, c.kind)
+		}
+	}
+}
+
+func TestParseHexValue(t *testing.T) {
+	e := mustParse(t, "tls.version = 0x0303")
+	pe := e.(*PredExpr)
+	if pe.Pred.Val.Int != 0x0303 {
+		t.Fatalf("hex value = %d, want %d", pe.Pred.Val.Int, 0x0303)
+	}
+}
+
+func TestParseEmptyIsMatchAll(t *testing.T) {
+	e := mustParse(t, "")
+	pe, ok := e.(*PredExpr)
+	if !ok || pe.Pred.Proto != "eth" || !pe.Pred.Unary() {
+		t.Fatalf("empty filter parsed to %v", e)
+	}
+}
+
+func TestParseTildeAliasOfMatches(t *testing.T) {
+	e1 := mustParse(t, "tls.sni ~ 'netflix'").(*PredExpr)
+	e2 := mustParse(t, "tls.sni matches 'netflix'").(*PredExpr)
+	if e1.Pred.Op != OpMatches || e2.Pred.Op != OpMatches {
+		t.Fatal("~ and matches should both map to OpMatches")
+	}
+	if e1.Pred.Val.Re == nil || e2.Pred.Val.Re == nil {
+		t.Fatal("regex not compiled at parse time")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	e := mustParse(t, `http.host = 'it\'s'`).(*PredExpr)
+	if e.Pred.Val.Str != "it's" {
+		t.Fatalf("escaped string = %q", e.Pred.Val.Str)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	src := "ipv4 and (tls or ssh)"
+	e := mustParse(t, src)
+	round, err := Parse(e.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", e.String(), err)
+	}
+	if round.String() != e.String() {
+		t.Fatalf("String round-trip mismatch: %q vs %q", round.String(), e.String())
+	}
+}

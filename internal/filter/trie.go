@@ -1,0 +1,204 @@
+package filter
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is one predicate in the trie. Every node has a single parent
+// (§4.1: "all nodes are restricted to a single parent to eliminate
+// ambiguity at compile time"), and input data satisfies the filter iff
+// it matches at least one root-to-leaf path.
+type Node struct {
+	ID       int
+	Pred     Predicate
+	Layer    Layer // stage at which Pred is evaluated
+	Parent   *Node
+	Children []*Node
+
+	// Terminal marks the end of a pattern. After the optimization pass
+	// terminal nodes are always leaves (longer patterns sharing a
+	// terminal prefix are subsumed and pruned).
+	Terminal bool
+
+	// Derived occupancy flags, filled by finalize.
+	HasPacketDesc  bool // any packet-layer descendants
+	HasConnDesc    bool // any connection-layer descendants
+	HasSessionDesc bool // any session-layer descendants
+}
+
+// Trie is the intermediate representation between the filter expression
+// and the generated sub-filters.
+type Trie struct {
+	Root  *Node   // the implicit "eth" node
+	Nodes []*Node // indexed by ID
+}
+
+// BuildTrie constructs the predicate trie from expanded patterns, runs
+// the redundant-branch elimination pass, and computes derived flags.
+// Node IDs are assigned in insertion (DFS) order and are stable for a
+// given filter string, so the sub-filters can tag packets with them.
+func BuildTrie(reg *Registry, pats []Pattern) (*Trie, error) {
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("filter: no patterns")
+	}
+	t := &Trie{}
+	for _, pat := range pats {
+		if len(pat) == 0 || !(pat[0].Unary() && pat[0].Proto == "eth") {
+			return nil, fmt.Errorf("filter: pattern %q does not begin at eth", pat)
+		}
+		if err := t.insert(reg, pat); err != nil {
+			return nil, err
+		}
+	}
+	t.finalize()
+	return t, nil
+}
+
+func (t *Trie) newNode(pred Predicate, layer Layer, parent *Node) *Node {
+	n := &Node{ID: len(t.Nodes), Pred: pred, Layer: layer, Parent: parent}
+	t.Nodes = append(t.Nodes, n)
+	if parent != nil {
+		parent.Children = append(parent.Children, n)
+	}
+	return n
+}
+
+func (t *Trie) insert(reg *Registry, pat Pattern) error {
+	if t.Root == nil {
+		layer, err := reg.FieldLayer(pat[0])
+		if err != nil {
+			return err
+		}
+		t.Root = t.newNode(pat[0], layer, nil)
+	}
+	cur := t.Root
+	for _, pred := range pat[1:] {
+		// A terminal prefix subsumes this longer pattern: the shorter
+		// pattern already matches everything the longer one would.
+		if cur.Terminal {
+			return nil
+		}
+		layer, err := reg.FieldLayer(pred)
+		if err != nil {
+			return err
+		}
+		var next *Node
+		for _, ch := range cur.Children {
+			if ch.Pred.Equal(pred) {
+				next = ch
+				break
+			}
+		}
+		if next == nil {
+			next = t.newNode(pred, layer, cur)
+		}
+		cur = next
+	}
+	// This pattern terminates at cur; any existing longer patterns
+	// through cur are subsumed, so prune its subtree.
+	cur.Terminal = true
+	t.prune(cur)
+	return nil
+}
+
+// prune removes n's descendants (after n became terminal).
+func (t *Trie) prune(n *Node) {
+	if len(n.Children) == 0 {
+		return
+	}
+	removed := map[int]bool{}
+	var mark func(*Node)
+	mark = func(c *Node) {
+		removed[c.ID] = true
+		for _, g := range c.Children {
+			mark(g)
+		}
+	}
+	for _, c := range n.Children {
+		mark(c)
+	}
+	n.Children = nil
+	// Compact the node list and reassign IDs to stay dense.
+	var kept []*Node
+	for _, node := range t.Nodes {
+		if !removed[node.ID] {
+			kept = append(kept, node)
+		}
+	}
+	for i, node := range kept {
+		node.ID = i
+	}
+	t.Nodes = kept
+}
+
+// finalize computes descendant-occupancy flags bottom-up.
+func (t *Trie) finalize() {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, c := range n.Children {
+			walk(c)
+			if c.Layer == LayerPacket || c.HasPacketDesc {
+				n.HasPacketDesc = true
+			}
+			if c.Layer == LayerConnection || c.HasConnDesc {
+				n.HasConnDesc = true
+			}
+			if c.Layer == LayerSession || c.HasSessionDesc {
+				n.HasSessionDesc = true
+			}
+		}
+	}
+	walk(t.Root)
+}
+
+// NeedsConnTracking reports whether any pattern extends beyond the
+// packet layer, requiring stateful processing regardless of the
+// subscription's data level.
+func (t *Trie) NeedsConnTracking() bool {
+	return t.Root.HasConnDesc || t.Root.HasSessionDesc
+}
+
+// ConnProtocols returns the application protocols named by connection-
+// layer nodes, in node order; the runtime uses this to populate the
+// parser registry (only parsers the filter can match are probed).
+func (t *Trie) ConnProtocols() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, n := range t.Nodes {
+		if n.Layer == LayerConnection && n.Pred.Unary() && !seen[n.Pred.Proto] {
+			seen[n.Pred.Proto] = true
+			out = append(out, n.Pred.Proto)
+		}
+	}
+	return out
+}
+
+// Node returns the node with the given ID, or nil.
+func (t *Trie) Node(id int) *Node {
+	if id < 0 || id >= len(t.Nodes) {
+		return nil
+	}
+	return t.Nodes[id]
+}
+
+// String renders the trie for debugging and golden tests.
+func (t *Trie) String() string {
+	var sb strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&sb, "%d: %s [%s]", n.ID, n.Pred, n.Layer)
+		if n.Terminal {
+			sb.WriteString(" (terminal)")
+		}
+		sb.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root, 0)
+	}
+	return sb.String()
+}

@@ -1,0 +1,197 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildTrieSrc(t *testing.T, src string) *Trie {
+	t.Helper()
+	reg := DefaultRegistry()
+	pats, err := Expand(reg, ToDNF(mustParse(t, src)))
+	if err != nil {
+		t.Fatalf("Expand(%q): %v", src, err)
+	}
+	trie, err := BuildTrie(reg, pats)
+	if err != nil {
+		t.Fatalf("BuildTrie(%q): %v", src, err)
+	}
+	return trie
+}
+
+// TestFigure3Decomposition verifies the structure of the predicate trie
+// for the paper's running example:
+// (ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http
+func TestFigure3Decomposition(t *testing.T) {
+	trie := buildTrieSrc(t, "(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http")
+
+	// 10 nodes, exactly as in Figure 3: eth, ipv4, tcp, port>=100, tls,
+	// tls.sni, http(v4), ipv6, tcp, http(v6).
+	if len(trie.Nodes) != 10 {
+		t.Fatalf("node count = %d, want 10\n%s", len(trie.Nodes), trie)
+	}
+	if trie.Root.Pred.Proto != "eth" {
+		t.Fatalf("root = %v", trie.Root.Pred)
+	}
+	// Root has two children: ipv4 and ipv6.
+	if len(trie.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(trie.Root.Children))
+	}
+
+	// Find the ipv4 branch.
+	var v4, v6 *Node
+	for _, c := range trie.Root.Children {
+		switch c.Pred.Proto {
+		case "ipv4":
+			v4 = c
+		case "ipv6":
+			v6 = c
+		}
+	}
+	if v4 == nil || v6 == nil {
+		t.Fatalf("missing L3 branches\n%s", trie)
+	}
+
+	// ipv4 -> tcp with two children: the port predicate (packet) and
+	// http (connection, terminal).
+	tcp4 := v4.Children[0]
+	if tcp4.Pred.Proto != "tcp" || len(tcp4.Children) != 2 {
+		t.Fatalf("tcp4 shape wrong\n%s", trie)
+	}
+	var portNode, http4 *Node
+	for _, c := range tcp4.Children {
+		if c.Layer == LayerPacket {
+			portNode = c
+		} else {
+			http4 = c
+		}
+	}
+	if portNode == nil || portNode.Pred.Field != "port" || portNode.Pred.Op != OpGe {
+		t.Fatalf("port predicate missing\n%s", trie)
+	}
+	if http4 == nil || !http4.Terminal || http4.Pred.Proto != "http" {
+		t.Fatalf("http terminal node missing\n%s", trie)
+	}
+
+	// port -> tls -> tls.sni (terminal session leaf).
+	if len(portNode.Children) != 1 {
+		t.Fatalf("port children = %d", len(portNode.Children))
+	}
+	tls := portNode.Children[0]
+	if tls.Pred.Proto != "tls" || tls.Layer != LayerConnection || tls.Terminal {
+		t.Fatalf("tls node wrong: %v", tls.Pred)
+	}
+	sni := tls.Children[0]
+	if sni.Layer != LayerSession || !sni.Terminal || sni.Pred.Field != "sni" {
+		t.Fatalf("sni node wrong: %v", sni.Pred)
+	}
+
+	// ipv6 -> tcp -> http (terminal).
+	tcp6 := v6.Children[0]
+	if tcp6.Pred.Proto != "tcp" || len(tcp6.Children) != 1 {
+		t.Fatalf("tcp6 shape wrong\n%s", trie)
+	}
+	if h := tcp6.Children[0]; h.Pred.Proto != "http" || !h.Terminal {
+		t.Fatalf("ipv6 http node wrong\n%s", trie)
+	}
+
+	// Derived flags.
+	if !trie.NeedsConnTracking() {
+		t.Fatal("NeedsConnTracking should be true")
+	}
+	protos := trie.ConnProtocols()
+	if len(protos) != 2 {
+		t.Fatalf("ConnProtocols = %v", protos)
+	}
+}
+
+func TestTrieSingleParentInvariant(t *testing.T) {
+	trie := buildTrieSrc(t, "(ipv4 and tls) or (ipv4 and ssh) or http")
+	for _, n := range trie.Nodes {
+		if n == trie.Root {
+			if n.Parent != nil {
+				t.Fatal("root has a parent")
+			}
+			continue
+		}
+		if n.Parent == nil {
+			t.Fatalf("node %d has no parent", n.ID)
+		}
+		found := false
+		for _, c := range n.Parent.Children {
+			if c == n {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d not among its parent's children", n.ID)
+		}
+	}
+}
+
+func TestTrieIDsDense(t *testing.T) {
+	trie := buildTrieSrc(t, "(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http")
+	for i, n := range trie.Nodes {
+		if n.ID != i {
+			t.Fatalf("node at index %d has ID %d", i, n.ID)
+		}
+	}
+}
+
+// TestTriePrefixSubsumption: a terminal short pattern absorbs longer
+// patterns sharing its prefix (the redundant-branch elimination pass).
+func TestTriePrefixSubsumption(t *testing.T) {
+	// "ipv4" alone is terminal at the packet layer; the tls arm is
+	// redundant because every ipv4+tls packet already matches "ipv4".
+	trie := buildTrieSrc(t, "ipv4 or (ipv4 and tls)")
+	for _, n := range trie.Nodes {
+		if n.Pred.Proto == "tls" {
+			t.Fatalf("subsumed tls branch survived\n%s", trie)
+		}
+		if n.Pred.Proto == "ipv4" && !n.Terminal {
+			t.Fatalf("ipv4 should be terminal\n%s", trie)
+		}
+	}
+	// Order independence: longer pattern inserted first, then pruned.
+	trie2 := buildTrieSrc(t, "(ipv4 and tls) or ipv4")
+	for _, n := range trie2.Nodes {
+		if n.Pred.Proto == "tls" {
+			t.Fatalf("subsumed tls branch survived (reverse order)\n%s", trie2)
+		}
+	}
+}
+
+func TestTrieTerminalNodesAreLeaves(t *testing.T) {
+	for _, src := range []string{
+		"ipv4 or (ipv4 and tls) or http or tcp.port = 80",
+		"(tls.sni ~ 'a') or tls",
+		"ipv4 and (tls or ssh)",
+	} {
+		trie := buildTrieSrc(t, src)
+		for _, n := range trie.Nodes {
+			if n.Terminal && len(n.Children) > 0 {
+				t.Errorf("filter %q: terminal node %d has children", src, n.ID)
+			}
+		}
+	}
+}
+
+func TestTrieMatchAll(t *testing.T) {
+	trie := buildTrieSrc(t, "")
+	if len(trie.Nodes) != 1 || !trie.Root.Terminal {
+		t.Fatalf("match-all trie = %s", trie)
+	}
+	if trie.NeedsConnTracking() {
+		t.Fatal("match-all should not need conn tracking")
+	}
+}
+
+func TestTrieStringOutput(t *testing.T) {
+	trie := buildTrieSrc(t, "ipv4 and tcp")
+	s := trie.String()
+	for _, want := range []string{"eth", "ipv4", "tcp", "(terminal)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trie string missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package ipcrypt implements format-preserving IP address encryption,
+// the stdlib-only analogue of the rust-ipcrypt crate the paper's §7.2
+// anonymization application uses. IPv4 addresses encrypt to IPv4
+// addresses (4-byte permutation); IPv6 addresses encrypt to IPv6 via one
+// AES block.
+//
+// The IPv4 construction follows ipcrypt's design: a 4-round
+// Feistel-like permutation over the 4 address bytes keyed by 16 bytes.
+// PrefixPreserving additionally keeps subnet structure: equal prefixes
+// encrypt to equal prefixes, which is what makes anonymized traces
+// useful for subnet-level analysis.
+package ipcrypt
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Key is the 16-byte encryption key.
+type Key [16]byte
+
+// rotl8 rotates an 8-bit value left.
+func rotl8(b byte, r uint) byte { return b<<r | b>>(8-r) }
+
+// fwd is one ipcrypt permutation round.
+func fwd(s *[4]byte) {
+	s[0] += s[1]
+	s[2] += s[3]
+	s[1] = rotl8(s[1], 2) ^ s[0]
+	s[3] = rotl8(s[3], 5) ^ s[2]
+	s[0] = rotl8(s[0], 4) + s[3]
+	s[2] += s[1]
+	s[1] = rotl8(s[1], 3) ^ s[2]
+	s[3] = rotl8(s[3], 7) ^ s[0]
+	s[2] = rotl8(s[2], 4)
+}
+
+// bwd inverts fwd.
+func bwd(s *[4]byte) {
+	s[2] = rotl8(s[2], 4)
+	s[3] = rotl8(s[3]^s[0], 1)
+	s[1] = rotl8(s[1]^s[2], 5)
+	s[2] -= s[1]
+	s[0] = rotl8(s[0]-s[3], 4)
+	s[3] = rotl8(s[3]^s[2], 3)
+	s[1] = rotl8(s[1]^s[0], 6)
+	s[2] -= s[3]
+	s[0] -= s[1]
+}
+
+func xorKey(s *[4]byte, k []byte) {
+	s[0] ^= k[0]
+	s[1] ^= k[1]
+	s[2] ^= k[2]
+	s[3] ^= k[3]
+}
+
+// EncryptIPv4 permutes a 4-byte address under key.
+func EncryptIPv4(key Key, ip [4]byte) [4]byte {
+	s := ip
+	xorKey(&s, key[0:4])
+	fwd(&s)
+	xorKey(&s, key[4:8])
+	fwd(&s)
+	xorKey(&s, key[8:12])
+	fwd(&s)
+	xorKey(&s, key[12:16])
+	return s
+}
+
+// DecryptIPv4 inverts EncryptIPv4.
+func DecryptIPv4(key Key, ip [4]byte) [4]byte {
+	s := ip
+	xorKey(&s, key[12:16])
+	bwd(&s)
+	xorKey(&s, key[8:12])
+	bwd(&s)
+	xorKey(&s, key[4:8])
+	bwd(&s)
+	xorKey(&s, key[0:4])
+	return s
+}
+
+// EncryptIPv6 encrypts a 16-byte address as one AES-128 block.
+func EncryptIPv6(key Key, ip [16]byte) [16]byte {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic(fmt.Sprintf("ipcrypt: %v", err)) // 16-byte key cannot fail
+	}
+	var out [16]byte
+	block.Encrypt(out[:], ip[:])
+	return out
+}
+
+// DecryptIPv6 inverts EncryptIPv6.
+func DecryptIPv6(key Key, ip [16]byte) [16]byte {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic(fmt.Sprintf("ipcrypt: %v", err))
+	}
+	var out [16]byte
+	block.Decrypt(out[:], ip[:])
+	return out
+}
+
+// PrefixPreserving encrypts addresses bit-by-bit such that two addresses
+// sharing an n-bit prefix encrypt to addresses sharing an n-bit prefix
+// (the Crypto-PAn construction, built on AES). This is the mode the
+// paper's anonymization application uses to "preserve subnet structures".
+type PrefixPreserving struct {
+	block interface{ Encrypt(dst, src []byte) }
+}
+
+// NewPrefixPreserving builds a prefix-preserving encryptor.
+func NewPrefixPreserving(key Key) *PrefixPreserving {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic(fmt.Sprintf("ipcrypt: %v", err))
+	}
+	return &PrefixPreserving{block: block}
+}
+
+// EncryptIPv4 anonymizes ip, preserving prefix relationships.
+func (p *PrefixPreserving) EncryptIPv4(ip [4]byte) [4]byte {
+	orig := binary.BigEndian.Uint32(ip[:])
+	var out uint32
+	var pt, ct [16]byte
+	for bit := 0; bit < 32; bit++ {
+		// The flip decision for bit i depends only on the i-bit prefix,
+		// which is what preserves prefix equality.
+		prefix := orig >> (32 - bit) << (32 - bit)
+		if bit == 0 {
+			prefix = 0
+		}
+		binary.BigEndian.PutUint32(pt[0:4], prefix)
+		pt[4] = byte(bit)
+		p.block.Encrypt(ct[:], pt[:])
+		flip := ct[0] >> 7 // one pseudorandom bit
+		origBit := byte(orig>>(31-bit)) & 1
+		out = out<<1 | uint32(origBit^flip)
+	}
+	var res [4]byte
+	binary.BigEndian.PutUint32(res[:], out)
+	return res
+}

@@ -1,0 +1,121 @@
+package ipcrypt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var testKey = Key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	ip := [4]byte{192, 168, 1, 77}
+	enc := EncryptIPv4(testKey, ip)
+	if enc == ip {
+		t.Fatal("encryption is identity")
+	}
+	if dec := DecryptIPv4(testKey, enc); dec != ip {
+		t.Fatalf("round trip: %v -> %v -> %v", ip, enc, dec)
+	}
+}
+
+func TestQuickIPv4Bijection(t *testing.T) {
+	f := func(ip [4]byte, key [16]byte) bool {
+		k := Key(key)
+		return DecryptIPv4(k, EncryptIPv4(k, ip)) == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPv4KeyMatters(t *testing.T) {
+	ip := [4]byte{10, 0, 0, 1}
+	k2 := testKey
+	k2[0] ^= 0xFF
+	if EncryptIPv4(testKey, ip) == EncryptIPv4(k2, ip) {
+		t.Fatal("different keys produced identical ciphertext")
+	}
+}
+
+func TestIPv6RoundTrip(t *testing.T) {
+	ip := [16]byte{0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+	enc := EncryptIPv6(testKey, ip)
+	if enc == ip {
+		t.Fatal("encryption is identity")
+	}
+	if dec := DecryptIPv6(testKey, enc); dec != ip {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestPrefixPreservingSubnetStructure(t *testing.T) {
+	pp := NewPrefixPreserving(testKey)
+	a := pp.EncryptIPv4([4]byte{10, 1, 2, 3})
+	b := pp.EncryptIPv4([4]byte{10, 1, 2, 99})   // same /24
+	c := pp.EncryptIPv4([4]byte{10, 1, 77, 3})   // same /16
+	d := pp.EncryptIPv4([4]byte{192, 168, 0, 1}) // different /8
+
+	eq := func(x, y [4]byte, bits int) bool {
+		for i := 0; i < bits/8; i++ {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !eq(a, b, 24) {
+		t.Fatalf("same /24 diverged: %v vs %v", a, b)
+	}
+	if !eq(a, c, 16) {
+		t.Fatalf("same /16 diverged: %v vs %v", a, c)
+	}
+	if eq(a, c, 24) {
+		t.Fatalf("different /24 collided: %v vs %v", a, c)
+	}
+	if eq(a, d, 8) {
+		t.Fatalf("different /8 collided: %v vs %v", a, d)
+	}
+}
+
+func TestPrefixPreservingDeterministic(t *testing.T) {
+	pp := NewPrefixPreserving(testKey)
+	ip := [4]byte{172, 16, 5, 9}
+	if pp.EncryptIPv4(ip) != pp.EncryptIPv4(ip) {
+		t.Fatal("not deterministic")
+	}
+	pp2 := NewPrefixPreserving(testKey)
+	if pp.EncryptIPv4(ip) != pp2.EncryptIPv4(ip) {
+		t.Fatal("instances with same key disagree")
+	}
+}
+
+func TestPrefixPreservingInjectiveSample(t *testing.T) {
+	pp := NewPrefixPreserving(testKey)
+	seen := map[[4]byte][4]byte{}
+	for i := 0; i < 1000; i++ {
+		ip := [4]byte{10, byte(i >> 8), byte(i), byte(i * 7)}
+		enc := pp.EncryptIPv4(ip)
+		if prev, dup := seen[enc]; dup && prev != ip {
+			t.Fatalf("collision: %v and %v both -> %v", prev, ip, enc)
+		}
+		seen[enc] = ip
+	}
+}
+
+func BenchmarkEncryptIPv4(b *testing.B) {
+	ip := [4]byte{10, 0, 0, 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ip = EncryptIPv4(testKey, ip)
+	}
+}
+
+func BenchmarkPrefixPreservingIPv4(b *testing.B) {
+	pp := NewPrefixPreserving(testKey)
+	ip := [4]byte{10, 0, 0, 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ip[3] = byte(i)
+		_ = pp.EncryptIPv4(ip)
+	}
+}

@@ -1,0 +1,94 @@
+package layers
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickDecodeNeverPanics feeds arbitrary bytes to the decoder: it
+// must never panic and never return success with inconsistent state —
+// the memory-safety property the paper gets from Rust, which we must
+// guarantee by construction against adversarial traffic (§2, Security).
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	var p Parsed
+	f := func(data []byte) bool {
+		_ = p.DecodeLayers(data)
+		// Any decoded layer's payload must be within the input.
+		if p.L4 != LayerTypeNone {
+			pl := p.Payload()
+			if len(pl) > len(data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeMutatedRealPackets corrupts valid packets byte-by-byte: the
+// decoder must stay panic-free and in-bounds for every single-byte
+// mutation (truncation and field corruption).
+func TestDecodeMutatedRealPackets(t *testing.T) {
+	var b Builder
+	base := b.Build(&PacketSpec{
+		SrcIP4: ParseAddr4("10.0.0.1"), DstIP4: ParseAddr4("10.0.0.2"),
+		Proto: IPProtoTCP, SrcPort: 1234, DstPort: 443,
+		Payload: []byte("some payload data"),
+	})
+	var p Parsed
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < len(base); i++ {
+		// Mutate one byte.
+		mut := append([]byte(nil), base...)
+		mut[i] ^= byte(1 + rng.Intn(255))
+		_ = p.DecodeLayers(mut)
+		// Truncate at this offset.
+		_ = p.DecodeLayers(base[:i])
+	}
+	// IPv6 with deep extension-header chains (adversarial lengths).
+	v6 := b.Build(&PacketSpec{
+		IsIPv6: true,
+		SrcIP6: ParseAddr16("2001:db8::1"), DstIP6: ParseAddr16("2001:db8::2"),
+		Proto: IPProtoTCP, SrcPort: 1, DstPort: 2,
+	})
+	for i := 0; i < len(v6); i++ {
+		mut := append([]byte(nil), v6...)
+		mut[i] ^= 0xFF
+		_ = p.DecodeLayers(mut)
+	}
+}
+
+// TestDecodeClaimsLongerThanCapture checks header length fields pointing
+// beyond the captured bytes.
+func TestDecodeClaimsLongerThanCapture(t *testing.T) {
+	var b Builder
+	pkt := b.Build(&PacketSpec{
+		SrcIP4: ParseAddr4("1.1.1.1"), DstIP4: ParseAddr4("2.2.2.2"),
+		Proto: IPProtoTCP, SrcPort: 1, DstPort: 2, Payload: []byte("xy"),
+	})
+	// Inflate the IPv4 total length beyond the frame.
+	pkt[EthernetHeaderLen+2] = 0xFF
+	pkt[EthernetHeaderLen+3] = 0xFF
+	var p Parsed
+	if err := p.DecodeLayers(pkt); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(p.Payload()) > len(pkt) {
+		t.Fatal("payload exceeds capture")
+	}
+	// Inflate the TCP data offset beyond the segment.
+	pkt2 := b.Build(&PacketSpec{
+		SrcIP4: ParseAddr4("1.1.1.1"), DstIP4: ParseAddr4("2.2.2.2"),
+		Proto: IPProtoTCP, SrcPort: 1, DstPort: 2,
+	})
+	pkt2[EthernetHeaderLen+IPv4MinHeaderLen+12] = 0xF0 // data offset 15 words
+	if err := p.DecodeLayers(pkt2); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if p.L4 == LayerTypeTCP {
+		t.Fatal("truncated TCP header decoded as valid")
+	}
+}

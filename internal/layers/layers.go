@@ -1,0 +1,374 @@
+// Package layers implements zero-allocation packet header decoding and
+// serialization for the protocols Retina filters on: Ethernet, 802.1Q
+// VLAN, IPv4, IPv6, TCP, UDP and ICMP.
+//
+// Decoding follows the gopacket DecodingLayerParser idiom: callers hold
+// preallocated layer structs and DecodeLayers fills them in place, so the
+// per-packet hot path performs no heap allocation. All decoded fields
+// alias the input buffer (NoCopy); they are valid only while the backing
+// mbuf is alive.
+package layers
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// LayerType identifies a protocol layer.
+type LayerType uint8
+
+const (
+	LayerTypeNone LayerType = iota
+	LayerTypeEthernet
+	LayerTypeVLAN
+	LayerTypeIPv4
+	LayerTypeIPv6
+	LayerTypeTCP
+	LayerTypeUDP
+	LayerTypeICMPv4
+	LayerTypeICMPv6
+	LayerTypePayload
+)
+
+// String returns the conventional lowercase protocol name, matching the
+// identifiers used in the filter language ("ipv4", "tcp", ...).
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeEthernet:
+		return "eth"
+	case LayerTypeVLAN:
+		return "vlan"
+	case LayerTypeIPv4:
+		return "ipv4"
+	case LayerTypeIPv6:
+		return "ipv6"
+	case LayerTypeTCP:
+		return "tcp"
+	case LayerTypeUDP:
+		return "udp"
+	case LayerTypeICMPv4:
+		return "icmp"
+	case LayerTypeICMPv6:
+		return "icmpv6"
+	case LayerTypePayload:
+		return "payload"
+	}
+	return "none"
+}
+
+// EtherTypes and IP protocol numbers used by the decoders.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeIPv6 uint16 = 0x86DD
+	EtherTypeVLAN uint16 = 0x8100
+	EtherTypeARP  uint16 = 0x0806
+
+	IPProtoICMP   uint8 = 1
+	IPProtoTCP    uint8 = 6
+	IPProtoUDP    uint8 = 17
+	IPProtoICMPv6 uint8 = 58
+
+	EthernetHeaderLen = 14
+	VLANHeaderLen     = 4
+	IPv4MinHeaderLen  = 20
+	IPv6HeaderLen     = 40
+	TCPMinHeaderLen   = 20
+	UDPHeaderLen      = 8
+)
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << 0
+	TCPSyn uint8 = 1 << 1
+	TCPRst uint8 = 1 << 2
+	TCPPsh uint8 = 1 << 3
+	TCPAck uint8 = 1 << 4
+	TCPUrg uint8 = 1 << 5
+)
+
+var (
+	// ErrTruncated reports a packet too short for the claimed header.
+	ErrTruncated = errors.New("layers: truncated packet")
+	// ErrUnsupported reports an encapsulation the decoder cannot follow.
+	ErrUnsupported = errors.New("layers: unsupported layer")
+)
+
+// Ethernet is a decoded Ethernet II header.
+type Ethernet struct {
+	SrcMAC    [6]byte
+	DstMAC    [6]byte
+	EtherType uint16
+	payload   []byte
+}
+
+// DecodeFromBytes fills e from data.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < EthernetHeaderLen {
+		return ErrTruncated
+	}
+	copy(e.DstMAC[:], data[0:6])
+	copy(e.SrcMAC[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	e.payload = data[EthernetHeaderLen:]
+	return nil
+}
+
+// Payload returns the bytes following the Ethernet header.
+func (e *Ethernet) Payload() []byte { return e.payload }
+
+// VLAN is a decoded 802.1Q tag.
+type VLAN struct {
+	Priority  uint8
+	ID        uint16
+	EtherType uint16
+	payload   []byte
+}
+
+// DecodeFromBytes fills v from data (starting at the TCI field).
+func (v *VLAN) DecodeFromBytes(data []byte) error {
+	if len(data) < VLANHeaderLen {
+		return ErrTruncated
+	}
+	tci := binary.BigEndian.Uint16(data[0:2])
+	v.Priority = uint8(tci >> 13)
+	v.ID = tci & 0x0FFF
+	v.EtherType = binary.BigEndian.Uint16(data[2:4])
+	v.payload = data[VLANHeaderLen:]
+	return nil
+}
+
+// Payload returns the bytes following the VLAN tag.
+func (v *VLAN) Payload() []byte { return v.payload }
+
+// IPv4 is a decoded IPv4 header.
+type IPv4 struct {
+	Version  uint8
+	IHL      uint8 // header length in 32-bit words
+	TOS      uint8
+	Length   uint16 // total length from the header
+	ID       uint16
+	Flags    uint8
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	SrcIP    [4]byte
+	DstIP    [4]byte
+	payload  []byte
+}
+
+// DecodeFromBytes fills ip from data.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv4MinHeaderLen {
+		return ErrTruncated
+	}
+	vihl := data[0]
+	ip.Version = vihl >> 4
+	ip.IHL = vihl & 0x0F
+	if ip.Version != 4 {
+		return fmt.Errorf("layers: IPv4 version %d: %w", ip.Version, ErrUnsupported)
+	}
+	hl := int(ip.IHL) * 4
+	if hl < IPv4MinHeaderLen || len(data) < hl {
+		return ErrTruncated
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOff = ff & 0x1FFF
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.SrcIP[:], data[12:16])
+	copy(ip.DstIP[:], data[16:20])
+
+	end := int(ip.Length)
+	if end < hl || end > len(data) {
+		end = len(data)
+	}
+	ip.payload = data[hl:end]
+	return nil
+}
+
+// Payload returns the IPv4 payload.
+func (ip *IPv4) Payload() []byte { return ip.payload }
+
+// HeaderLen returns the header length in bytes.
+func (ip *IPv4) HeaderLen() int { return int(ip.IHL) * 4 }
+
+// IPv6 is a decoded IPv6 fixed header. Extension headers are skipped
+// during decoding; NextHeader reports the first non-extension protocol.
+type IPv6 struct {
+	Version      uint8
+	TrafficClass uint8
+	FlowLabel    uint32
+	Length       uint16 // payload length
+	NextHeader   uint8
+	HopLimit     uint8
+	SrcIP        [16]byte
+	DstIP        [16]byte
+	payload      []byte
+}
+
+// ipv6ExtensionHeader reports whether h is a skippable extension header.
+func ipv6ExtensionHeader(h uint8) bool {
+	switch h {
+	case 0, 43, 60: // hop-by-hop, routing, destination options
+		return true
+	}
+	return false
+}
+
+// DecodeFromBytes fills ip from data, skipping extension headers.
+func (ip *IPv6) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv6HeaderLen {
+		return ErrTruncated
+	}
+	ip.Version = data[0] >> 4
+	if ip.Version != 6 {
+		return fmt.Errorf("layers: IPv6 version %d: %w", ip.Version, ErrUnsupported)
+	}
+	ip.TrafficClass = (data[0]&0x0F)<<4 | data[1]>>4
+	ip.FlowLabel = uint32(data[1]&0x0F)<<16 | uint32(data[2])<<8 | uint32(data[3])
+	ip.Length = binary.BigEndian.Uint16(data[4:6])
+	ip.NextHeader = data[6]
+	ip.HopLimit = data[7]
+	copy(ip.SrcIP[:], data[8:24])
+	copy(ip.DstIP[:], data[24:40])
+
+	rest := data[IPv6HeaderLen:]
+	if int(ip.Length) < len(rest) {
+		rest = rest[:ip.Length]
+	}
+	// Skip chained extension headers (IPv6ExtensionSkipper-style).
+	nh := ip.NextHeader
+	for ipv6ExtensionHeader(nh) {
+		if len(rest) < 8 {
+			return ErrTruncated
+		}
+		next := rest[0]
+		hl := (int(rest[1]) + 1) * 8
+		if len(rest) < hl {
+			return ErrTruncated
+		}
+		rest = rest[hl:]
+		nh = next
+	}
+	ip.NextHeader = nh
+	ip.payload = rest
+	return nil
+}
+
+// Payload returns the IPv6 payload after any extension headers.
+func (ip *IPv6) Payload() []byte { return ip.payload }
+
+// TCP is a decoded TCP header.
+type TCP struct {
+	SrcPort    uint16
+	DstPort    uint16
+	Seq        uint32
+	Ack        uint32
+	DataOffset uint8 // header length in 32-bit words
+	Flags      uint8
+	Window     uint16
+	Checksum   uint16
+	Urgent     uint16
+	options    []byte
+	payload    []byte
+}
+
+// DecodeFromBytes fills t from data.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < TCPMinHeaderLen {
+		return ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.DataOffset = data[12] >> 4
+	hl := int(t.DataOffset) * 4
+	if hl < TCPMinHeaderLen || len(data) < hl {
+		return ErrTruncated
+	}
+	t.Flags = data[13] & 0x3F
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	t.options = data[TCPMinHeaderLen:hl]
+	t.payload = data[hl:]
+	return nil
+}
+
+// Payload returns the TCP payload bytes.
+func (t *TCP) Payload() []byte { return t.payload }
+
+// Options returns the raw TCP options bytes.
+func (t *TCP) Options() []byte { return t.options }
+
+// SYN reports whether the SYN flag is set.
+func (t *TCP) SYN() bool { return t.Flags&TCPSyn != 0 }
+
+// ACK reports whether the ACK flag is set.
+func (t *TCP) ACK() bool { return t.Flags&TCPAck != 0 }
+
+// FIN reports whether the FIN flag is set.
+func (t *TCP) FIN() bool { return t.Flags&TCPFin != 0 }
+
+// RST reports whether the RST flag is set.
+func (t *TCP) RST() bool { return t.Flags&TCPRst != 0 }
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+	payload  []byte
+}
+
+// DecodeFromBytes fills u from data.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < UDPHeaderLen {
+		return ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	end := int(u.Length)
+	if end < UDPHeaderLen || end > len(data) {
+		end = len(data)
+	}
+	u.payload = data[UDPHeaderLen:end]
+	return nil
+}
+
+// Payload returns the UDP payload bytes.
+func (u *UDP) Payload() []byte { return u.payload }
+
+// ICMP is a decoded ICMPv4 or ICMPv6 header.
+type ICMP struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	payload  []byte
+}
+
+// DecodeFromBytes fills c from data.
+func (c *ICMP) DecodeFromBytes(data []byte) error {
+	if len(data) < 4 {
+		return ErrTruncated
+	}
+	c.Type = data[0]
+	c.Code = data[1]
+	c.Checksum = binary.BigEndian.Uint16(data[2:4])
+	c.payload = data[4:]
+	return nil
+}
+
+// Payload returns the ICMP payload bytes.
+func (c *ICMP) Payload() []byte { return c.payload }

@@ -1,0 +1,246 @@
+// Package mbuf implements DPDK-style message buffers.
+//
+// An Mbuf is a fixed-capacity packet buffer drawn from a pre-allocated
+// pool. The pool keeps buffer memory off the garbage collector's hot path
+// the same way DPDK's mempool keeps packet memory out of the kernel:
+// buffers are allocated once at startup and recycled by reference count.
+//
+// Mbufs carry receive metadata (port, queue, arrival tick) and a filter
+// mark used by the multi-layer filter to record the deepest predicate-trie
+// node matched so far, so downstream filters never re-traverse the trie
+// (see the paper's §4.1, "non-terminating packet filter matches").
+package mbuf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Default geometry mirrors DPDK's RTE_MBUF_DEFAULT_BUF_SIZE: enough for a
+// 1500-byte MTU frame plus headroom.
+const (
+	DefaultBufSize  = 2048
+	DefaultHeadroom = 128
+)
+
+var (
+	// ErrPoolExhausted is returned by Pool.Alloc when no buffers remain.
+	// Callers treat this as packet drop (rx_nombuf in DPDK terms).
+	ErrPoolExhausted = errors.New("mbuf: pool exhausted")
+	// ErrTooLarge is returned when appended data exceeds buffer capacity.
+	ErrTooLarge = errors.New("mbuf: data larger than buffer capacity")
+)
+
+// Mbuf is a single packet buffer. The zero value is not usable; obtain
+// Mbufs from a Pool (hot path) or via FromBytes (tests, offline mode).
+type Mbuf struct {
+	buf  []byte // full backing storage, len == cap
+	off  int    // start of packet data (headroom before it)
+	ln   int    // length of packet data
+	pool *Pool  // owning pool; nil for heap-backed bufs
+	refs atomic.Int32
+
+	// Receive metadata.
+	Port    uint16 // ingress port id
+	Queue   uint16 // RSS queue the packet was delivered to
+	RxTick  uint64 // virtual-clock tick at reception
+	RSSHash uint32 // RSS hash computed by the (simulated) NIC
+
+	// Mark carries the deepest matched predicate-trie node id, set by the
+	// software packet filter and read by the connection filter.
+	Mark uint32
+}
+
+// FromBytes wraps data in a heap-backed Mbuf (copying it). Intended for
+// tests and offline trace ingestion, not the zero-copy hot path.
+func FromBytes(data []byte) *Mbuf {
+	m := &Mbuf{
+		buf: make([]byte, DefaultHeadroom+len(data)),
+		off: DefaultHeadroom,
+		ln:  len(data),
+	}
+	copy(m.buf[m.off:], data)
+	m.refs.Store(1)
+	return m
+}
+
+// Data returns the packet bytes. The returned slice aliases the buffer;
+// it must not be retained past Free (callers that need to keep bytes copy
+// them or take an extra Ref).
+func (m *Mbuf) Data() []byte { return m.buf[m.off : m.off+m.ln] }
+
+// Len returns the packet length in bytes.
+func (m *Mbuf) Len() int { return m.ln }
+
+// Headroom returns the number of free bytes before the packet data.
+func (m *Mbuf) Headroom() int { return m.off }
+
+// Tailroom returns the number of free bytes after the packet data.
+func (m *Mbuf) Tailroom() int { return len(m.buf) - m.off - m.ln }
+
+// Append grows the packet by copying data at its tail.
+func (m *Mbuf) Append(data []byte) error {
+	if len(data) > m.Tailroom() {
+		return ErrTooLarge
+	}
+	copy(m.buf[m.off+m.ln:], data)
+	m.ln += len(data)
+	return nil
+}
+
+// SetData replaces the packet contents, honoring headroom.
+func (m *Mbuf) SetData(data []byte) error {
+	if len(data) > len(m.buf)-m.off {
+		return ErrTooLarge
+	}
+	copy(m.buf[m.off:], data)
+	m.ln = len(data)
+	return nil
+}
+
+// Prepend opens room bytes of space at the front of the packet (consuming
+// headroom) and returns the slice covering the new region.
+func (m *Mbuf) Prepend(room int) ([]byte, error) {
+	if room > m.off {
+		return nil, ErrTooLarge
+	}
+	m.off -= room
+	m.ln += room
+	return m.buf[m.off : m.off+room], nil
+}
+
+// Adj trims n bytes from the front of the packet (rte_pktmbuf_adj).
+func (m *Mbuf) Adj(n int) error {
+	if n > m.ln {
+		return fmt.Errorf("mbuf: adj %d beyond length %d", n, m.ln)
+	}
+	m.off += n
+	m.ln -= n
+	return nil
+}
+
+// Trim removes n bytes from the tail of the packet.
+func (m *Mbuf) Trim(n int) error {
+	if n > m.ln {
+		return fmt.Errorf("mbuf: trim %d beyond length %d", n, m.ln)
+	}
+	m.ln -= n
+	return nil
+}
+
+// Ref increments the reference count. Each holder must call Free once.
+func (m *Mbuf) Ref() *Mbuf {
+	m.refs.Add(1)
+	return m
+}
+
+// RefCount reports the current reference count.
+func (m *Mbuf) RefCount() int { return int(m.refs.Load()) }
+
+// Free drops one reference; when the count reaches zero the buffer is
+// returned to its pool (or released to the GC for heap-backed bufs).
+func (m *Mbuf) Free() {
+	if m == nil {
+		return
+	}
+	if n := m.refs.Add(-1); n == 0 {
+		if m.pool != nil {
+			m.pool.put(m)
+		}
+	} else if n < 0 {
+		panic("mbuf: double free")
+	}
+}
+
+// Pool is a fixed-size mbuf allocator. It is safe for concurrent use; in
+// the share-nothing pipeline each core typically owns its own pool, but
+// the generator and rings may hand buffers across goroutines, so the free
+// list is guarded.
+type Pool struct {
+	mu      sync.Mutex
+	free    []*Mbuf
+	bufSize int
+	size    int
+
+	allocs atomic.Uint64
+	fails  atomic.Uint64
+}
+
+// NewPool pre-allocates n buffers of bufSize bytes each. bufSize <= 0
+// selects DefaultBufSize.
+func NewPool(n, bufSize int) *Pool {
+	if bufSize <= 0 {
+		bufSize = DefaultBufSize
+	}
+	p := &Pool{bufSize: bufSize, size: n, free: make([]*Mbuf, 0, n)}
+	// One backing array for the whole pool: a single allocation, stable
+	// for the process lifetime, mirroring a hugepage-backed mempool.
+	backing := make([]byte, n*bufSize)
+	for i := 0; i < n; i++ {
+		p.free = append(p.free, &Mbuf{
+			buf:  backing[i*bufSize : (i+1)*bufSize : (i+1)*bufSize],
+			pool: p,
+		})
+	}
+	return p
+}
+
+// Alloc returns a buffer with headroom reserved and refcount 1.
+func (p *Pool) Alloc() (*Mbuf, error) {
+	p.mu.Lock()
+	n := len(p.free)
+	if n == 0 {
+		p.mu.Unlock()
+		p.fails.Add(1)
+		return nil, ErrPoolExhausted
+	}
+	m := p.free[n-1]
+	p.free = p.free[:n-1]
+	p.mu.Unlock()
+
+	m.off = DefaultHeadroom
+	if m.off > len(m.buf) {
+		m.off = 0
+	}
+	m.ln = 0
+	m.Port, m.Queue, m.RxTick, m.RSSHash, m.Mark = 0, 0, 0, 0, 0
+	m.refs.Store(1)
+	p.allocs.Add(1)
+	return m, nil
+}
+
+// AllocData allocates a buffer and fills it with data.
+func (p *Pool) AllocData(data []byte) (*Mbuf, error) {
+	m, err := p.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SetData(data); err != nil {
+		m.Free()
+		return nil, err
+	}
+	return m, nil
+}
+
+func (p *Pool) put(m *Mbuf) {
+	p.mu.Lock()
+	p.free = append(p.free, m)
+	p.mu.Unlock()
+}
+
+// Available reports the number of free buffers.
+func (p *Pool) Available() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Size reports the total number of buffers in the pool.
+func (p *Pool) Size() int { return p.size }
+
+// Stats reports cumulative allocations and allocation failures.
+func (p *Pool) Stats() (allocs, fails uint64) {
+	return p.allocs.Load(), p.fails.Load()
+}

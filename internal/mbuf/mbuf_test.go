@@ -1,0 +1,193 @@
+package mbuf
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromBytes(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5}
+	m := FromBytes(data)
+	if !bytes.Equal(m.Data(), data) {
+		t.Fatalf("Data() = %v, want %v", m.Data(), data)
+	}
+	if m.Len() != 5 {
+		t.Fatalf("Len() = %d, want 5", m.Len())
+	}
+	// Mutating the source must not change the mbuf (FromBytes copies).
+	data[0] = 99
+	if m.Data()[0] == 99 {
+		t.Fatal("FromBytes aliases caller memory")
+	}
+}
+
+func TestPoolAllocFree(t *testing.T) {
+	p := NewPool(4, 256)
+	if p.Available() != 4 {
+		t.Fatalf("Available = %d, want 4", p.Available())
+	}
+	var ms []*Mbuf
+	for i := 0; i < 4; i++ {
+		m, err := p.Alloc()
+		if err != nil {
+			t.Fatalf("Alloc %d: %v", i, err)
+		}
+		ms = append(ms, m)
+	}
+	if _, err := p.Alloc(); err != ErrPoolExhausted {
+		t.Fatalf("Alloc on empty pool: err = %v, want ErrPoolExhausted", err)
+	}
+	for _, m := range ms {
+		m.Free()
+	}
+	if p.Available() != 4 {
+		t.Fatalf("after free, Available = %d, want 4", p.Available())
+	}
+	_, fails := p.Stats()
+	if fails != 1 {
+		t.Fatalf("fails = %d, want 1", fails)
+	}
+}
+
+func TestAllocResetsMetadata(t *testing.T) {
+	p := NewPool(1, 256)
+	m, _ := p.Alloc()
+	m.Port, m.Queue, m.Mark, m.RxTick = 7, 3, 42, 1000
+	m.SetData([]byte("hello"))
+	m.Free()
+
+	m2, _ := p.Alloc()
+	if m2.Port != 0 || m2.Queue != 0 || m2.Mark != 0 || m2.RxTick != 0 {
+		t.Fatal("recycled mbuf retains metadata")
+	}
+	if m2.Len() != 0 {
+		t.Fatalf("recycled mbuf Len = %d, want 0", m2.Len())
+	}
+}
+
+func TestRefCounting(t *testing.T) {
+	p := NewPool(1, 256)
+	m, _ := p.Alloc()
+	m.Ref()
+	if m.RefCount() != 2 {
+		t.Fatalf("RefCount = %d, want 2", m.RefCount())
+	}
+	m.Free()
+	if p.Available() != 0 {
+		t.Fatal("buffer returned to pool while references remain")
+	}
+	m.Free()
+	if p.Available() != 1 {
+		t.Fatal("buffer not returned to pool at refcount zero")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	p := NewPool(1, 256)
+	m, _ := p.Alloc()
+	m.Free()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Free did not panic")
+		}
+	}()
+	m.Free()
+}
+
+func TestAdjTrimPrepend(t *testing.T) {
+	m := FromBytes([]byte("abcdefgh"))
+	if err := m.Adj(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(m.Data()); got != "cdefgh" {
+		t.Fatalf("after Adj: %q", got)
+	}
+	if err := m.Trim(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(m.Data()); got != "cde" {
+		t.Fatalf("after Trim: %q", got)
+	}
+	hdr, err := m.Prepend(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(hdr, "XY")
+	if got := string(m.Data()); got != "XYcde" {
+		t.Fatalf("after Prepend: %q", got)
+	}
+	if err := m.Adj(100); err == nil {
+		t.Fatal("Adj beyond length did not error")
+	}
+	if err := m.Trim(100); err == nil {
+		t.Fatal("Trim beyond length did not error")
+	}
+}
+
+func TestAppendAndTailroom(t *testing.T) {
+	p := NewPool(1, 300)
+	m, _ := p.Alloc()
+	if err := m.Append(bytes.Repeat([]byte{0xAA}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if err := m.Append(bytes.Repeat([]byte{0xBB}, 1000)); err != ErrTooLarge {
+		t.Fatalf("oversized Append err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	p := NewPool(64, 256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m, err := p.Alloc()
+				if err != nil {
+					continue
+				}
+				m.SetData([]byte{byte(i)})
+				m.Free()
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Available() != 64 {
+		t.Fatalf("Available = %d, want 64", p.Available())
+	}
+}
+
+// Property: for any data that fits, a pool round-trip preserves contents.
+func TestQuickSetDataRoundTrip(t *testing.T) {
+	p := NewPool(2, DefaultBufSize)
+	f := func(data []byte) bool {
+		if len(data) > DefaultBufSize-DefaultHeadroom {
+			data = data[:DefaultBufSize-DefaultHeadroom]
+		}
+		m, err := p.AllocData(data)
+		if err != nil {
+			return false
+		}
+		ok := bytes.Equal(m.Data(), data)
+		m.Free()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPoolAllocFree(b *testing.B) {
+	p := NewPool(16, DefaultBufSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, _ := p.Alloc()
+		m.Free()
+	}
+}

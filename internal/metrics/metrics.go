@@ -1,0 +1,247 @@
+// Package metrics provides the measurement substrate the benchmark
+// harness uses: a virtual cycle clock (substituting for rdtsc on the
+// paper's 3 GHz Xeon), throughput and loss meters, and histogram/CDF
+// helpers for regenerating the paper's figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// CPUGHz is the nominal clock rate used to convert wall time to "CPU
+// cycles" so stage costs are reported in the paper's units (Figure 7).
+const CPUGHz = 3.0
+
+// NsToCycles converts nanoseconds to nominal CPU cycles.
+func NsToCycles(ns float64) float64 { return ns * CPUGHz }
+
+// CyclesToNs converts nominal CPU cycles to nanoseconds.
+func CyclesToNs(cycles float64) float64 { return cycles / CPUGHz }
+
+// SpinCycles busy-loops for approximately n nominal CPU cycles — the
+// paper's proxy for callback complexity in Figure 5 ("we busy loop for a
+// set number of CPU cycles within the callback function").
+func SpinCycles(n uint64) {
+	if n == 0 {
+		return
+	}
+	target := time.Duration(CyclesToNs(float64(n)))
+	start := time.Now()
+	var local uint64
+	for time.Since(start) < target {
+		local++
+	}
+	// Publish once so the loop body cannot be eliminated; callers run on
+	// many goroutines, so the sink must be atomic.
+	spinSink.Store(local)
+}
+
+var spinSink atomic.Uint64
+
+// StageTimer accumulates invocation counts and time per pipeline stage,
+// producing the per-stage cycle breakdown of Figure 7.
+type StageTimer struct {
+	count atomic.Uint64
+	nanos atomic.Uint64
+}
+
+// Observe records one invocation of duration d.
+func (s *StageTimer) Observe(d time.Duration) {
+	s.count.Add(1)
+	s.nanos.Add(uint64(d))
+}
+
+// Add records n invocations totalling d.
+func (s *StageTimer) Add(n uint64, d time.Duration) {
+	s.count.Add(n)
+	s.nanos.Add(uint64(d))
+}
+
+// Count returns the number of invocations.
+func (s *StageTimer) Count() uint64 { return s.count.Load() }
+
+// AvgCycles returns the mean cost per invocation in nominal cycles.
+func (s *StageTimer) AvgCycles() float64 {
+	c := s.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return NsToCycles(float64(s.nanos.Load()) / float64(c))
+}
+
+// Meter tracks a byte/packet rate over wall time.
+type Meter struct {
+	bytes   atomic.Uint64
+	packets atomic.Uint64
+	start   time.Time
+}
+
+// NewMeter starts a meter.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Record adds one packet of n bytes.
+func (m *Meter) Record(n int) {
+	m.bytes.Add(uint64(n))
+	m.packets.Add(1)
+}
+
+// Totals returns cumulative bytes and packets.
+func (m *Meter) Totals() (bytes, packets uint64) {
+	return m.bytes.Load(), m.packets.Load()
+}
+
+// Gbps returns the average rate since the meter started.
+func (m *Meter) Gbps() float64 {
+	el := time.Since(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.bytes.Load()) * 8 / el / 1e9
+}
+
+// GbpsOver computes Gbps for an explicit byte count and duration —
+// used when experiments run on virtual time.
+func GbpsOver(bytes uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / d.Seconds() / 1e9
+}
+
+// Histogram is a fixed-bucket histogram for packet sizes and similar
+// bounded quantities (Figure 13).
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds;
+// values above the last bound land in a final overflow bucket.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe adds a value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.total++
+}
+
+// Bucket returns the bucket's upper bound ("+Inf" last) and its fraction
+// of observations.
+func (h *Histogram) Bucket(i int) (bound float64, frac float64) {
+	bound = math.Inf(1)
+	if i < len(h.bounds) {
+		bound = h.bounds[i]
+	}
+	if h.total > 0 {
+		frac = float64(h.counts[i]) / float64(h.total)
+	}
+	return bound, frac
+}
+
+// NumBuckets returns the bucket count (len(bounds)+1).
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Series is an accumulating sample set with percentile and CDF queries
+// (Figures 8, 9; Table 2's P50/P99 rows).
+type Series struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.vals) }
+
+func (s *Series) sort() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by
+// nearest-rank; zero samples yield NaN.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	rank := int(math.Ceil(p / 100 * float64(len(s.vals))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s.vals) {
+		rank = len(s.vals)
+	}
+	return s.vals[rank-1]
+}
+
+// Mean returns the arithmetic mean (NaN for zero samples).
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// CDF evaluates the empirical CDF at x.
+func (s *Series) CDF(x float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.sort()
+	i := sort.SearchFloat64s(s.vals, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(s.vals))
+}
+
+// CDFPoints returns n evenly spaced (value, cumulative fraction) points
+// for plotting.
+func (s *Series) CDFPoints(n int) [][2]float64 {
+	if len(s.vals) == 0 || n <= 0 {
+		return nil
+	}
+	s.sort()
+	out := make([][2]float64, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := i*len(s.vals)/n - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out = append(out, [2]float64{s.vals[idx], float64(i) / float64(n)})
+	}
+	return out
+}
+
+// FormatBytes renders a byte count in human units.
+func FormatBytes(b uint64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%d B", b)
+	}
+	div, exp := uint64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}

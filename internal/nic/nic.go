@@ -1,0 +1,279 @@
+package nic
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"retina/internal/filter"
+	"retina/internal/layers"
+	"retina/internal/mbuf"
+)
+
+// CapabilityModel describes what the simulated device's flow engine
+// accepts, mirroring the per-vendor quirks §4.1 abstracts away. The zero
+// value accepts nothing (hardware filtering unavailable).
+type CapabilityModel struct {
+	// ExactMatch permits equality predicates on ports and addresses.
+	ExactMatch bool
+	// PrefixMatch permits CIDR containment predicates.
+	PrefixMatch bool
+	// RangeMatch permits ordered comparisons and integer ranges; most
+	// commodity NICs (including the paper's ConnectX-5 example) do not
+	// support these, forcing software fallback.
+	RangeMatch bool
+	// MaxRules bounds the flow table (0 = unlimited).
+	MaxRules int
+}
+
+// ConnectX5Model approximates the paper's Mellanox ConnectX-5: protocol
+// and exact matches plus prefixes, but no range operands.
+func ConnectX5Model() CapabilityModel {
+	return CapabilityModel{ExactMatch: true, PrefixMatch: true, MaxRules: 512}
+}
+
+// Supports implements filter.Capability.
+func (c CapabilityModel) Supports(p filter.Predicate) bool {
+	if p.Unary() {
+		return true
+	}
+	switch p.Op {
+	case filter.OpEq:
+		return c.ExactMatch
+	case filter.OpIn:
+		if p.Val.Kind == filter.KindIPPrefix {
+			return c.PrefixMatch
+		}
+		return c.RangeMatch
+	case filter.OpLt, filter.OpLe, filter.OpGt, filter.OpGe:
+		return c.RangeMatch
+	}
+	return false
+}
+
+// Stats aggregates port counters.
+type Stats struct {
+	RxFrames  uint64 // frames offered to the port
+	HWDropped uint64 // dropped by the hardware filter
+	Sunk      uint64 // redirected to the sink by RSS sampling
+	Delivered uint64 // enqueued onto a receive queue
+	RingDrops uint64 // dropped because a descriptor ring was full (packet loss)
+	NoMbuf    uint64 // dropped because the buffer pool was exhausted
+	NonRSS    uint64 // frames without an L3 header (delivered to queue 0)
+	Malformed uint64 // frames the hardware parser could not read
+}
+
+// Config configures a simulated port.
+type Config struct {
+	// Queues is the number of receive queues (one per core).
+	Queues int
+	// RingSize bounds each descriptor ring; a full ring drops packets,
+	// which is the packet loss the zero-loss experiments measure.
+	RingSize int
+	// Pool supplies packet buffers.
+	Pool *mbuf.Pool
+	// Capability models the device's flow engine.
+	Capability CapabilityModel
+	// Registry resolves predicates when validating rules; nil selects
+	// the default registry.
+	Registry *filter.Registry
+	// RetaSize overrides the redirection table size (default 128).
+	RetaSize int
+}
+
+// ErrTooManyRules reports flow-table exhaustion.
+var ErrTooManyRules = errors.New("nic: flow table full")
+
+// NIC is one simulated port. Deliver is single-producer (the traffic
+// source); each receive queue has exactly one consumer core. Stats use
+// atomics so monitoring can read them concurrently.
+type NIC struct {
+	cfg     Config
+	reg     *filter.Registry
+	key     []byte
+	reta    *Reta
+	rings   []chan *mbuf.Mbuf
+	rules   []compiledRule
+	hwOn    bool
+	parsed  layers.Parsed // hardware parser state (Deliver is single-producer)
+	scratch [36]byte
+
+	rxFrames  atomic.Uint64
+	hwDropped atomic.Uint64
+	sunk      atomic.Uint64
+	delivered atomic.Uint64
+	ringDrops atomic.Uint64
+	noMbuf    atomic.Uint64
+	nonRSS    atomic.Uint64
+	malformed atomic.Uint64
+}
+
+type compiledRule struct {
+	src      string
+	matchers []func(*layers.Parsed) bool
+}
+
+// New creates a port with empty flow table (hardware filter off:
+// everything is RSS-dispatched).
+func New(cfg Config) *NIC {
+	if cfg.Queues <= 0 {
+		cfg.Queues = 1
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 4096
+	}
+	if cfg.RetaSize <= 0 {
+		cfg.RetaSize = DefaultRetaSize
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = filter.DefaultRegistry()
+	}
+	n := &NIC{
+		cfg:   cfg,
+		reg:   reg,
+		key:   SymmetricKey(),
+		reta:  NewReta(cfg.RetaSize, cfg.Queues),
+		rings: make([]chan *mbuf.Mbuf, cfg.Queues),
+	}
+	for i := range n.rings {
+		n.rings[i] = make(chan *mbuf.Mbuf, cfg.RingSize)
+	}
+	return n
+}
+
+// Capability exposes the device's flow-engine model for filter
+// compilation (filter.Options.HW).
+func (n *NIC) Capability() filter.Capability { return n.cfg.Capability }
+
+// InstallRules validates and installs hardware flow rules. Packets
+// matching any rule are RSS-dispatched; with at least one rule installed,
+// non-matching packets are dropped in "hardware" at zero CPU cost.
+func (n *NIC) InstallRules(rules []filter.FlowRule) error {
+	if n.cfg.Capability.MaxRules > 0 && len(rules) > n.cfg.Capability.MaxRules {
+		return fmt.Errorf("%w: %d rules, limit %d", ErrTooManyRules, len(rules), n.cfg.Capability.MaxRules)
+	}
+	compiled := make([]compiledRule, 0, len(rules))
+	for _, r := range rules {
+		cr := compiledRule{src: r.String()}
+		for _, pred := range r.Preds {
+			if !n.cfg.Capability.Supports(pred) {
+				return fmt.Errorf("nic: device cannot match %q", pred)
+			}
+			m, err := filter.CompilePredicateMatcher(n.reg, pred)
+			if err != nil {
+				return err
+			}
+			cr.matchers = append(cr.matchers, m)
+		}
+		compiled = append(compiled, cr)
+	}
+	n.rules = compiled
+	n.hwOn = len(compiled) > 0
+	return nil
+}
+
+// ClearRules removes all flow rules (hardware filtering off).
+func (n *NIC) ClearRules() {
+	n.rules = nil
+	n.hwOn = false
+}
+
+// SetSinkFraction redirects approximately frac of flows to the sink.
+func (n *NIC) SetSinkFraction(frac float64) { n.reta.SetSinkFraction(frac) }
+
+// Queues returns the number of receive queues.
+func (n *NIC) Queues() int { return len(n.rings) }
+
+// Queue returns the receive ring for queue i; each core polls one.
+func (n *NIC) Queue(i int) <-chan *mbuf.Mbuf { return n.rings[i] }
+
+// Close closes all rings, signaling consumers that traffic has ended.
+func (n *NIC) Close() {
+	for _, r := range n.rings {
+		close(r)
+	}
+}
+
+// Deliver offers one frame to the port at the given virtual tick. It
+// performs what the hardware would: header parse, flow-rule match, RSS
+// hash, redirection-table lookup, and ring enqueue. Not safe for
+// concurrent use (a port has one wire).
+func (n *NIC) Deliver(frame []byte, tick uint64) {
+	n.rxFrames.Add(1)
+
+	if err := n.parsed.DecodeLayers(frame); err != nil {
+		n.malformed.Add(1)
+		return
+	}
+
+	if n.hwOn && !n.matchRules(&n.parsed) {
+		n.hwDropped.Add(1)
+		return
+	}
+
+	queue := int16(0)
+	var hash uint32
+	if input, ok := RSSInput(&n.parsed, n.scratch[:]); ok {
+		hash = Toeplitz(n.key, input)
+		queue = n.reta.Lookup(hash)
+	} else {
+		n.nonRSS.Add(1)
+	}
+	if queue == SinkQueue {
+		n.sunk.Add(1)
+		return
+	}
+
+	m, err := n.cfg.Pool.AllocData(frame)
+	if err != nil {
+		n.noMbuf.Add(1)
+		return
+	}
+	m.Queue = uint16(queue)
+	m.RxTick = tick
+	m.RSSHash = hash
+
+	select {
+	case n.rings[queue] <- m:
+		n.delivered.Add(1)
+	default:
+		m.Free()
+		n.ringDrops.Add(1)
+	}
+}
+
+func (n *NIC) matchRules(p *layers.Parsed) bool {
+	for _, r := range n.rules {
+		ok := true
+		for _, m := range r.matchers {
+			if !m(p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats snapshots the port counters.
+func (n *NIC) Stats() Stats {
+	return Stats{
+		RxFrames:  n.rxFrames.Load(),
+		HWDropped: n.hwDropped.Load(),
+		Sunk:      n.sunk.Load(),
+		Delivered: n.delivered.Load(),
+		RingDrops: n.ringDrops.Load(),
+		NoMbuf:    n.noMbuf.Load(),
+		NonRSS:    n.nonRSS.Load(),
+		Malformed: n.malformed.Load(),
+	}
+}
+
+// Loss reports packets lost after hardware filtering (ring overflows and
+// buffer exhaustion) — the "packet loss" the paper's zero-loss
+// experiments require to be zero.
+func (s Stats) Loss() uint64 { return s.RingDrops + s.NoMbuf }

@@ -1,0 +1,320 @@
+package nic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"retina/internal/filter"
+	"retina/internal/layers"
+	"retina/internal/mbuf"
+)
+
+func buildTCP(src, dst string, sp, dp uint16) []byte {
+	var b layers.Builder
+	return b.Build(&layers.PacketSpec{
+		SrcIP4: layers.ParseAddr4(src), DstIP4: layers.ParseAddr4(dst),
+		Proto: layers.IPProtoTCP, SrcPort: sp, DstPort: dp,
+		Payload: []byte("x"),
+	})
+}
+
+func buildUDP(src, dst string, sp, dp uint16) []byte {
+	var b layers.Builder
+	return b.Build(&layers.PacketSpec{
+		SrcIP4: layers.ParseAddr4(src), DstIP4: layers.ParseAddr4(dst),
+		Proto: layers.IPProtoUDP, SrcPort: sp, DstPort: dp,
+	})
+}
+
+// TestToeplitzMicrosoftVectors checks the implementation against the
+// official RSS verification suite vectors (Windows NDIS documentation),
+// which pin down both the algorithm and the input byte order.
+func TestToeplitzMicrosoftVectors(t *testing.T) {
+	key := []byte{
+		0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+		0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+		0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+		0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+		0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want uint32
+	}{
+		{
+			// src 66.9.149.187:2794 → dst 161.142.100.80:1766 (TCP/IPv4).
+			name: "v4-with-ports",
+			in: []byte{66, 9, 149, 187, 161, 142, 100, 80,
+				2794 >> 8, 2794 & 0xff, 1766 >> 8, 1766 & 0xff},
+			want: 0x51ccc178,
+		},
+		{
+			name: "v4-ip-only",
+			in:   []byte{66, 9, 149, 187, 161, 142, 100, 80},
+			want: 0x323e8fc2,
+		},
+	}
+	for _, c := range cases {
+		if got := Toeplitz(key, c.in); got != c.want {
+			t.Errorf("%s: Toeplitz = %#x, want %#x", c.name, got, c.want)
+		}
+	}
+}
+
+func TestToeplitzSymmetricWithSymKey(t *testing.T) {
+	key := SymmetricKey()
+	fwd := []byte{10, 0, 0, 1, 10, 0, 0, 2, 0x12, 0x34, 0x01, 0xBB}
+	rev := []byte{10, 0, 0, 2, 10, 0, 0, 1, 0x01, 0xBB, 0x12, 0x34}
+	if Toeplitz(key, fwd) != Toeplitz(key, rev) {
+		t.Fatal("symmetric key did not produce symmetric hash")
+	}
+}
+
+func TestToeplitzNonZeroAndSpread(t *testing.T) {
+	key := SymmetricKey()
+	seen := map[uint32]bool{}
+	for i := 0; i < 64; i++ {
+		data := []byte{10, 0, byte(i), 1, 10, 0, 0, 2, 0, byte(i), 1, 187}
+		seen[Toeplitz(key, data)] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("poor hash spread: %d distinct values of 64", len(seen))
+	}
+}
+
+// Property: for any v4 four-tuple, both packet directions produce the
+// same RSS hash end-to-end (decode → input → Toeplitz).
+func TestQuickRSSSymmetryEndToEnd(t *testing.T) {
+	key := SymmetricKey()
+	var b layers.Builder
+	f := func(sip, dip [4]byte, sp, dp uint16) bool {
+		var p1, p2 layers.Parsed
+		fwd := b.Build(&layers.PacketSpec{SrcIP4: sip, DstIP4: dip, Proto: layers.IPProtoTCP, SrcPort: sp, DstPort: dp})
+		rev := b.Build(&layers.PacketSpec{SrcIP4: dip, DstIP4: sip, Proto: layers.IPProtoTCP, SrcPort: dp, DstPort: sp})
+		if p1.DecodeLayers(fwd) != nil || p2.DecodeLayers(rev) != nil {
+			return false
+		}
+		var buf1, buf2 [36]byte
+		in1, ok1 := RSSInput(&p1, buf1[:])
+		in2, ok2 := RSSInput(&p2, buf2[:])
+		return ok1 && ok2 && Toeplitz(key, in1) == Toeplitz(key, in2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetaDistribution(t *testing.T) {
+	r := NewReta(128, 4)
+	counts := map[int16]int{}
+	for h := uint32(0); h < 128; h++ {
+		counts[r.Lookup(h)]++
+	}
+	for q := int16(0); q < 4; q++ {
+		if counts[q] != 32 {
+			t.Fatalf("queue %d has %d entries, want 32", q, counts[q])
+		}
+	}
+}
+
+func TestRetaSinkFraction(t *testing.T) {
+	r := NewReta(128, 4)
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		r.SetSinkFraction(frac)
+		got := r.SinkFraction()
+		if diff := got - frac; diff > 0.02 || diff < -0.02 {
+			t.Errorf("SetSinkFraction(%v) → %v", frac, got)
+		}
+	}
+}
+
+func TestNICDeliveryAndFlowConsistency(t *testing.T) {
+	pool := mbuf.NewPool(1024, 2048)
+	n := New(Config{Queues: 4, RingSize: 256, Pool: pool})
+	// Both directions of one connection must land on the same queue.
+	fwd := buildTCP("10.0.0.1", "10.0.0.2", 1234, 443)
+	rev := buildTCP("10.0.0.2", "10.0.0.1", 443, 1234)
+	n.Deliver(fwd, 1)
+	n.Deliver(rev, 2)
+	st := n.Stats()
+	if st.Delivered != 2 || st.Loss() != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	var q1, q2 uint16
+	found := 0
+	for i := 0; i < n.Queues(); i++ {
+		for {
+			select {
+			case m := <-n.Queue(i):
+				if found == 0 {
+					q1 = m.Queue
+				} else {
+					q2 = m.Queue
+				}
+				found++
+				m.Free()
+				continue
+			default:
+			}
+			break
+		}
+	}
+	if found != 2 || q1 != q2 {
+		t.Fatalf("flow split across queues: %d, %d (found %d)", q1, q2, found)
+	}
+}
+
+func TestNICHardwareFilterDrops(t *testing.T) {
+	pool := mbuf.NewPool(64, 2048)
+	n := New(Config{Queues: 1, RingSize: 16, Pool: pool, Capability: ConnectX5Model()})
+	prog := filter.MustCompile("ipv4 and tcp", filter.Options{HW: n.Capability()})
+	if err := n.InstallRules(prog.Rules); err != nil {
+		t.Fatal(err)
+	}
+	n.Deliver(buildTCP("1.1.1.1", "2.2.2.2", 1, 2), 1)
+	n.Deliver(buildUDP("1.1.1.1", "2.2.2.2", 1, 53), 2)
+	st := n.Stats()
+	if st.Delivered != 1 || st.HWDropped != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestNICRejectsUnsupportedRule(t *testing.T) {
+	pool := mbuf.NewPool(4, 2048)
+	n := New(Config{Queues: 1, Pool: pool}) // zero capability
+	prog := filter.MustCompile("tcp.port = 443", filter.Options{HW: filter.PermissiveCapability{}})
+	if err := n.InstallRules(prog.Rules); err == nil {
+		t.Fatal("zero-capability device accepted an exact-match rule")
+	}
+}
+
+func TestNICRuleLimit(t *testing.T) {
+	pool := mbuf.NewPool(4, 2048)
+	cap := CapabilityModel{ExactMatch: true, MaxRules: 1}
+	n := New(Config{Queues: 1, Pool: pool, Capability: cap})
+	rules := []filter.FlowRule{
+		{Preds: []filter.Predicate{{Proto: "tcp", Op: filter.OpTrue}}},
+		{Preds: []filter.Predicate{{Proto: "udp", Op: filter.OpTrue}}},
+	}
+	if err := n.InstallRules(rules); err == nil {
+		t.Fatal("flow table limit not enforced")
+	}
+}
+
+func TestNICRingOverflowCountsAsLoss(t *testing.T) {
+	pool := mbuf.NewPool(64, 2048)
+	n := New(Config{Queues: 1, RingSize: 4, Pool: pool})
+	pkt := buildTCP("1.1.1.1", "2.2.2.2", 1, 2)
+	for i := 0; i < 10; i++ {
+		n.Deliver(pkt, uint64(i))
+	}
+	st := n.Stats()
+	if st.Delivered != 4 || st.RingDrops != 6 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Loss() != 6 {
+		t.Fatalf("Loss = %d", st.Loss())
+	}
+}
+
+func TestNICPoolExhaustionCountsAsLoss(t *testing.T) {
+	pool := mbuf.NewPool(2, 2048)
+	n := New(Config{Queues: 1, RingSize: 16, Pool: pool})
+	pkt := buildTCP("1.1.1.1", "2.2.2.2", 1, 2)
+	for i := 0; i < 5; i++ {
+		n.Deliver(pkt, uint64(i))
+	}
+	st := n.Stats()
+	if st.NoMbuf != 3 || st.Loss() != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestNICSinkSampling(t *testing.T) {
+	pool := mbuf.NewPool(4096, 2048)
+	n := New(Config{Queues: 2, RingSize: 4096, Pool: pool})
+	n.SetSinkFraction(0.5)
+	for i := 0; i < 1000; i++ {
+		pkt := buildTCP("10.0.0.1", "10.0.0.2", uint16(1000+i), 443)
+		n.Deliver(pkt, uint64(i))
+	}
+	st := n.Stats()
+	if st.Sunk == 0 || st.Delivered == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	frac := float64(st.Sunk) / float64(st.RxFrames)
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("sunk fraction %.2f far from 0.5", frac)
+	}
+	// Sink must be flow-consistent: redelivering the same flows changes
+	// nothing about which are sunk.
+	before := st.Sunk
+	pkt := buildTCP("10.0.0.1", "10.0.0.2", 1000, 443)
+	first := n.Stats().Sunk
+	n.Deliver(pkt, 0)
+	n.Deliver(pkt, 1)
+	after := n.Stats().Sunk
+	delta := after - first
+	if delta != 0 && delta != 2 {
+		t.Fatalf("flow inconsistently sunk: before=%d after=%d", before, after)
+	}
+}
+
+func TestNICMalformedFrames(t *testing.T) {
+	pool := mbuf.NewPool(4, 2048)
+	n := New(Config{Queues: 1, Pool: pool})
+	n.Deliver([]byte{1, 2, 3}, 0)
+	if st := n.Stats(); st.Malformed != 1 || st.Delivered != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestNICNonIPToQueueZero(t *testing.T) {
+	pool := mbuf.NewPool(4, 2048)
+	n := New(Config{Queues: 4, RingSize: 8, Pool: pool})
+	arp := make([]byte, 60)
+	arp[12], arp[13] = 0x08, 0x06
+	n.Deliver(arp, 0)
+	st := n.Stats()
+	if st.NonRSS != 1 || st.Delivered != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	select {
+	case m := <-n.Queue(0):
+		m.Free()
+	default:
+		t.Fatal("non-IP frame not on queue 0")
+	}
+}
+
+func TestNICClose(t *testing.T) {
+	pool := mbuf.NewPool(4, 2048)
+	n := New(Config{Queues: 2, Pool: pool})
+	n.Close()
+	if _, ok := <-n.Queue(0); ok {
+		t.Fatal("queue not closed")
+	}
+}
+
+func BenchmarkNICDeliver(b *testing.B) {
+	pool := mbuf.NewPool(8192, 2048)
+	n := New(Config{Queues: 4, RingSize: 8192, Pool: pool})
+	pkt := buildTCP("10.0.0.1", "10.0.0.2", 1234, 443)
+	// Drain concurrently so rings never fill.
+	for i := 0; i < 4; i++ {
+		go func(q <-chan *mbuf.Mbuf) {
+			for m := range q {
+				m.Free()
+			}
+		}(n.Queue(i))
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(pkt)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Deliver(pkt, uint64(i))
+	}
+	b.StopTimer()
+	n.Close()
+}

@@ -1,0 +1,152 @@
+// Package nic simulates a commodity "dumb" NIC of the ConnectX-5 class:
+// a validated flow-rule table, symmetric receive-side scaling with a
+// configurable redirection table, and bounded per-queue descriptor rings.
+//
+// It is the hardware substitution described in DESIGN.md — it exercises
+// exactly the interfaces Retina needs from a real device (rte_flow-style
+// rule validation, RSS dispatch, drop accounting) without the device.
+package nic
+
+import "retina/internal/layers"
+
+// ToeplitzKeyLen is the conventional RSS hash key length (40 bytes
+// covers the IPv6 five-tuple input).
+const ToeplitzKeyLen = 40
+
+// SymmetricKey returns the 0x6d5a-repeating Toeplitz key. With this key
+// the Toeplitz hash is symmetric — hash(src→dst) == hash(dst→src) — so
+// both directions of a connection land on the same receive queue and
+// per-core connection tables need no cross-core state (Woo & Park;
+// paper §5.1).
+func SymmetricKey() []byte {
+	key := make([]byte, ToeplitzKeyLen)
+	for i := 0; i < len(key); i += 2 {
+		key[i] = 0x6d
+		key[i+1] = 0x5a
+	}
+	return key
+}
+
+// Toeplitz computes the Toeplitz hash of data under key: for each set
+// bit of the input at offset i, the 32-bit window of the key starting at
+// bit i is XORed into the result. key must be at least 8 bytes and long
+// enough to provide a window for every input bit (len(data)*8 + 32 bits).
+func Toeplitz(key, data []byte) uint32 {
+	var hash uint32
+	// window keeps the next 64 key bits; its top 32 bits are the window
+	// for the current input bit. After each input byte (8 shifts) the
+	// freed low byte is refilled from the key.
+	window := uint64(key[0])<<56 | uint64(key[1])<<48 | uint64(key[2])<<40 |
+		uint64(key[3])<<32 | uint64(key[4])<<24 | uint64(key[5])<<16 |
+		uint64(key[6])<<8 | uint64(key[7])
+	next := 8
+	for _, b := range data {
+		for bit := 7; bit >= 0; bit-- {
+			if b&(1<<uint(bit)) != 0 {
+				hash ^= uint32(window >> 32)
+			}
+			window <<= 1
+		}
+		if next < len(key) {
+			window |= uint64(key[next])
+			next++
+		}
+	}
+	return hash
+}
+
+// RSSInput serializes the RSS hash input for a parsed packet: source
+// address, destination address, source port, destination port — the
+// standard TCP/UDP four-tuple input. It returns false for packets
+// without an L3 header (non-IP frames are not RSS-hashed; the NIC sends
+// them to queue 0). buf must have capacity for 36 bytes.
+func RSSInput(p *layers.Parsed, buf []byte) ([]byte, bool) {
+	out := buf[:0]
+	switch p.L3 {
+	case layers.LayerTypeIPv4:
+		out = append(out, p.IP4.SrcIP[:]...)
+		out = append(out, p.IP4.DstIP[:]...)
+	case layers.LayerTypeIPv6:
+		out = append(out, p.IP6.SrcIP[:]...)
+		out = append(out, p.IP6.DstIP[:]...)
+	default:
+		return nil, false
+	}
+	switch p.L4 {
+	case layers.LayerTypeTCP:
+		out = append(out, byte(p.TCP.SrcPort>>8), byte(p.TCP.SrcPort),
+			byte(p.TCP.DstPort>>8), byte(p.TCP.DstPort))
+	case layers.LayerTypeUDP:
+		out = append(out, byte(p.UDP.SrcPort>>8), byte(p.UDP.SrcPort),
+			byte(p.UDP.DstPort>>8), byte(p.UDP.DstPort))
+	}
+	return out, true
+}
+
+// Reta is an RSS redirection table: hash values index (mod table size)
+// into queue assignments. The special value SinkQueue marks entries
+// redirected to a sink that drops everything — the flow-sampling
+// technique of §6.1 used to titrate the effective ingress rate without
+// breaking flow consistency.
+type Reta struct {
+	entries []int16
+	queues  int
+}
+
+// SinkQueue marks a redirection-table entry whose flows are discarded.
+const SinkQueue int16 = -1
+
+// DefaultRetaSize matches common hardware (128 entries).
+const DefaultRetaSize = 128
+
+// NewReta builds a redirection table of size entries distributing flows
+// round-robin over queues.
+func NewReta(size, queues int) *Reta {
+	if size <= 0 || queues <= 0 {
+		panic("nic: reta size and queues must be positive")
+	}
+	r := &Reta{entries: make([]int16, size), queues: queues}
+	for i := range r.entries {
+		r.entries[i] = int16(i % queues)
+	}
+	return r
+}
+
+// Lookup maps an RSS hash to a queue, or SinkQueue.
+func (r *Reta) Lookup(hash uint32) int16 {
+	return r.entries[hash%uint32(len(r.entries))]
+}
+
+// SetSinkFraction redirects approximately frac of the table's entries to
+// the sink, deterministically (every k-th entry), preserving flow
+// consistency: a four-tuple is either always sunk or never.
+func (r *Reta) SetSinkFraction(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	want := int(frac*float64(len(r.entries)) + 0.5)
+	n := len(r.entries)
+	for i := 0; i < n; i++ {
+		// Evenly spread: entry i is sunk iff the cumulative quota
+		// advances at i, which yields exactly `want` sunk entries.
+		if ((i+1)*want)/n > (i*want)/n {
+			r.entries[i] = SinkQueue
+		} else {
+			r.entries[i] = int16(i % r.queues)
+		}
+	}
+}
+
+// SinkFraction reports the fraction of entries currently sunk.
+func (r *Reta) SinkFraction() float64 {
+	n := 0
+	for _, e := range r.entries {
+		if e == SinkQueue {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.entries))
+}

@@ -1,0 +1,153 @@
+package proto
+
+import (
+	"encoding/binary"
+	"strings"
+
+	"retina/internal/conntrack"
+)
+
+// DNSMessage is one parsed DNS query or response (UDP).
+type DNSMessage struct {
+	TxID      uint16
+	Response  bool
+	QueryName string
+	QueryType uint16
+	RCode     uint8
+	Answers   uint16
+}
+
+// ProtoName implements Data.
+func (m *DNSMessage) ProtoName() string { return "dns" }
+
+// StringField implements Data.
+func (m *DNSMessage) StringField(name string) (string, bool) {
+	switch name {
+	case "query_name":
+		return m.QueryName, true
+	}
+	return "", false
+}
+
+// IntField implements Data.
+func (m *DNSMessage) IntField(name string) (uint64, bool) {
+	switch name {
+	case "query_type":
+		return uint64(m.QueryType), true
+	}
+	return 0, false
+}
+
+// DNSParser parses DNS-over-UDP messages: each datagram is one message,
+// so there is no stream state. The parser emits a session per message.
+type DNSParser struct {
+	out    []*Session
+	nextID uint64
+	failed bool
+}
+
+// NewDNSParser creates a parser for one flow.
+func NewDNSParser() *DNSParser { return &DNSParser{} }
+
+// Name implements Parser.
+func (p *DNSParser) Name() string { return "dns" }
+
+// Probe implements Parser: a plausible DNS header has a sane flags/
+// question-count combination.
+func (p *DNSParser) Probe(data []byte, orig bool) ProbeResult {
+	if len(data) < 12 {
+		return ProbeReject // one datagram = one message; short means no
+	}
+	qd := binary.BigEndian.Uint16(data[4:6])
+	if qd == 0 || qd > 16 {
+		return ProbeReject
+	}
+	if opcode := (data[2] >> 3) & 0x0F; opcode > 5 {
+		return ProbeReject
+	}
+	return ProbeMatch
+}
+
+// Parse implements Parser: parses one datagram's message.
+func (p *DNSParser) Parse(data []byte, orig bool) ParseResult {
+	if len(data) < 12 {
+		return ParseContinue
+	}
+	m := &DNSMessage{
+		TxID:     binary.BigEndian.Uint16(data[0:2]),
+		Response: data[2]&0x80 != 0,
+		RCode:    data[3] & 0x0F,
+		Answers:  binary.BigEndian.Uint16(data[6:8]),
+	}
+	name, off, ok := parseDNSName(data, 12)
+	if !ok {
+		p.failed = true
+		return ParseError
+	}
+	m.QueryName = name
+	if off+2 <= len(data) {
+		m.QueryType = binary.BigEndian.Uint16(data[off : off+2])
+	}
+	p.nextID++
+	p.out = append(p.out, &Session{ID: p.nextID, Proto: "dns", Data: m})
+	// A flow can carry many queries (or a query and its response):
+	// keep parsing subsequent datagrams.
+	return ParseContinue
+}
+
+// parseDNSName decodes an uncompressed DNS name starting at off,
+// returning the dotted name and the offset past it.
+func parseDNSName(data []byte, off int) (string, int, bool) {
+	var labels []string
+	for {
+		if off >= len(data) {
+			return "", 0, false
+		}
+		l := int(data[off])
+		if l == 0 {
+			off++
+			break
+		}
+		if l&0xC0 == 0xC0 {
+			// Compression pointer: queries don't use them; treat the
+			// name as complete.
+			off += 2
+			break
+		}
+		if l > 63 || off+1+l > len(data) {
+			return "", 0, false
+		}
+		labels = append(labels, string(data[off+1:off+1+l]))
+		off += 1 + l
+	}
+	return strings.Join(labels, "."), off, true
+}
+
+// BuildDNSQuery encodes a minimal DNS query for the traffic generator.
+func BuildDNSQuery(txid uint16, name string, qtype uint16) []byte {
+	out := make([]byte, 12, 12+len(name)+6)
+	binary.BigEndian.PutUint16(out[0:2], txid)
+	out[2] = 0x01 // RD
+	binary.BigEndian.PutUint16(out[4:6], 1)
+	for _, label := range strings.Split(name, ".") {
+		out = append(out, byte(len(label)))
+		out = append(out, label...)
+	}
+	out = append(out, 0)
+	out = binary.BigEndian.AppendUint16(out, qtype)
+	out = binary.BigEndian.AppendUint16(out, 1) // IN
+	return out
+}
+
+// DrainSessions implements Parser.
+func (p *DNSParser) DrainSessions() []*Session {
+	s := p.out
+	p.out = nil
+	return s
+}
+
+// SessionMatchState implements Parser.
+func (p *DNSParser) SessionMatchState() conntrack.State { return conntrack.StateParse }
+
+// SessionNoMatchState implements Parser.
+func (p *DNSParser) SessionNoMatchState() conntrack.State { return conntrack.StateParse }

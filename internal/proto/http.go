@@ -1,0 +1,280 @@
+package proto
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+
+	"retina/internal/conntrack"
+)
+
+// HTTPTransaction is one parsed HTTP/1.x request/response exchange.
+type HTTPTransaction struct {
+	Method    string
+	URI       string
+	Version   string
+	Host      string
+	UserAgent string
+
+	StatusCode    int
+	StatusText    string
+	ContentLength int64 // response; -1 when unknown
+	ContentType   string
+}
+
+// ProtoName implements Data.
+func (t *HTTPTransaction) ProtoName() string { return "http" }
+
+// StringField implements Data.
+func (t *HTTPTransaction) StringField(name string) (string, bool) {
+	switch name {
+	case "user_agent":
+		return t.UserAgent, true
+	case "host":
+		return t.Host, true
+	case "method":
+		return t.Method, true
+	case "uri":
+		return t.URI, true
+	}
+	return "", false
+}
+
+// IntField implements Data.
+func (t *HTTPTransaction) IntField(name string) (uint64, bool) {
+	switch name {
+	case "status_code":
+		return uint64(t.StatusCode), true
+	}
+	return 0, false
+}
+
+var httpMethods = [...]string{
+	"GET ", "POST", "PUT ", "HEAD", "DELE", "OPTI", "PATC", "TRAC", "CONN",
+}
+
+const httpMaxHead = 32 << 10
+
+type httpDirState uint8
+
+const (
+	httpHead httpDirState = iota // accumulating header block
+	httpBody                     // skipping a counted body
+	httpStop                     // direction no longer parsed (chunked/unknown)
+)
+
+// HTTPParser parses pipelined HTTP/1.x transactions: request heads on the
+// originator direction, response heads on the responder direction.
+// Bodies with Content-Length are skipped without buffering; chunked or
+// unbounded bodies stop parsing (the connection falls back to tracking).
+type HTTPParser struct {
+	bufs    [2][]byte
+	state   [2]httpDirState
+	skip    [2]int64
+	pending []*HTTPTransaction // requests awaiting their response
+	current int                // index of next response to pair
+	out     []*Session
+	nextID  uint64
+	failed  bool
+}
+
+// NewHTTPParser creates a parser for one connection.
+func NewHTTPParser() *HTTPParser { return &HTTPParser{} }
+
+// Name implements Parser.
+func (p *HTTPParser) Name() string { return "http" }
+
+// Probe implements Parser: requests start with a known method, responses
+// with "HTTP/".
+func (p *HTTPParser) Probe(data []byte, orig bool) ProbeResult {
+	if len(data) < 4 {
+		return ProbeUnsure
+	}
+	head := string(data[:4])
+	if !orig {
+		if strings.HasPrefix(string(data), "HTTP") {
+			return ProbeMatch
+		}
+		return ProbeReject
+	}
+	for _, m := range httpMethods {
+		if head == m {
+			return ProbeMatch
+		}
+	}
+	return ProbeReject
+}
+
+// Parse implements Parser.
+func (p *HTTPParser) Parse(data []byte, orig bool) ParseResult {
+	if p.failed {
+		return ParseError
+	}
+	d := dirIdx(orig)
+	for len(data) > 0 {
+		switch p.state[d] {
+		case httpStop:
+			return p.result()
+		case httpBody:
+			n := int64(len(data))
+			if n > p.skip[d] {
+				n = p.skip[d]
+			}
+			p.skip[d] -= n
+			data = data[n:]
+			if p.skip[d] == 0 {
+				p.state[d] = httpHead
+			}
+		case httpHead:
+			if len(p.bufs[d])+len(data) > httpMaxHead {
+				p.failed = true
+				return ParseError
+			}
+			p.bufs[d] = append(p.bufs[d], data...)
+			data = nil
+			for {
+				idx := bytes.Index(p.bufs[d], []byte("\r\n\r\n"))
+				if idx < 0 {
+					break
+				}
+				head := p.bufs[d][:idx]
+				rest := p.bufs[d][idx+4:]
+				p.bufs[d] = append(p.bufs[d][:0:0], rest...)
+				if err := p.consumeHead(head, orig); err != nil {
+					p.failed = true
+					return ParseError
+				}
+				if p.state[d] != httpHead {
+					// Body skipping (or stop) begins with the leftover.
+					if p.state[d] == httpBody && len(p.bufs[d]) > 0 {
+						lo := p.bufs[d]
+						p.bufs[d] = nil
+						return p.reenter(lo, orig)
+					}
+					break
+				}
+			}
+		}
+	}
+	return p.result()
+}
+
+func (p *HTTPParser) reenter(data []byte, orig bool) ParseResult {
+	return p.Parse(data, orig)
+}
+
+func (p *HTTPParser) result() ParseResult {
+	if p.state[0] == httpStop && p.state[1] == httpStop {
+		return ParseDone
+	}
+	return ParseContinue
+}
+
+func (p *HTTPParser) consumeHead(head []byte, orig bool) error {
+	lines := strings.Split(string(head), "\r\n")
+	if len(lines) == 0 {
+		return errShort("http head")
+	}
+	d := dirIdx(orig)
+	if orig {
+		tx := &HTTPTransaction{ContentLength: -1}
+		parts := strings.SplitN(lines[0], " ", 3)
+		if len(parts) < 3 {
+			return errShort("request line")
+		}
+		tx.Method, tx.URI, tx.Version = parts[0], parts[1], parts[2]
+		for _, ln := range lines[1:] {
+			k, v, ok := strings.Cut(ln, ":")
+			if !ok {
+				continue
+			}
+			v = strings.TrimSpace(v)
+			switch strings.ToLower(k) {
+			case "host":
+				tx.Host = v
+			case "user-agent":
+				tx.UserAgent = v
+			}
+		}
+		p.pending = append(p.pending, tx)
+		// Request bodies: assume none (GET-dominated analysis traffic);
+		// a request Content-Length would require body skipping here too.
+		return nil
+	}
+
+	// Response head: pair with the oldest unanswered request.
+	var tx *HTTPTransaction
+	if p.current < len(p.pending) {
+		tx = p.pending[p.current]
+		p.current++
+	} else {
+		tx = &HTTPTransaction{ContentLength: -1} // response without captured request
+	}
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return errShort("status line")
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return errShort("status code")
+	}
+	tx.StatusCode = code
+	if len(parts) == 3 {
+		tx.StatusText = parts[2]
+	}
+	chunked := false
+	for _, ln := range lines[1:] {
+		k, v, ok := strings.Cut(ln, ":")
+		if !ok {
+			continue
+		}
+		v = strings.TrimSpace(v)
+		switch strings.ToLower(k) {
+		case "content-length":
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				tx.ContentLength = n
+			}
+		case "content-type":
+			tx.ContentType = v
+		case "transfer-encoding":
+			if strings.Contains(strings.ToLower(v), "chunked") {
+				chunked = true
+			}
+		}
+	}
+	p.nextID++
+	p.out = append(p.out, &Session{ID: p.nextID, Proto: "http", Data: tx})
+
+	switch {
+	case chunked || tx.ContentLength < 0:
+		// Unknown body extent: stop parsing this connection's stream
+		// (the subscription falls back to Track).
+		p.state[d] = httpStop
+	case tx.ContentLength == 0:
+		p.state[d] = httpHead
+	default:
+		p.state[d] = httpBody
+		p.skip[d] = tx.ContentLength
+	}
+	return nil
+}
+
+// DrainSessions implements Parser.
+func (p *HTTPParser) DrainSessions() []*Session {
+	s := p.out
+	p.out = nil
+	return s
+}
+
+// SessionMatchState implements Parser: HTTP connections keep being
+// parsed for further pipelined transactions after a match, so the
+// connection stays in Parse (Figure 4a keeps tracking; subscriptions
+// needing only the first match override this).
+func (p *HTTPParser) SessionMatchState() conntrack.State { return conntrack.StateParse }
+
+// SessionNoMatchState implements Parser: one non-matching transaction
+// does not condemn the connection — later transactions may match.
+func (p *HTTPParser) SessionNoMatchState() conntrack.State { return conntrack.StateParse }
+
+// BufferedBytes reports head-buffer usage for memory accounting.
+func (p *HTTPParser) BufferedBytes() int { return len(p.bufs[0]) + len(p.bufs[1]) }

@@ -1,0 +1,421 @@
+package proto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hkdf"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"retina/internal/conntrack"
+)
+
+// QUIC v1 Initial packet handling per RFC 9000/9001. Initial packets are
+// "encrypted" under keys derived purely from the destination connection
+// ID, so a passive monitor can decrypt them and read the TLS ClientHello
+// inside — which is how SNI-based analysis of QUIC traffic works. This
+// module derives the initial secrets, removes header protection, opens
+// the AEAD, walks the CRYPTO frames, and parses the embedded ClientHello
+// with the same code the TLS module uses.
+
+// quicInitialSaltV1 is the fixed v1 salt from RFC 9001 §5.2.
+var quicInitialSaltV1 = []byte{
+	0x38, 0x76, 0x2c, 0xf7, 0xf5, 0x59, 0x34, 0xb3, 0x4d, 0x17,
+	0x9a, 0xe6, 0xa4, 0xc8, 0x0c, 0xad, 0xcc, 0xbb, 0x7f, 0x0a,
+}
+
+const quicVersion1 = 0x00000001
+
+var errQUIC = errors.New("quic: malformed packet")
+
+// hkdfExpandLabel implements TLS 1.3's HKDF-Expand-Label (RFC 8446
+// §7.1) for SHA-256.
+func hkdfExpandLabel(secret []byte, label string, length int) []byte {
+	full := "tls13 " + label
+	info := make([]byte, 0, 4+len(full))
+	info = binary.BigEndian.AppendUint16(info, uint16(length))
+	info = append(info, byte(len(full)))
+	info = append(info, full...)
+	info = append(info, 0) // empty context
+	out, err := hkdf.Expand(sha256.New, secret, string(info), length)
+	if err != nil {
+		panic(fmt.Sprintf("quic: hkdf expand: %v", err))
+	}
+	return out
+}
+
+// quicKeys holds one direction's Initial protection keys.
+type quicKeys struct {
+	key  []byte // AES-128-GCM key
+	iv   []byte // 12-byte IV
+	hp   []byte // header-protection key
+	aead cipher.AEAD
+	hpc  cipher.Block
+}
+
+// deriveInitialKeys computes the client or server Initial keys for a
+// destination connection ID (RFC 9001 §5.2).
+func deriveInitialKeys(dcid []byte, client bool) (*quicKeys, error) {
+	initial, err := hkdf.Extract(sha256.New, dcid, quicInitialSaltV1)
+	if err != nil {
+		return nil, err
+	}
+	label := "client in"
+	if !client {
+		label = "server in"
+	}
+	secret := hkdfExpandLabel(initial, label, 32)
+	k := &quicKeys{
+		key: hkdfExpandLabel(secret, "quic key", 16),
+		iv:  hkdfExpandLabel(secret, "quic iv", 12),
+		hp:  hkdfExpandLabel(secret, "quic hp", 16),
+	}
+	block, err := aes.NewCipher(k.key)
+	if err != nil {
+		return nil, err
+	}
+	if k.aead, err = cipher.NewGCM(block); err != nil {
+		return nil, err
+	}
+	if k.hpc, err = aes.NewCipher(k.hp); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// nonce computes the per-packet AEAD nonce (IV XOR packet number).
+func (k *quicKeys) nonce(pn uint64) []byte {
+	n := append([]byte(nil), k.iv...)
+	for i := 0; i < 8; i++ {
+		n[len(n)-1-i] ^= byte(pn >> (8 * i))
+	}
+	return n
+}
+
+// quicVarint reads a QUIC variable-length integer.
+func quicVarint(b []byte) (v uint64, n int, err error) {
+	if len(b) == 0 {
+		return 0, 0, errQUIC
+	}
+	ln := 1 << (b[0] >> 6)
+	if len(b) < ln {
+		return 0, 0, errQUIC
+	}
+	v = uint64(b[0] & 0x3F)
+	for i := 1; i < ln; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, ln, nil
+}
+
+// appendQuicVarint encodes v in the smallest variable-length form.
+func appendQuicVarint(dst []byte, v uint64) []byte {
+	switch {
+	case v < 1<<6:
+		return append(dst, byte(v))
+	case v < 1<<14:
+		return append(dst, byte(v>>8)|0x40, byte(v))
+	case v < 1<<30:
+		return append(dst, byte(v>>24)|0x80, byte(v>>16), byte(v>>8), byte(v))
+	default:
+		return append(dst, byte(v>>56)|0xC0, byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+}
+
+// QUICInitial is the decrypted view of one Initial packet's handshake
+// content: the subscription data for QUIC sessions.
+type QUICInitial struct {
+	Version uint32
+	DCID    []byte
+	SCID    []byte
+	SNI     string
+	ALPN    []string
+	// TLSVersion is the ClientHello's legacy version field.
+	TLSVersion   uint16
+	ClientRandom [32]byte
+}
+
+// ProtoName implements Data.
+func (q *QUICInitial) ProtoName() string { return "quic" }
+
+// StringField implements Data.
+func (q *QUICInitial) StringField(name string) (string, bool) {
+	switch name {
+	case "sni":
+		return q.SNI, true
+	}
+	return "", false
+}
+
+// IntField implements Data.
+func (q *QUICInitial) IntField(name string) (uint64, bool) {
+	switch name {
+	case "version":
+		return uint64(q.Version), true
+	}
+	return 0, false
+}
+
+// parseQUICInitial decrypts one client Initial datagram and extracts the
+// ClientHello fields.
+func parseQUICInitial(datagram []byte) (*QUICInitial, error) {
+	if len(datagram) < 7 || datagram[0]&0x80 == 0 {
+		return nil, errQUIC // not a long-header packet
+	}
+	if (datagram[0]>>4)&0x3 != 0 {
+		return nil, errQUIC // not an Initial (type 00)
+	}
+	version := binary.BigEndian.Uint32(datagram[1:5])
+	if version != quicVersion1 {
+		return nil, fmt.Errorf("quic: unsupported version %#x", version)
+	}
+	off := 5
+	dcidLen := int(datagram[off])
+	off++
+	if dcidLen > 20 || off+dcidLen > len(datagram) {
+		return nil, errQUIC
+	}
+	dcid := datagram[off : off+dcidLen]
+	off += dcidLen
+	if off >= len(datagram) {
+		return nil, errQUIC
+	}
+	scidLen := int(datagram[off])
+	off++
+	if scidLen > 20 || off+scidLen > len(datagram) {
+		return nil, errQUIC
+	}
+	scid := datagram[off : off+scidLen]
+	off += scidLen
+
+	// Token (Initial only).
+	tokenLen, n, err := quicVarint(datagram[off:])
+	if err != nil {
+		return nil, err
+	}
+	off += n + int(tokenLen)
+	if off > len(datagram) {
+		return nil, errQUIC
+	}
+	// Length covers packet number + payload.
+	length, n, err := quicVarint(datagram[off:])
+	if err != nil {
+		return nil, err
+	}
+	off += n
+	pnOffset := off
+	end := pnOffset + int(length)
+	if end > len(datagram) {
+		return nil, errQUIC
+	}
+
+	keys, err := deriveInitialKeys(dcid, true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Remove header protection (RFC 9001 §5.4): sample 16 bytes at
+	// pnOffset+4, AES-ECB it, unmask the first byte and PN field.
+	if pnOffset+4+16 > len(datagram) {
+		return nil, errQUIC
+	}
+	hdr := append([]byte(nil), datagram[:end]...)
+	var mask [16]byte
+	keys.hpc.Encrypt(mask[:], hdr[pnOffset+4:pnOffset+4+16])
+	hdr[0] ^= mask[0] & 0x0F
+	pnLen := int(hdr[0]&0x03) + 1
+	var pn uint64
+	for i := 0; i < pnLen; i++ {
+		hdr[pnOffset+i] ^= mask[1+i]
+		pn = pn<<8 | uint64(hdr[pnOffset+i])
+	}
+
+	payload := hdr[pnOffset+pnLen : end]
+	aad := hdr[:pnOffset+pnLen]
+	plain, err := keys.aead.Open(payload[:0], keys.nonce(pn), payload, aad)
+	if err != nil {
+		return nil, fmt.Errorf("quic: AEAD open: %w", err)
+	}
+
+	// Walk frames, accumulating CRYPTO data (assumed in order within
+	// one datagram, which clients satisfy for the first flight).
+	var crypto []byte
+	b := plain
+	for len(b) > 0 {
+		switch b[0] {
+		case 0x00: // PADDING
+			b = b[1:]
+		case 0x01: // PING
+			b = b[1:]
+		case 0x06: // CRYPTO
+			b = b[1:]
+			offv, n, err := quicVarint(b)
+			if err != nil {
+				return nil, err
+			}
+			b = b[n:]
+			ln, n, err := quicVarint(b)
+			if err != nil {
+				return nil, err
+			}
+			b = b[n:]
+			if int(ln) > len(b) {
+				return nil, errQUIC
+			}
+			_ = offv // single-datagram first flight: offsets are sequential
+			crypto = append(crypto, b[:ln]...)
+			b = b[ln:]
+		default:
+			// Unknown frame in an Initial: stop (ACKs etc. only appear
+			// in later packets from the client side).
+			b = nil
+		}
+	}
+	if len(crypto) == 0 {
+		return nil, fmt.Errorf("quic: no CRYPTO frames")
+	}
+
+	// The CRYPTO stream carries raw TLS handshake messages (no record
+	// framing); reuse the TLS module's ClientHello parser.
+	tp := NewTLSParser()
+	if err := tp.parseHandshakeRecord(crypto, true); err != nil {
+		return nil, err
+	}
+	if !tp.seenCH {
+		return nil, fmt.Errorf("quic: CRYPTO frames held no ClientHello")
+	}
+	return &QUICInitial{
+		Version:      version,
+		DCID:         append([]byte(nil), dcid...),
+		SCID:         append([]byte(nil), scid...),
+		SNI:          tp.hs.SNI,
+		TLSVersion:   tp.hs.ClientVersion,
+		ClientRandom: tp.hs.ClientRandom,
+	}, nil
+}
+
+// QUICParser is the connection-level parser: it inspects UDP datagrams
+// for a client Initial, decrypts it, and emits one session per
+// connection. Later (1-RTT) packets are opaque and ignored, the same
+// early cutoff the TLS module applies after the handshake.
+type QUICParser struct {
+	out    []*Session
+	nextID uint64
+	done   bool
+	failed bool
+}
+
+// NewQUICParser creates a parser for one flow.
+func NewQUICParser() *QUICParser { return &QUICParser{} }
+
+// Name implements Parser.
+func (p *QUICParser) Name() string { return "quic" }
+
+// Probe implements Parser: a QUIC v1 Initial datagram is long-header,
+// version 1, and at least 1200 bytes.
+func (p *QUICParser) Probe(data []byte, orig bool) ProbeResult {
+	if len(data) < 7 {
+		return ProbeReject
+	}
+	if data[0]&0x80 == 0 {
+		return ProbeReject
+	}
+	if binary.BigEndian.Uint32(data[1:5]) != quicVersion1 {
+		return ProbeReject
+	}
+	if orig && len(data) < 1200 {
+		return ProbeReject // clients must pad Initials to 1200
+	}
+	return ProbeMatch
+}
+
+// Parse implements Parser.
+func (p *QUICParser) Parse(data []byte, orig bool) ParseResult {
+	if p.done {
+		return ParseDone
+	}
+	if !orig {
+		return ParseContinue
+	}
+	qi, err := parseQUICInitial(data)
+	if err != nil {
+		// Coalesced or out-of-order first flights land here; without a
+		// full QUIC stack we give up on the flow rather than guess.
+		p.failed = true
+		return ParseError
+	}
+	p.nextID++
+	p.out = append(p.out, &Session{ID: p.nextID, Proto: "quic", Data: qi})
+	p.done = true
+	return ParseDone
+}
+
+// DrainSessions implements Parser.
+func (p *QUICParser) DrainSessions() []*Session {
+	s := p.out
+	p.out = nil
+	return s
+}
+
+// SessionMatchState implements Parser: like TLS, nothing after the
+// handshake is readable, so the connection can be dropped.
+func (p *QUICParser) SessionMatchState() conntrack.State { return conntrack.StateDelete }
+
+// SessionNoMatchState implements Parser.
+func (p *QUICParser) SessionNoMatchState() conntrack.State { return conntrack.StateDelete }
+
+// BuildQUICInitial encodes a padded, sealed client Initial datagram
+// carrying the ClientHello from spec — the generator-side inverse of
+// parseQUICInitial, built from the same key schedule.
+func BuildQUICInitial(dcid, scid []byte, pn uint64, spec HelloSpec) ([]byte, error) {
+	// ClientHello handshake message = TLS record minus the 5-byte
+	// record header.
+	ch := BuildClientHello(spec)[tlsRecordHeaderLen:]
+
+	var frames []byte
+	frames = append(frames, 0x06) // CRYPTO
+	frames = appendQuicVarint(frames, 0)
+	frames = appendQuicVarint(frames, uint64(len(ch)))
+	frames = append(frames, ch...)
+
+	const pnLen = 2
+	// Pad the datagram to 1200 bytes: header + pn + payload + 16 tag.
+	hdrLen := 1 + 4 + 1 + len(dcid) + 1 + len(scid) + 1 /*token len*/ + 2 /*length varint*/ + pnLen
+	pad := 1200 - hdrLen - len(frames) - 16
+	if pad > 0 {
+		frames = append(frames, make([]byte, pad)...)
+	}
+
+	var hdr []byte
+	hdr = append(hdr, 0xC0|byte(pnLen-1)) // long header, Initial, pn len
+	hdr = binary.BigEndian.AppendUint32(hdr, quicVersion1)
+	hdr = append(hdr, byte(len(dcid)))
+	hdr = append(hdr, dcid...)
+	hdr = append(hdr, byte(len(scid)))
+	hdr = append(hdr, scid...)
+	hdr = appendQuicVarint(hdr, 0) // no token
+	length := uint64(pnLen + len(frames) + 16)
+	// Force a 2-byte length varint for a fixed header size.
+	hdr = append(hdr, byte(length>>8)|0x40, byte(length))
+	pnOffset := len(hdr)
+	hdr = append(hdr, byte(pn>>8), byte(pn))
+
+	keys, err := deriveInitialKeys(dcid, true)
+	if err != nil {
+		return nil, err
+	}
+	sealed := keys.aead.Seal(nil, keys.nonce(pn), frames, hdr)
+	pkt := append(hdr, sealed...)
+
+	// Apply header protection.
+	var mask [16]byte
+	keys.hpc.Encrypt(mask[:], pkt[pnOffset+4:pnOffset+4+16])
+	pkt[0] ^= mask[0] & 0x0F
+	for i := 0; i < pnLen; i++ {
+		pkt[pnOffset+i] ^= mask[1+i]
+	}
+	return pkt, nil
+}

@@ -1,0 +1,167 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+func quicSpec() HelloSpec {
+	var cr [32]byte
+	for i := range cr {
+		cr[i] = byte(i * 3)
+	}
+	return HelloSpec{SNI: "quic.example.com", ClientRandom: cr}
+}
+
+func TestQUICInitialRoundTrip(t *testing.T) {
+	dcid := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	scid := []byte{9, 10, 11, 12}
+	pkt, err := BuildQUICInitial(dcid, scid, 0, quicSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt) < 1200 {
+		t.Fatalf("initial datagram %d bytes, want >= 1200", len(pkt))
+	}
+	qi, err := parseQUICInitial(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qi.SNI != "quic.example.com" {
+		t.Fatalf("SNI = %q", qi.SNI)
+	}
+	if !bytes.Equal(qi.DCID, dcid) || !bytes.Equal(qi.SCID, scid) {
+		t.Fatalf("cids %x %x", qi.DCID, qi.SCID)
+	}
+	if qi.Version != 1 {
+		t.Fatalf("version = %d", qi.Version)
+	}
+	spec := quicSpec()
+	if qi.ClientRandom != spec.ClientRandom {
+		t.Fatal("client random not recovered")
+	}
+}
+
+// TestQUICInitialKeysRFC9001 pins the key schedule to the worked example
+// of RFC 9001 Appendix A (DCID 0x8394c8f03e515708).
+func TestQUICInitialKeysRFC9001(t *testing.T) {
+	dcid, _ := hex.DecodeString("8394c8f03e515708")
+	keys, err := deriveInitialKeys(dcid, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKey := "1f369613dd76d5467730efcbe3b1a22d"
+	wantIV := "fa044b2f42a3fd3b46fb255c"
+	wantHP := "9f50449e04a0e810283a1e9933adedd2"
+	if got := hex.EncodeToString(keys.key); got != wantKey {
+		t.Errorf("client key = %s, want %s", got, wantKey)
+	}
+	if got := hex.EncodeToString(keys.iv); got != wantIV {
+		t.Errorf("client iv = %s, want %s", got, wantIV)
+	}
+	if got := hex.EncodeToString(keys.hp); got != wantHP {
+		t.Errorf("client hp = %s, want %s", got, wantHP)
+	}
+	srv, err := deriveInitialKeys(dcid, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(srv.key); got != "cf3a5331653c364c88f0f379b6067e37" {
+		t.Errorf("server key = %s", got)
+	}
+}
+
+func TestQUICParserFlow(t *testing.T) {
+	dcid := []byte{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x00, 0x11}
+	pkt, err := BuildQUICInitial(dcid, []byte{1}, 2, quicSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewQUICParser()
+	if got := p.Probe(pkt, true); got != ProbeMatch {
+		t.Fatalf("Probe = %v", got)
+	}
+	if got := p.Parse(pkt, true); got != ParseDone {
+		t.Fatalf("Parse = %v", got)
+	}
+	sessions := p.DrainSessions()
+	if len(sessions) != 1 {
+		t.Fatalf("sessions = %d", len(sessions))
+	}
+	qi := sessions[0].Data.(*QUICInitial)
+	if v, ok := qi.StringField("sni"); !ok || v != "quic.example.com" {
+		t.Fatalf("sni field = %q", v)
+	}
+	if v, ok := qi.IntField("version"); !ok || v != 1 {
+		t.Fatalf("version field = %d", v)
+	}
+}
+
+func TestQUICProbeRejects(t *testing.T) {
+	p := NewQUICParser()
+	if got := p.Probe([]byte("not quic at all"), true); got != ProbeReject {
+		t.Fatalf("Probe(text) = %v", got)
+	}
+	// Short-header packet.
+	short := make([]byte, 1300)
+	short[0] = 0x40
+	if got := p.Probe(short, true); got != ProbeReject {
+		t.Fatalf("Probe(short header) = %v", got)
+	}
+	// Long header, wrong version.
+	v2 := make([]byte, 1300)
+	v2[0] = 0xC0
+	v2[4] = 0x02
+	if got := p.Probe(v2, true); got != ProbeReject {
+		t.Fatalf("Probe(v2) = %v", got)
+	}
+	// Unpadded client initial.
+	dcid := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	pkt, _ := BuildQUICInitial(dcid, []byte{1}, 0, quicSpec())
+	if got := p.Probe(pkt[:800], true); got != ProbeReject {
+		t.Fatalf("Probe(truncated) = %v", got)
+	}
+}
+
+func TestQUICCorruptedPacketFails(t *testing.T) {
+	dcid := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	pkt, _ := BuildQUICInitial(dcid, []byte{1}, 0, quicSpec())
+	// Flip a payload byte: AEAD must refuse.
+	pkt[600] ^= 0xFF
+	if _, err := parseQUICInitial(pkt); err == nil {
+		t.Fatal("corrupted packet decrypted")
+	}
+	p := NewQUICParser()
+	if got := p.Parse(pkt, true); got != ParseError {
+		t.Fatalf("Parse(corrupt) = %v", got)
+	}
+}
+
+func TestQuicVarintRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 63, 64, 16383, 16384, 1 << 29, 1 << 30, 1 << 61} {
+		enc := appendQuicVarint(nil, v)
+		got, n, err := quicVarint(enc)
+		if err != nil || got != v || n != len(enc) {
+			t.Fatalf("varint %d: got %d n=%d err=%v", v, got, n, err)
+		}
+	}
+	if _, _, err := quicVarint(nil); err == nil {
+		t.Fatal("empty varint accepted")
+	}
+	if _, _, err := quicVarint([]byte{0xC0}); err == nil {
+		t.Fatal("truncated varint accepted")
+	}
+}
+
+func BenchmarkQUICParseInitial(b *testing.B) {
+	dcid := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	pkt, _ := BuildQUICInitial(dcid, []byte{1}, 0, quicSpec())
+	b.ReportAllocs()
+	b.SetBytes(int64(len(pkt)))
+	for i := 0; i < b.N; i++ {
+		if _, err := parseQUICInitial(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

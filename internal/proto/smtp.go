@@ -1,0 +1,243 @@
+package proto
+
+import (
+	"bytes"
+	"strings"
+
+	"retina/internal/conntrack"
+)
+
+// SMTPSession is a parsed SMTP envelope exchange — the "all SMTP
+// sessions" use case §2 of the paper names. One session covers one
+// message envelope (HELO/EHLO through end-of-DATA or connection close).
+type SMTPSession struct {
+	Banner   string   // server greeting (220 ...)
+	Helo     string   // HELO/EHLO argument
+	MailFrom string   // envelope sender
+	RcptTo   []string // envelope recipients
+	StartTLS bool     // client issued STARTTLS
+	Subject  string   // from DATA headers when visible
+	Size     int      // DATA bytes observed
+}
+
+// ProtoName implements Data.
+func (s *SMTPSession) ProtoName() string { return "smtp" }
+
+// StringField implements Data.
+func (s *SMTPSession) StringField(name string) (string, bool) {
+	switch name {
+	case "helo":
+		return s.Helo, true
+	case "mail_from":
+		return s.MailFrom, true
+	case "rcpt_to":
+		if len(s.RcptTo) == 0 {
+			return "", true
+		}
+		return s.RcptTo[0], true
+	case "subject":
+		return s.Subject, true
+	}
+	return "", false
+}
+
+// IntField implements Data.
+func (s *SMTPSession) IntField(name string) (uint64, bool) {
+	switch name {
+	case "size":
+		return uint64(s.Size), true
+	}
+	return 0, false
+}
+
+const smtpMaxLine = 4096
+
+type smtpPhase uint8
+
+const (
+	smtpCommands smtpPhase = iota
+	smtpData
+	smtpDone
+)
+
+// SMTPParser parses the SMTP command/response dialogue from reassembled
+// streams. It is line-oriented: client lines carry commands, server
+// lines responses; message content inside DATA is skipped except for a
+// Subject header.
+type SMTPParser struct {
+	bufs    [2][]byte
+	cur     *SMTPSession
+	phase   smtpPhase
+	sawResp bool
+	out     []*Session
+	nextID  uint64
+	failed  bool
+}
+
+// NewSMTPParser creates a parser for one connection.
+func NewSMTPParser() *SMTPParser { return &SMTPParser{cur: &SMTPSession{}} }
+
+// Name implements Parser.
+func (p *SMTPParser) Name() string { return "smtp" }
+
+// Probe implements Parser: SMTP servers speak first with "220 ".
+func (p *SMTPParser) Probe(data []byte, orig bool) ProbeResult {
+	if orig {
+		// Client speaking first is not SMTP unless the server banner
+		// already matched; stay unsure until server data arrives.
+		if len(data) >= 4 {
+			w := strings.ToUpper(string(data[:4]))
+			if w == "HELO" || w == "EHLO" {
+				return ProbeMatch
+			}
+			return ProbeReject
+		}
+		return ProbeUnsure
+	}
+	if len(data) < 4 {
+		if !bytes.HasPrefix([]byte("220 "), data) && !bytes.HasPrefix([]byte("220-"), data) {
+			return ProbeReject
+		}
+		return ProbeUnsure
+	}
+	if string(data[:3]) == "220" && (data[3] == ' ' || data[3] == '-') {
+		return ProbeMatch
+	}
+	return ProbeReject
+}
+
+// Parse implements Parser.
+func (p *SMTPParser) Parse(data []byte, orig bool) ParseResult {
+	if p.failed {
+		return ParseError
+	}
+	if p.phase == smtpDone {
+		return ParseDone
+	}
+	d := dirIdx(orig)
+	if len(p.bufs[d])+len(data) > 64<<10 {
+		p.failed = true
+		return ParseError
+	}
+	p.bufs[d] = append(p.bufs[d], data...)
+	for {
+		nl := bytes.IndexByte(p.bufs[d], '\n')
+		if nl < 0 {
+			if len(p.bufs[d]) > smtpMaxLine {
+				p.failed = true
+				return ParseError
+			}
+			break
+		}
+		line := strings.TrimRight(string(p.bufs[d][:nl]), "\r")
+		p.bufs[d] = p.bufs[d][nl+1:]
+		if res := p.handleLine(line, orig); res != ParseContinue {
+			return res
+		}
+	}
+	return ParseContinue
+}
+
+func (p *SMTPParser) handleLine(line string, orig bool) ParseResult {
+	if !orig {
+		// Server responses: capture the banner, sanity-check format.
+		if p.cur.Banner == "" && strings.HasPrefix(line, "220") {
+			p.cur.Banner = line
+		}
+		p.sawResp = true
+		return ParseContinue
+	}
+
+	if p.phase == smtpData {
+		p.cur.Size += len(line) + 2
+		if line == "." {
+			p.phase = smtpCommands
+			p.emit()
+			return ParseDone
+		}
+		if p.cur.Subject == "" {
+			if rest, ok := strings.CutPrefix(line, "Subject: "); ok {
+				p.cur.Subject = rest
+			}
+		}
+		return ParseContinue
+	}
+
+	upper := strings.ToUpper(line)
+	switch {
+	case strings.HasPrefix(upper, "HELO ") || strings.HasPrefix(upper, "EHLO "):
+		p.cur.Helo = strings.TrimSpace(line[5:])
+	case strings.HasPrefix(upper, "MAIL FROM:"):
+		p.cur.MailFrom = trimAngle(line[10:])
+	case strings.HasPrefix(upper, "RCPT TO:"):
+		p.cur.RcptTo = append(p.cur.RcptTo, trimAngle(line[8:]))
+	case upper == "DATA":
+		p.phase = smtpData
+	case upper == "STARTTLS":
+		p.cur.StartTLS = true
+		// The rest of the connection is TLS; the envelope so far is the
+		// session.
+		p.emit()
+		return ParseDone
+	case upper == "QUIT":
+		p.emit()
+		return ParseDone
+	}
+	return ParseContinue
+}
+
+func trimAngle(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "<")
+	return strings.TrimSuffix(s, ">")
+}
+
+func (p *SMTPParser) emit() {
+	if p.cur.Helo == "" && p.cur.MailFrom == "" && p.cur.Banner == "" {
+		return // nothing observed worth a session
+	}
+	p.nextID++
+	p.out = append(p.out, &Session{ID: p.nextID, Proto: "smtp", Data: p.cur})
+	p.cur = &SMTPSession{}
+	p.phase = smtpDone
+}
+
+// DrainSessions implements Parser.
+func (p *SMTPParser) DrainSessions() []*Session {
+	s := p.out
+	p.out = nil
+	return s
+}
+
+// SessionMatchState implements Parser.
+func (p *SMTPParser) SessionMatchState() conntrack.State { return conntrack.StateTrack }
+
+// SessionNoMatchState implements Parser.
+func (p *SMTPParser) SessionNoMatchState() conntrack.State { return conntrack.StateTrack }
+
+// BuildSMTPExchange renders the client and server byte-streams of a
+// simple SMTP session for the traffic generator; they interleave as
+// alternating turns.
+func BuildSMTPExchange(helo, from string, rcpts []string, subject string, bodyLines int) (client, server []byte) {
+	var c, s strings.Builder
+	s.WriteString("220 mail.example.com ESMTP ready\r\n")
+	c.WriteString("EHLO " + helo + "\r\n")
+	s.WriteString("250-mail.example.com\r\n250 OK\r\n")
+	c.WriteString("MAIL FROM:<" + from + ">\r\n")
+	s.WriteString("250 OK\r\n")
+	for _, r := range rcpts {
+		c.WriteString("RCPT TO:<" + r + ">\r\n")
+		s.WriteString("250 OK\r\n")
+	}
+	c.WriteString("DATA\r\n")
+	s.WriteString("354 End with <CRLF>.<CRLF>\r\n")
+	c.WriteString("Subject: " + subject + "\r\n\r\n")
+	for i := 0; i < bodyLines; i++ {
+		c.WriteString("body line content here\r\n")
+	}
+	c.WriteString(".\r\n")
+	s.WriteString("250 OK queued\r\n")
+	c.WriteString("QUIT\r\n")
+	s.WriteString("221 Bye\r\n")
+	return []byte(c.String()), []byte(s.String())
+}

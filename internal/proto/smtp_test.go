@@ -1,0 +1,95 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSMTPRoundTrip(t *testing.T) {
+	client, server := BuildSMTPExchange("mx.campus.edu", "alice@campus.edu",
+		[]string{"bob@example.org", "carol@example.org"}, "weekly report", 5)
+
+	p := NewSMTPParser()
+	// Server speaks first: banner probe.
+	nl := strings.IndexByte(string(server), '\n') + 1
+	if got := p.Probe(server[:nl], false); got != ProbeMatch {
+		t.Fatalf("Probe(banner) = %v", got)
+	}
+	if got := p.Parse(server[:nl], false); got != ParseContinue {
+		t.Fatalf("Parse(banner) = %v", got)
+	}
+	res := p.Parse(client, true)
+	if res != ParseDone {
+		t.Fatalf("Parse(client stream) = %v", res)
+	}
+	sessions := p.DrainSessions()
+	if len(sessions) != 1 {
+		t.Fatalf("sessions = %d", len(sessions))
+	}
+	s := sessions[0].Data.(*SMTPSession)
+	if s.Helo != "mx.campus.edu" || s.MailFrom != "alice@campus.edu" {
+		t.Fatalf("session %+v", s)
+	}
+	if len(s.RcptTo) != 2 || s.RcptTo[0] != "bob@example.org" {
+		t.Fatalf("rcpts %v", s.RcptTo)
+	}
+	if s.Subject != "weekly report" {
+		t.Fatalf("subject %q", s.Subject)
+	}
+	if s.Size == 0 {
+		t.Fatal("DATA size not counted")
+	}
+	// Filter fields.
+	if v, ok := s.StringField("mail_from"); !ok || v != "alice@campus.edu" {
+		t.Fatal("mail_from field")
+	}
+	if v, ok := s.StringField("rcpt_to"); !ok || v != "bob@example.org" {
+		t.Fatal("rcpt_to field")
+	}
+}
+
+func TestSMTPClientFirstProbe(t *testing.T) {
+	p := NewSMTPParser()
+	if got := p.Probe([]byte("EHLO client.example\r\n"), true); got != ProbeMatch {
+		t.Fatalf("Probe(EHLO) = %v", got)
+	}
+	if got := p.Probe([]byte("GET / HTTP/1.1"), true); got != ProbeReject {
+		t.Fatalf("Probe(http) = %v", got)
+	}
+	if got := p.Probe([]byte("550 no"), false); got != ProbeReject {
+		t.Fatalf("Probe(non-220 server) = %v", got)
+	}
+}
+
+func TestSMTPStartTLSEndsSession(t *testing.T) {
+	p := NewSMTPParser()
+	p.Parse([]byte("220 mail ready\r\n"), false)
+	res := p.Parse([]byte("EHLO c\r\nSTARTTLS\r\n"), true)
+	if res != ParseDone {
+		t.Fatalf("res = %v", res)
+	}
+	s := p.DrainSessions()[0].Data.(*SMTPSession)
+	if !s.StartTLS {
+		t.Fatal("StartTLS not flagged")
+	}
+}
+
+func TestSMTPSplitLines(t *testing.T) {
+	p := NewSMTPParser()
+	p.Parse([]byte("220 mail"), false)
+	p.Parse([]byte(" ready\r\n"), false)
+	p.Parse([]byte("EHLO sp"), true)
+	p.Parse([]byte("lit.example\r\nQUIT\r\n"), true)
+	sessions := p.DrainSessions()
+	if len(sessions) != 1 || sessions[0].Data.(*SMTPSession).Helo != "split.example" {
+		t.Fatalf("sessions = %v", sessions)
+	}
+}
+
+func TestSMTPUnterminatedLineCapped(t *testing.T) {
+	p := NewSMTPParser()
+	huge := strings.Repeat("A", smtpMaxLine+100)
+	if got := p.Parse([]byte(huge), true); got != ParseError {
+		t.Fatalf("oversized line = %v", got)
+	}
+}

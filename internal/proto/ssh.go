@@ -1,0 +1,123 @@
+package proto
+
+import (
+	"bytes"
+	"strings"
+
+	"retina/internal/conntrack"
+)
+
+// SSHHandshake is the version exchange of an SSH connection.
+type SSHHandshake struct {
+	ClientVersion string // e.g. "SSH-2.0-OpenSSH_9.0"
+	ServerVersion string
+}
+
+// ProtoName implements Data.
+func (h *SSHHandshake) ProtoName() string { return "ssh" }
+
+// StringField implements Data.
+func (h *SSHHandshake) StringField(name string) (string, bool) {
+	switch name {
+	case "client_version":
+		return h.ClientVersion, true
+	case "server_version":
+		return h.ServerVersion, true
+	}
+	return "", false
+}
+
+// IntField implements Data.
+func (h *SSHHandshake) IntField(string) (uint64, bool) { return 0, false }
+
+const sshMaxIdent = 4096
+
+// SSHParser captures the SSH identification exchange ("SSH-2.0-...\r\n"
+// from each side) and stops — like TLS, the encrypted remainder is never
+// processed.
+type SSHParser struct {
+	bufs   [2][]byte
+	vers   [2]string
+	out    []*Session
+	nextID uint64
+	done   bool
+	failed bool
+}
+
+// NewSSHParser creates a parser for one connection.
+func NewSSHParser() *SSHParser { return &SSHParser{} }
+
+// Name implements Parser.
+func (p *SSHParser) Name() string { return "ssh" }
+
+// Probe implements Parser.
+func (p *SSHParser) Probe(data []byte, orig bool) ProbeResult {
+	if len(data) < 4 {
+		if len(data) > 0 && !strings.HasPrefix("SSH-", string(data)) {
+			return ProbeReject
+		}
+		return ProbeUnsure
+	}
+	if string(data[:4]) == "SSH-" {
+		return ProbeMatch
+	}
+	return ProbeReject
+}
+
+// Parse implements Parser.
+func (p *SSHParser) Parse(data []byte, orig bool) ParseResult {
+	if p.done {
+		return ParseDone
+	}
+	if p.failed {
+		return ParseError
+	}
+	d := dirIdx(orig)
+	if p.vers[d] != "" {
+		return p.check()
+	}
+	if len(p.bufs[d])+len(data) > sshMaxIdent {
+		p.failed = true
+		return ParseError
+	}
+	p.bufs[d] = append(p.bufs[d], data...)
+	if idx := bytes.IndexByte(p.bufs[d], '\n'); idx >= 0 {
+		line := strings.TrimRight(string(p.bufs[d][:idx]), "\r")
+		if !strings.HasPrefix(line, "SSH-") {
+			p.failed = true
+			return ParseError
+		}
+		p.vers[d] = line
+		p.bufs[d] = nil
+	}
+	return p.check()
+}
+
+func (p *SSHParser) check() ParseResult {
+	if p.vers[0] != "" && p.vers[1] != "" && !p.done {
+		p.done = true
+		p.nextID++
+		p.out = append(p.out, &Session{ID: p.nextID, Proto: "ssh", Data: &SSHHandshake{
+			ClientVersion: p.vers[0],
+			ServerVersion: p.vers[1],
+		}})
+		return ParseDone
+	}
+	if p.done {
+		return ParseDone
+	}
+	return ParseContinue
+}
+
+// DrainSessions implements Parser.
+func (p *SSHParser) DrainSessions() []*Session {
+	s := p.out
+	p.out = nil
+	return s
+}
+
+// SessionMatchState implements Parser.
+func (p *SSHParser) SessionMatchState() conntrack.State { return conntrack.StateDelete }
+
+// SessionNoMatchState implements Parser.
+func (p *SSHParser) SessionNoMatchState() conntrack.State { return conntrack.StateDelete }

@@ -1,0 +1,124 @@
+package proto
+
+import "encoding/binary"
+
+// HelloSpec describes the synthetic TLS handshake the traffic generator
+// emits. Encoders here are the inverse of the parser and are round-trip
+// tested against it.
+type HelloSpec struct {
+	SNI           string
+	ClientVersion uint16 // 0 defaults to 0x0303 (TLS 1.2 legacy_version)
+	ServerVersion uint16 // 0 defaults to 0x0303
+	Cipher        uint16 // server-selected; 0 defaults to TLS_AES_128_GCM_SHA256
+	CipherSuites  []uint16
+	ClientRandom  [32]byte
+	ServerRandom  [32]byte
+	WithCert      bool
+}
+
+func (s *HelloSpec) defaults() {
+	if s.ClientVersion == 0 {
+		s.ClientVersion = 0x0303
+	}
+	if s.ServerVersion == 0 {
+		s.ServerVersion = 0x0303
+	}
+	if s.Cipher == 0 {
+		s.Cipher = 0x1301
+	}
+	if len(s.CipherSuites) == 0 {
+		s.CipherSuites = []uint16{0x1301, 0x1302, 0xC02F}
+	}
+}
+
+func tlsRecord(msgType byte, body []byte) []byte {
+	msg := make([]byte, 4+len(body))
+	msg[0] = msgType
+	msg[1] = byte(len(body) >> 16)
+	msg[2] = byte(len(body) >> 8)
+	msg[3] = byte(len(body))
+	copy(msg[4:], body)
+
+	rec := make([]byte, tlsRecordHeaderLen+len(msg))
+	rec[0] = tlsRecordHandshake
+	rec[1], rec[2] = 0x03, 0x03
+	binary.BigEndian.PutUint16(rec[3:5], uint16(len(msg)))
+	copy(rec[5:], msg)
+	return rec
+}
+
+// BuildClientHello encodes a ClientHello record.
+func BuildClientHello(spec HelloSpec) []byte {
+	spec.defaults()
+	var b []byte
+	b = binary.BigEndian.AppendUint16(b, spec.ClientVersion)
+	b = append(b, spec.ClientRandom[:]...)
+	b = append(b, 0) // empty session id
+	b = binary.BigEndian.AppendUint16(b, uint16(len(spec.CipherSuites)*2))
+	for _, cs := range spec.CipherSuites {
+		b = binary.BigEndian.AppendUint16(b, cs)
+	}
+	b = append(b, 1, 0) // one compression method: null
+
+	var ext []byte
+	if spec.SNI != "" {
+		var sn []byte
+		sn = binary.BigEndian.AppendUint16(sn, uint16(3+len(spec.SNI))) // list len
+		sn = append(sn, 0)                                              // host_name
+		sn = binary.BigEndian.AppendUint16(sn, uint16(len(spec.SNI)))
+		sn = append(sn, spec.SNI...)
+		ext = binary.BigEndian.AppendUint16(ext, tlsExtServerName)
+		ext = binary.BigEndian.AppendUint16(ext, uint16(len(sn)))
+		ext = append(ext, sn...)
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(ext)))
+	b = append(b, ext...)
+	return tlsRecord(tlsHSClientHello, b)
+}
+
+// BuildServerHello encodes a ServerHello record (plus an optional empty
+// Certificate message in the same flight).
+func BuildServerHello(spec HelloSpec) []byte {
+	spec.defaults()
+	var b []byte
+	legacy := spec.ServerVersion
+	use13Ext := spec.ServerVersion == 0x0304
+	if use13Ext {
+		legacy = 0x0303 // TLS 1.3 uses the supported_versions extension
+	}
+	b = binary.BigEndian.AppendUint16(b, legacy)
+	b = append(b, spec.ServerRandom[:]...)
+	b = append(b, 0) // empty session id
+	b = binary.BigEndian.AppendUint16(b, spec.Cipher)
+	b = append(b, 0) // null compression
+
+	var ext []byte
+	if use13Ext {
+		ext = binary.BigEndian.AppendUint16(ext, tlsExtSupportedVersions)
+		ext = binary.BigEndian.AppendUint16(ext, 2)
+		ext = binary.BigEndian.AppendUint16(ext, 0x0304)
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(ext)))
+	b = append(b, ext...)
+
+	out := tlsRecord(tlsHSServerHello, b)
+	if spec.WithCert {
+		// Minimal certificate message: empty certificate_list.
+		cert := []byte{0, 0, 0}
+		out = append(out, tlsRecord(tlsHSCertificate, cert)...)
+	}
+	return out
+}
+
+// BuildAppDataRecord encodes an application_data record with n opaque
+// bytes, for generating encrypted-looking post-handshake traffic.
+func BuildAppDataRecord(n int) []byte {
+	rec := make([]byte, tlsRecordHeaderLen+n)
+	rec[0] = 0x17
+	rec[1], rec[2] = 0x03, 0x03
+	binary.BigEndian.PutUint16(rec[3:5], uint16(n))
+	for i := 0; i < n; i++ {
+		rec[tlsRecordHeaderLen+i] = byte(i * 31)
+	}
+	return rec
+}

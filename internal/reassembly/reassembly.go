@@ -1,0 +1,264 @@
+// Package reassembly implements Retina's light-weight TCP stream
+// reassembly (paper §5.2): instead of copying payloads into stream
+// buffers, in-sequence segments pass straight through to the consumer
+// and only out-of-order segments are parked — by reference — in a
+// bounded buffer that is flushed when the hole fills.
+//
+// The design exploits the paper's measurement that 94% of flows with at
+// least two packets arrive completely in order and the median hole fills
+// after one packet: the common case is a comparison and a callback, no
+// copy, no allocation.
+//
+// BufferedReassembler provides the traditional copy-into-stream-buffer
+// design as the ablation baseline.
+package reassembly
+
+import (
+	"errors"
+	"sort"
+)
+
+// DefaultMaxOutOfOrder is the paper's default out-of-order capacity
+// (500 packets per connection).
+const DefaultMaxOutOfOrder = 500
+
+// ErrBufferFull reports that a segment was dropped because the
+// out-of-order buffer is at capacity.
+var ErrBufferFull = errors.New("reassembly: out-of-order buffer full")
+
+// Segment is one TCP payload unit flowing through the reassembler — the
+// paper's L4 PDU. Payload aliases the packet buffer; the Release hook
+// (if set) is invoked when the reassembler is done holding the segment.
+type Segment struct {
+	Seq     uint32
+	Payload []byte
+	Orig    bool // true for originator→responder direction
+	Tick    uint64
+	SYN     bool
+	FIN     bool
+
+	// Release returns the underlying buffer reference held while the
+	// segment was parked out of order. Nil for in-order segments (never
+	// held) and in tests.
+	Release func()
+}
+
+// seqLen is the sequence-space length of the segment (SYN and FIN each
+// consume one sequence number).
+func (s Segment) seqLen() uint32 {
+	n := uint32(len(s.Payload))
+	if s.SYN {
+		n++
+	}
+	if s.FIN {
+		n++
+	}
+	return n
+}
+
+// seqBefore reports a < b in 32-bit wraparound arithmetic.
+func seqBefore(a, b uint32) bool { return int32(a-b) < 0 }
+
+// Stats counts reassembler events for one connection.
+type Stats struct {
+	InOrder    uint64 // segments passed straight through
+	OutOfOrder uint64 // segments parked in the buffer
+	Flushed    uint64 // parked segments later delivered in order
+	Dropped    uint64 // segments dropped (buffer full)
+	Retrans    uint64 // fully duplicate segments discarded
+	Trimmed    uint64 // partially overlapping segments trimmed
+	HoleEvents uint64 // times a hole opened
+}
+
+type direction struct {
+	nextSeq uint32
+	started bool
+	ooo     []Segment // sorted by Seq
+	holes   uint64
+}
+
+// Lite is the pass-through reassembler. One instance serves one
+// connection (both directions). Not safe for concurrent use — each
+// connection belongs to exactly one core.
+type Lite struct {
+	dirs   [2]direction
+	maxOOO int
+	stats  Stats
+}
+
+// NewLite creates a reassembler with the given out-of-order capacity
+// (<= 0 selects DefaultMaxOutOfOrder).
+func NewLite(maxOOO int) *Lite {
+	if maxOOO <= 0 {
+		maxOOO = DefaultMaxOutOfOrder
+	}
+	return &Lite{maxOOO: maxOOO}
+}
+
+// Stats returns a snapshot of the connection's reassembly counters.
+func (r *Lite) Stats() Stats { return r.stats }
+
+// Buffered reports the number of segments currently parked out of order.
+func (r *Lite) Buffered() int { return len(r.dirs[0].ooo) + len(r.dirs[1].ooo) }
+
+// BufferedBytes reports the payload bytes currently parked.
+func (r *Lite) BufferedBytes() int {
+	n := 0
+	for d := 0; d < 2; d++ {
+		for _, s := range r.dirs[d].ooo {
+			n += len(s.Payload)
+		}
+	}
+	return n
+}
+
+func dirIndex(orig bool) int {
+	if orig {
+		return 0
+	}
+	return 1
+}
+
+// Insert offers a segment. In-sequence segments (and any parked segments
+// they unblock) are passed to emit in order. Out-of-order segments are
+// parked; if the buffer is full the segment is dropped and ErrBufferFull
+// returned. Empty segments without SYN/FIN are delivered immediately if
+// in order and ignored otherwise (pure ACKs carry no stream data).
+func (r *Lite) Insert(seg Segment, emit func(Segment)) error {
+	d := &r.dirs[dirIndex(seg.Orig)]
+	if !d.started {
+		d.started = true
+		d.nextSeq = seg.Seq
+	}
+
+	if seg.Seq == d.nextSeq {
+		r.deliver(d, seg, emit)
+		r.drain(d, emit)
+		return nil
+	}
+
+	if seqBefore(seg.Seq, d.nextSeq) {
+		// Starts in already-delivered sequence space.
+		end := seg.Seq + seg.seqLen()
+		if !seqBefore(d.nextSeq, end) {
+			// Entirely old: retransmission.
+			r.stats.Retrans++
+			if seg.Release != nil {
+				seg.Release()
+			}
+			return nil
+		}
+		// Partial overlap: trim the delivered prefix and deliver the rest.
+		trim := d.nextSeq - seg.Seq
+		if seg.SYN {
+			seg.SYN = false
+			trim--
+		}
+		if trim > 0 && int(trim) <= len(seg.Payload) {
+			seg.Payload = seg.Payload[trim:]
+		}
+		seg.Seq = d.nextSeq
+		r.stats.Trimmed++
+		r.deliver(d, seg, emit)
+		r.drain(d, emit)
+		return nil
+	}
+
+	// Future segment: a hole just opened (or widened).
+	if seg.seqLen() == 0 {
+		// Out-of-window pure ACK: nothing to park.
+		if seg.Release != nil {
+			seg.Release()
+		}
+		return nil
+	}
+	if len(d.ooo) == 0 {
+		d.holes++
+		r.stats.HoleEvents++
+	}
+	if len(d.ooo) >= r.maxOOO {
+		r.stats.Dropped++
+		if seg.Release != nil {
+			seg.Release()
+		}
+		return ErrBufferFull
+	}
+	// Sorted insert; duplicates by Seq replaced (keep first).
+	idx := sort.Search(len(d.ooo), func(i int) bool {
+		return !seqBefore(d.ooo[i].Seq, seg.Seq)
+	})
+	if idx < len(d.ooo) && d.ooo[idx].Seq == seg.Seq {
+		r.stats.Retrans++
+		if seg.Release != nil {
+			seg.Release()
+		}
+		return nil
+	}
+	d.ooo = append(d.ooo, Segment{})
+	copy(d.ooo[idx+1:], d.ooo[idx:])
+	d.ooo[idx] = seg
+	r.stats.OutOfOrder++
+	return nil
+}
+
+func (r *Lite) deliver(d *direction, seg Segment, emit func(Segment)) {
+	d.nextSeq = seg.Seq + seg.seqLen()
+	r.stats.InOrder++
+	emit(seg)
+	if seg.Release != nil {
+		seg.Release()
+	}
+}
+
+// drain flushes parked segments that are now in sequence ("flushed when
+// the next expected segment arrives").
+func (r *Lite) drain(d *direction, emit func(Segment)) {
+	for len(d.ooo) > 0 {
+		head := d.ooo[0]
+		if seqBefore(d.nextSeq, head.Seq) {
+			return // still a hole
+		}
+		d.ooo = d.ooo[1:]
+		if !seqBefore(d.nextSeq, head.Seq+head.seqLen()) {
+			// Entirely superseded while parked.
+			r.stats.Retrans++
+			if head.Release != nil {
+				head.Release()
+			}
+			continue
+		}
+		if trim := d.nextSeq - head.Seq; trim > 0 {
+			if head.SYN {
+				head.SYN = false
+				trim--
+			}
+			if trim > 0 && int(trim) <= len(head.Payload) {
+				head.Payload = head.Payload[trim:]
+			}
+			head.Seq = d.nextSeq
+			r.stats.Trimmed++
+		}
+		d.nextSeq = head.Seq + head.seqLen()
+		r.stats.Flushed++
+		r.stats.InOrder++
+		emit(head)
+		if head.Release != nil {
+			head.Release()
+		}
+	}
+}
+
+// FlushAll delivers any parked segments in sequence order despite holes
+// (used at connection teardown so no captured payload is silently lost).
+func (r *Lite) FlushAll(emit func(Segment)) {
+	for di := range r.dirs {
+		d := &r.dirs[di]
+		for _, seg := range d.ooo {
+			emit(seg)
+			if seg.Release != nil {
+				seg.Release()
+			}
+		}
+		d.ooo = nil
+	}
+}

@@ -1,0 +1,134 @@
+// Package timerwheel implements hashed and hierarchical timing wheels
+// (Varghese & Lauck), the mechanism Retina's connection tracker uses to
+// expire inactive connections without per-insertion heap costs.
+//
+// Timers fire lazily: Advance hands back candidate IDs whose slot time
+// has arrived, and the owner decides whether the entity is actually
+// expired (it may have been refreshed since scheduling). This keeps
+// rescheduling O(1) — a refresh is just another Schedule call; stale
+// entries are discarded when their slot comes around. Recent work shows
+// this pattern scales better for flow deletion than alternatives without
+// complicating hash-table insertion (paper §5.2).
+package timerwheel
+
+// Wheel is a single-level hashed timing wheel. Time is measured in
+// abstract ticks; each slot spans granularity ticks. Expirations farther
+// than horizon (slots × granularity) in the future wrap around and will
+// fire early — callers needing longer timeouts use Hierarchical.
+type Wheel struct {
+	slots       [][]entry
+	granularity uint64
+	current     uint64 // last tick Advance processed
+	scheduled   int
+}
+
+type entry struct {
+	id     uint64
+	expire uint64
+}
+
+// New creates a wheel with numSlots slots of granularity ticks each.
+func New(numSlots int, granularity uint64) *Wheel {
+	if numSlots <= 0 || granularity == 0 {
+		panic("timerwheel: slots and granularity must be positive")
+	}
+	return &Wheel{
+		slots:       make([][]entry, numSlots),
+		granularity: granularity,
+	}
+}
+
+// Horizon returns the wheel's coverage in ticks.
+func (w *Wheel) Horizon() uint64 {
+	return uint64(len(w.slots)) * w.granularity
+}
+
+// Len returns the number of scheduled (possibly stale) entries.
+func (w *Wheel) Len() int { return w.scheduled }
+
+// Schedule registers id to be offered for expiry at expireTick.
+// Scheduling the same id again simply adds another entry; the owner's
+// expiry check makes older entries harmless.
+func (w *Wheel) Schedule(id uint64, expireTick uint64) {
+	slot := (expireTick / w.granularity) % uint64(len(w.slots))
+	w.slots[slot] = append(w.slots[slot], entry{id: id, expire: expireTick})
+	w.scheduled++
+}
+
+// Advance moves the wheel to nowTick, invoking fire for every entry whose
+// expiry time has arrived. Entries scheduled for a future lap of the
+// wheel are retained.
+func (w *Wheel) Advance(nowTick uint64, fire func(id uint64)) {
+	if nowTick < w.current {
+		return
+	}
+	startSlot := w.current / w.granularity
+	endSlot := nowTick / w.granularity
+	if endSlot-startSlot >= uint64(len(w.slots)) {
+		// Full lap (or more): every slot is due.
+		endSlot = startSlot + uint64(len(w.slots))
+	}
+	for s := startSlot; s <= endSlot; s++ {
+		idx := s % uint64(len(w.slots))
+		bucket := w.slots[idx]
+		if len(bucket) == 0 {
+			continue
+		}
+		kept := bucket[:0]
+		for _, e := range bucket {
+			if e.expire <= nowTick {
+				fire(e.id)
+				w.scheduled--
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		w.slots[idx] = kept
+	}
+	w.current = nowTick
+}
+
+// Hierarchical combines a fine inner wheel with a coarse outer wheel,
+// covering long horizons cheaply: entries beyond the inner horizon park
+// in the outer wheel and cascade into the inner wheel as their time
+// approaches.
+type Hierarchical struct {
+	inner *Wheel
+	outer *Wheel
+}
+
+// NewHierarchical builds a two-level wheel. The inner wheel has
+// innerSlots slots of granularity ticks; the outer wheel has outerSlots
+// slots each spanning the whole inner horizon.
+func NewHierarchical(innerSlots, outerSlots int, granularity uint64) *Hierarchical {
+	inner := New(innerSlots, granularity)
+	outer := New(outerSlots, inner.Horizon())
+	return &Hierarchical{inner: inner, outer: outer}
+}
+
+// Horizon returns the combined coverage in ticks.
+func (h *Hierarchical) Horizon() uint64 { return h.outer.Horizon() }
+
+// Len returns the number of scheduled (possibly stale) entries.
+func (h *Hierarchical) Len() int { return h.inner.Len() + h.outer.Len() }
+
+// Schedule registers id for expiry at expireTick, choosing the level by
+// distance from the current time.
+func (h *Hierarchical) Schedule(id uint64, expireTick uint64) {
+	if expireTick >= h.inner.current && expireTick-h.inner.current >= h.inner.Horizon() {
+		h.outer.Schedule(id, expireTick)
+		return
+	}
+	h.inner.Schedule(id, expireTick)
+}
+
+// Advance moves both levels to nowTick, cascading outer entries whose
+// slots arrive into the inner wheel before firing what is due.
+func (h *Hierarchical) Advance(nowTick uint64, fire func(id uint64)) {
+	h.outer.Advance(nowTick, func(id uint64) {
+		// Entry reached the outer slot boundary; it is due now (outer
+		// granularity == inner horizon), so fire directly.
+		fire(id)
+	})
+	h.inner.Advance(nowTick, fire)
+}

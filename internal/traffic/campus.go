@@ -1,0 +1,314 @@
+package traffic
+
+import (
+	"math/rand"
+
+	"retina/internal/layers"
+)
+
+// Mixer interleaves flow scripts from a factory at a target offered
+// rate, implementing the Source interface the runtime consumes. The
+// virtual clock advances with the wire bytes emitted, so a 40 Gbps
+// configuration produces ticks consistent with 40 Gbps of offered load.
+type Mixer struct {
+	rng        *rand.Rand
+	builder    layers.Builder
+	factory    func(rng *rand.Rand, id int) *FlowSpec
+	totalFlows int
+	concurrent int
+	gbps       float64
+
+	active  []*Script
+	started int
+	tick    float64 // µs
+	frames  uint64
+	bytes   uint64
+}
+
+// NewMixer creates a mixer emitting totalFlows flows from factory,
+// keeping up to concurrent flows interleaved, paced at gbps.
+func NewMixer(seed int64, totalFlows, concurrent int, gbps float64,
+	factory func(rng *rand.Rand, id int) *FlowSpec) *Mixer {
+	if concurrent <= 0 {
+		concurrent = 64
+	}
+	if gbps <= 0 {
+		gbps = 10
+	}
+	return &Mixer{
+		rng:        rand.New(rand.NewSource(seed)),
+		factory:    factory,
+		totalFlows: totalFlows,
+		concurrent: concurrent,
+		gbps:       gbps,
+	}
+}
+
+func (m *Mixer) refill() {
+	for len(m.active) < m.concurrent && m.started < m.totalFlows {
+		spec := m.factory(m.rng, m.started)
+		m.started++
+		s := BuildScript(&m.builder, spec, m.rng)
+		if len(s.Frames) > 0 {
+			m.active = append(m.active, s)
+		}
+	}
+}
+
+// Next implements the runtime Source interface.
+func (m *Mixer) Next() (frame []byte, tick uint64, ok bool) {
+	m.refill()
+	if len(m.active) == 0 {
+		return nil, 0, false
+	}
+	// Pick a random active flow so packets of concurrent connections
+	// interleave, preserving per-flow ordering.
+	i := m.rng.Intn(len(m.active))
+	s := m.active[i]
+	frame = s.Next()
+	if s.Remaining() == 0 {
+		m.active[i] = m.active[len(m.active)-1]
+		m.active = m.active[:len(m.active)-1]
+	}
+	// Advance the virtual clock by the frame's serialization time at
+	// the offered rate: bytes*8 bits / (gbps*1e9 b/s) seconds → µs.
+	m.tick += float64(len(frame)*8) / (m.gbps * 1000)
+	m.frames++
+	m.bytes += uint64(len(frame))
+	return frame, uint64(m.tick), true
+}
+
+// Emitted reports frames and bytes generated so far.
+func (m *Mixer) Emitted() (frames, bytes uint64) { return m.frames, m.bytes }
+
+// CampusConfig parameterizes the campus-calibrated mix. Zero values
+// select the Appendix C measurements.
+type CampusConfig struct {
+	Seed       int64
+	Flows      int
+	Concurrent int
+	Gbps       float64
+
+	// Fractions of connections by kind (defaults from Table 2).
+	SingleSYNFrac  float64 // of TCP connections (0.65)
+	UDPFrac        float64 // of all connections (0.298)
+	ICMPFrac       float64 // remainder of TCP/UDP split (0.005)
+	ReorderFrac    float64 // out-of-order flows (0.06)
+	IncompleteFrac float64 // flows without teardown (0.046)
+
+	// TLSShare, HTTPShare, SSHShare, SMTPShare split non-single-SYN TCP
+	// flows; the remainder is opaque TCP. Defaults: 0.60/0.20/0.03/0.02.
+	TLSShare, HTTPShare, SSHShare, SMTPShare float64
+}
+
+func (c *CampusConfig) defaults() {
+	if c.Flows == 0 {
+		c.Flows = 2000
+	}
+	if c.Concurrent == 0 {
+		c.Concurrent = 128
+	}
+	if c.Gbps == 0 {
+		c.Gbps = 20
+	}
+	if c.SingleSYNFrac == 0 {
+		c.SingleSYNFrac = 0.65
+	}
+	if c.UDPFrac == 0 {
+		c.UDPFrac = 0.298
+	}
+	if c.ICMPFrac == 0 {
+		c.ICMPFrac = 0.005
+	}
+	if c.ReorderFrac == 0 {
+		c.ReorderFrac = 0.06
+	}
+	if c.IncompleteFrac == 0 {
+		c.IncompleteFrac = 0.046
+	}
+	if c.TLSShare == 0 {
+		c.TLSShare = 0.60
+	}
+	if c.HTTPShare == 0 {
+		c.HTTPShare = 0.20
+	}
+	if c.SSHShare == 0 {
+		c.SSHShare = 0.03
+	}
+	if c.SMTPShare == 0 {
+		c.SMTPShare = 0.02
+	}
+}
+
+// Domains weighted roughly like public traffic: video CDNs heavy, a mix
+// of .com/.net/.org, and a long tail.
+var campusDomains = []struct {
+	name   string
+	weight int
+	port   uint16
+}{
+	{"edge1.nflxvideo.net", 8, 443},
+	{"r3---sn-abc.googlevideo.com", 8, 443},
+	{"www.netflix.com", 3, 443},
+	{"www.youtube.com", 4, 443},
+	{"www.google.com", 10, 443},
+	{"api.example.com", 6, 443},
+	{"cdn.shop.com", 5, 443},
+	{"mail.university.edu", 4, 443},
+	{"static.cdn.net", 5, 443},
+	{"tracker.ads.org", 3, 443},
+	{"files.data.io", 3, 443},
+	{"login.service.com", 5, 443},
+}
+
+func pickDomain(rng *rand.Rand) string {
+	total := 0
+	for _, d := range campusDomains {
+		total += d.weight
+	}
+	n := rng.Intn(total)
+	for _, d := range campusDomains {
+		n -= d.weight
+		if n < 0 {
+			return d.name
+		}
+	}
+	return campusDomains[0].name
+}
+
+func randIP(rng *rand.Rand, inside bool) [4]byte {
+	if inside {
+		return [4]byte{10, byte(rng.Intn(250) + 1), byte(rng.Intn(250) + 1), byte(rng.Intn(250) + 1)}
+	}
+	return [4]byte{byte(rng.Intn(200) + 11), byte(rng.Intn(250) + 1), byte(rng.Intn(250) + 1), byte(rng.Intn(250) + 1)}
+}
+
+// dataSegments draws a heavy-tailed per-connection packet count whose
+// mean lands near the campus measurement (121 packets/connection over
+// all flows, dominated by a few large flows).
+func dataSegments(rng *rand.Rand) int {
+	// Pareto-ish: 80% small (2-20 segments), 15% medium, 5% large.
+	switch r := rng.Float64(); {
+	case r < 0.80:
+		return 2 + rng.Intn(18)
+	case r < 0.95:
+		return 40 + rng.Intn(160)
+	default:
+		return 400 + rng.Intn(1200)
+	}
+}
+
+// segmentBytes draws payload sizes reproducing the bimodal packet-size
+// distribution of Figure 13 (mean wire size ≈ 895 B).
+func segmentBytes(rng *rand.Rand) int {
+	switch r := rng.Float64(); {
+	case r < 0.25:
+		return 10 + rng.Intn(150) // small packets
+	case r < 0.40:
+		return 200 + rng.Intn(800)
+	default:
+		return 1400 // near-MTU
+	}
+}
+
+// randIP6 draws an IPv6 address from the campus (inside) or Internet
+// (outside) pools.
+func randIP6(rng *rand.Rand, inside bool) [16]byte {
+	var a [16]byte
+	if inside {
+		a[0], a[1] = 0x2a, 0x00 // campus /32
+	} else {
+		a[0], a[1] = 0x20, 0x01
+	}
+	for i := 2; i < 8; i++ {
+		a[i] = byte(rng.Intn(256))
+	}
+	a[15] = byte(rng.Intn(250) + 1)
+	return a
+}
+
+// ipv6Frac is the share of campus flows carried over IPv6.
+const ipv6Frac = 0.08
+
+// CampusFlowFactory returns a FlowSpec factory for the campus mix.
+func CampusFlowFactory(cfg CampusConfig) func(rng *rand.Rand, id int) *FlowSpec {
+	cfg.defaults()
+	return func(rng *rand.Rand, id int) *FlowSpec {
+		spec := &FlowSpec{
+			CliIP:   randIP(rng, true),
+			SrvIP:   randIP(rng, false),
+			CliPort: uint16(20000 + rng.Intn(40000)),
+		}
+		if rng.Float64() < ipv6Frac {
+			spec.IsIPv6 = true
+			spec.CliIP6 = randIP6(rng, true)
+			spec.SrvIP6 = randIP6(rng, false)
+		}
+		r := rng.Float64()
+		switch {
+		case r < cfg.ICMPFrac:
+			spec.Kind = KindICMP
+			return spec
+		case r < cfg.ICMPFrac+cfg.UDPFrac:
+			if rng.Float64() < 0.4 {
+				spec.Kind = KindDNS
+				spec.SrvPort = 53
+				spec.SNI = pickDomain(rng)
+			} else if rng.Float64() < 0.5 {
+				spec.Kind = KindQUIC
+				spec.SrvPort = 443
+				spec.SNI = pickDomain(rng)
+				spec.DataSegments = 2 + rng.Intn(30)
+				spec.SegmentBytes = segmentBytes(rng)
+			} else {
+				spec.Kind = KindUDP
+				spec.SrvPort = 443
+				spec.DataSegments = 2 + rng.Intn(30)
+				spec.SegmentBytes = segmentBytes(rng)
+			}
+			return spec
+		}
+
+		// TCP flow.
+		if rng.Float64() < cfg.SingleSYNFrac {
+			spec.Kind = KindSingleSYN
+			spec.SrvPort = uint16(1 + rng.Intn(65000))
+			return spec
+		}
+		spec.DataSegments = dataSegments(rng)
+		spec.SegmentBytes = segmentBytes(rng)
+		spec.DownFraction = 0.75
+		spec.Teardown = rng.Float64() >= cfg.IncompleteFrac
+		spec.Reorder = rng.Float64() < cfg.ReorderFrac
+
+		switch s := rng.Float64(); {
+		case s < cfg.TLSShare:
+			spec.Kind = KindTLS
+			spec.SrvPort = 443
+			spec.SNI = pickDomain(rng)
+		case s < cfg.TLSShare+cfg.HTTPShare:
+			spec.Kind = KindHTTP
+			spec.SrvPort = 80
+			spec.SNI = pickDomain(rng)
+		case s < cfg.TLSShare+cfg.HTTPShare+cfg.SSHShare:
+			spec.Kind = KindSSH
+			spec.SrvPort = 22
+			spec.DataSegments = 4 + rng.Intn(20)
+		case s < cfg.TLSShare+cfg.HTTPShare+cfg.SSHShare+cfg.SMTPShare:
+			spec.Kind = KindSMTP
+			spec.SrvPort = 25
+			spec.SNI = "campus.edu"
+			spec.DataSegments = 0
+		default:
+			spec.Kind = KindPlainTCP
+			spec.SrvPort = uint16(1024 + rng.Intn(60000))
+		}
+		return spec
+	}
+}
+
+// NewCampusMix builds the calibrated campus workload source.
+func NewCampusMix(cfg CampusConfig) *Mixer {
+	cfg.defaults()
+	return NewMixer(cfg.Seed, cfg.Flows, cfg.Concurrent, cfg.Gbps, CampusFlowFactory(cfg))
+}

@@ -1,0 +1,356 @@
+// Package traffic synthesizes byte-level network workloads calibrated to
+// the paper's campus-network measurements (Appendix C) and generates the
+// controlled workloads its evaluation uses: the HTTPS closed-loop of
+// Figure 6, the video sessions of Figure 9, and the Stratosphere-like
+// traces of Appendix B. It also reads and writes pcap files for offline
+// mode.
+//
+// All generators are deterministic for a given seed and emit frames with
+// virtual-clock ticks (1 tick = 1µs), paced to a configurable offered
+// rate.
+package traffic
+
+import (
+	"math/rand"
+	"strings"
+
+	"retina/internal/layers"
+	"retina/internal/proto"
+)
+
+// FlowKind labels the application behavior of a synthetic flow.
+type FlowKind uint8
+
+const (
+	// KindSingleSYN is an unanswered SYN (65% of campus connections).
+	KindSingleSYN FlowKind = iota
+	// KindTLS is a TCP connection carrying a TLS handshake + app data.
+	KindTLS
+	// KindHTTP is a TCP connection carrying HTTP transactions.
+	KindHTTP
+	// KindSSH is a TCP connection with an SSH version exchange.
+	KindSSH
+	// KindPlainTCP is a TCP connection with opaque payload.
+	KindPlainTCP
+	// KindDNS is a UDP DNS query/response pair.
+	KindDNS
+	// KindUDP is a UDP flow with opaque payload (QUIC-like).
+	KindUDP
+	// KindICMP is an ICMP echo exchange.
+	KindICMP
+	// KindSMTP is a TCP connection carrying an SMTP envelope exchange.
+	KindSMTP
+	// KindQUIC is a UDP flow starting with a decryptable QUIC v1 client
+	// Initial followed by opaque short-header packets.
+	KindQUIC
+)
+
+// FlowSpec describes one synthetic connection.
+type FlowSpec struct {
+	Kind    FlowKind
+	CliIP   [4]byte
+	SrvIP   [4]byte
+	CliPort uint16
+	SrvPort uint16
+
+	// IsIPv6 selects IPv6 framing; CliIP6/SrvIP6 are used instead of
+	// the v4 addresses.
+	IsIPv6 bool
+	CliIP6 [16]byte
+	SrvIP6 [16]byte
+
+	// SNI is the TLS server name (KindTLS) or HTTP host (KindHTTP).
+	SNI string
+	// DataSegments is the number of post-handshake payload packets.
+	DataSegments int
+	// SegmentBytes sizes each payload packet (0 = MTU-sized 1448).
+	SegmentBytes int
+	// DownFraction is the share of DataSegments flowing server→client.
+	DownFraction float64
+	// Teardown emits FINs at the end (false models incomplete flows,
+	// 4.6% on the campus network).
+	Teardown bool
+	// Reorder swaps adjacent data segments to create out-of-order
+	// arrivals (6% of campus flows).
+	Reorder bool
+	// Cipher optionally overrides the TLS cipher suite.
+	Cipher uint16
+	// ClientRandom pins the TLS client random when PinClientRandom is
+	// set (used to plant degenerate nonces, §7.1); otherwise a fresh
+	// random is drawn per flow.
+	ClientRandom    [32]byte
+	PinClientRandom bool
+	// UserAgent optionally sets the HTTP User-Agent header.
+	UserAgent string
+}
+
+// Script materializes the flow as a timed frame sequence.
+type Script struct {
+	Frames [][]byte
+	// Bytes is the total wire bytes of the flow.
+	Bytes int
+	next  int
+}
+
+// Next returns the next frame, or nil when exhausted.
+func (s *Script) Next() []byte {
+	if s.next >= len(s.Frames) {
+		return nil
+	}
+	f := s.Frames[s.next]
+	s.next++
+	return f
+}
+
+// Remaining reports frames left.
+func (s *Script) Remaining() int { return len(s.Frames) - s.next }
+
+// scriptFlow mirrors the test-side flow builder: sequence-correct TCP
+// segment emission for one connection.
+type scriptFlow struct {
+	b      *layers.Builder
+	spec   *FlowSpec
+	cliSeq uint32
+	srvSeq uint32
+	frames [][]byte
+	bytes  int
+}
+
+// addr fills the packet spec's addresses for the flow's family and
+// direction.
+func (f *scriptFlow) addr(ps *layers.PacketSpec, fromClient bool) {
+	if f.spec.IsIPv6 {
+		ps.IsIPv6 = true
+		if fromClient {
+			ps.SrcIP6, ps.DstIP6 = f.spec.CliIP6, f.spec.SrvIP6
+		} else {
+			ps.SrcIP6, ps.DstIP6 = f.spec.SrvIP6, f.spec.CliIP6
+		}
+		return
+	}
+	if fromClient {
+		ps.SrcIP4, ps.DstIP4 = f.spec.CliIP, f.spec.SrvIP
+	} else {
+		ps.SrcIP4, ps.DstIP4 = f.spec.SrvIP, f.spec.CliIP
+	}
+}
+
+func (f *scriptFlow) pkt(fromClient bool, flags uint8, payload []byte) {
+	ps := &layers.PacketSpec{Proto: layers.IPProtoTCP, TCPFlags: flags, Payload: payload}
+	f.addr(ps, fromClient)
+	if fromClient {
+		ps.SrcPort, ps.DstPort = f.spec.CliPort, f.spec.SrvPort
+		ps.Seq = f.cliSeq
+		f.cliSeq += uint32(len(payload))
+		if flags&(layers.TCPSyn|layers.TCPFin) != 0 {
+			f.cliSeq++
+		}
+	} else {
+		ps.SrcPort, ps.DstPort = f.spec.SrvPort, f.spec.CliPort
+		ps.Seq = f.srvSeq
+		f.srvSeq += uint32(len(payload))
+		if flags&(layers.TCPSyn|layers.TCPFin) != 0 {
+			f.srvSeq++
+		}
+	}
+	frame := f.b.Build(ps)
+	f.frames = append(f.frames, frame)
+	f.bytes += len(frame)
+}
+
+func (f *scriptFlow) udp(fromClient bool, payload []byte) {
+	ps := &layers.PacketSpec{Proto: layers.IPProtoUDP, Payload: payload}
+	f.addr(ps, fromClient)
+	if fromClient {
+		ps.SrcPort, ps.DstPort = f.spec.CliPort, f.spec.SrvPort
+	} else {
+		ps.SrcPort, ps.DstPort = f.spec.SrvPort, f.spec.CliPort
+	}
+	frame := f.b.Build(ps)
+	f.frames = append(f.frames, frame)
+	f.bytes += len(frame)
+}
+
+// segmented splits data into MTU-sized TCP segments.
+func (f *scriptFlow) segmented(fromClient bool, data []byte) {
+	const mss = 1448
+	for off := 0; off < len(data); off += mss {
+		end := off + mss
+		if end > len(data) {
+			end = len(data)
+		}
+		f.pkt(fromClient, layers.TCPAck, data[off:end])
+	}
+}
+
+// opaque returns n pseudo-payload bytes (cheap, deterministic).
+func opaque(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i*37)
+	}
+	return b
+}
+
+// HelloSpecFor derives the TLS HelloSpec a flow's handshake uses.
+func HelloSpecFor(spec *FlowSpec, rng *rand.Rand) proto.HelloSpec {
+	hello := proto.HelloSpec{SNI: spec.SNI, Cipher: spec.Cipher, ClientRandom: spec.ClientRandom}
+	if !spec.PinClientRandom {
+		rng.Read(hello.ClientRandom[:])
+	}
+	return hello
+}
+
+// BuildScript renders a FlowSpec into its frame sequence.
+func BuildScript(b *layers.Builder, spec *FlowSpec, rng *rand.Rand) *Script {
+	f := &scriptFlow{b: b, spec: spec, cliSeq: rng.Uint32() / 2, srvSeq: rng.Uint32() / 2}
+
+	switch spec.Kind {
+	case KindSingleSYN:
+		f.pkt(true, layers.TCPSyn, nil)
+	case KindDNS:
+		q := proto.BuildDNSQuery(uint16(rng.Uint32()), spec.SNI, 1)
+		f.udp(true, q)
+		// Response: same message with the response bit set.
+		resp := append([]byte(nil), q...)
+		resp[2] |= 0x80
+		f.udp(false, resp)
+	case KindQUIC:
+		hello := HelloSpecFor(spec, rng)
+		var dcid [8]byte
+		rng.Read(dcid[:])
+		initial, err := proto.BuildQUICInitial(dcid[:], dcid[:4], 0, hello)
+		if err == nil {
+			f.udp(true, initial)
+		}
+		// Server Initial+Handshake stand-in and 1-RTT short-header data.
+		segs := spec.DataSegments
+		if segs <= 0 {
+			segs = 8
+		}
+		size := spec.SegmentBytes
+		if size <= 0 {
+			size = 1200
+		}
+		for i := 0; i < segs; i++ {
+			pkt := opaque(size, byte(i))
+			pkt[0] = 0x40 | (pkt[0] & 0x3F) // short header, fixed bit
+			f.udp(i%4 == 0, pkt)
+		}
+	case KindUDP:
+		segs := spec.DataSegments
+		if segs <= 0 {
+			segs = 4
+		}
+		size := spec.SegmentBytes
+		if size <= 0 {
+			size = 1200
+		}
+		for i := 0; i < segs; i++ {
+			f.udp(i%3 == 0, opaque(size, byte(i)))
+		}
+	case KindICMP:
+		ps := &layers.PacketSpec{Proto: layers.IPProtoICMP, Payload: opaque(56, 1)}
+		f.addr(ps, true)
+		frame := f.b.Build(ps)
+		f.frames = append(f.frames, frame)
+		f.bytes += len(frame)
+	default:
+		buildTCPScript(f, spec, rng)
+	}
+	return &Script{Frames: f.frames, Bytes: f.bytes}
+}
+
+func buildTCPScript(f *scriptFlow, spec *FlowSpec, rng *rand.Rand) {
+	// Three-way handshake.
+	f.pkt(true, layers.TCPSyn, nil)
+	f.pkt(false, layers.TCPSyn|layers.TCPAck, nil)
+	f.pkt(true, layers.TCPAck, nil)
+
+	switch spec.Kind {
+	case KindTLS:
+		hello := proto.HelloSpec{SNI: spec.SNI, Cipher: spec.Cipher, ClientRandom: spec.ClientRandom}
+		if !spec.PinClientRandom {
+			rng.Read(hello.ClientRandom[:])
+		}
+		rng.Read(hello.ServerRandom[:])
+		f.segmented(true, proto.BuildClientHello(hello))
+		f.segmented(false, proto.BuildServerHello(hello))
+	case KindHTTP:
+		host := spec.SNI
+		if host == "" {
+			host = "www.example.com"
+		}
+		ua := spec.UserAgent
+		if ua == "" {
+			ua = "Mozilla/5.0"
+		}
+		req := "GET /index.html HTTP/1.1\r\nHost: " + host + "\r\nUser-Agent: " + ua + "\r\n\r\n"
+		f.segmented(true, []byte(req))
+	case KindSSH:
+		f.segmented(true, []byte("SSH-2.0-OpenSSH_9.6\r\n"))
+		f.segmented(false, []byte("SSH-2.0-OpenSSH_8.9p1\r\n"))
+	case KindSMTP:
+		from := "sender@" + spec.SNI
+		if spec.SNI == "" {
+			from = "sender@campus.edu"
+		}
+		client, server := proto.BuildSMTPExchange(
+			"client.campus.edu", from,
+			[]string{"rcpt" + itoa(rng.Intn(100)) + "@example.org"},
+			"report "+itoa(rng.Intn(1000)), 2+rng.Intn(30))
+		// Server banner first (SMTP servers speak first), then the
+		// client's command stream, then the response stream.
+		f.segmented(false, server[:strings.IndexByte(string(server), '\n')+1])
+		f.segmented(true, client)
+		f.segmented(false, server[strings.IndexByte(string(server), '\n')+1:])
+	}
+
+	// Data segments.
+	segSize := spec.SegmentBytes
+	if segSize <= 0 {
+		segSize = 1448
+	}
+	nDown := int(float64(spec.DataSegments) * spec.DownFraction)
+	nUp := spec.DataSegments - nDown
+	if spec.Kind == KindHTTP && spec.DataSegments > 0 {
+		// Response head before the body so the stream parses.
+		body := spec.DataSegments * segSize
+		head := "HTTP/1.1 200 OK\r\nContent-Length: " +
+			itoa(body) + "\r\nContent-Type: application/octet-stream\r\n\r\n"
+		f.segmented(false, []byte(head))
+	}
+
+	dataStart := len(f.frames)
+	for i := 0; i < nDown; i++ {
+		f.pkt(false, layers.TCPAck, opaque(segSize, byte(i)))
+	}
+	for i := 0; i < nUp; i++ {
+		f.pkt(true, layers.TCPAck, opaque(segSize, byte(i+128)))
+	}
+
+	if spec.Reorder && len(f.frames)-dataStart >= 2 {
+		// Swap one adjacent pair of data segments.
+		i := dataStart + rng.Intn(len(f.frames)-dataStart-1)
+		f.frames[i], f.frames[i+1] = f.frames[i+1], f.frames[i]
+	}
+
+	if spec.Teardown {
+		f.pkt(true, layers.TCPFin|layers.TCPAck, nil)
+		f.pkt(false, layers.TCPFin|layers.TCPAck, nil)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,170 @@
+package traffic
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Classic pcap format constants (microsecond timestamps, Ethernet).
+const (
+	pcapMagic   = 0xA1B2C3D4
+	pcapMajor   = 2
+	pcapMinor   = 4
+	pcapLinkEth = 1
+	pcapSnapLen = 65535
+)
+
+// PcapWriter writes frames to a classic pcap file.
+type PcapWriter struct {
+	w   *bufio.Writer
+	f   *os.File
+	hdr [16]byte
+}
+
+// NewPcapWriter creates path and writes the global header.
+func NewPcapWriter(path string) (*PcapWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var gh [24]byte
+	binary.LittleEndian.PutUint32(gh[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(gh[4:6], pcapMajor)
+	binary.LittleEndian.PutUint16(gh[6:8], pcapMinor)
+	binary.LittleEndian.PutUint32(gh[16:20], pcapSnapLen)
+	binary.LittleEndian.PutUint32(gh[20:24], pcapLinkEth)
+	if _, err := w.Write(gh[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &PcapWriter{w: w, f: f}, nil
+}
+
+// Write appends one frame with the given microsecond tick as timestamp.
+func (p *PcapWriter) Write(frame []byte, tick uint64) error {
+	binary.LittleEndian.PutUint32(p.hdr[0:4], uint32(tick/1e6))
+	binary.LittleEndian.PutUint32(p.hdr[4:8], uint32(tick%1e6))
+	binary.LittleEndian.PutUint32(p.hdr[8:12], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(p.hdr[12:16], uint32(len(frame)))
+	if _, err := p.w.Write(p.hdr[:]); err != nil {
+		return err
+	}
+	_, err := p.w.Write(frame)
+	return err
+}
+
+// Close flushes and closes the file.
+func (p *PcapWriter) Close() error {
+	if err := p.w.Flush(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
+}
+
+// PcapReader reads a classic pcap file as a runtime Source.
+type PcapReader struct {
+	r      *bufio.Reader
+	f      *os.File
+	le     bool
+	buf    []byte
+	err    error
+	frames uint64
+}
+
+// ErrBadMagic reports an unrecognized pcap file.
+var ErrBadMagic = errors.New("traffic: not a classic pcap file")
+
+// OpenPcap opens a pcap file for reading.
+func OpenPcap(path string) (*PcapReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := bufio.NewReaderSize(f, 1<<20)
+	var gh [24]byte
+	if _, err := io.ReadFull(r, gh[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("traffic: reading pcap header: %w", err)
+	}
+	le := binary.LittleEndian.Uint32(gh[0:4]) == pcapMagic
+	be := binary.BigEndian.Uint32(gh[0:4]) == pcapMagic
+	if !le && !be {
+		f.Close()
+		return nil, ErrBadMagic
+	}
+	return &PcapReader{r: r, f: f, le: le, buf: make([]byte, pcapSnapLen)}, nil
+}
+
+func (p *PcapReader) order() binary.ByteOrder {
+	if p.le {
+		return binary.LittleEndian
+	}
+	return binary.BigEndian
+}
+
+// Next implements the runtime Source interface. The returned slice is
+// reused on the following call.
+func (p *PcapReader) Next() (frame []byte, tick uint64, ok bool) {
+	var rh [16]byte
+	if _, err := io.ReadFull(p.r, rh[:]); err != nil {
+		if err != io.EOF && err != io.ErrUnexpectedEOF {
+			p.err = err
+		}
+		return nil, 0, false
+	}
+	bo := p.order()
+	sec := bo.Uint32(rh[0:4])
+	usec := bo.Uint32(rh[4:8])
+	capLen := bo.Uint32(rh[8:12])
+	if capLen > pcapSnapLen {
+		p.err = fmt.Errorf("traffic: capture length %d exceeds snaplen", capLen)
+		return nil, 0, false
+	}
+	if _, err := io.ReadFull(p.r, p.buf[:capLen]); err != nil {
+		p.err = err
+		return nil, 0, false
+	}
+	p.frames++
+	return p.buf[:capLen], uint64(sec)*1e6 + uint64(usec), true
+}
+
+// Err reports a read error encountered by Next.
+func (p *PcapReader) Err() error { return p.err }
+
+// Frames reports how many frames were read.
+func (p *PcapReader) Frames() uint64 { return p.frames }
+
+// Close closes the file.
+func (p *PcapReader) Close() error { return p.f.Close() }
+
+// WriteSourceToPcap drains a Source into a pcap file (the retina-gen
+// tool).
+func WriteSourceToPcap(src interface {
+	Next() ([]byte, uint64, bool)
+}, path string) (frames uint64, err error) {
+	w, err := NewPcapWriter(path)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	for {
+		frame, tick, ok := src.Next()
+		if !ok {
+			return frames, nil
+		}
+		if err := w.Write(frame, tick); err != nil {
+			return frames, err
+		}
+		frames++
+	}
+}

@@ -1,0 +1,170 @@
+package traffic
+
+import "math/rand"
+
+// NewHTTPSWorkload reproduces the Figure 6 testbed: closed-loop 256 KB
+// HTTPS requests from `parallel` concurrent connections offered at
+// kreqPerSec requests per second. Each request is one TCP connection
+// with a TLS handshake, a small upstream request, and a 256 KB
+// downstream response. The virtual-clock pacing derives from the
+// request rate and the per-request wire bytes.
+func NewHTTPSWorkload(seed int64, requests int, parallel int, kreqPerSec float64, sni string) *Mixer {
+	if parallel <= 0 {
+		parallel = 128
+	}
+	if sni == "" {
+		sni = "bench.example.com"
+	}
+	const responseBytes = 256 << 10 // 256 KB, as with wrk2+nginx
+	const mss = 1448
+	segs := responseBytes / mss
+
+	// Offered rate in Gbps: kreq/s × bytes/req × 8.
+	bytesPerReq := float64(responseBytes) * 1.05 // headers/handshake overhead
+	gbps := kreqPerSec * 1000 * bytesPerReq * 8 / 1e9
+
+	factory := func(rng *rand.Rand, id int) *FlowSpec {
+		return &FlowSpec{
+			Kind:         KindTLS,
+			CliIP:        randIP(rng, true),
+			SrvIP:        [4]byte{198, 51, 100, 7},
+			CliPort:      uint16(10000 + id%50000),
+			SrvPort:      443,
+			SNI:          sni,
+			DataSegments: segs,
+			DownFraction: 0.98,
+			Teardown:     true,
+		}
+	}
+	return NewMixer(seed, requests, parallel, gbps, factory)
+}
+
+// VideoService selects the Figure 9 target.
+type VideoService uint8
+
+// Video services measured in §7.3.
+const (
+	ServiceNetflix VideoService = iota
+	ServiceYouTube
+)
+
+// NewVideoWorkload synthesizes video-session traffic for §7.3: sessions
+// to Netflix (nflxvideo.net) or YouTube (googlevideo.com) CDN nodes with
+// heavy-tailed downstream volume, light upstream, and a share of
+// unrelated background flows.
+func NewVideoWorkload(seed int64, sessions int, svc VideoService, gbps float64) *Mixer {
+	factory := func(rng *rand.Rand, id int) *FlowSpec {
+		spec := &FlowSpec{
+			CliIP:   randIP(rng, true),
+			SrvIP:   randIP(rng, false),
+			CliPort: uint16(20000 + rng.Intn(40000)),
+			SrvPort: 443,
+			Kind:    KindTLS,
+		}
+		if rng.Float64() < 0.30 {
+			// Background non-video flow.
+			spec.SNI = "www.example.com"
+			spec.DataSegments = 5 + rng.Intn(40)
+			spec.SegmentBytes = segmentBytes(rng)
+			spec.DownFraction = 0.7
+			spec.Teardown = true
+			return spec
+		}
+		switch svc {
+		case ServiceNetflix:
+			spec.SNI = "edge" + itoa(rng.Intn(40)) + ".nflxvideo.net"
+		case ServiceYouTube:
+			spec.SNI = "r" + itoa(rng.Intn(20)) + "---sn-xyz.googlevideo.com"
+		}
+		// Downstream volume: log-uniform between ~0.5 MB and ~500 MB of
+		// video per session (Figure 9's CDF spans 10^-1..10^3 MB down).
+		mb := 0.5 * pow(10, rng.Float64()*3)
+		segs := int(mb * 1e6 / 1448)
+		if segs < 4 {
+			segs = 4
+		}
+		if segs > 40000 {
+			segs = 40000
+		}
+		spec.DataSegments = segs
+		spec.DownFraction = 0.97
+		spec.Teardown = true
+		return spec
+	}
+	return NewMixer(seed, sessions, 24, gbps, factory)
+}
+
+func pow(base, exp float64) float64 {
+	// Small private pow to avoid importing math for one call site.
+	result := 1.0
+	// exp in [0,3): use exp = i + f.
+	i := int(exp)
+	for k := 0; k < i; k++ {
+		result *= base
+	}
+	f := exp - float64(i)
+	// Linear interpolation of 10^f over [1,10) is accurate enough for
+	// drawing a heavy-tailed distribution.
+	result *= 1 + f*9*(0.4+0.6*f)
+	return result
+}
+
+// StratosphereProfile selects one of the four Appendix B trace shapes.
+// The four profiles differ in protocol mix, mirroring the differences
+// between the CTU-Normal captures.
+type StratosphereProfile int
+
+// Profiles corresponding to Figure 12's four traces.
+const (
+	Norm7 StratosphereProfile = iota
+	Norm12
+	Norm20
+	Norm30
+)
+
+// Name returns the label used in Figure 12.
+func (p StratosphereProfile) Name() string {
+	switch p {
+	case Norm7:
+		return "norm-7"
+	case Norm12:
+		return "norm-12"
+	case Norm20:
+		return "norm-20"
+	case Norm30:
+		return "norm-30"
+	}
+	return "?"
+}
+
+// NewStratosphereLike generates the deterministic offline trace for a
+// profile: a few thousand flows with per-profile protocol mixes.
+func NewStratosphereLike(p StratosphereProfile, flows int) *Mixer {
+	if flows <= 0 {
+		flows = 1200
+	}
+	var cfg CampusConfig
+	cfg.Seed = int64(1000 + p)
+	cfg.Flows = flows
+	cfg.Concurrent = 32
+	cfg.Gbps = 1
+	switch p {
+	case Norm7: // TLS-heavy
+		cfg.TLSShare, cfg.HTTPShare, cfg.SSHShare = 0.75, 0.10, 0.02
+		cfg.SingleSYNFrac = 0.20
+		cfg.UDPFrac = 0.15
+	case Norm12: // HTTP-heavy
+		cfg.TLSShare, cfg.HTTPShare, cfg.SSHShare = 0.25, 0.55, 0.02
+		cfg.SingleSYNFrac = 0.15
+		cfg.UDPFrac = 0.25
+	case Norm20: // UDP/DNS heavy
+		cfg.TLSShare, cfg.HTTPShare, cfg.SSHShare = 0.40, 0.15, 0.05
+		cfg.SingleSYNFrac = 0.10
+		cfg.UDPFrac = 0.45
+	case Norm30: // scan-like, many single SYNs
+		cfg.TLSShare, cfg.HTTPShare, cfg.SSHShare = 0.50, 0.20, 0.05
+		cfg.SingleSYNFrac = 0.70
+		cfg.UDPFrac = 0.20
+	}
+	return NewCampusMix(cfg)
+}

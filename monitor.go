@@ -1,0 +1,110 @@
+package retina
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// LiveStats is a point-in-time snapshot of a running Runtime, safe to
+// take from any goroutine while Run is in progress. It backs the
+// real-time monitoring of packet loss, throughput, and memory usage the
+// paper describes in §5.3 as the feedback loop for tuning filters and
+// callbacks.
+type LiveStats struct {
+	When time.Time
+
+	RxFrames  uint64 // frames offered to the port
+	Delivered uint64 // frames enqueued to receive rings
+	HWDropped uint64 // dropped by the hardware filter
+	Sunk      uint64 // diverted by RSS sampling
+	Loss      uint64 // ring overflows + buffer exhaustion
+
+	Conns     int // connections currently tracked across cores
+	PoolFree  int // free packet buffers
+	PoolTotal int
+}
+
+// LossRate is the fraction of post-hardware-filter traffic lost.
+func (s LiveStats) LossRate() float64 {
+	offered := s.Delivered + s.Loss
+	if offered == 0 {
+		return 0
+	}
+	return float64(s.Loss) / float64(offered)
+}
+
+// LiveStats snapshots the runtime. All counters read atomically; the
+// snapshot is consistent enough for monitoring (not a linearizable
+// cut across cores).
+func (r *Runtime) LiveStats() LiveStats {
+	ns := r.dev.Stats()
+	s := LiveStats{
+		When:      time.Now(),
+		RxFrames:  ns.RxFrames,
+		Delivered: ns.Delivered,
+		HWDropped: ns.HWDropped,
+		Sunk:      ns.Sunk,
+		Loss:      ns.Loss(),
+		PoolFree:  r.pool.Available(),
+		PoolTotal: r.pool.Size(),
+	}
+	for _, c := range r.cores {
+		s.Conns += c.Table().ConcurrentLen()
+	}
+	return s
+}
+
+// Monitor starts a goroutine that invokes fn with a LiveStats snapshot
+// every interval until the returned stop function is called. Use it
+// alongside Run to observe loss and memory pressure in real time:
+//
+//	stop := rt.Monitor(time.Second, func(s retina.LiveStats) {
+//		log.Printf("rx=%d loss=%d conns=%d", s.RxFrames, s.Loss, s.Conns)
+//	})
+//	defer stop()
+//	rt.Run(src)
+func (r *Runtime) Monitor(interval time.Duration, fn func(LiveStats)) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fn(r.LiveStats())
+			}
+		}
+	}()
+	// stop blocks until the monitor goroutine has exited, so callers may
+	// safely inspect state fn was writing.
+	return func() {
+		close(done)
+		<-exited
+	}
+}
+
+// LogMonitor is a convenience Monitor that writes one status line per
+// interval, mirroring Retina's performance log output.
+func (r *Runtime) LogMonitor(w io.Writer, interval time.Duration) (stop func()) {
+	var last LiveStats
+	start := time.Now()
+	return r.Monitor(interval, func(s LiveStats) {
+		dt := s.When.Sub(last.When)
+		if last.When.IsZero() {
+			dt = s.When.Sub(start)
+		}
+		rate := float64(s.Delivered-last.Delivered) / dt.Seconds()
+		fmt.Fprintf(w, "[retina] rx=%d delivered=%d (%.0f pps) hw_drop=%d loss=%d (%.4f%%) conns=%d pool=%d/%d\n",
+			s.RxFrames, s.Delivered, rate, s.HWDropped, s.Loss, s.LossRate()*100,
+			s.Conns, s.PoolFree, s.PoolTotal)
+		last = s
+	})
+}

@@ -1,0 +1,378 @@
+// Package retina is a Go reproduction of Retina (SIGCOMM 2022), a
+// framework for analyzing 100GbE-class network traffic by subscribing to
+// filtered, reassembled, and parsed network data.
+//
+// Users subscribe with a filter string and a typed callback:
+//
+//	cfg := retina.DefaultConfig()
+//	cfg.Filter = `tls.sni matches '.*\.com$'`
+//	rt, err := retina.New(cfg, retina.TLSHandshakes(func(h *retina.TLSHandshake, ev *retina.SessionEvent) {
+//		log.Printf("TLS handshake with %s using %s", h.SNI, h.CipherName())
+//	}))
+//	...
+//	rt.Run(source)
+//
+// The runtime decomposes the filter into hardware, packet, connection and
+// session sub-filters; distributes traffic across per-core pipelines with
+// symmetric RSS; and lazily reconstructs only the data each subscription
+// needs. Packet capture hardware is simulated (see DESIGN.md): traffic
+// enters through a Source, typically the synthetic generator in
+// internal/traffic or a pcap file.
+package retina
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"retina/internal/conntrack"
+	"retina/internal/core"
+	"retina/internal/filter"
+	"retina/internal/mbuf"
+	"retina/internal/nic"
+	"retina/internal/proto"
+)
+
+// Re-exported data types delivered to callbacks.
+type (
+	// Packet is a raw frame delivered to packet subscriptions.
+	Packet = core.Packet
+	// ConnRecord is a connection record delivered at termination.
+	ConnRecord = core.ConnRecord
+	// SessionEvent is a parsed application-layer session.
+	SessionEvent = core.SessionEvent
+	// StreamChunk is an ordered run of reconstructed stream bytes.
+	StreamChunk = core.StreamChunk
+	// TLSHandshake is a parsed TLS handshake transcript.
+	TLSHandshake = proto.TLSHandshake
+	// HTTPTransaction is a parsed HTTP request/response exchange.
+	HTTPTransaction = proto.HTTPTransaction
+	// SSHHandshake is a parsed SSH version exchange.
+	SSHHandshake = proto.SSHHandshake
+	// DNSMessage is a parsed DNS message.
+	DNSMessage = proto.DNSMessage
+	// Subscription couples a callback with a data level.
+	Subscription = core.Subscription
+)
+
+// Packets subscribes to raw frames (L2–L3 view, §3.2.2).
+func Packets(cb func(*Packet)) *Subscription {
+	return &Subscription{Level: core.LevelPacket, OnPacket: cb}
+}
+
+// Connections subscribes to reassembled connection records (L4 view).
+func Connections(cb func(*ConnRecord)) *Subscription {
+	return &Subscription{Level: core.LevelConnection, OnConn: cb}
+}
+
+// Sessions subscribes to parsed application-layer sessions (L5–7 view)
+// for the protocols the filter names.
+func Sessions(cb func(*SessionEvent)) *Subscription {
+	return &Subscription{Level: core.LevelSession, OnSession: cb}
+}
+
+// ByteStreams subscribes to fully reconstructed byte-streams: ordered
+// payload chunks for every connection matching the filter (the
+// additional subscribable type of §3.3). Bytes of connections whose
+// filter verdict is pending are buffered (bounded) and flushed on match;
+// out-of-scope connections never have their bytes copied.
+func ByteStreams(cb func(*StreamChunk)) *Subscription {
+	return &Subscription{Level: core.LevelStream, OnStream: cb}
+}
+
+// TLSHandshakes subscribes to parsed TLS handshakes regardless of
+// whether the filter mentions tls.
+func TLSHandshakes(cb func(*TLSHandshake, *SessionEvent)) *Subscription {
+	return &Subscription{
+		Level:         core.LevelSession,
+		SessionProtos: []string{"tls"},
+		OnSession: func(ev *SessionEvent) {
+			if h := ev.TLS(); h != nil {
+				cb(h, ev)
+			}
+		},
+	}
+}
+
+// HTTPTransactions subscribes to parsed HTTP transactions.
+func HTTPTransactions(cb func(*HTTPTransaction, *SessionEvent)) *Subscription {
+	return &Subscription{
+		Level:         core.LevelSession,
+		SessionProtos: []string{"http"},
+		OnSession: func(ev *SessionEvent) {
+			if h := ev.HTTP(); h != nil {
+				cb(h, ev)
+			}
+		},
+	}
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// Filter is the subscription filter expression ("" = everything).
+	Filter string
+	// Cores is the number of processing cores (receive queues).
+	Cores int
+	// RingSize bounds each receive ring; overflows are packet loss.
+	RingSize int
+	// PoolSize is the packet buffer pool size.
+	PoolSize int
+	// Interpreted selects the interpreted filter engine (Appendix B
+	// baseline) instead of the compiled engine.
+	Interpreted bool
+	// HardwareFilter installs generated flow rules on the (simulated)
+	// NIC. Off by default, matching the paper's Figure 5/6 setup.
+	HardwareFilter bool
+	// SinkFraction diverts this fraction of flows to a sink core
+	// (§6.1's rate titration); 0 disables.
+	SinkFraction float64
+	// EstablishTimeout and InactivityTimeout override the connection
+	// tracker's defaults (5s / 5m of virtual time). Negative disables
+	// the timeout; zero selects the default.
+	EstablishTimeout  time.Duration
+	InactivityTimeout time.Duration
+	// MaxOutOfOrder bounds per-connection reorder buffers (default 500).
+	MaxOutOfOrder int
+	// Profile enables per-stage timing (Figure 7).
+	Profile bool
+	// Modules registers user-defined protocol modules (the
+	// extensibility mechanism of §3.3 / Appendix A): each contributes
+	// filter-language identifiers and a per-connection parser.
+	Modules []ProtocolModule
+}
+
+// ProtocolModule bundles the two halves of a protocol extension: filter
+// metadata (protocol name, parent, filterable fields) and the stateful
+// parser factory. The protocol's sessions implement proto.Data and are
+// delivered to session subscriptions like any built-in protocol's.
+type ProtocolModule struct {
+	Filter *filter.ProtoDef
+	Parser proto.Factory
+}
+
+// DefaultConfig returns the paper's defaults.
+func DefaultConfig() Config {
+	return Config{
+		Cores:    4,
+		RingSize: 8192,
+		PoolSize: 65536,
+	}
+}
+
+func (c Config) conntrack() conntrack.Config {
+	cfg := conntrack.DefaultConfig()
+	switch {
+	case c.EstablishTimeout < 0:
+		cfg.EstablishTimeout = 0
+	case c.EstablishTimeout > 0:
+		cfg.EstablishTimeout = uint64(c.EstablishTimeout / time.Microsecond)
+	}
+	switch {
+	case c.InactivityTimeout < 0:
+		cfg.InactivityTimeout = 0
+	case c.InactivityTimeout > 0:
+		cfg.InactivityTimeout = uint64(c.InactivityTimeout / time.Microsecond)
+	}
+	return cfg
+}
+
+// Source supplies frames to the runtime with virtual-clock receive
+// ticks (1 tick = 1µs). Implementations include the synthetic traffic
+// generator and the pcap reader in internal/traffic.
+type Source interface {
+	// Next returns the next frame and its tick; ok=false ends input.
+	// The returned slice is only read before the next call.
+	Next() (frame []byte, tick uint64, ok bool)
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	NIC   nic.Stats
+	Cores []core.CoreStats
+	// Stages aggregates stage counters across cores.
+	Stages *core.StageStats
+	// ConnsLive and MemoryBytes snapshot the connection tables at the
+	// end of the run (before the final flush).
+	ConnsLive   int
+	MemoryBytes uint64
+	// Elapsed is the wall-clock processing time.
+	Elapsed time.Duration
+	// LastTick is the final virtual tick observed.
+	LastTick uint64
+}
+
+// Loss reports packets lost after hardware filtering.
+func (s Stats) Loss() uint64 { return s.NIC.Loss() }
+
+// Runtime is a configured Retina instance.
+type Runtime struct {
+	cfg   Config
+	prog  *filter.Program
+	dev   *nic.NIC
+	pool  *mbuf.Pool
+	cores []*core.Core
+	sub   *Subscription
+}
+
+// New compiles the filter, builds the simulated device and the per-core
+// pipelines, and installs hardware rules if requested.
+func New(cfg Config, sub *Subscription) (*Runtime, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 8192
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = cfg.Cores*cfg.RingSize + 4096
+	}
+	if sub == nil {
+		return nil, fmt.Errorf("retina: nil subscription")
+	}
+
+	capModel := nic.CapabilityModel{}
+	if cfg.HardwareFilter {
+		capModel = nic.ConnectX5Model()
+	}
+
+	engine := filter.EngineCompiled
+	if cfg.Interpreted {
+		engine = filter.EngineInterpreted
+	}
+	var hwCap filter.Capability
+	if cfg.HardwareFilter {
+		hwCap = capModel
+	}
+	var freg *filter.Registry
+	extraParsers := map[string]proto.Factory{}
+	if len(cfg.Modules) > 0 {
+		freg = filter.DefaultRegistry()
+		for _, mod := range cfg.Modules {
+			if mod.Filter == nil || mod.Parser == nil {
+				return nil, fmt.Errorf("retina: protocol module needs both filter metadata and a parser")
+			}
+			if err := freg.Register(mod.Filter); err != nil {
+				return nil, err
+			}
+			extraParsers[mod.Filter.Name] = mod.Parser
+		}
+	}
+	prog, err := filter.Compile(cfg.Filter, filter.Options{Engine: engine, HW: hwCap, Registry: freg})
+	if err != nil {
+		return nil, err
+	}
+
+	pool := mbuf.NewPool(cfg.PoolSize, mbuf.DefaultBufSize)
+	dev := nic.New(nic.Config{
+		Queues:     cfg.Cores,
+		RingSize:   cfg.RingSize,
+		Pool:       pool,
+		Capability: capModel,
+	})
+	if cfg.HardwareFilter {
+		if err := dev.InstallRules(prog.Rules); err != nil {
+			return nil, fmt.Errorf("retina: installing hardware rules: %w", err)
+		}
+	}
+	if cfg.SinkFraction > 0 {
+		dev.SetSinkFraction(cfg.SinkFraction)
+	}
+
+	rt := &Runtime{cfg: cfg, prog: prog, dev: dev, pool: pool, sub: sub}
+	for i := 0; i < cfg.Cores; i++ {
+		c, err := core.NewCore(i, core.Config{
+			Program:       prog,
+			Sub:           sub,
+			Conntrack:     cfg.conntrack(),
+			MaxOutOfOrder: cfg.MaxOutOfOrder,
+			Profile:       cfg.Profile,
+			ExtraParsers:  extraParsers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rt.cores = append(rt.cores, c)
+	}
+	return rt, nil
+}
+
+// Program exposes the compiled filter (rule inspection, diagnostics).
+func (r *Runtime) Program() *filter.Program { return r.prog }
+
+// NIC exposes the simulated device (benchmark harness access).
+func (r *Runtime) NIC() *nic.NIC { return r.dev }
+
+// Pool exposes the packet buffer pool (benchmark harness access).
+func (r *Runtime) Pool() *mbuf.Pool { return r.pool }
+
+// Cores exposes the per-core pipelines (benchmark harness access).
+func (r *Runtime) Cores() []*core.Core { return r.cores }
+
+// Run pumps the source through the device and per-core pipelines until
+// the source is exhausted, then flushes remaining connections and
+// returns the run's statistics. Callbacks run inline on core
+// goroutines; a callback shared across cores must be safe for
+// concurrent use.
+func (r *Runtime) Run(src Source) Stats {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, c := range r.cores {
+		wg.Add(1)
+		go func(c *core.Core, q int) {
+			defer wg.Done()
+			c.Run(r.dev.Queue(q))
+		}(c, i)
+	}
+
+	var lastTick uint64
+	for {
+		frame, tick, ok := src.Next()
+		if !ok {
+			break
+		}
+		r.dev.Deliver(frame, tick)
+		lastTick = tick
+	}
+	r.dev.Close()
+	wg.Wait()
+	return r.stats(start, lastTick)
+}
+
+func (r *Runtime) stats(start time.Time, lastTick uint64) Stats {
+	st := Stats{
+		NIC:      r.dev.Stats(),
+		Stages:   core.NewStageStats(false),
+		Elapsed:  time.Since(start),
+		LastTick: lastTick,
+	}
+	for _, c := range r.cores {
+		st.Cores = append(st.Cores, c.Stats())
+		st.Stages.Merge(c.StageStats())
+		st.ConnsLive += c.Table().Len()
+		st.MemoryBytes += c.Table().MemoryBytes()
+	}
+	return st
+}
+
+// RunOffline processes frames on a single core directly, bypassing the
+// simulated NIC — the paper's offline mode used in Appendix B.
+func (r *Runtime) RunOffline(src Source) Stats {
+	start := time.Now()
+	c := r.cores[0]
+	var lastTick uint64
+	for {
+		frame, tick, ok := src.Next()
+		if !ok {
+			break
+		}
+		m, err := r.pool.AllocData(frame)
+		if err != nil {
+			continue
+		}
+		m.RxTick = tick
+		c.ProcessMbuf(m)
+		lastTick = tick
+	}
+	c.Flush()
+	return r.stats(start, lastTick)
+}

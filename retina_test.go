@@ -1,0 +1,430 @@
+package retina
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"retina/internal/conntrack"
+	"retina/internal/filter"
+	"retina/internal/layers"
+	"retina/internal/proto"
+	"retina/internal/traffic"
+)
+
+func TestEndToEndTLSHandshakes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Filter = `tls.sni matches 'nflxvideo'`
+	cfg.Cores = 2
+
+	var mu sync.Mutex
+	var snis []string
+	rt, err := New(cfg, TLSHandshakes(func(h *TLSHandshake, ev *SessionEvent) {
+		mu.Lock()
+		snis = append(snis, h.SNI)
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 42, Flows: 600, Gbps: 20})
+	stats := rt.Run(src)
+
+	if len(snis) == 0 {
+		t.Fatal("no netflix handshakes delivered")
+	}
+	for _, s := range snis {
+		if !strings.Contains(s, "nflxvideo") {
+			t.Fatalf("filter leaked SNI %q", s)
+		}
+	}
+	if stats.NIC.RxFrames == 0 || stats.NIC.Delivered == 0 {
+		t.Fatalf("NIC stats empty: %+v", stats.NIC)
+	}
+	if stats.Loss() != 0 {
+		t.Fatalf("unexpected loss: %d", stats.Loss())
+	}
+}
+
+func TestEndToEndConnRecordsAcrossCores(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Filter = "ipv4 and tcp"
+	cfg.Cores = 4
+
+	var count atomic.Uint64
+	coreSeen := [8]atomic.Uint64{}
+	rt, err := New(cfg, Connections(func(r *ConnRecord) {
+		count.Add(1)
+		coreSeen[r.CoreID].Add(1)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 5, Flows: 800, Gbps: 40})
+	rt.Run(src)
+
+	if count.Load() < 400 {
+		t.Fatalf("records = %d, too few", count.Load())
+	}
+	// RSS should spread connections over all cores.
+	busy := 0
+	for i := 0; i < 4; i++ {
+		if coreSeen[i].Load() > 0 {
+			busy++
+		}
+	}
+	if busy < 3 {
+		t.Fatalf("only %d of 4 cores saw connections", busy)
+	}
+}
+
+func TestEndToEndPacketsWithHardwareFilter(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Filter = "udp"
+	cfg.Cores = 2
+	cfg.HardwareFilter = true
+
+	var pkts atomic.Uint64
+	rt, err := New(cfg, Packets(func(p *Packet) { pkts.Add(1) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Program().Rules) == 0 {
+		t.Fatal("no hardware rules generated")
+	}
+	src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 9, Flows: 300, Gbps: 20})
+	stats := rt.Run(src)
+
+	if pkts.Load() == 0 {
+		t.Fatal("no UDP packets delivered")
+	}
+	if stats.NIC.HWDropped == 0 {
+		t.Fatal("hardware filter dropped nothing (TCP should be dropped)")
+	}
+	// Every packet that reached software matched the filter: software
+	// filter drops only what hardware could not express (here: none).
+	var swDrops uint64
+	for _, cs := range stats.Cores {
+		swDrops += cs.FilterDropped
+	}
+	if swDrops != 0 {
+		t.Fatalf("software dropped %d packets despite exact hardware rule", swDrops)
+	}
+}
+
+func TestSinkFractionReducesDelivery(t *testing.T) {
+	mk := func(sink float64) uint64 {
+		cfg := DefaultConfig()
+		cfg.Cores = 2
+		cfg.SinkFraction = sink
+		rt, err := New(cfg, Packets(func(*Packet) {}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 31, Flows: 300, Gbps: 20})
+		st := rt.Run(src)
+		return st.NIC.Delivered
+	}
+	full := mk(0)
+	half := mk(0.5)
+	if half >= full {
+		t.Fatalf("sink did not reduce delivery: %d vs %d", half, full)
+	}
+	ratio := float64(half) / float64(full)
+	if ratio < 0.2 || ratio > 0.8 {
+		t.Fatalf("sink ratio %.2f far from 0.5", ratio)
+	}
+}
+
+func TestOfflinePcapMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.pcap")
+	gen := traffic.NewCampusMix(traffic.CampusConfig{Seed: 77, Flows: 150, Gbps: 10})
+	if _, err := traffic.WriteSourceToPcap(gen, path); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Filter = "tls"
+	cfg.Cores = 1
+	var sessions int
+	rt, err := New(cfg, Sessions(func(ev *SessionEvent) { sessions++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := traffic.OpenPcap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	stats := rt.RunOffline(r)
+	if sessions == 0 {
+		t.Fatal("offline mode delivered no TLS sessions")
+	}
+	if stats.Cores[0].Processed == 0 {
+		t.Fatal("no packets processed")
+	}
+}
+
+func TestInterpretedEngineEquivalence(t *testing.T) {
+	run := func(interpreted bool) uint64 {
+		cfg := DefaultConfig()
+		cfg.Filter = `tcp.port = 443 and tls.sni ~ 'nflxvideo'`
+		cfg.Cores = 1
+		cfg.Interpreted = interpreted
+		var n atomic.Uint64
+		rt, err := New(cfg, Sessions(func(*SessionEvent) { n.Add(1) }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 12, Flows: 400, Gbps: 20})
+		rt.RunOffline(src)
+		return n.Load()
+	}
+	c, i := run(false), run(true)
+	if c == 0 || c != i {
+		t.Fatalf("engines disagree: compiled=%d interpreted=%d", c, i)
+	}
+}
+
+func TestTimeoutOverrides(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EstablishTimeout = 2 * time.Second
+	cfg.InactivityTimeout = -1 // disabled
+	ct := cfg.conntrack()
+	if ct.EstablishTimeout != 2_000_000 {
+		t.Fatalf("establish = %d", ct.EstablishTimeout)
+	}
+	if ct.InactivityTimeout != 0 {
+		t.Fatalf("inactivity = %d", ct.InactivityTimeout)
+	}
+}
+
+func TestBadFilterRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Filter = "bogus.field > 1"
+	if _, err := New(cfg, Packets(func(*Packet) {})); err == nil {
+		t.Fatal("bad filter accepted")
+	}
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Fatal("nil subscription accepted")
+	}
+}
+
+func TestSMTPSessionsEndToEnd(t *testing.T) {
+	// §2's "all SMTP sessions" use case, end to end.
+	cfg := DefaultConfig()
+	cfg.Filter = `smtp.mail_from matches 'campus\.edu$'`
+	cfg.Cores = 1
+	var froms []string
+	rt, err := New(cfg, Sessions(func(ev *SessionEvent) {
+		s := ev.Session.Data.(*proto.SMTPSession)
+		froms = append(froms, s.MailFrom)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 29, Flows: 800, Gbps: 20})
+	rt.RunOffline(src)
+	if len(froms) == 0 {
+		t.Fatal("no SMTP sessions delivered")
+	}
+	for _, f := range froms {
+		if !strings.HasSuffix(f, "campus.edu") {
+			t.Fatalf("filter leaked sender %q", f)
+		}
+	}
+}
+
+// echoParser is a minimal user-defined protocol for the Modules test: it
+// matches streams starting with "ECHO " and exposes the echoed word.
+type echoParser struct {
+	word string
+	out  []*proto.Session
+}
+
+type echoData struct{ word string }
+
+func (d *echoData) ProtoName() string { return "echo" }
+func (d *echoData) StringField(name string) (string, bool) {
+	if name == "word" {
+		return d.word, true
+	}
+	return "", false
+}
+func (d *echoData) IntField(string) (uint64, bool) { return 0, false }
+
+func (p *echoParser) Name() string { return "echo" }
+func (p *echoParser) Probe(data []byte, orig bool) proto.ProbeResult {
+	if !orig || len(data) < 5 {
+		return proto.ProbeUnsure
+	}
+	if string(data[:5]) == "ECHO " {
+		return proto.ProbeMatch
+	}
+	return proto.ProbeReject
+}
+func (p *echoParser) Parse(data []byte, orig bool) proto.ParseResult {
+	if !orig {
+		return proto.ParseContinue
+	}
+	if len(data) > 5 {
+		p.out = append(p.out, &proto.Session{ID: 1, Proto: "echo",
+			Data: &echoData{word: strings.TrimSpace(string(data[5:]))}})
+		return proto.ParseDone
+	}
+	return proto.ParseContinue
+}
+func (p *echoParser) DrainSessions() []*proto.Session {
+	s := p.out
+	p.out = nil
+	return s
+}
+func (p *echoParser) SessionMatchState() conntrack.State   { return conntrack.StateTrack }
+func (p *echoParser) SessionNoMatchState() conntrack.State { return conntrack.StateTrack }
+
+func TestUserProtocolModule(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	cfg.Filter = `echo.word = 'hello'`
+	cfg.Modules = []ProtocolModule{{
+		Filter: &filter.ProtoDef{
+			Name:    "echo",
+			Layer:   filter.LayerConnection,
+			Parents: []string{"tcp"},
+			Fields: map[string]*filter.FieldDef{
+				"word": {Name: "word", Kind: filter.KindString, Layer: filter.LayerSession},
+			},
+		},
+		Parser: func() proto.Parser { return &echoParser{} },
+	}}
+
+	var words []string
+	rt, err := New(cfg, Sessions(func(ev *SessionEvent) {
+		words = append(words, ev.Session.Data.(*echoData).word)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build two echo flows (one matching, one not) with raw packets.
+	var b layers.Builder
+	mk := func(sport uint16, word string, seq uint32) [][]byte {
+		spec := func(flags uint8, payload []byte, s uint32) []byte {
+			return b.Build(&layers.PacketSpec{
+				SrcIP4: layers.ParseAddr4("10.0.0.5"), DstIP4: layers.ParseAddr4("10.0.0.6"),
+				Proto: layers.IPProtoTCP, SrcPort: sport, DstPort: 7,
+				Seq: s, TCPFlags: flags, Payload: payload,
+			})
+		}
+		return [][]byte{
+			spec(layers.TCPSyn, nil, seq),
+			spec(layers.TCPAck, []byte("ECHO "+word+"\n"), seq+1),
+		}
+	}
+	var frames [][]byte
+	frames = append(frames, mk(4001, "hello", 100)...)
+	frames = append(frames, mk(4002, "world", 500)...)
+	rt.RunOffline(&framesSource{frames: frames})
+
+	if len(words) != 1 || words[0] != "hello" {
+		t.Fatalf("words = %v, want [hello]", words)
+	}
+}
+
+type framesSource struct {
+	frames [][]byte
+	i      int
+}
+
+func (f *framesSource) Next() ([]byte, uint64, bool) {
+	if f.i >= len(f.frames) {
+		return nil, 0, false
+	}
+	fr := f.frames[f.i]
+	f.i++
+	return fr, uint64(f.i) * 1000, true
+}
+
+func TestQUICSessionsEndToEnd(t *testing.T) {
+	// QUIC Initial decryption in the live pipeline: subscribe to QUIC
+	// sessions by SNI, over the campus mix.
+	cfg := DefaultConfig()
+	cfg.Filter = `quic.sni ~ 'googlevideo|nflxvideo'`
+	cfg.Cores = 2
+	var mu sync.Mutex
+	var snis []string
+	rt, err := New(cfg, Sessions(func(ev *SessionEvent) {
+		q := ev.Session.Data.(*proto.QUICInitial)
+		mu.Lock()
+		snis = append(snis, q.SNI)
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 33, Flows: 1200, Gbps: 30})
+	rt.Run(src)
+	if len(snis) == 0 {
+		t.Fatal("no QUIC sessions delivered")
+	}
+	for _, s := range snis {
+		if !strings.Contains(s, "googlevideo") && !strings.Contains(s, "nflxvideo") {
+			t.Fatalf("filter leaked QUIC SNI %q", s)
+		}
+	}
+}
+
+func TestIPv6FilterSeesGeneratedIPv6(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Filter = "ipv6 and tcp"
+	cfg.Cores = 1
+	var v6pkts atomic.Uint64
+	rt, err := New(cfg, Packets(func(*Packet) { v6pkts.Add(1) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 17, Flows: 500, Gbps: 20})
+	rt.RunOffline(src)
+	if v6pkts.Load() == 0 {
+		t.Fatal("campus mix produced no IPv6 TCP packets")
+	}
+}
+
+func TestByteStreamsSubscription(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Filter = "http"
+	cfg.Cores = 1
+	var total int
+	rt, err := New(cfg, ByteStreams(func(ch *StreamChunk) { total += len(ch.Data) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 23, Flows: 200, Gbps: 20})
+	rt.RunOffline(src)
+	if total == 0 {
+		t.Fatal("byte-stream subscription delivered nothing")
+	}
+}
+
+func TestHTTPTransactionsSubscription(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Filter = "http"
+	cfg.Cores = 1
+	var hosts []string
+	rt, err := New(cfg, HTTPTransactions(func(tx *HTTPTransaction, ev *SessionEvent) {
+		hosts = append(hosts, tx.Host)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 21, Flows: 300, Gbps: 20})
+	rt.RunOffline(src)
+	if len(hosts) == 0 {
+		t.Fatal("no HTTP transactions delivered")
+	}
+}
