@@ -18,6 +18,21 @@ type AsyncStats struct {
 // Semantics:
 //   - Events are handed off by value; packet data is copied (inline
 //     callbacks may alias framework buffers, workers may not).
+//
+// Ownership audit — why a shallow copy of each event type is safe to
+// hand to another goroutine:
+//   - Packet.Data aliases a pooled mbuf that is recycled as soon as the
+//     inline callback returns, so it is the one field deep-copied here.
+//   - ConnRecord contains only value fields (FiveTuple is fixed-size
+//     arrays); the record is built on delivery and never touched again.
+//   - SessionEvent.Session is a pointer, but parsers construct a fresh
+//     Session per drain and never write to one after DrainSessions
+//     returns it (TLS guards every post-finish Parse with p.done; HTTP,
+//     SMTP, DNS, QUIC and SSH allocate a new data struct per session).
+//   - StreamChunk.Data is copied out of framework buffers exactly once,
+//     in emitStream, and ownership passes to the callback.
+//
+// TestAsyncNoRacesAcrossLevels locks this contract in under -race.
 //   - When the queue is full the event is dropped and counted, never
 //     blocking the data path — the same policy the inline model applies
 //     at the receive rings.

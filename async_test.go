@@ -85,6 +85,67 @@ func TestAsyncDropsWhenOverloaded(t *testing.T) {
 	}
 }
 
+// TestAsyncNoRacesAcrossLevels pins the ownership contract documented on
+// Async: session and stream events handed to worker goroutines must not
+// alias state the pipeline keeps mutating. Workers deliberately lag so
+// the pipeline runs far ahead (with a small buffer pool to force mbuf
+// recycling), then read retained fields; the race detector flags any
+// sharing violation.
+func TestAsyncNoRacesAcrossLevels(t *testing.T) {
+	run := func(name string, sub *Subscription, filter string, check func()) {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Filter = filter
+			cfg.Cores = 2
+			cfg.PoolSize = 512 // recycle buffers aggressively under the workers
+			wrapped, _, stop := Async(sub, 1<<14, 4)
+			rt, err := New(cfg, wrapped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 11, Flows: 400, Gbps: 20})
+			rt.Run(src)
+			stop()
+			check()
+		})
+	}
+
+	var mu sync.Mutex
+	var snis []string
+	run("sessions", Sessions(func(ev *SessionEvent) {
+		time.Sleep(10 * time.Microsecond)
+		if h := ev.TLS(); h != nil {
+			mu.Lock()
+			snis = append(snis, h.SNI)
+			mu.Unlock()
+		}
+	}), "tls", func() {
+		if len(snis) == 0 {
+			t.Fatal("no TLS sessions delivered")
+		}
+		for _, s := range snis {
+			if s == "" {
+				t.Fatal("retained SNI corrupted or empty")
+			}
+		}
+	})
+
+	var streamed atomic.Uint64
+	run("streams", ByteStreams(func(ch *StreamChunk) {
+		time.Sleep(10 * time.Microsecond)
+		var sum byte
+		for _, b := range ch.Data {
+			sum ^= b
+		}
+		_ = sum
+		streamed.Add(uint64(len(ch.Data)))
+	}), "tcp", func() {
+		if streamed.Load() == 0 {
+			t.Fatal("no stream bytes delivered")
+		}
+	})
+}
+
 func TestAsyncPreservesLevelAndProtos(t *testing.T) {
 	inner := TLSHandshakes(func(*TLSHandshake, *SessionEvent) {})
 	sub, _, stop := Async(inner, 8, 1)

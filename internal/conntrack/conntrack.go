@@ -12,6 +12,7 @@
 package conntrack
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"retina/internal/layers"
@@ -381,6 +382,42 @@ func (t *Table) Advance(tick uint64, onExpire func(*Conn, ExpireReason)) {
 		}
 		t.Remove(c, reason)
 	})
+}
+
+// CheckInvariants verifies the table's internal accounting. It is cheap
+// enough (O(conns)) to call from fuzz targets and tests after every
+// operation: the two indexes must mirror each other, the atomic count
+// must match, per-connection memory accounting must be non-negative, and
+// every created connection must be either live or expired — never both,
+// never neither (no leaks, no double-removal).
+func (t *Table) CheckInvariants() error {
+	if len(t.conns) != len(t.byID) {
+		return fmt.Errorf("conntrack: %d conns but %d byID entries", len(t.conns), len(t.byID))
+	}
+	if got := t.count.Load(); got != int64(len(t.conns)) {
+		return fmt.Errorf("conntrack: atomic count %d != len(conns) %d", got, len(t.conns))
+	}
+	for key, c := range t.conns {
+		canon, _ := c.Tuple.Canonical()
+		if canon != key {
+			return fmt.Errorf("conntrack: conn %d keyed at %v but canonical tuple is %v", c.ID, key, canon)
+		}
+		if byID, ok := t.byID[c.ID]; !ok || byID != c {
+			return fmt.Errorf("conntrack: conn %d missing or mismatched in byID", c.ID)
+		}
+		if c.ExtraMem < 0 {
+			return fmt.Errorf("conntrack: conn %d ExtraMem %d is negative", c.ID, c.ExtraMem)
+		}
+	}
+	totalExpired := uint64(0)
+	for _, n := range t.expired {
+		totalExpired += n
+	}
+	if t.created != uint64(len(t.conns))+totalExpired {
+		return fmt.Errorf("conntrack: created %d != live %d + expired %d (leak or double-remove)",
+			t.created, len(t.conns), totalExpired)
+	}
+	return t.wheel.CheckInvariants()
 }
 
 // Each iterates over all tracked connections (diagnostics, Figure 8

@@ -1,0 +1,126 @@
+package conntrack
+
+import (
+	"testing"
+
+	"retina/internal/layers"
+)
+
+// fuzzTuple derives one of a small set of five-tuples so op sequences
+// hit the same connections repeatedly (create/touch/remove interleaving
+// is where accounting bugs live, not in tuple diversity).
+func fuzzTuple(sel byte) layers.FiveTuple {
+	f := ft("10.0.0.1", "10.0.0.2", 1000+uint16(sel%8), 443)
+	if sel&0x10 != 0 {
+		f = f.Reverse()
+	}
+	if sel&0x20 != 0 {
+		f.Proto = layers.IPProtoUDP
+	}
+	return f
+}
+
+// FuzzTableOps drives a Table through an arbitrary byte-encoded sequence
+// of create/touch/advance/remove operations and checks the accounting
+// invariants (index mirroring, atomic count, created == live + expired,
+// timer-wheel Len consistency) after every single operation.
+func FuzzTableOps(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x42, 0x10, 0x02, 0x7f, 0x03, 0x00})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x02, 0xff, 0x02, 0xff, 0x02, 0xff})
+	f.Add([]byte{0x00, 0x05, 0x01, 0x05, 0x06, 0x03, 0x05, 0x00, 0x25})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := Config{
+			EstablishTimeout:  50,
+			InactivityTimeout: 200,
+			WheelGranularity:  10,
+			MaxConns:          6,
+		}
+		tbl := NewTable(cfg)
+		tick := uint64(0)
+		var live []*Conn
+		dropDead := func() {
+			kept := live[:0]
+			for _, c := range live {
+				if _, ok := tbl.byID[c.ID]; ok {
+					kept = append(kept, c)
+				}
+			}
+			live = kept
+		}
+		for i := 0; i < len(data); i++ {
+			op := data[i] % 4
+			arg := byte(0)
+			if i+1 < len(data) {
+				i++
+				arg = data[i]
+			}
+			switch op {
+			case 0: // create (or find)
+				if c, created, ok := tbl.GetOrCreate(fuzzTuple(arg), tick); ok && created {
+					live = append(live, c)
+				}
+			case 1: // touch an existing connection
+				if len(live) > 0 {
+					c := live[int(arg)%len(live)]
+					flags := uint8(arg & (layers.TCPSyn | layers.TCPAck | layers.TCPFin))
+					dir := c.Tuple
+					if arg&0x40 != 0 {
+						dir = c.Tuple.Reverse()
+					}
+					tbl.TouchSeq(c, dir, tick, 60+int(arg), int(arg), flags, uint32(arg)*17, arg&1 == 0)
+					c.ExtraMem += int(arg % 5)
+				}
+			case 2: // advance the clock
+				tick += uint64(arg) * 5
+				tbl.Advance(tick, func(c *Conn, r ExpireReason) {
+					if c == nil {
+						t.Fatal("onExpire with nil conn")
+					}
+				})
+				dropDead()
+			case 3: // explicit removal (termination / eviction)
+				if len(live) > 0 {
+					c := live[int(arg)%len(live)]
+					tbl.Remove(c, ExpireReason(arg%4))
+					dropDead()
+				}
+			}
+			if err := tbl.CheckInvariants(); err != nil {
+				t.Fatalf("op %d (%d): %v", i, op, err)
+			}
+			if tbl.MemoryBytes() < uint64(tbl.Len())*connBaseBytes {
+				t.Fatalf("MemoryBytes %d below base for %d conns", tbl.MemoryBytes(), tbl.Len())
+			}
+		}
+		// Drain everything: after expiring all connections nothing leaks.
+		tbl.Advance(tick+10_000_000, nil)
+		if err := tbl.CheckInvariants(); err != nil {
+			t.Fatalf("after drain: %v", err)
+		}
+		if tbl.Len() != 0 {
+			t.Fatalf("drain left %d connections", tbl.Len())
+		}
+	})
+}
+
+func TestCheckInvariantsAfterLifecycle(t *testing.T) {
+	tbl := NewTable(DefaultConfig())
+	fwd := ft("10.0.0.1", "10.0.0.2", 1234, 443)
+	c, _, _ := tbl.GetOrCreate(fwd, 0)
+	tbl.Touch(c, fwd, 10, 100, 60, layers.TCPSyn)
+	tbl.Touch(c, fwd.Reverse(), 20, 80, 40, layers.TCPSyn|layers.TCPAck)
+	c.ExtraMem += 4096
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Double-remove must not corrupt accounting.
+	tbl.Remove(c, ExpireTermination)
+	tbl.Remove(c, ExpireTermination)
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	created, expired := tbl.Stats()
+	if created != 1 || expired[ExpireTermination] != 1 {
+		t.Fatalf("stats created=%d expired=%v", created, expired)
+	}
+}

@@ -71,6 +71,15 @@ type connState struct {
 	finOrig    bool
 	finResp    bool
 
+	// frontier is the union of packet-filter frontier nodes matched by
+	// the connection's packets: every trie branch still viable for it.
+	// The connection filter must try all of them — a single mark commits
+	// to one branch and silently drops patterns matched on another.
+	frontier []int
+	// connMarks are the connection-filter nodes that matched once the
+	// service was identified; the session filter must likewise try all.
+	connMarks []int
+
 	// Byte-stream subscriptions: chunks copied while the verdict is
 	// pending, flushed on match.
 	streamBuf      []StreamChunk
@@ -226,11 +235,15 @@ func (c *Core) processStateful(m *mbuf.Mbuf, res filter.Result) {
 	if created {
 		c.stats.ConnsCreated++
 		conn.PktMark = m.Mark
-		c.initConn(conn)
-	} else if m.Mark > conn.PktMark && !c.state(conn).matched {
-		// A later packet matched deeper in the trie (e.g. a predicate
-		// satisfied only by some packets); keep the most specific mark.
-		conn.PktMark = m.Mark
+		c.initConn(conn, res)
+	} else if s := c.state(conn); !s.matched {
+		// A later packet may match different or deeper trie branches
+		// (e.g. a predicate satisfied only by some packets); keep the
+		// union of viable branches and the most specific mark.
+		s.addFrontier(res)
+		if m.Mark > conn.PktMark {
+			conn.PktMark = m.Mark
+		}
 	}
 	cs := c.state(conn)
 
@@ -274,18 +287,62 @@ func (c *Core) state(conn *conntrack.Conn) *connState {
 	return cs
 }
 
+// addFrontier unions a packet-filter result's frontier nodes into the
+// connection's viable-branch set.
+func (cs *connState) addFrontier(res filter.Result) {
+	res.FrontierNodes(func(n int) {
+		for _, have := range cs.frontier {
+			if have == n {
+				return
+			}
+		}
+		cs.frontier = append(cs.frontier, n)
+	})
+}
+
+// evalConn runs the connection filter from every viable packet-filter
+// frontier node, collecting all distinct matching connection nodes into
+// cs.connMarks. It returns the best verdict (terminal preferred) — a
+// single frontier node would commit the connection to one trie branch
+// and silently drop patterns matched on another.
+func (c *Core) evalConn(conn *conntrack.Conn, cs *connState) filter.Result {
+	best := filter.NoMatch
+	cs.connMarks = cs.connMarks[:0]
+	for _, pn := range cs.frontier {
+		r := c.prog.Conn(conn, pn)
+		if !r.Match {
+			continue
+		}
+		// A conn result can itself carry a frontier: the identified
+		// service may match on the mark and on an ancestor branch, each
+		// with its own session continuation.
+		r.FrontierNodes(func(node int) {
+			for _, mk := range cs.connMarks {
+				if mk == node {
+					return
+				}
+			}
+			cs.connMarks = append(cs.connMarks, node)
+		})
+		if !best.Match || (r.Terminal && !best.Terminal) {
+			best = r
+		}
+	}
+	return best
+}
+
 // initConn derives the connection's initial processing state from the
 // subscription and the packet filter verdict (Figure 4).
-func (c *Core) initConn(conn *conntrack.Conn) {
+func (c *Core) initConn(conn *conntrack.Conn, res filter.Result) {
 	cs := &connState{}
 	conn.UserData = cs
+	cs.addFrontier(res)
 
-	mark := int(conn.PktMark)
 	needParse := len(c.parReg.Names()) > 0
 
 	// A packet-terminal mark means the whole filter is already
 	// satisfied for this connection.
-	cr := c.prog.Conn(conn, mark)
+	cr := c.evalConn(conn, cs)
 	if cr.Match && cr.Terminal {
 		conn.ConnMark = cr.Node
 		cs.matched = true
@@ -469,7 +526,7 @@ func (c *Core) onServiceIdentified(conn *conntrack.Conn, cs *connState) {
 		conn.State = conntrack.StateParse
 		return
 	}
-	cr := c.prog.Conn(conn, int(conn.PktMark))
+	cr := c.evalConn(conn, cs)
 	if !cr.Match {
 		c.reject(conn, cs)
 		return
@@ -497,7 +554,18 @@ func (c *Core) onSessionParsed(conn *conntrack.Conn, cs *connState, s *proto.Ses
 	c.stats.SessionsSeen++
 	var ok bool
 	c.stages.Time(StageSessionFilter, func() {
-		ok = c.prog.Session(s.Data, conn.ConnMark)
+		if len(cs.connMarks) == 0 {
+			ok = c.prog.Session(s.Data, conn.ConnMark)
+			return
+		}
+		// Every matched connection node may carry different session
+		// predicates; any of them passing delivers the session.
+		for _, mark := range cs.connMarks {
+			if c.prog.Session(s.Data, mark) {
+				ok = true
+				return
+			}
+		}
 	})
 	if ok {
 		c.stats.SessionsMatch++

@@ -15,7 +15,7 @@ func GenerateGoSource(reg *Registry, t *Trie, pkg string) (string, error) {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "// Code generated for filter trie; mirrors Figure 3 of the paper.\n")
 	fmt.Fprintf(&sb, "package %s\n\n", pkg)
-	sb.WriteString("type filterResult struct{ match, terminal bool; node int }\n\n")
+	sb.WriteString("type filterResult struct {\n\tmatch, terminal bool\n\tnode            int\n\tfrontier        []int\n}\n\n")
 
 	if err := genPacketFilter(&sb, reg, t); err != nil {
 		return "", err
@@ -29,38 +29,73 @@ func GenerateGoSource(reg *Registry, t *Trie, pkg string) (string, error) {
 
 func genPacketFilter(sb *strings.Builder, reg *Registry, t *Trie) error {
 	sb.WriteString("func packetFilter(p *Parsed) filterResult {\n")
-	var walk func(n *Node, depth int) error
-	walk = func(n *Node, depth int) error {
+	sb.WriteString("\tvar nodes []int\n\tterm := -1\n")
+	// Every matching branch is explored (mirroring the closure engine's
+	// frontier collection): each node's block appends itself to the
+	// frontier only when none of its packet-layer children matched, and
+	// propagates a match flag to its parent.
+	var walk func(n *Node, depth int, parentFlag string) error
+	walk = func(n *Node, depth int, parentFlag string) error {
 		ind := strings.Repeat("\t", depth)
+		inner := ind + "\t"
 		cond, err := packetPredGo(reg, n.Pred)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(sb, "%sif %s { // node %d: %s\n", ind, cond, n.ID, n.Pred)
+		flag := fmt.Sprintf("m%d", n.ID)
+		hasPacketChild := false
 		hasNonPacketChild := false
 		for _, c := range n.Children {
-			if c.Layer != LayerPacket {
+			if c.Layer == LayerPacket {
+				hasPacketChild = true
+			} else {
 				hasNonPacketChild = true
-				continue
-			}
-			if err := walk(c, depth+1); err != nil {
-				return err
 			}
 		}
-		inner := strings.Repeat("\t", depth+1)
+		if hasPacketChild {
+			fmt.Fprintf(sb, "%s%s := false\n", inner, flag)
+			for _, c := range n.Children {
+				if c.Layer != LayerPacket {
+					continue
+				}
+				if err := walk(c, depth+1, flag); err != nil {
+					return err
+				}
+			}
+		}
 		switch {
 		case n.Terminal:
-			fmt.Fprintf(sb, "%sreturn filterResult{true, true, %d}\n", inner, n.ID)
+			fmt.Fprintf(sb, "%snodes = append(nodes, %d)\n", inner, n.ID)
+			fmt.Fprintf(sb, "%sif term < 0 {\n%s\tterm = %d\n%s}\n", inner, inner, n.ID, inner)
+			if parentFlag != "" {
+				fmt.Fprintf(sb, "%s%s = true\n", inner, parentFlag)
+			}
+		case hasPacketChild:
+			if hasNonPacketChild {
+				fmt.Fprintf(sb, "%sif !%s {\n%s\tnodes = append(nodes, %d)\n%s\t%s = true\n%s}\n",
+					inner, flag, inner, n.ID, inner, flag, inner)
+			}
+			if parentFlag != "" {
+				fmt.Fprintf(sb, "%sif %s {\n%s\t%s = true\n%s}\n", inner, flag, inner, parentFlag, inner)
+			} else if !hasNonPacketChild {
+				fmt.Fprintf(sb, "%s_ = %s\n", inner, flag)
+			}
 		case hasNonPacketChild:
-			fmt.Fprintf(sb, "%sreturn filterResult{true, false, %d}\n", inner, n.ID)
+			fmt.Fprintf(sb, "%snodes = append(nodes, %d)\n", inner, n.ID)
+			if parentFlag != "" {
+				fmt.Fprintf(sb, "%s%s = true\n", inner, parentFlag)
+			}
 		}
 		fmt.Fprintf(sb, "%s}\n", ind)
 		return nil
 	}
-	if err := walk(t.Root, 1); err != nil {
+	if err := walk(t.Root, 1, ""); err != nil {
 		return err
 	}
-	sb.WriteString("\treturn filterResult{}\n}\n\n")
+	sb.WriteString("\tif len(nodes) == 0 {\n\t\treturn filterResult{}\n\t}\n")
+	sb.WriteString("\tif term >= 0 {\n\t\treturn filterResult{true, true, term, nodes}\n\t}\n")
+	sb.WriteString("\treturn filterResult{true, false, nodes[0], nodes}\n}\n\n")
 	return nil
 }
 
@@ -98,6 +133,7 @@ func packetPredGo(reg *Registry, pred Predicate) (string, error) {
 
 func genConnFilter(sb *strings.Builder, t *Trie) {
 	sb.WriteString("func connFilter(conn ConnData, pktTermNode int) filterResult {\n")
+	sb.WriteString("\tvar nodes []int\n\tterm := -1\n")
 	sb.WriteString("\tswitch pktTermNode {\n")
 	for _, n := range t.Nodes {
 		if n.Layer != LayerPacket || !isPacketMark(n) {
@@ -105,16 +141,25 @@ func genConnFilter(sb *strings.Builder, t *Trie) {
 		}
 		fmt.Fprintf(sb, "\tcase %d:\n", n.ID)
 		if n.Terminal {
-			fmt.Fprintf(sb, "\t\treturn filterResult{true, true, %d}\n", n.ID)
+			fmt.Fprintf(sb, "\t\treturn filterResult{match: true, terminal: true, node: %d}\n", n.ID)
 			continue
 		}
+		// Every branch with the identified service joins the frontier —
+		// the same service may appear on the mark and on an ancestor,
+		// with different session continuations.
 		for _, b := range collectConnBranches(n) {
-			fmt.Fprintf(sb, "\t\tif conn.Service() == %q {\n", b.proto)
-			fmt.Fprintf(sb, "\t\t\treturn filterResult{true, %v, %d}\n", b.terminal, b.node)
+			fmt.Fprintf(sb, "\t\tif conn.Service() == %q { // node %d\n", b.proto, b.node)
+			fmt.Fprintf(sb, "\t\t\tnodes = append(nodes, %d)\n", b.node)
+			if b.terminal {
+				fmt.Fprintf(sb, "\t\t\tif term < 0 {\n\t\t\t\tterm = %d\n\t\t\t}\n", b.node)
+			}
 			sb.WriteString("\t\t}\n")
 		}
 	}
-	sb.WriteString("\t}\n\treturn filterResult{}\n}\n\n")
+	sb.WriteString("\t}\n")
+	sb.WriteString("\tif len(nodes) == 0 {\n\t\treturn filterResult{}\n\t}\n")
+	sb.WriteString("\tif term >= 0 {\n\t\treturn filterResult{true, true, term, nodes}\n\t}\n")
+	sb.WriteString("\treturn filterResult{true, false, nodes[0], nodes}\n}\n\n")
 }
 
 func genSessionFilter(sb *strings.Builder, reg *Registry, t *Trie) error {

@@ -15,6 +15,44 @@ type Result struct {
 	Match    bool
 	Terminal bool
 	Node     int
+
+	// Frontier lists every matched frontier node when the packet
+	// satisfied more than one disjoint trie branch (nil when Node is the
+	// only one). The connection filter must consider all of them: a
+	// packet matching both `tcp.port = 8080 and tls` and `ipv4.ttl > 5
+	// and http` stays viable for either service, and committing to a
+	// single branch silently drops the other pattern.
+	Frontier []int
+}
+
+// Equal reports full equality including the frontier (used by the
+// engine-differential tests; == no longer applies with a slice field).
+func (r Result) Equal(o Result) bool {
+	if r.Match != o.Match || r.Terminal != o.Terminal || r.Node != o.Node ||
+		len(r.Frontier) != len(o.Frontier) {
+		return false
+	}
+	for i := range r.Frontier {
+		if r.Frontier[i] != o.Frontier[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FrontierNodes invokes fn for each matched frontier node (Node alone
+// when Frontier is nil).
+func (r Result) FrontierNodes(fn func(int)) {
+	if !r.Match {
+		return
+	}
+	if r.Frontier == nil {
+		fn(r.Node)
+		return
+	}
+	for _, n := range r.Frontier {
+		fn(n)
+	}
 }
 
 // NoMatch is the zero Result.
@@ -97,27 +135,67 @@ func compilePacketPred(reg *Registry, pred Predicate) (func(p *layers.Parsed) bo
 	}, nil
 }
 
+// pktAcc accumulates the matched frontier during one packet-filter
+// evaluation: every deepest matched node across all trie branches, plus
+// the first terminal among them.
+type pktAcc struct {
+	nodes    []int
+	terminal int // first terminal node matched; -1 if none
+}
+
+// frontierResult converts an accumulated frontier into a Result. The
+// deepest-first DFS order is stable for a given trie, so both engines
+// (and the emitted Go source) produce identical Frontier slices.
+func frontierResult(acc *pktAcc) Result {
+	if len(acc.nodes) == 0 {
+		return NoMatch
+	}
+	r := Result{Match: true, Node: acc.nodes[0]}
+	if acc.terminal >= 0 {
+		r.Terminal = true
+		r.Node = acc.terminal
+	}
+	if len(acc.nodes) > 1 {
+		// Copy out of the stack buffer only in the (rare) multi-branch
+		// case; single-branch matches stay allocation-free.
+		r.Frontier = append([]int(nil), acc.nodes...)
+	}
+	return r
+}
+
 // CompilePacketFilter generates the software packet filter from the
 // trie. The returned closure tree mirrors the nested conditionals of the
 // paper's generated Rust (Figure 3): each packet-layer node becomes one
 // matcher; on success, packet-layer children are tried depth-first, and
-// if none match, the node itself yields a terminal match (pattern
-// complete) or a non-terminal match (connection/session predicates
-// remain on a direct child).
+// if none match, the node itself joins the matched frontier as a
+// terminal match (pattern complete) or a non-terminal match
+// (connection/session predicates remain on a direct child). All matching
+// branches are explored — not just the first — so the connection filter
+// can resume from every still-viable pattern.
 func CompilePacketFilter(reg *Registry, t *Trie) (PacketFilterFunc, error) {
 	root, err := compilePacketNode(reg, t.Root)
 	if err != nil {
 		return nil, err
 	}
-	return func(p *layers.Parsed) Result { return root(p) }, nil
+	return func(p *layers.Parsed) Result {
+		var buf [8]int
+		acc := pktAcc{nodes: buf[:0], terminal: -1}
+		root(p, &acc)
+		return frontierResult(&acc)
+	}, nil
 }
 
-func compilePacketNode(reg *Registry, n *Node) (func(p *layers.Parsed) Result, error) {
+// compilePacketNode builds the matcher for one trie node. The returned
+// closure reports whether its subtree contributed at least one frontier
+// node; a node whose packet-layer children matched does not join the
+// frontier itself (the connection filter's ancestor walk recovers its
+// connection-layer children from the deeper mark).
+func compilePacketNode(reg *Registry, n *Node) (func(p *layers.Parsed, acc *pktAcc) bool, error) {
 	match, err := compilePacketPred(reg, n.Pred)
 	if err != nil {
 		return nil, err
 	}
-	var kids []func(p *layers.Parsed) Result
+	var kids []func(p *layers.Parsed, acc *pktAcc) bool
 	hasNonPacketChild := false
 	for _, c := range n.Children {
 		if c.Layer != LayerPacket {
@@ -132,22 +210,31 @@ func compilePacketNode(reg *Registry, n *Node) (func(p *layers.Parsed) Result, e
 	}
 	id := n.ID
 	terminal := n.Terminal
-	return func(p *layers.Parsed) Result {
+	return func(p *layers.Parsed, acc *pktAcc) bool {
 		if !match(p) {
-			return NoMatch
+			return false
 		}
+		matched := false
 		for _, k := range kids {
-			if r := k(p); r.Match {
-				return r
+			if k(p, acc) {
+				matched = true
 			}
 		}
+		if matched {
+			return true
+		}
 		if terminal {
-			return Result{Match: true, Terminal: true, Node: id}
+			acc.nodes = append(acc.nodes, id)
+			if acc.terminal < 0 {
+				acc.terminal = id
+			}
+			return true
 		}
 		if hasNonPacketChild {
-			return Result{Match: true, Terminal: false, Node: id}
+			acc.nodes = append(acc.nodes, id)
+			return true
 		}
-		return NoMatch
+		return false
 	}, nil
 }
 
@@ -164,7 +251,11 @@ type connBranch struct {
 
 // CompileConnFilter generates the connection filter: a dense dispatch
 // over the packet filter's possible marks, each evaluating the unary
-// service predicates reachable from that mark.
+// service predicates reachable from that mark. Like the packet filter,
+// it reports every matched connection branch via Result.Frontier — the
+// same service can hang off the mark and off one of its ancestors (e.g.
+// `tcp.port >= N and tls.sni ~ S or tls.version = V`), and each carries
+// distinct session predicates that the session filter must all consider.
 func CompileConnFilter(reg *Registry, t *Trie) (ConnFilterFunc, error) {
 	cases := make(map[int]func(ConnView) Result, len(t.Nodes))
 	for _, n := range t.Nodes {
@@ -187,12 +278,17 @@ func CompileConnFilter(reg *Registry, t *Trie) (ConnFilterFunc, error) {
 		bs := branches
 		cases[n.ID] = func(v ConnView) Result {
 			svc := v.ServiceName()
+			var buf [4]int
+			acc := pktAcc{nodes: buf[:0], terminal: -1}
 			for _, b := range bs {
 				if svc == b.proto {
-					return Result{Match: true, Terminal: b.terminal, Node: b.node}
+					acc.nodes = append(acc.nodes, b.node)
+					if b.terminal && acc.terminal < 0 {
+						acc.terminal = b.node
+					}
 				}
 			}
-			return NoMatch
+			return frontierResult(&acc)
 		}
 	}
 	return func(v ConnView, pktNode int) Result {

@@ -371,14 +371,14 @@ func TestEnginesAgree(t *testing.T) {
 		for i, pkt := range packets {
 			rc := comp.Packet(pkt)
 			ri := interp.Packet(pkt)
-			if rc != ri {
+			if !rc.Equal(ri) {
 				t.Errorf("filter %q packet %d: compiled %+v vs interpreted %+v", src, i, rc, ri)
 			}
 			if rc.Match && !rc.Terminal {
 				for _, svc := range []string{"tls", "http", "ssh", ""} {
 					cc := comp.Conn(fakeConn{svc}, rc.Node)
 					ci := interp.Conn(fakeConn{svc}, ri.Node)
-					if cc != ci {
+					if !cc.Equal(ci) {
 						t.Errorf("filter %q svc %q: conn compiled %+v vs interpreted %+v", src, svc, cc, ci)
 					}
 					if cc.Match && !cc.Terminal {

@@ -81,33 +81,53 @@ func (in *Interpreter) evalCompare(lhs Value, pred Predicate) bool {
 
 // PacketFilter returns an interpreting PacketFilterFunc.
 func (in *Interpreter) PacketFilter() PacketFilterFunc {
-	return func(p *layers.Parsed) Result { return in.walkPacket(in.trie.Root, p) }
+	return func(p *layers.Parsed) Result {
+		var buf [8]int
+		acc := pktAcc{nodes: buf[:0], terminal: -1}
+		in.walkPacket(in.trie.Root, p, &acc)
+		return frontierResult(&acc)
+	}
 }
 
-func (in *Interpreter) walkPacket(n *Node, p *layers.Parsed) Result {
+// walkPacket explores every matching branch (not just the first) and
+// reports whether this subtree contributed a frontier node; see
+// compilePacketNode for the frontier semantics the engines share.
+func (in *Interpreter) walkPacket(n *Node, p *layers.Parsed, acc *pktAcc) bool {
 	if !in.evalPacketPred(n.Pred, p) {
-		return NoMatch
+		return false
 	}
+	matched := false
 	hasNonPacketChild := false
 	for _, c := range n.Children {
 		if c.Layer != LayerPacket {
 			hasNonPacketChild = true
 			continue
 		}
-		if r := in.walkPacket(c, p); r.Match {
-			return r
+		if in.walkPacket(c, p, acc) {
+			matched = true
 		}
 	}
+	if matched {
+		return true
+	}
 	if n.Terminal {
-		return Result{Match: true, Terminal: true, Node: n.ID}
+		acc.nodes = append(acc.nodes, n.ID)
+		if acc.terminal < 0 {
+			acc.terminal = n.ID
+		}
+		return true
 	}
 	if hasNonPacketChild {
-		return Result{Match: true, Terminal: false, Node: n.ID}
+		acc.nodes = append(acc.nodes, n.ID)
+		return true
 	}
-	return NoMatch
+	return false
 }
 
-// ConnFilter returns an interpreting ConnFilterFunc.
+// ConnFilter returns an interpreting ConnFilterFunc. Every matching
+// connection branch reachable from the mark (on the node itself or a
+// packet-layer ancestor) joins the result frontier, mirroring
+// CompileConnFilter.
 func (in *Interpreter) ConnFilter() ConnFilterFunc {
 	return func(v ConnView, pktNode int) Result {
 		n := in.trie.Node(pktNode)
@@ -118,14 +138,19 @@ func (in *Interpreter) ConnFilter() ConnFilterFunc {
 			return Result{Match: true, Terminal: true, Node: n.ID}
 		}
 		svc := v.ServiceName()
+		var buf [4]int
+		acc := pktAcc{nodes: buf[:0], terminal: -1}
 		for a := n; a != nil && a.Layer == LayerPacket; a = a.Parent {
 			for _, c := range a.Children {
 				if c.Layer == LayerConnection && c.Pred.Proto == svc {
-					return Result{Match: true, Terminal: c.Terminal, Node: c.ID}
+					acc.nodes = append(acc.nodes, c.ID)
+					if c.Terminal && acc.terminal < 0 {
+						acc.terminal = c.ID
+					}
 				}
 			}
 		}
-		return NoMatch
+		return frontierResult(&acc)
 	}
 }
 

@@ -98,7 +98,7 @@ func TestRandomFiltersEnginesAgree(t *testing.T) {
 			pkt := randomParsedPacket(rng)
 			rc := comp.Packet(pkt)
 			ri := interp.Packet(pkt)
-			if rc != ri {
+			if !rc.Equal(ri) {
 				t.Fatalf("filter %q: compiled %+v vs interpreted %+v", src, rc, ri)
 			}
 		}

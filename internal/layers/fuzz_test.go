@@ -61,6 +61,91 @@ func TestDecodeMutatedRealPackets(t *testing.T) {
 	}
 }
 
+// FuzzDecodeLayers drives the zero-copy decoder with arbitrary frames:
+// it must never panic, never hand out a payload larger than the capture,
+// keep the L3/L4 shortcuts consistent with the Decoded list, and decode
+// deterministically into a dirty, reused Parsed (the DecodingLayerParser
+// idiom means stale state from the previous packet must never leak).
+func FuzzDecodeLayers(f *testing.F) {
+	var b Builder
+	f.Add(b.Build(&PacketSpec{
+		SrcIP4: ParseAddr4("10.0.0.1"), DstIP4: ParseAddr4("10.0.0.2"),
+		Proto: IPProtoTCP, SrcPort: 1234, DstPort: 443, Payload: []byte("hello"),
+	}))
+	f.Add(b.Build(&PacketSpec{
+		IsIPv6: true, SrcIP6: ParseAddr16("2001:db8::1"), DstIP6: ParseAddr16("2001:db8::2"),
+		Proto: IPProtoUDP, SrcPort: 53, DstPort: 53, Payload: []byte("dns"),
+	}))
+	f.Add(b.Build(&PacketSpec{
+		SrcIP4: ParseAddr4("1.1.1.1"), DstIP4: ParseAddr4("2.2.2.2"),
+		Proto: IPProtoICMP, VLANID: 7,
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0xde, 0xad})
+
+	dirty := b.Build(&PacketSpec{
+		SrcIP4: ParseAddr4("9.9.9.9"), DstIP4: ParseAddr4("8.8.8.8"),
+		Proto: IPProtoUDP, SrcPort: 9, DstPort: 9, Payload: []byte("stale state"),
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Parsed
+		err := p.DecodeLayers(data)
+
+		if pl := p.Payload(); len(pl) > len(data) {
+			t.Fatalf("payload %d bytes exceeds %d-byte capture", len(pl), len(data))
+		}
+		if err != nil && p.NLayers > 1 {
+			t.Fatalf("decode error %v but %d layers recorded", err, p.NLayers)
+		}
+		if p.NLayers > 0 && p.Decoded[0] != LayerTypeEthernet {
+			t.Fatalf("first decoded layer %v, want ethernet", p.Decoded[0])
+		}
+		if p.L3 != LayerTypeNone && !p.Has(p.L3) {
+			t.Fatalf("L3=%v not in Decoded", p.L3)
+		}
+		if p.L4 != LayerTypeNone {
+			if !p.Has(p.L4) {
+				t.Fatalf("L4=%v not in Decoded", p.L4)
+			}
+			if p.L3 == LayerTypeNone {
+				t.Fatal("transport layer without network layer")
+			}
+		} else if p.Payload() != nil {
+			t.Fatal("payload present without transport layer")
+		}
+
+		if ft, ok := FiveTupleFrom(&p); ok {
+			if p.L4 != LayerTypeTCP && p.L4 != LayerTypeUDP {
+				t.Fatalf("five-tuple from non-TCP/UDP packet (L4=%v)", p.L4)
+			}
+			if ft.SymHash() != ft.Reverse().SymHash() {
+				t.Fatal("SymHash not symmetric")
+			}
+			c1, _ := ft.Canonical()
+			c2, _ := ft.Reverse().Canonical()
+			if c1 != c2 {
+				t.Fatal("Canonical not direction-independent")
+			}
+		}
+
+		// Re-decode into a Parsed dirtied by an unrelated packet: results
+		// must be identical (no stale-state leakage across reuse).
+		var q Parsed
+		_ = q.DecodeLayers(dirty)
+		err2 := q.DecodeLayers(data)
+		same := (err == nil) == (err2 == nil) &&
+			q.NLayers == p.NLayers && q.L3 == p.L3 && q.L4 == p.L4 &&
+			string(q.Payload()) == string(p.Payload())
+		for i := 0; same && i < p.NLayers; i++ {
+			same = q.Decoded[i] == p.Decoded[i]
+		}
+		if !same {
+			t.Fatalf("reused Parsed diverges: %+v vs %+v", q.Decoded, p.Decoded)
+		}
+	})
+}
+
 // TestDecodeClaimsLongerThanCapture checks header length fields pointing
 // beyond the captured bytes.
 func TestDecodeClaimsLongerThanCapture(t *testing.T) {

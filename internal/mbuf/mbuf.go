@@ -240,6 +240,11 @@ func (p *Pool) Available() int {
 // Size reports the total number of buffers in the pool.
 func (p *Pool) Size() int { return p.size }
 
+// InUse reports the number of buffers currently held by callers. A
+// balanced pipeline run returns every buffer, so InUse()==0 is the
+// refcount-balance invariant fuzz targets and tests assert after a run.
+func (p *Pool) InUse() int { return p.size - p.Available() }
+
 // Stats reports cumulative allocations and allocation failures.
 func (p *Pool) Stats() (allocs, fails uint64) {
 	return p.allocs.Load(), p.fails.Load()

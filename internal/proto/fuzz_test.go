@@ -1,0 +1,169 @@
+package proto
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// protoFuzzFields are session fields poked after every drain; accessors
+// must tolerate arbitrary field names without panicking.
+var protoFuzzFields = []string{
+	"sni", "version", "cipher", "host", "method", "uri", "user_agent",
+	"status", "banner", "software", "qname", "qtype", "mailfrom", "rcpt",
+	"no_such_field", "",
+}
+
+// feedOutcome is everything observable from one probe+parse run of a
+// parser over a chunked stream, captured for determinism comparison.
+type feedOutcome struct {
+	probes   []ProbeResult
+	parses   []ParseResult
+	sessions []string // flattened session fingerprints
+}
+
+// runParserFeed drives one fresh parser the way the pipeline does:
+// per-chunk Probe until match or reject, then Parse on subsequent
+// chunks, draining sessions after every parse call.
+func runParserFeed(t *testing.T, name string, fac Factory, chunks [][]byte, dirs []bool) feedOutcome {
+	t.Helper()
+	p := fac()
+	if p.Name() != name {
+		t.Fatalf("factory for %q built parser named %q", name, p.Name())
+	}
+	// State transitions must be valid conntrack states regardless of input.
+	_ = p.SessionMatchState()
+	_ = p.SessionNoMatchState()
+
+	var out feedOutcome
+	probing := true
+	sessionBytes := 0
+	drain := func() {
+		for _, s := range p.DrainSessions() {
+			if s == nil || s.Data == nil {
+				t.Fatalf("%s: drained nil session", name)
+			}
+			if s.Proto != name || s.Data.ProtoName() != name {
+				t.Fatalf("%s: session claims protocol %q/%q", name, s.Proto, s.Data.ProtoName())
+			}
+			fp := s.Proto
+			for _, f := range protoFuzzFields {
+				if v, ok := s.Data.StringField(f); ok {
+					if len(v) > sessionBytes+1024 {
+						t.Fatalf("%s: field %q is %d bytes from %d input bytes", name, f, len(v), sessionBytes)
+					}
+					fp += "|" + f + "=" + v
+				}
+				if v, ok := s.Data.IntField(f); ok {
+					fp += "|" + f + "#"
+					fp += string(rune('0' + v%10))
+				}
+			}
+			out.sessions = append(out.sessions, fp)
+		}
+	}
+	for i, chunk := range chunks {
+		sessionBytes += len(chunk)
+		if probing {
+			pr := p.Probe(chunk, dirs[i])
+			out.probes = append(out.probes, pr)
+			switch pr {
+			case ProbeMatch:
+				probing = false
+			case ProbeReject:
+				return out // pipeline drops the parser here
+			}
+			continue
+		}
+		res := p.Parse(chunk, dirs[i])
+		out.parses = append(out.parses, res)
+		drain()
+		if res == ParseDone || res == ParseError {
+			break
+		}
+	}
+	drain()
+	if len(out.sessions) > len(chunks)+sessionBytes/4+4 {
+		t.Fatalf("%s: %d sessions from %d bytes", name, len(out.sessions), sessionBytes)
+	}
+	return out
+}
+
+func equalOutcome(a, b feedOutcome) bool {
+	if len(a.probes) != len(b.probes) || len(a.parses) != len(b.parses) || len(a.sessions) != len(b.sessions) {
+		return false
+	}
+	for i := range a.probes {
+		if a.probes[i] != b.probes[i] {
+			return false
+		}
+	}
+	for i := range a.parses {
+		if a.parses[i] != b.parses[i] {
+			return false
+		}
+	}
+	for i := range a.sessions {
+		if a.sessions[i] != b.sessions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzProtoParsers feeds arbitrary (often mutated-handshake) bytes to
+// every built-in protocol parser in pipeline order — chunked Probe until
+// identification, then chunked Parse — checking that parsers never
+// panic, never mislabel their sessions, keep field sizes bounded by the
+// input, and behave deterministically for identical feeds.
+func FuzzProtoParsers(f *testing.F) {
+	f.Add(uint64(1), BuildClientHello(HelloSpec{SNI: "fuzz.example.com"}))
+	f.Add(uint64(2), BuildServerHello(HelloSpec{WithCert: true}))
+	f.Add(uint64(3), []byte("GET /index.html HTTP/1.1\r\nHost: fuzz.example\r\nUser-Agent: fz\r\n\r\n"))
+	f.Add(uint64(4), []byte("HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabc"))
+	f.Add(uint64(5), []byte("SSH-2.0-OpenSSH_8.9p1 Ubuntu\r\n\x00\x00\x01\x14\x0a\x14"))
+	f.Add(uint64(6), []byte("220 mail.example ESMTP ready\r\nEHLO client\r\nMAIL FROM:<a@b>\r\n"))
+	// Minimal DNS query: header (id=1, rd, 1 question) + www.example A/IN.
+	f.Add(uint64(7), []byte{
+		0x00, 0x01, 0x01, 0x00, 0x00, 0x01, 0, 0, 0, 0, 0, 0,
+		3, 'w', 'w', 'w', 7, 'e', 'x', 'a', 'm', 'p', 'l', 'e', 0,
+		0x00, 0x01, 0x00, 0x01,
+	})
+	if qi, err := BuildQUICInitial([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{9, 10}, 0, HelloSpec{SNI: "quic.example"}); err == nil {
+		f.Add(uint64(8), qi)
+	}
+
+	names := make([]string, 0, 6)
+	for n := range DefaultFactories() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	f.Fuzz(func(t *testing.T, ctrl uint64, data []byte) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		// Derive chunk boundaries and directions from ctrl so the corpus
+		// explores segmentation independently of content.
+		rng := rand.New(rand.NewSource(int64(ctrl)))
+		var chunks [][]byte
+		var dirs []bool
+		for off := 0; off < len(data); {
+			n := rng.Intn(31) + 1
+			if off+n > len(data) {
+				n = len(data) - off
+			}
+			chunks = append(chunks, data[off:off+n])
+			dirs = append(dirs, rng.Intn(4) != 0) // mostly originator
+			off += n
+		}
+		facs := DefaultFactories()
+		for _, name := range names {
+			o1 := runParserFeed(t, name, facs[name], chunks, dirs)
+			o2 := runParserFeed(t, name, facs[name], chunks, dirs)
+			if !equalOutcome(o1, o2) {
+				t.Fatalf("%s: identical feeds produced different outcomes:\n%+v\nvs\n%+v", name, o1, o2)
+			}
+		}
+	})
+}

@@ -183,13 +183,21 @@ func (r *Lite) Insert(seg Segment, emit func(Segment)) error {
 		}
 		return ErrBufferFull
 	}
-	// Sorted insert; duplicates by Seq replaced (keep first).
+	// Sorted insert; same-Seq duplicates keep the longer segment (a
+	// retransmit that extends the original carries bytes the shorter
+	// arrival lacks — discarding it would stall the stream on a hole no
+	// future segment fills).
 	idx := sort.Search(len(d.ooo), func(i int) bool {
 		return !seqBefore(d.ooo[i].Seq, seg.Seq)
 	})
 	if idx < len(d.ooo) && d.ooo[idx].Seq == seg.Seq {
 		r.stats.Retrans++
-		if seg.Release != nil {
+		if seg.seqLen() > d.ooo[idx].seqLen() {
+			if d.ooo[idx].Release != nil {
+				d.ooo[idx].Release()
+			}
+			d.ooo[idx] = seg
+		} else if seg.Release != nil {
 			seg.Release()
 		}
 		return nil
@@ -250,15 +258,47 @@ func (r *Lite) drain(d *direction, emit func(Segment)) {
 
 // FlushAll delivers any parked segments in sequence order despite holes
 // (used at connection teardown so no captured payload is silently lost).
+// Parked segments are deduplicated only on exact Seq, so ranges can still
+// overlap; each segment is trimmed against what has already been emitted
+// so no byte is delivered twice, and teardown deliveries are counted in
+// Flushed/InOrder like regular drains.
 func (r *Lite) FlushAll(emit func(Segment)) {
 	for di := range r.dirs {
 		d := &r.dirs[di]
+		next := d.nextSeq
 		for _, seg := range d.ooo {
+			if d.started && !seqBefore(next, seg.Seq) {
+				end := seg.Seq + seg.seqLen()
+				if !seqBefore(next, end) {
+					// Entirely covered by already-emitted bytes.
+					r.stats.Retrans++
+					if seg.Release != nil {
+						seg.Release()
+					}
+					continue
+				}
+				trim := next - seg.Seq
+				if seg.SYN {
+					seg.SYN = false
+					trim--
+				}
+				if trim > 0 && int(trim) <= len(seg.Payload) {
+					seg.Payload = seg.Payload[trim:]
+				}
+				seg.Seq = next
+				r.stats.Trimmed++
+			}
+			next = seg.Seq + seg.seqLen()
+			r.stats.Flushed++
+			r.stats.InOrder++
 			emit(seg)
 			if seg.Release != nil {
 				seg.Release()
 			}
 		}
 		d.ooo = nil
+		if d.started && seqBefore(d.nextSeq, next) {
+			d.nextSeq = next
+		}
 	}
 }

@@ -327,3 +327,120 @@ func BenchmarkBufferedInOrder(b *testing.B) {
 		r.Insert(Segment{Seq: uint32((i % 1000) * 1400), Payload: payload, Orig: true}, emit)
 	}
 }
+
+// --- Regression tests for bugs found by the differential fuzzing harness ---
+
+// FlushAll must not deliver overlapping byte ranges: parked segments are
+// deduplicated only on exact Seq at insert, so segments with different
+// Seq can still overlap. Teardown flushing has to trim each parked
+// segment against what was already emitted.
+func TestFlushAllTrimsOverlappingParked(t *testing.T) {
+	r := NewLite(0)
+	emit := func(Segment) {}
+	r.Insert(seg(0, "0123456789"), emit) // delivered, nextSeq=10
+	r.Insert(seg(20, "ABCDEFGHIJ"), emit) // parked [20,30)
+	r.Insert(seg(25, "FGHIJKLMNO"), emit) // parked [25,35), overlaps [25,30)
+	var flushed []byte
+	r.FlushAll(func(e Segment) { flushed = append(flushed, e.Payload...) })
+	if string(flushed) != "ABCDEFGHIJKLMNO" {
+		t.Fatalf("flushed %q, want %q (no duplicate bytes)", flushed, "ABCDEFGHIJKLMNO")
+	}
+	st := r.Stats()
+	if st.Flushed != 2 {
+		t.Fatalf("Flushed = %d, want 2 (teardown flushes must be counted)", st.Flushed)
+	}
+	if st.InOrder != 3 {
+		t.Fatalf("InOrder = %d, want 3", st.InOrder)
+	}
+}
+
+// FlushAll must discard parked segments already wholly covered by a
+// previously flushed one, and must also trim against nextSeq itself.
+func TestFlushAllDropsSupersededParked(t *testing.T) {
+	r := NewLite(0)
+	emit := func(Segment) {}
+	r.Insert(seg(0, "0123456789"), emit)  // delivered, nextSeq=10
+	r.Insert(seg(20, "ABCDEFGHIJ"), emit) // parked [20,30)
+	r.Insert(seg(22, "CDE"), emit)        // parked [22,25), inside [20,30)
+	var flushed []byte
+	r.FlushAll(func(e Segment) { flushed = append(flushed, e.Payload...) })
+	if string(flushed) != "ABCDEFGHIJ" {
+		t.Fatalf("flushed %q, want %q", flushed, "ABCDEFGHIJ")
+	}
+	if st := r.Stats(); st.Flushed != 1 || st.Retrans != 1 {
+		t.Fatalf("stats %+v, want Flushed=1 Retrans=1", st)
+	}
+}
+
+// A same-Seq retransmission that extends the parked original (same Seq,
+// longer payload) must replace it; keeping the shorter first arrival
+// silently loses the extension bytes and stalls the stream on a hole
+// that no future segment fills.
+func TestSameSeqLongerRetransmitKept(t *testing.T) {
+	r := NewLite(0)
+	var out []byte
+	emit := func(e Segment) { out = append(out, e.Payload...) }
+	r.Insert(seg(0, "0123456789"), emit)  // delivered
+	r.Insert(seg(20, "KLMNO"), emit)      // parked [20,25)
+	r.Insert(seg(20, "KLMNOPQRST"), emit) // same Seq, extends to [20,30)
+	r.Insert(seg(10, "ABCDEFGHIJ"), emit) // fills the hole
+	if string(out) != "0123456789ABCDEFGHIJKLMNOPQRST" {
+		t.Fatalf("stream %q: extension bytes lost", out)
+	}
+	// The replaced (shorter) parked segment counts as the retransmission.
+	if st := r.Stats(); st.Retrans != 1 {
+		t.Fatalf("stats %+v, want Retrans=1", st)
+	}
+}
+
+// The shorter same-Seq duplicate must still be discarded (and its buffer
+// reference released) when the parked segment is already at least as long.
+func TestSameSeqShorterRetransmitDropped(t *testing.T) {
+	r := NewLite(0)
+	released := map[int]int{}
+	mk := func(id int, seq uint32, pl string) Segment {
+		s := seg(seq, pl)
+		s.Release = func() { released[id]++ }
+		return s
+	}
+	var out []byte
+	emit := func(e Segment) { out = append(out, e.Payload...) }
+	r.Insert(mk(0, 0, "0123456789"), emit)
+	r.Insert(mk(1, 20, "KLMNOPQRST"), emit) // parked [20,30)
+	r.Insert(mk(2, 20, "KLMNO"), emit)      // shorter duplicate: dropped
+	r.Insert(mk(3, 10, "ABCDEFGHIJ"), emit)
+	if string(out) != "0123456789ABCDEFGHIJKLMNOPQRST" {
+		t.Fatalf("stream %q", out)
+	}
+	for id := 0; id <= 3; id++ {
+		if released[id] != 1 {
+			t.Fatalf("segment %d released %d times, want exactly 1", id, released[id])
+		}
+	}
+}
+
+// Replacement must release the evicted shorter segment's buffer
+// reference exactly once.
+func TestSameSeqReplacementReleasesEvicted(t *testing.T) {
+	r := NewLite(0)
+	released := map[int]int{}
+	mk := func(id int, seq uint32, pl string) Segment {
+		s := seg(seq, pl)
+		s.Release = func() { released[id]++ }
+		return s
+	}
+	emit := func(Segment) {}
+	r.Insert(mk(0, 0, "aa"), emit)
+	r.Insert(mk(1, 10, "xx"), emit)   // parked
+	r.Insert(mk(2, 10, "xxyy"), emit) // replaces 1
+	if released[1] != 1 {
+		t.Fatalf("evicted segment released %d times, want 1", released[1])
+	}
+	if released[2] != 0 {
+		t.Fatalf("replacement released %d times while still parked", released[2])
+	}
+	r.FlushAll(func(Segment) {})
+	if released[2] != 1 {
+		t.Fatalf("replacement released %d times after FlushAll, want 1", released[2])
+	}
+}

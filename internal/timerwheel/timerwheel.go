@@ -11,6 +11,8 @@
 // complicating hash-table insertion (paper §5.2).
 package timerwheel
 
+import "fmt"
+
 // Wheel is a single-level hashed timing wheel. Time is measured in
 // abstract ticks; each slot spans granularity ticks. Expirations farther
 // than horizon (slots × granularity) in the future wrap around and will
@@ -57,7 +59,11 @@ func (w *Wheel) Schedule(id uint64, expireTick uint64) {
 
 // Advance moves the wheel to nowTick, invoking fire for every entry whose
 // expiry time has arrived. Entries scheduled for a future lap of the
-// wheel are retained.
+// wheel are retained. A backwards nowTick (before the last Advance) is
+// silently ignored. fire may call Schedule — including into the slot
+// currently being scanned (the connection tracker's lazy re-arm does
+// exactly that); such entries are appended safely and are offered again
+// on a later Advance, never lost.
 func (w *Wheel) Advance(nowTick uint64, fire func(id uint64)) {
 	if nowTick < w.current {
 		return
@@ -65,8 +71,8 @@ func (w *Wheel) Advance(nowTick uint64, fire func(id uint64)) {
 	startSlot := w.current / w.granularity
 	endSlot := nowTick / w.granularity
 	if endSlot-startSlot >= uint64(len(w.slots)) {
-		// Full lap (or more): every slot is due.
-		endSlot = startSlot + uint64(len(w.slots))
+		// Full lap (or more): every slot is due exactly once.
+		endSlot = startSlot + uint64(len(w.slots)) - 1
 	}
 	for s := startSlot; s <= endSlot; s++ {
 		idx := s % uint64(len(w.slots))
@@ -74,6 +80,10 @@ func (w *Wheel) Advance(nowTick uint64, fire func(id uint64)) {
 		if len(bucket) == 0 {
 			continue
 		}
+		// Detach the bucket before firing: a reentrant Schedule into this
+		// slot appends to a fresh slice instead of aliasing the one being
+		// filtered in place (which would silently drop the new entry).
+		w.slots[idx] = nil
 		kept := bucket[:0]
 		for _, e := range bucket {
 			if e.expire <= nowTick {
@@ -83,9 +93,26 @@ func (w *Wheel) Advance(nowTick uint64, fire func(id uint64)) {
 				kept = append(kept, e)
 			}
 		}
+		if added := w.slots[idx]; len(added) > 0 {
+			kept = append(kept, added...)
+		}
 		w.slots[idx] = kept
 	}
 	w.current = nowTick
+}
+
+// CheckInvariants verifies the wheel's accounting: Len() must equal the
+// number of live (possibly stale) entries actually parked in slots. It is
+// cheap enough to call from fuzz targets and tests after every operation.
+func (w *Wheel) CheckInvariants() error {
+	live := 0
+	for _, bucket := range w.slots {
+		live += len(bucket)
+	}
+	if live != w.scheduled {
+		return fmt.Errorf("timerwheel: Len()=%d but %d entries live in slots", w.scheduled, live)
+	}
+	return nil
 }
 
 // Hierarchical combines a fine inner wheel with a coarse outer wheel,
@@ -120,6 +147,14 @@ func (h *Hierarchical) Schedule(id uint64, expireTick uint64) {
 		return
 	}
 	h.inner.Schedule(id, expireTick)
+}
+
+// CheckInvariants verifies both levels' accounting.
+func (h *Hierarchical) CheckInvariants() error {
+	if err := h.inner.CheckInvariants(); err != nil {
+		return err
+	}
+	return h.outer.CheckInvariants()
 }
 
 // Advance moves both levels to nowTick, cascading outer entries whose

@@ -178,6 +178,128 @@ func TestQuickEventualFire(t *testing.T) {
 	}
 }
 
+// Regression: a fire callback that Schedules into the slot currently
+// being scanned (conntrack's lazy re-arm does this) must not lose the
+// new entry. The pre-fix in-place bucket filter overwrote the slot with
+// the filtered slice, silently dropping the reentrant addition and
+// leaking Len().
+func TestReentrantScheduleIntoScannedSlotNotLost(t *testing.T) {
+	w := New(8, 1)
+	w.Schedule(1, 5)
+	var fired []uint64
+	w.Advance(5, func(id uint64) {
+		fired = append(fired, id)
+		if id == 1 {
+			w.Schedule(2, 5) // lands in the slot being scanned
+		}
+	})
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	w.Advance(6, collect(&fired))
+	sort.Slice(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("fired = %v, want [1 2]", fired)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after all fires", w.Len())
+	}
+}
+
+// An Advance spanning exactly one full lap must scan each slot once.
+// The pre-fix endSlot arithmetic scanned the start slot twice, so an
+// entry scheduled into it by a fire callback could fire within the same
+// Advance call — inconsistent with the partial-lap case, where
+// already-scanned slots are deferred to the next Advance.
+func TestFullLapScansEachSlotOnce(t *testing.T) {
+	w := New(4, 10) // horizon 40
+	w.Schedule(1, 35)
+	var fired []uint64
+	w.Advance(40, func(id uint64) {
+		fired = append(fired, id)
+		if id == 1 {
+			w.Schedule(2, 40) // slot 0: already scanned this lap
+		}
+	})
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v within full-lap Advance, want [1]", fired)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d, want deferred entry retained", w.Len())
+	}
+	w.Advance(41, collect(&fired))
+	if len(fired) != 2 || fired[1] != 2 {
+		t.Fatalf("deferred entry did not fire next Advance: %v", fired)
+	}
+}
+
+// Entries beyond Horizon() wrap and are re-scanned (and re-kept) every
+// lap until their actual expiry tick arrives — never fired early.
+func TestBeyondHorizonRescannedEachLap(t *testing.T) {
+	w := New(4, 10) // horizon 40
+	w.Schedule(9, 135)
+	var fired []uint64
+	for now := uint64(10); now <= 130; now += 10 {
+		w.Advance(now, collect(&fired))
+		if len(fired) != 0 {
+			t.Fatalf("beyond-horizon entry fired early at tick %d: %v", now, fired)
+		}
+		if err := w.CheckInvariants(); err != nil {
+			t.Fatalf("tick %d: %v", now, err)
+		}
+		if w.Len() != 1 {
+			t.Fatalf("tick %d: Len = %d, entry lost during lap re-scan", now, w.Len())
+		}
+	}
+	w.Advance(135, collect(&fired))
+	if len(fired) != 1 || fired[0] != 9 {
+		t.Fatalf("fired = %v, want [9]", fired)
+	}
+}
+
+// Backwards nowTick is a silent no-op: nothing fires, the clock does not
+// move back, and later forward Advances behave as if it never happened.
+func TestAdvanceBackwardsLeavesClockIntact(t *testing.T) {
+	w := New(16, 10)
+	w.Advance(100, func(uint64) {})
+	w.Schedule(1, 120)
+	var fired []uint64
+	w.Advance(50, collect(&fired))
+	if len(fired) != 0 {
+		t.Fatalf("backwards advance fired %v", fired)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	w.Advance(119, collect(&fired))
+	if len(fired) != 0 {
+		t.Fatalf("fired early after backwards advance: %v", fired)
+	}
+	w.Advance(120, collect(&fired))
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+}
+
+func TestHierarchicalCheckInvariants(t *testing.T) {
+	h := NewHierarchical(10, 10, 10)
+	h.Schedule(1, 50)
+	h.Schedule(2, 550)
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	h.Advance(600, func(uint64) {})
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
 func BenchmarkScheduleAdvance(b *testing.B) {
 	w := New(256, 16)
 	b.ReportAllocs()

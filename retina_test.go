@@ -50,6 +50,52 @@ func TestEndToEndTLSHandshakes(t *testing.T) {
 	}
 }
 
+// TestPoolBalancedAfterRun checks the mbuf refcount invariant: whatever
+// the subscription level and however many packets were buffered while
+// filter verdicts were pending, every mbuf must be back in the pool once
+// Run returns. A leak here is a slow out-of-memory on a live deployment.
+func TestPoolBalancedAfterRun(t *testing.T) {
+	cases := []struct {
+		name   string
+		filter string
+		sub    func() *Subscription
+	}{
+		// Packet subscription with a conn-stage filter: frames are
+		// buffered in mbufs until the service is identified, exercising
+		// the buffered-packet free path.
+		{"buffered-packets", "tls", func() *Subscription {
+			return Packets(func(*Packet) {})
+		}},
+		{"sessions", "tls or http", func() *Subscription {
+			return Sessions(func(*SessionEvent) {})
+		}},
+		{"connections", "ipv4 and tcp", func() *Subscription {
+			return Connections(func(*ConnRecord) {})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Filter = tc.filter
+			cfg.Cores = 2
+			cfg.PoolSize = 2048
+			rt, err := New(cfg, tc.sub())
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 17, Flows: 400, Gbps: 20})
+			rt.Run(src)
+			pool := rt.Pool()
+			if got := pool.InUse(); got != 0 {
+				t.Fatalf("%d mbufs still out of the pool after Run", got)
+			}
+			if allocs, _ := pool.Stats(); allocs == 0 {
+				t.Fatal("pool was never used; test is vacuous")
+			}
+		})
+	}
+}
+
 func TestEndToEndConnRecordsAcrossCores(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Filter = "ipv4 and tcp"
