@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"retina"
 	"retina/internal/export"
@@ -30,6 +31,8 @@ func main() {
 	interpreted := flag.Bool("interpreted", false, "use the interpreted filter engine")
 	explain := flag.Bool("explain", false, "print the filter decomposition and exit")
 	jsonlOut := flag.String("o", "", "write connection records as JSONL to this file (conns subscription)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this address while processing (e.g. :9090) and print the final drop-reason table")
+	traceSample := flag.Int("trace-sample", 0, "trace 1 in N connection lifecycles (0 = off); dump via the metrics endpoint's /traces")
 	flag.Parse()
 
 	if *explain {
@@ -50,6 +53,7 @@ func main() {
 	cfg.Filter = *filterSrc
 	cfg.Cores = 1
 	cfg.Interpreted = *interpreted
+	cfg.TraceSample = *traceSample
 
 	count := 0
 	emit := func(format string, args ...any) {
@@ -107,6 +111,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *metricsAddr != "" {
+		srv, err := rt.ServeMetrics(*metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics endpoint: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", srv.Addr())
+	}
 	r, err := traffic.OpenPcap(*path)
 	if err != nil {
 		log.Fatal(err)
@@ -119,4 +131,41 @@ func main() {
 	}
 	fmt.Printf("\n%d frames read, %d matched the filter, %d deliveries, %v elapsed\n",
 		r.Frames(), stats.Cores[0].Processed-stats.Cores[0].FilterDropped, count, stats.Elapsed)
+	if *metricsAddr != "" {
+		// Offline mode bypasses the simulated NIC, so frames read from
+		// the pcap is the denominator.
+		rx := stats.NIC.RxFrames
+		if rx == 0 {
+			rx = r.Frames()
+		}
+		printDropTable(rt, rx)
+	}
+}
+
+// printDropTable renders the final per-reason drop accounting, largest
+// first, with each reason's share of frames read.
+func printDropTable(rt *retina.Runtime, rx uint64) {
+	drops := rt.DropBreakdown()
+	if len(drops) == 0 {
+		fmt.Println("drops: none")
+		return
+	}
+	reasons := make([]string, 0, len(drops))
+	for k := range drops {
+		reasons = append(reasons, k)
+	}
+	sort.Slice(reasons, func(i, j int) bool {
+		if drops[reasons[i]] != drops[reasons[j]] {
+			return drops[reasons[i]] > drops[reasons[j]]
+		}
+		return reasons[i] < reasons[j]
+	})
+	fmt.Println("\ndrop reason              count      % of rx")
+	for _, k := range reasons {
+		pct := 0.0
+		if rx > 0 {
+			pct = float64(drops[k]) / float64(rx) * 100
+		}
+		fmt.Printf("%-22s %9d   %8.3f%%\n", k, drops[k], pct)
+	}
 }

@@ -1,0 +1,73 @@
+// Monitoring demonstrates Retina's observability surface (§5.3): a
+// Prometheus metrics endpoint served while the runtime processes
+// traffic, a periodic status line with the full drop-reason breakdown,
+// and sampled connection lifecycle traces.
+//
+// The example self-scrapes its own /metrics endpoint and validates the
+// exposition, so it doubles as the CI smoke test for the monitoring
+// stack; it exits non-zero if the endpoint serves malformed output.
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"retina"
+	"retina/internal/telemetry"
+	"retina/internal/traffic"
+)
+
+func main() {
+	cfg := retina.DefaultConfig()
+	cfg.Filter = "tls"
+	cfg.Cores = 2
+	cfg.TraceSample = 16 // trace 1 in 16 connections
+
+	rt, err := retina.New(cfg, retina.Sessions(func(*retina.SessionEvent) {}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve /metrics, /traces, and /debug/vars. ":0" picks a free port;
+	// production deployments pass a fixed address like ":9090".
+	srv, err := rt.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("metrics on http://%s/metrics", srv.Addr())
+
+	// One status line per interval: throughput, callback rate, loss with
+	// per-reason breakdown, connection count, memory.
+	stop := rt.LogMonitor(os.Stderr, 50*time.Millisecond)
+	defer stop()
+
+	src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 42, Flows: 3000, Gbps: 20})
+	stats := rt.Run(src)
+	stop()
+
+	// Self-scrape: fetch the exposition and validate its format — the
+	// same check a Prometheus server's parser would apply.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if err != nil {
+		log.Fatalf("scrape failed: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		log.Fatalf("scrape failed: status=%d err=%v", resp.StatusCode, err)
+	}
+	if err := telemetry.ValidateExposition(body); err != nil {
+		log.Fatalf("malformed Prometheus exposition: %v", err)
+	}
+
+	_, started, _ := rt.Tracer().Stats()
+	log.Printf("done: %d frames, %d bytes of exposition served, %d connection traces, drops: %v",
+		stats.NIC.RxFrames, len(body), started, rt.DropBreakdown())
+}

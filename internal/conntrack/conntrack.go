@@ -69,6 +69,22 @@ const (
 	ExpireEvicted
 )
 
+// String names the reason; the telemetry layer uses these as label
+// values.
+func (r ExpireReason) String() string {
+	switch r {
+	case ExpireEstablishTimeout:
+		return "establish_timeout"
+	case ExpireInactivityTimeout:
+		return "inactivity_timeout"
+	case ExpireTermination:
+		return "termination"
+	case ExpireEvicted:
+		return "evicted"
+	}
+	return "?"
+}
+
 // Conn is one tracked connection. Tuple preserves the orientation of the
 // first packet seen (originator → responder).
 type Conn struct {
@@ -167,8 +183,13 @@ type Table struct {
 	nextID uint64
 	now    uint64
 
-	created uint64
-	expired [4]uint64
+	// Cumulative event counters are atomic so monitoring goroutines can
+	// read them while the owning core processes packets; the core's own
+	// updates stay single-writer.
+	created atomic.Uint64
+	expired [4]atomic.Uint64
+	rearmed atomic.Uint64 // stale timer entries revalidated and re-armed
+	full    atomic.Uint64 // GetOrCreate refusals at MaxConns
 
 	// count mirrors len(conns) atomically so monitoring goroutines can
 	// observe table occupancy without touching the (unsynchronized,
@@ -210,10 +231,23 @@ func (t *Table) MemoryBytes() uint64 {
 	return total
 }
 
-// Stats reports cumulative creations and expirations by reason.
+// Stats reports cumulative creations and expirations by reason. Safe to
+// call from monitoring goroutines.
 func (t *Table) Stats() (created uint64, expired [4]uint64) {
-	return t.created, t.expired
+	for i := range expired {
+		expired[i] = t.expired[i].Load()
+	}
+	return t.created.Load(), expired
 }
+
+// Rearmed reports how many stale timer entries were revalidated against
+// a refreshed deadline and re-armed instead of firing — the cost of the
+// lazy-timeout design, visible so operators can size wheel granularity.
+func (t *Table) Rearmed() uint64 { return t.rearmed.Load() }
+
+// FullDrops reports how many GetOrCreate calls were refused because the
+// table was at MaxConns.
+func (t *Table) FullDrops() uint64 { return t.full.Load() }
 
 // Lookup finds the connection for a five-tuple in either direction.
 func (t *Table) Lookup(ft layers.FiveTuple) (*Conn, bool) {
@@ -231,6 +265,7 @@ func (t *Table) GetOrCreate(ft layers.FiveTuple, tick uint64) (c *Conn, created,
 		return c, false, true
 	}
 	if t.cfg.MaxConns > 0 && len(t.conns) >= t.cfg.MaxConns {
+		t.full.Add(1)
 		return nil, false, false
 	}
 	t.nextID++
@@ -243,7 +278,7 @@ func (t *Table) GetOrCreate(ft layers.FiveTuple, tick uint64) (c *Conn, created,
 	t.conns[key] = c
 	t.byID[c.ID] = c
 	t.count.Store(int64(len(t.conns)))
-	t.created++
+	t.created.Add(1)
 	t.scheduleExpiry(c)
 	return c, true, true
 }
@@ -351,7 +386,7 @@ func (t *Table) Remove(c *Conn, reason ExpireReason) {
 	delete(t.conns, key)
 	delete(t.byID, c.ID)
 	t.count.Store(int64(len(t.conns)))
-	t.expired[reason]++
+	t.expired[reason].Add(1)
 }
 
 // Advance moves the virtual clock, expiring due connections. onExpire
@@ -370,6 +405,7 @@ func (t *Table) Advance(tick uint64, onExpire func(*Conn, ExpireReason)) {
 		}
 		if d > tick {
 			// Refreshed since scheduling: re-arm for the new deadline.
+			t.rearmed.Add(1)
 			t.wheel.Schedule(id, d)
 			return
 		}
@@ -410,12 +446,12 @@ func (t *Table) CheckInvariants() error {
 		}
 	}
 	totalExpired := uint64(0)
-	for _, n := range t.expired {
-		totalExpired += n
+	for i := range t.expired {
+		totalExpired += t.expired[i].Load()
 	}
-	if t.created != uint64(len(t.conns))+totalExpired {
+	if created := t.created.Load(); created != uint64(len(t.conns))+totalExpired {
 		return fmt.Errorf("conntrack: created %d != live %d + expired %d (leak or double-remove)",
-			t.created, len(t.conns), totalExpired)
+			created, len(t.conns), totalExpired)
 	}
 	return t.wheel.CheckInvariants()
 }

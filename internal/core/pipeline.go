@@ -9,6 +9,7 @@ import (
 	"retina/internal/mbuf"
 	"retina/internal/proto"
 	"retina/internal/reassembly"
+	"retina/internal/telemetry"
 )
 
 // probeBudget bounds how many stream bytes may be spent identifying a
@@ -40,19 +41,24 @@ type Config struct {
 	// ExtraParsers supplies user-defined protocol parser factories
 	// (Appendix A), layered over the built-ins.
 	ExtraParsers map[string]proto.Factory
+	// Tracer, when non-nil, samples connections for lifecycle tracing.
+	// It may be shared across cores (sampling is atomic).
+	Tracer *telemetry.ConnTracer
 }
 
 // Core is one share-nothing processing pipeline instance.
 type Core struct {
 	ID int
 
-	cfg    Config
-	prog   *filter.Program
-	sub    *Subscription
-	table  *conntrack.Table
-	parReg *proto.Registry
-	stages *StageStats
-	stats  CoreStats
+	cfg      Config
+	prog     *filter.Program
+	sub      *Subscription
+	table    *conntrack.Table
+	parReg   *proto.Registry
+	stages   *StageStats
+	ctr      coreCounters
+	protoCtr protoCounters
+	tracer   *telemetry.ConnTracer
 
 	parsed layers.Parsed
 	now    uint64
@@ -85,6 +91,10 @@ type connState struct {
 	streamBuf      []StreamChunk
 	streamBufBytes int
 	streamOverflow bool
+
+	// trace is the connection's sampled lifecycle span (nil when the
+	// connection was not sampled or tracing is off).
+	trace *telemetry.ConnTrace
 }
 
 // NewCore builds a core. The parser registry is populated with the union
@@ -121,18 +131,34 @@ func NewCore(id int, cfg Config) (*Core, error) {
 		cfg.PacketBufferCap = defaultPktBufferCap
 	}
 	return &Core{
-		ID:     id,
-		cfg:    cfg,
-		prog:   cfg.Program,
-		sub:    cfg.Sub,
-		table:  conntrack.NewTable(cfg.Conntrack),
-		parReg: reg,
-		stages: NewStageStats(cfg.Profile),
+		ID:       id,
+		cfg:      cfg,
+		prog:     cfg.Program,
+		sub:      cfg.Sub,
+		table:    conntrack.NewTable(cfg.Conntrack),
+		parReg:   reg,
+		stages:   NewStageStats(cfg.Profile),
+		protoCtr: newProtoCounters(reg.Names()),
+		tracer:   cfg.Tracer,
 	}, nil
 }
 
-// Stats returns the core's packet counters.
-func (c *Core) Stats() CoreStats { return c.stats }
+// Stats returns a snapshot of the core's packet counters. Safe to call
+// from a monitoring goroutine while the core runs.
+func (c *Core) Stats() CoreStats { return c.ctr.snapshot() }
+
+// ProtoStats returns per-protocol identification/parsing failure counts.
+// Safe to call concurrently with processing.
+func (c *Core) ProtoStats() map[string]ProtoStat {
+	out := make(map[string]ProtoStat, len(c.protoCtr.probeRejects))
+	for name, pr := range c.protoCtr.probeRejects {
+		out[name] = ProtoStat{
+			ProbeRejects: pr.Value(),
+			ParseErrors:  c.protoCtr.parseErrors[name].Value(),
+		}
+	}
+	return out
+}
 
 // Stages returns the core's stage counters.
 func (c *Core) StageStats() *StageStats { return c.stages }
@@ -146,7 +172,7 @@ func (c *Core) Now() uint64 { return c.now }
 // ProcessMbuf consumes one packet buffer from the core's receive queue.
 // It owns the mbuf and frees it (directly or after buffering).
 func (c *Core) ProcessMbuf(m *mbuf.Mbuf) {
-	c.stats.Processed++
+	c.ctr.processed.Inc()
 	if m.RxTick > c.now {
 		c.now = m.RxTick
 	}
@@ -161,7 +187,7 @@ func (c *Core) ProcessMbuf(m *mbuf.Mbuf) {
 		res = c.prog.Packet(&c.parsed)
 	})
 	if !res.Match {
-		c.stats.FilterDropped++
+		c.ctr.filterDropped.Inc()
 		m.Free()
 		c.advance()
 		return
@@ -204,6 +230,8 @@ func (c *Core) processStateful(m *mbuf.Mbuf, res filter.Result) {
 		// cannot use it.
 		if res.Terminal && c.sub.Level == LevelPacket {
 			c.deliverPacket(m)
+		} else {
+			c.ctr.notTrackable.Inc()
 		}
 		m.Free()
 		return
@@ -228,12 +256,13 @@ func (c *Core) processStateful(m *mbuf.Mbuf, res filter.Result) {
 		}
 	})
 	if !okc {
+		c.ctr.tableFull.Inc()
 		m.Free() // table full: connection-level loss
 		return
 	}
 
 	if created {
-		c.stats.ConnsCreated++
+		c.ctr.connsCreated.Inc()
 		conn.PktMark = m.Mark
 		c.initConn(conn, res)
 	} else if s := c.state(conn); !s.matched {
@@ -248,7 +277,7 @@ func (c *Core) processStateful(m *mbuf.Mbuf, res filter.Result) {
 	cs := c.state(conn)
 
 	if cs.rejected {
-		c.stats.TombstonePkts++
+		c.ctr.tombstonePkts.Inc()
 		c.maybeTerminate(conn, cs, ft, flags)
 		m.Free()
 		return
@@ -261,14 +290,24 @@ func (c *Core) processStateful(m *mbuf.Mbuf, res filter.Result) {
 		c.feed(conn, cs, m, ft, payload, flags)
 	}
 
-	// Packet-level delivery/buffering.
-	if c.sub.Level == LevelPacket && !cs.rejected && conn.State != conntrack.StateDelete {
-		if cs.matched {
+	// Packet-level delivery/buffering. Each packet of a packet-level
+	// subscription takes exactly one branch here (or one of the earlier
+	// drop paths), so the per-reason counters sum back to Processed —
+	// the conservation invariant the telemetry tests assert.
+	if c.sub.Level == LevelPacket {
+		switch {
+		case cs.rejected || conn.State == conntrack.StateDelete:
+			// The connection was rejected or deleted while this very
+			// packet's payload was being fed: it lands on a tombstone.
+			c.ctr.tombstonePkts.Inc()
+		case cs.matched:
 			c.deliverPacket(m)
-		} else if len(cs.pktBuf) < c.cfg.PacketBufferCap {
+		case len(cs.pktBuf) < c.cfg.PacketBufferCap:
 			cs.pktBuf = append(cs.pktBuf, m.Ref())
 			conn.ExtraMem += m.Len()
-			c.stats.BufferedPkts++
+			c.ctr.bufferedPkts.Inc()
+		default:
+			c.ctr.pktBufOverflow.Inc()
 		}
 	}
 
@@ -337,6 +376,9 @@ func (c *Core) initConn(conn *conntrack.Conn, res filter.Result) {
 	cs := &connState{}
 	conn.UserData = cs
 	cs.addFrontier(res)
+	if c.tracer != nil {
+		cs.trace = c.tracer.Start(c.ID, conn.ID, conn.Tuple.String(), c.now)
+	}
 
 	needParse := len(c.parReg.Names()) > 0
 
@@ -431,7 +473,7 @@ func (c *Core) feed(conn *conntrack.Conn, cs *connState, m *mbuf.Mbuf, ft layers
 	}
 	reasm := cs.reasm // emit callbacks may release cs.reasm mid-insert
 	c.stages.Time(StageReassembly, func() {
-		reasm.Insert(seg, func(out reassembly.Segment) {
+		err := reasm.Insert(seg, func(out reassembly.Segment) {
 			if len(out.Payload) == 0 {
 				return
 			}
@@ -444,6 +486,9 @@ func (c *Core) feed(conn *conntrack.Conn, cs *connState, m *mbuf.Mbuf, ft layers
 				c.emitStream(conn, cs, out.Seq, out.Payload, out.Orig)
 			}
 		})
+		if err == reassembly.ErrBufferFull {
+			c.ctr.reasmDropped.Inc()
+		}
 	})
 	if cs.reasm != nil {
 		conn.ExtraMem = cs.reasm.BufferedBytes()
@@ -464,7 +509,10 @@ func (c *Core) handleStreamData(conn *conntrack.Conn, cs *connState, data []byte
 			case proto.ProbeUnsure:
 				kept = append(kept, p)
 			case proto.ProbeReject:
-				// dropped
+				c.ctr.probeRejects.Inc()
+				if ctr := c.protoCtr.probeRejects[p.Name()]; ctr != nil {
+					ctr.Inc()
+				}
 			}
 			if cs.active != nil {
 				break
@@ -481,6 +529,7 @@ func (c *Core) handleStreamData(conn *conntrack.Conn, cs *connState, data []byte
 		} else if len(cs.candidates) == 0 || cs.probeBytes > probeBudget {
 			// Unidentifiable protocol.
 			cs.candidates = nil
+			c.ctr.connsUnidentified.Inc()
 			if cs.matched {
 				// Filter already satisfied; sessions will never come.
 				conn.State = conntrack.StateTrack
@@ -495,6 +544,9 @@ func (c *Core) handleStreamData(conn *conntrack.Conn, cs *connState, data []byte
 	}
 
 	if conn.State == conntrack.StateParse && cs.active != nil {
+		if cs.trace != nil {
+			cs.trace.EventOnce("first_parse", cs.active.Name(), c.now)
+		}
 		res := cs.active.Parse(data, orig)
 		for _, s := range cs.active.DrainSessions() {
 			c.onSessionParsed(conn, cs, s)
@@ -506,6 +558,10 @@ func (c *Core) handleStreamData(conn *conntrack.Conn, cs *connState, data []byte
 		case proto.ParseDone:
 			c.afterParsing(conn, cs)
 		case proto.ParseError:
+			c.ctr.parseErrors.Inc()
+			if ctr := c.protoCtr.parseErrors[cs.active.Name()]; ctr != nil {
+				ctr.Inc()
+			}
 			if cs.matched {
 				conn.State = conntrack.StateTrack
 				c.releaseStreamState(conn, cs)
@@ -520,6 +576,10 @@ func (c *Core) handleStreamData(conn *conntrack.Conn, cs *connState, data []byte
 // protocol is known (§5.2: "as soon as enough data has been observed to
 // identify the L7 protocol but before full L7 parsing occurs").
 func (c *Core) onServiceIdentified(conn *conntrack.Conn, cs *connState) {
+	if cs.trace != nil {
+		cs.trace.EventDetail("identified", conn.Service, c.now)
+		cs.trace.Service = conn.Service
+	}
 	if cs.matched {
 		// Filter already terminal; parsing continues only to feed the
 		// data type.
@@ -551,7 +611,7 @@ func (c *Core) onServiceIdentified(conn *conntrack.Conn, cs *connState) {
 // onSessionParsed applies the session filter to one parsed session and
 // routes the verdict (Figure 4's session-filter pseudostate).
 func (c *Core) onSessionParsed(conn *conntrack.Conn, cs *connState, s *proto.Session) {
-	c.stats.SessionsSeen++
+	c.ctr.sessionsSeen.Inc()
 	var ok bool
 	c.stages.Time(StageSessionFilter, func() {
 		if len(cs.connMarks) == 0 {
@@ -568,7 +628,10 @@ func (c *Core) onSessionParsed(conn *conntrack.Conn, cs *connState, s *proto.Ses
 		}
 	})
 	if ok {
-		c.stats.SessionsMatch++
+		c.ctr.sessionsMatch.Inc()
+		if cs.trace != nil {
+			cs.trace.EventDetail("session_verdict", "match", c.now)
+		}
 		first := !cs.matched
 		cs.matched = true
 		if first {
@@ -592,6 +655,9 @@ func (c *Core) onSessionParsed(conn *conntrack.Conn, cs *connState, s *proto.Ses
 		return
 	}
 	// Session failed the filter.
+	if cs.trace != nil {
+		cs.trace.EventDetail("session_verdict", "nomatch", c.now)
+	}
 	next := cs.active.SessionNoMatchState()
 	if next == conntrack.StateDelete && !cs.matched {
 		c.reject(conn, cs)
@@ -660,7 +726,7 @@ func (c *Core) onFullMatch(conn *conntrack.Conn, cs *connState) {
 		for i := range cs.streamBuf {
 			ch := &cs.streamBuf[i]
 			c.stages.Time(StageCallback, func() { c.sub.OnStream(ch) })
-			c.stats.Delivered++
+			c.ctr.deliveredChunks.Inc()
 		}
 		cs.streamBuf = nil
 		cs.streamBufBytes = 0
@@ -682,11 +748,12 @@ func (c *Core) emitStream(conn *conntrack.Conn, cs *connState, seq uint32, paylo
 	}
 	if cs.matched {
 		c.stages.Time(StageCallback, func() { c.sub.OnStream(&chunk) })
-		c.stats.Delivered++
+		c.ctr.deliveredChunks.Inc()
 		return
 	}
 	if cs.streamBufBytes+len(payload) > maxStreamBufBytes {
 		cs.streamOverflow = true
+		c.ctr.streamBufOverflow.Inc()
 		return
 	}
 	cs.streamBuf = append(cs.streamBuf, chunk)
@@ -701,9 +768,18 @@ func (c *Core) emitStream(conn *conntrack.Conn, cs *connState, seq uint32, paylo
 // the normal timeouts collect. The heavy state (buffers, parsers) is
 // freed either way.
 func (c *Core) reject(conn *conntrack.Conn, cs *connState) {
+	if !cs.rejected {
+		c.ctr.connsRejected.Inc()
+		if cs.trace != nil {
+			cs.trace.EventDetail("rejected", "filter", c.now)
+		}
+	}
 	cs.rejected = true
 	conn.State = conntrack.StateTrack
 	c.releaseStreamState(conn, cs)
+	if n := len(cs.pktBuf); n > 0 {
+		c.ctr.pendingDiscard.Add(uint64(n))
+	}
 	for _, bm := range cs.pktBuf {
 		bm.Free()
 	}
@@ -718,6 +794,13 @@ func (c *Core) reject(conn *conntrack.Conn, cs *connState) {
 func (c *Core) releaseStreamState(conn *conntrack.Conn, cs *connState) {
 	keepReasm := c.sub.Level == LevelStream && !cs.rejected
 	if cs.reasm != nil && !keepReasm {
+		// Fold the connection's reassembly counters into the core totals
+		// before the reassembler is dropped (buffer-full drops are counted
+		// live at Insert time, so only the flow-shape counters fold here).
+		rs := cs.reasm.Stats()
+		c.ctr.reasmInOrder.Add(rs.InOrder)
+		c.ctr.reasmOutOfOrder.Add(rs.OutOfOrder)
+		c.ctr.reasmRetrans.Add(rs.Retrans)
 		cs.reasm.FlushAll(func(reassembly.Segment) {})
 		cs.reasm = nil
 	}
@@ -772,11 +855,19 @@ func (c *Core) finishConn(conn *conntrack.Conn, cs *connState, reason conntrack.
 			CoreID:      c.ID,
 		}
 		c.stages.Time(StageCallback, func() { c.sub.OnConn(rec) })
-		c.stats.Delivered++
+		c.ctr.deliveredConns.Inc()
+	}
+	if cs.trace != nil {
+		cs.trace.EventDetail("expire", reason.String(), c.now)
+		c.tracer.Finish(cs.trace)
+		cs.trace = nil
 	}
 	cs.matched = false // prevent double delivery
 	cs.rejected = true // force full release, including stream state
 	c.releaseStreamState(conn, cs)
+	if n := len(cs.pktBuf); n > 0 {
+		c.ctr.pendingDiscard.Add(uint64(n))
+	}
 	for _, bm := range cs.pktBuf {
 		bm.Free()
 	}
@@ -801,19 +892,19 @@ func (c *Core) Flush() {
 func (c *Core) deliverPacket(m *mbuf.Mbuf) {
 	pkt := &Packet{Data: m.Data(), Tick: m.RxTick, CoreID: c.ID}
 	c.stages.Time(StageCallback, func() { c.sub.OnPacket(pkt) })
-	c.stats.Delivered++
+	c.ctr.deliveredPackets.Inc()
 }
 
 func (c *Core) deliverPacketBuf(m *mbuf.Mbuf) {
 	pkt := &Packet{Data: m.Data(), Tick: m.RxTick, CoreID: c.ID}
 	c.stages.Time(StageCallback, func() { c.sub.OnPacket(pkt) })
-	c.stats.Delivered++
+	c.ctr.deliveredPackets.Inc()
 }
 
 func (c *Core) deliverSession(conn *conntrack.Conn, s *proto.Session) {
 	ev := &SessionEvent{Session: s, Tuple: conn.Tuple, Tick: c.now, CoreID: c.ID}
 	c.stages.Time(StageCallback, func() { c.sub.OnSession(ev) })
-	c.stats.Delivered++
+	c.ctr.deliveredSessions.Inc()
 }
 
 // Run consumes mbufs from a receive queue until it closes, then flushes.

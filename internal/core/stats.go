@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"retina/internal/metrics"
+	"retina/internal/telemetry"
 )
 
 // Stage identifies one pipeline stage for the Figure 7 breakdown.
@@ -83,17 +84,22 @@ func (s *StageStats) Invocations(st Stage) uint64 { return s.timers[st].Count() 
 func (s *StageStats) AvgCycles(st Stage) float64 { return s.timers[st].AvgCycles() }
 
 // Merge adds other's counters into s (for aggregating per-core stats).
+// Totals are merged from exact accumulated nanoseconds — reconstructing
+// them as avg*count would round every merge and drift the Figure 7
+// cycle columns across cores.
 func (s *StageStats) Merge(other *StageStats) {
 	for i := Stage(0); i < numStages; i++ {
 		n := other.timers[i].Count()
-		if n == 0 {
+		nanos := other.timers[i].Nanos()
+		if n == 0 && nanos == 0 {
 			continue
 		}
-		avg := other.timers[i].AvgCycles()
-		total := time.Duration(metrics.CyclesToNs(avg * float64(n)))
-		s.timers[i].Add(n, total)
+		s.timers[i].Add(n, time.Duration(nanos))
 	}
 }
+
+// Nanos returns the stage's exact accumulated nanoseconds.
+func (s *StageStats) Nanos(st Stage) uint64 { return s.timers[st].Nanos() }
 
 // Stages lists all stages in pipeline order.
 func Stages() []Stage {
@@ -104,14 +110,145 @@ func Stages() []Stage {
 	return out
 }
 
-// CoreStats aggregates one core's packet-level counters.
+// CoreStats is a point-in-time snapshot of one core's packet-level
+// counters. The live counters are always-on atomics (telemetry.Counter),
+// so snapshots are safe to take from monitoring goroutines while the
+// core is processing.
 type CoreStats struct {
 	Processed     uint64 // mbufs consumed from the ring
 	FilterDropped uint64 // dropped by the software packet filter
-	Delivered     uint64 // callback invocations
+	Delivered     uint64 // callback invocations (all kinds)
 	ConnsCreated  uint64
 	SessionsSeen  uint64
 	SessionsMatch uint64
 	TombstonePkts uint64 // packets landing on rejected connections
 	BufferedPkts  uint64 // packets buffered awaiting a filter verdict
+
+	// Per-reason drop accounting (the §5.3 taxonomy). Together with
+	// FilterDropped, TombstonePkts, and DeliveredPackets these satisfy
+	// the packet-conservation invariant for packet-level subscriptions:
+	// Processed == FilterDropped + TombstonePkts + DeliveredPackets +
+	// NotTrackable + TableFull + PktBufOverflow + PendingDiscard +
+	// still-buffered.
+	NotTrackable      uint64 // no L4 flow and no terminal packet match
+	TableFull         uint64 // connection table at MaxConns
+	PktBufOverflow    uint64 // per-connection packet buffer full
+	PendingDiscard    uint64 // buffered packets freed before any verdict
+	StreamBufOverflow uint64 // stream chunks dropped pre-verdict
+
+	// Connection-level outcomes.
+	ConnsRejected     uint64 // connections that failed the filter
+	ConnsUnidentified uint64 // probing exhausted without identification
+
+	// Per-kind delivery counts (sum equals Delivered).
+	DeliveredPackets  uint64
+	DeliveredConns    uint64
+	DeliveredSessions uint64
+	DeliveredChunks   uint64
+
+	// Reassembly aggregate across the core's connections.
+	ReasmInOrder    uint64 // segments passed through in sequence
+	ReasmOutOfOrder uint64 // segments parked out of order
+	ReasmRetrans    uint64 // duplicate segments discarded
+	ReasmDropped    uint64 // segments dropped: out-of-order buffer full
+
+	// Parsing failures (summed over protocols; per-protocol counts are
+	// exposed through Core.ProtoStats).
+	ProbeRejects uint64
+	ParseErrors  uint64
+}
+
+// coreCounters is the live, atomic backing store for CoreStats.
+type coreCounters struct {
+	processed     telemetry.Counter
+	filterDropped telemetry.Counter
+	connsCreated  telemetry.Counter
+	sessionsSeen  telemetry.Counter
+	sessionsMatch telemetry.Counter
+	tombstonePkts telemetry.Counter
+	bufferedPkts  telemetry.Counter
+
+	notTrackable      telemetry.Counter
+	tableFull         telemetry.Counter
+	pktBufOverflow    telemetry.Counter
+	pendingDiscard    telemetry.Counter
+	streamBufOverflow telemetry.Counter
+
+	connsRejected     telemetry.Counter
+	connsUnidentified telemetry.Counter
+
+	deliveredPackets  telemetry.Counter
+	deliveredConns    telemetry.Counter
+	deliveredSessions telemetry.Counter
+	deliveredChunks   telemetry.Counter
+
+	reasmInOrder    telemetry.Counter
+	reasmOutOfOrder telemetry.Counter
+	reasmRetrans    telemetry.Counter
+	reasmDropped    telemetry.Counter
+
+	probeRejects telemetry.Counter
+	parseErrors  telemetry.Counter
+}
+
+func (c *coreCounters) snapshot() CoreStats {
+	s := CoreStats{
+		Processed:     c.processed.Value(),
+		FilterDropped: c.filterDropped.Value(),
+		ConnsCreated:  c.connsCreated.Value(),
+		SessionsSeen:  c.sessionsSeen.Value(),
+		SessionsMatch: c.sessionsMatch.Value(),
+		TombstonePkts: c.tombstonePkts.Value(),
+		BufferedPkts:  c.bufferedPkts.Value(),
+
+		NotTrackable:      c.notTrackable.Value(),
+		TableFull:         c.tableFull.Value(),
+		PktBufOverflow:    c.pktBufOverflow.Value(),
+		PendingDiscard:    c.pendingDiscard.Value(),
+		StreamBufOverflow: c.streamBufOverflow.Value(),
+
+		ConnsRejected:     c.connsRejected.Value(),
+		ConnsUnidentified: c.connsUnidentified.Value(),
+
+		DeliveredPackets:  c.deliveredPackets.Value(),
+		DeliveredConns:    c.deliveredConns.Value(),
+		DeliveredSessions: c.deliveredSessions.Value(),
+		DeliveredChunks:   c.deliveredChunks.Value(),
+
+		ReasmInOrder:    c.reasmInOrder.Value(),
+		ReasmOutOfOrder: c.reasmOutOfOrder.Value(),
+		ReasmRetrans:    c.reasmRetrans.Value(),
+		ReasmDropped:    c.reasmDropped.Value(),
+
+		ProbeRejects: c.probeRejects.Value(),
+		ParseErrors:  c.parseErrors.Value(),
+	}
+	s.Delivered = s.DeliveredPackets + s.DeliveredConns + s.DeliveredSessions + s.DeliveredChunks
+	return s
+}
+
+// ProtoStat is one protocol's identification/parsing failure counts.
+type ProtoStat struct {
+	ProbeRejects uint64
+	ParseErrors  uint64
+}
+
+// protoCounters holds per-protocol failure counters. The map is built
+// once at core construction and never mutated, so concurrent reads of
+// the (atomic) values are safe.
+type protoCounters struct {
+	probeRejects map[string]*telemetry.Counter
+	parseErrors  map[string]*telemetry.Counter
+}
+
+func newProtoCounters(names []string) protoCounters {
+	pc := protoCounters{
+		probeRejects: make(map[string]*telemetry.Counter, len(names)),
+		parseErrors:  make(map[string]*telemetry.Counter, len(names)),
+	}
+	for _, n := range names {
+		pc.probeRejects[n] = &telemetry.Counter{}
+		pc.parseErrors[n] = &telemetry.Counter{}
+	}
+	return pc
 }

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestMergeExactNanos is the regression test for the Merge precision
+// bug: totals used to be reconstructed as AvgCycles*Count, which rounds
+// on every merge. Merging many odd-duration entries across many "cores"
+// must reproduce the exact nanosecond total.
+func TestMergeExactNanos(t *testing.T) {
+	agg := NewStageStats(true)
+	var wantNanos uint64
+	var wantCount uint64
+	for core := 0; core < 16; core++ {
+		s := NewStageStats(true)
+		for i := 0; i < 1000; i++ {
+			// Odd durations whose mean is not representable exactly.
+			d := time.Duration(3*i + 1)
+			s.timers[StageCallback].Observe(d)
+			wantNanos += uint64(d)
+			wantCount++
+		}
+		agg.Merge(s)
+	}
+	if got := agg.Nanos(StageCallback); got != wantNanos {
+		t.Fatalf("merged nanos = %d, want %d (drift %d)", got, wantNanos, int64(got)-int64(wantNanos))
+	}
+	if got := agg.Invocations(StageCallback); got != wantCount {
+		t.Fatalf("merged count = %d, want %d", got, wantCount)
+	}
+	wantAvg := float64(wantNanos) / float64(wantCount) * 3.0 // CPUGHz
+	if got := agg.AvgCycles(StageCallback); math.Abs(got-wantAvg) > 1e-9 {
+		t.Fatalf("merged AvgCycles = %v, want %v", got, wantAvg)
+	}
+}
+
+// TestMergeEmptyStage ensures merging untouched stages stays zero (no
+// spurious Add(0,0) side effects on averages).
+func TestMergeEmptyStage(t *testing.T) {
+	agg := NewStageStats(false)
+	agg.Merge(NewStageStats(false))
+	for _, st := range Stages() {
+		if agg.Invocations(st) != 0 || agg.AvgCycles(st) != 0 {
+			t.Fatalf("stage %v nonzero after empty merge", st)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package layers
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+)
 
 // Parsed holds the decoded view of one packet. Reusing a single Parsed
 // across packets avoids all per-packet allocation (the
@@ -174,6 +178,18 @@ func FiveTupleFrom(p *Parsed) (ft FiveTuple, ok bool) {
 		return ft, false
 	}
 	return ft, true
+}
+
+// String renders the tuple as "proto src:port > dst:port" for logs and
+// connection traces.
+func (ft FiveTuple) String() string {
+	src := net.IP(ft.SrcIP[:4])
+	dst := net.IP(ft.DstIP[:4])
+	if ft.IsIPv6 {
+		src = net.IP(ft.SrcIP[:])
+		dst = net.IP(ft.DstIP[:])
+	}
+	return fmt.Sprintf("%d %s:%d > %s:%d", ft.Proto, src, ft.SrcPort, dst, ft.DstPort)
 }
 
 // Reverse returns the five-tuple of the opposite direction.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -64,6 +65,11 @@ func (s *StageTimer) Add(n uint64, d time.Duration) {
 // Count returns the number of invocations.
 func (s *StageTimer) Count() uint64 { return s.count.Load() }
 
+// Nanos returns the exact accumulated duration in nanoseconds. Mergers
+// must sum this rather than reconstructing totals from AvgCycles*Count,
+// which loses sub-nanosecond precision per entry.
+func (s *StageTimer) Nanos() uint64 { return s.nanos.Load() }
+
 // AvgCycles returns the mean cost per invocation in nominal cycles.
 func (s *StageTimer) AvgCycles() float64 {
 	c := s.count.Load()
@@ -113,11 +119,14 @@ func GbpsOver(bytes uint64, d time.Duration) float64 {
 }
 
 // Histogram is a fixed-bucket histogram for packet sizes and similar
-// bounded quantities (Figure 13).
+// bounded quantities (Figure 13). Observe is safe for concurrent use
+// (bucket and total updates are atomic); readers see a histogram that
+// may be mid-update but never corrupt, which is the consistency the
+// telemetry layer's scrapes need.
 type Histogram struct {
-	bounds []float64 // upper bounds, ascending
-	counts []uint64
-	total  uint64
+	bounds []float64 // upper bounds, ascending; immutable after creation
+	counts []uint64  // accessed atomically
+	total  uint64    // accessed atomically
 }
 
 // NewHistogram builds a histogram with the given ascending upper bounds;
@@ -129,8 +138,8 @@ func NewHistogram(bounds []float64) *Histogram {
 // Observe adds a value.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	h.total++
+	atomic.AddUint64(&h.counts[i], 1)
+	atomic.AddUint64(&h.total, 1)
 }
 
 // Bucket returns the bucket's upper bound ("+Inf" last) and its fraction
@@ -140,8 +149,8 @@ func (h *Histogram) Bucket(i int) (bound float64, frac float64) {
 	if i < len(h.bounds) {
 		bound = h.bounds[i]
 	}
-	if h.total > 0 {
-		frac = float64(h.counts[i]) / float64(h.total)
+	if total := atomic.LoadUint64(&h.total); total > 0 {
+		frac = float64(atomic.LoadUint64(&h.counts[i])) / float64(total)
 	}
 	return bound, frac
 }
@@ -150,25 +159,35 @@ func (h *Histogram) Bucket(i int) (bound float64, frac float64) {
 func (h *Histogram) NumBuckets() int { return len(h.counts) }
 
 // Total returns the number of observations.
-func (h *Histogram) Total() uint64 { return h.total }
+func (h *Histogram) Total() uint64 { return atomic.LoadUint64(&h.total) }
 
 // Series is an accumulating sample set with percentile and CDF queries
-// (Figures 8, 9; Table 2's P50/P99 rows).
+// (Figures 8, 9; Table 2's P50/P99 rows). All methods are guarded by an
+// internal mutex, so concurrent Adds and queries are safe; experiments
+// that stay single-goroutine pay one uncontended lock per call.
 type Series struct {
+	mu     sync.Mutex
 	vals   []float64
 	sorted bool
 }
 
 // Add appends a sample.
 func (s *Series) Add(v float64) {
+	s.mu.Lock()
 	s.vals = append(s.vals, v)
 	s.sorted = false
+	s.mu.Unlock()
 }
 
 // Len returns the sample count.
-func (s *Series) Len() int { return len(s.vals) }
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
+}
 
-func (s *Series) sort() {
+// sortLocked sorts the samples; callers must hold s.mu.
+func (s *Series) sortLocked() {
 	if !s.sorted {
 		sort.Float64s(s.vals)
 		s.sorted = true
@@ -178,10 +197,12 @@ func (s *Series) sort() {
 // Percentile returns the p-th percentile (0 < p <= 100) by
 // nearest-rank; zero samples yield NaN.
 func (s *Series) Percentile(p float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.vals) == 0 {
 		return math.NaN()
 	}
-	s.sort()
+	s.sortLocked()
 	rank := int(math.Ceil(p / 100 * float64(len(s.vals))))
 	if rank < 1 {
 		rank = 1
@@ -194,6 +215,8 @@ func (s *Series) Percentile(p float64) float64 {
 
 // Mean returns the arithmetic mean (NaN for zero samples).
 func (s *Series) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.vals) == 0 {
 		return math.NaN()
 	}
@@ -206,10 +229,12 @@ func (s *Series) Mean() float64 {
 
 // CDF evaluates the empirical CDF at x.
 func (s *Series) CDF(x float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.vals) == 0 {
 		return 0
 	}
-	s.sort()
+	s.sortLocked()
 	i := sort.SearchFloat64s(s.vals, math.Nextafter(x, math.Inf(1)))
 	return float64(i) / float64(len(s.vals))
 }
@@ -217,10 +242,12 @@ func (s *Series) CDF(x float64) float64 {
 // CDFPoints returns n evenly spaced (value, cumulative fraction) points
 // for plotting.
 func (s *Series) CDFPoints(n int) [][2]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.vals) == 0 || n <= 0 {
 		return nil
 	}
-	s.sort()
+	s.sortLocked()
 	out := make([][2]float64, 0, n)
 	for i := 1; i <= n; i++ {
 		idx := i*len(s.vals)/n - 1

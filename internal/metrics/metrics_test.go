@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 )
@@ -151,5 +152,93 @@ func TestFormatBytes(t *testing.T) {
 		if got := FormatBytes(in); got != want {
 			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestStageTimerNanosExact(t *testing.T) {
+	var st StageTimer
+	total := uint64(0)
+	// Durations chosen so avg*count reconstruction loses fractions.
+	for i, d := range []time.Duration{3, 5, 7, 11, 13} {
+		st.Observe(d)
+		total += uint64(d)
+		_ = i
+	}
+	if st.Nanos() != total {
+		t.Fatalf("Nanos = %d, want %d", st.Nanos(), total)
+	}
+	if st.Count() != 5 {
+		t.Fatalf("Count = %d", st.Count())
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 5000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64((g*per + i) % 2000))
+			}
+		}(g)
+	}
+	// Concurrent reader: fractions must stay within [0,1] even mid-run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			for b := 0; b < h.NumBuckets(); b++ {
+				if _, frac := h.Bucket(b); frac < 0 || frac > 1.000001 {
+					t.Errorf("bucket %d fraction %v out of range", b, frac)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if h.Total() != goroutines*per {
+		t.Fatalf("Total = %d, want %d", h.Total(), goroutines*per)
+	}
+	sum := 0.0
+	for b := 0; b < h.NumBuckets(); b++ {
+		_, frac := h.Bucket(b)
+		sum += frac
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("bucket fractions sum to %v, want 1", sum)
+	}
+}
+
+func TestSeriesConcurrentAddAndQuery(t *testing.T) {
+	var s Series
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s.Add(float64(i))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			_ = s.Percentile(99)
+			_ = s.Mean()
+			_ = s.CDF(1000)
+			_ = s.CDFPoints(10)
+		}
+	}()
+	wg.Wait()
+	if s.Len() != 8000 {
+		t.Fatalf("Len = %d, want 8000", s.Len())
+	}
+	if got := s.Percentile(100); got != 1999 {
+		t.Fatalf("P100 = %v, want 1999", got)
 	}
 }

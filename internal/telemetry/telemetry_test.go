@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events", L("kind", "a"))
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Same name+labels returns the same handle.
+	if again := r.Counter("test_events_total", "events", L("kind", "a")); again != c {
+		t.Fatal("duplicate registration returned a different handle")
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind conflict")
+		}
+	}()
+	r.Gauge("test_x_total", "x")
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	h := NewHistogramBuckets([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 560.5 {
+		t.Fatalf("sum = %v", got)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_drops_total", "dropped frames", L("reason", "ring_overflow")).Add(3)
+	r.Counter("test_drops_total", "dropped frames", L("reason", `weird"value`+"\n")).Add(1)
+	r.Gauge("test_conns", "live connections").Set(42)
+	r.GaugeFunc("test_pull", "pulled value", func() float64 { return 1.5 })
+	r.Histogram("test_latency", "latency", []float64{1, 2}).Observe(1.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_drops_total counter",
+		`test_drops_total{reason="ring_overflow"} 3`,
+		`test_drops_total{reason="weird\"value\n"} 1`,
+		"# TYPE test_conns gauge",
+		"test_conns 42",
+		"test_pull 1.5",
+		"# TYPE test_latency histogram",
+		`test_latency_bucket{le="1"} 0`,
+		`test_latency_bucket{le="2"} 1`,
+		`test_latency_bucket{le="+Inf"} 1`,
+		"test_latency_sum 1.5",
+		"test_latency_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("own exposition fails validation: %v\n%s", err, out)
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no newline":         "# TYPE a counter\na 1",
+		"sample before type": "a_total 1\n",
+		"bad value":          "# TYPE a counter\na bogus\n",
+		"bad name":           "# TYPE a counter\n0a 1\n",
+		"dup series":         "# TYPE a counter\na 1\na 2\n",
+		"unterminated label": "# TYPE a counter\na{x=\"y 1\n",
+		"unknown type":       "# TYPE a widget\na 1\n",
+		"empty":              "",
+	}
+	for name, in := range cases {
+		if err := ValidateExposition([]byte(in)); err == nil {
+			t.Errorf("%s: expected validation error for %q", name, in)
+		}
+	}
+}
+
+func TestValidateExpositionAcceptsValid(t *testing.T) {
+	in := "# HELP a_total things\n# TYPE a_total counter\na_total{x=\"esc\\\"aped\",y=\"2\"} 10\na_total 2 1700000000\n\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.5\nh_count 1\n"
+	if err := ValidateExposition([]byte(in)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("test_par_total", "p", L("g", string(rune('a'+g%4))))
+			h := r.Histogram("test_par_hist", "p", []float64{10, 100})
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 200))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	total := uint64(0)
+	for _, s := range r.Samples() {
+		if s.Name == "test_par_total" {
+			total += uint64(s.Value)
+		}
+	}
+	if total != 8000 {
+		t.Fatalf("concurrent counter total = %d, want 8000", total)
+	}
+	h := r.Histogram("test_par_hist", "p", nil)
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if math.IsNaN(h.Sum()) {
+		t.Fatal("histogram sum is NaN")
+	}
+}
+
+func TestConnTracerSampling(t *testing.T) {
+	tr := NewConnTracer(4, 10)
+	var spans []*ConnTrace
+	for i := 0; i < 16; i++ {
+		if sp := tr.Start(0, uint64(i), "t", uint64(i)); sp != nil {
+			spans = append(spans, sp)
+		}
+	}
+	if len(spans) != 4 {
+		t.Fatalf("sampled %d of 16 with N=4, want 4", len(spans))
+	}
+	for _, sp := range spans {
+		sp.EventDetail("identified", "tls", 5)
+		sp.EventOnce("first_parse", "", 6)
+		sp.EventOnce("first_parse", "", 7) // must not duplicate
+		sp.EventDetail("expire", "termination", 9)
+		tr.Finish(sp)
+	}
+	got := tr.Traces()
+	if len(got) != 4 {
+		t.Fatalf("finished %d spans, want 4", len(got))
+	}
+	ev := got[0].Events
+	if len(ev) != 4 || ev[0].Name != "first_packet" || ev[1].Detail != "tls" || ev[2].Name != "first_parse" || ev[3].Name != "expire" {
+		t.Fatalf("unexpected event sequence: %+v", ev)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"first_packet"`) {
+		t.Fatalf("JSON dump missing events:\n%s", buf.String())
+	}
+}
+
+func TestConnTracerRetentionBound(t *testing.T) {
+	tr := NewConnTracer(1, 2)
+	for i := 0; i < 5; i++ {
+		tr.Finish(tr.Start(0, uint64(i), "t", 0))
+	}
+	if len(tr.Traces()) != 2 {
+		t.Fatalf("retained %d spans, want 2", len(tr.Traces()))
+	}
+	_, started, dropped := tr.Stats()
+	if started != 5 || dropped != 3 {
+		t.Fatalf("started=%d dropped=%d, want 5/3", started, dropped)
+	}
+	// Nil tracer is a no-op everywhere.
+	var nilT *ConnTracer
+	if nilT.Start(0, 0, "", 0) != nil {
+		t.Fatal("nil tracer sampled")
+	}
+	nilT.Finish(nil)
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("test_ev_total", "x").Add(1)
+	PublishExpvar("retina_test_metrics", r1)
+	r2 := NewRegistry()
+	r2.Counter("test_ev_total", "x").Add(9)
+	PublishExpvar("retina_test_metrics", r2) // must not panic; r2 wins
+}

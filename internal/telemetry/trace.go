@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"retina/internal/metrics"
+)
+
+// ConnTracer samples 1-in-N connections and records a lifecycle span for
+// each: first-packet → identify → first-parse → session-verdict →
+// expiry, with virtual-tick and nominal-cycle timestamps. Spans are kept
+// in memory (bounded) and dumped as JSON for offline analysis.
+//
+// Sampling uses a global arrival counter, so the tracer may be shared
+// across cores: Start is one atomic add for unsampled connections; only
+// sampled connections (rare by construction) touch the mutex on Finish.
+// Event recording on an active span is single-threaded — spans belong to
+// exactly one core, like the connections they trace.
+type ConnTracer struct {
+	sampleN uint64
+	max     int
+
+	arrivals atomic.Uint64
+	started  atomic.Uint64
+	dropped  atomic.Uint64
+
+	mu   sync.Mutex
+	done []*ConnTrace
+}
+
+// TraceEvent is one timestamped point in a connection's lifecycle.
+type TraceEvent struct {
+	// Name identifies the lifecycle point: first_packet, identified,
+	// first_parse, session_match, session_nomatch, expire.
+	Name string `json:"name"`
+	// Detail carries event-specific context (service name, expiry
+	// reason).
+	Detail string `json:"detail,omitempty"`
+	// Tick is the virtual-clock tick at the event.
+	Tick uint64 `json:"tick"`
+	// Cycles is wall time since the span started, in nominal CPU cycles
+	// (metrics.CPUGHz), matching the paper's stage-cost units.
+	Cycles float64 `json:"cycles"`
+}
+
+// ConnTrace is one sampled connection's lifecycle span.
+type ConnTrace struct {
+	CoreID    int          `json:"core"`
+	ConnID    uint64       `json:"conn_id"`
+	Tuple     string       `json:"tuple"`
+	Service   string       `json:"service,omitempty"`
+	StartTick uint64       `json:"start_tick"`
+	Events    []TraceEvent `json:"events"`
+
+	start time.Time
+	seen  map[string]bool
+}
+
+// Event appends a lifecycle event with an empty detail.
+func (t *ConnTrace) Event(name string, tick uint64) { t.EventDetail(name, "", tick) }
+
+// EventDetail appends a lifecycle event.
+func (t *ConnTrace) EventDetail(name, detail string, tick uint64) {
+	t.Events = append(t.Events, TraceEvent{
+		Name:   name,
+		Detail: detail,
+		Tick:   tick,
+		Cycles: metrics.NsToCycles(float64(time.Since(t.start).Nanoseconds())),
+	})
+}
+
+// EventOnce appends the event only the first time name is seen on this
+// span (first_parse fires per chunk otherwise).
+func (t *ConnTrace) EventOnce(name, detail string, tick uint64) {
+	if t.seen == nil {
+		t.seen = make(map[string]bool, 4)
+	}
+	if t.seen[name] {
+		return
+	}
+	t.seen[name] = true
+	t.EventDetail(name, detail, tick)
+}
+
+// NewConnTracer samples one in sampleN connections (sampleN <= 1 traces
+// every connection) and retains at most max completed spans (<= 0
+// selects 1024); further spans are counted as dropped.
+func NewConnTracer(sampleN, max int) *ConnTracer {
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	if max <= 0 {
+		max = 1024
+	}
+	return &ConnTracer{sampleN: uint64(sampleN), max: max}
+}
+
+// Start decides whether the arriving connection is sampled, returning a
+// span to record into or nil. Safe for concurrent use.
+func (t *ConnTracer) Start(coreID int, connID uint64, tuple string, tick uint64) *ConnTrace {
+	if t == nil {
+		return nil
+	}
+	if (t.arrivals.Add(1)-1)%t.sampleN != 0 {
+		return nil
+	}
+	t.started.Add(1)
+	tr := &ConnTrace{
+		CoreID:    coreID,
+		ConnID:    connID,
+		Tuple:     tuple,
+		StartTick: tick,
+		start:     time.Now(),
+	}
+	tr.Event("first_packet", tick)
+	return tr
+}
+
+// Finish files a completed span. Nil-safe on both receiver and span.
+func (t *ConnTracer) Finish(tr *ConnTrace) {
+	if t == nil || tr == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.done) >= t.max {
+		t.dropped.Add(1)
+		return
+	}
+	t.done = append(t.done, tr)
+}
+
+// Stats reports sampling totals: connections seen, spans started, and
+// completed spans discarded over the retention bound.
+func (t *ConnTracer) Stats() (arrivals, started, dropped uint64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	return t.arrivals.Load(), t.started.Load(), t.dropped.Load()
+}
+
+// Traces returns a snapshot of completed spans.
+func (t *ConnTracer) Traces() []*ConnTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*ConnTrace(nil), t.done...)
+}
+
+// WriteJSON dumps completed spans as an indented JSON array.
+func (t *ConnTracer) WriteJSON(w io.Writer) error {
+	traces := t.Traces()
+	if traces == nil {
+		traces = []*ConnTrace{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traces)
+}

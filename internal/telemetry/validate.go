@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-format payload for
+// structural validity: well-formed comment and sample lines, metric and
+// label name syntax, parseable values, TYPE declared before samples of a
+// family, and no duplicate series. It is the shared validator behind the
+// exposition tests, the CI scrape smoke test, and the monitoring
+// example.
+func ValidateExposition(data []byte) error {
+	text := string(data)
+	if len(text) == 0 {
+		return fmt.Errorf("exposition: empty payload")
+	}
+	if !strings.HasSuffix(text, "\n") {
+		return fmt.Errorf("exposition: payload must end with a newline")
+	}
+	typed := map[string]string{} // family -> type
+	seen := map[string]bool{}    // full series line key
+	for ln, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("exposition line %d: malformed comment %q", lineNo, line)
+			}
+			if !metricNameRe.MatchString(fields[2]) {
+				return fmt.Errorf("exposition line %d: invalid metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("exposition line %d: TYPE missing kind", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("exposition line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := typed[fields[2]]; dup {
+					return fmt.Errorf("exposition line %d: duplicate TYPE for %q", lineNo, fields[2])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("exposition line %d: %v", lineNo, err)
+		}
+		_ = value
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && typed[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			return fmt.Errorf("exposition line %d: sample %q before its TYPE line", lineNo, name)
+		}
+		key := name + "{" + labels + "}"
+		if seen[key] {
+			return fmt.Errorf("exposition line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+	}
+	if len(typed) == 0 {
+		return fmt.Errorf("exposition: no metric families found")
+	}
+	return nil
+}
+
+// parseSampleLine parses `name{labels} value [timestamp]`.
+func parseSampleLine(line string) (name, labels string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return "", "", 0, fmt.Errorf("no value in sample %q", line)
+	}
+	if brace >= 0 && brace < sp {
+		name = rest[:brace]
+		end := strings.Index(rest, "} ")
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = rest[brace+1 : end]
+		if err := validateLabelPairs(labels); err != nil {
+			return "", "", 0, err
+		}
+		rest = rest[end+2:]
+	} else {
+		name = rest[:sp]
+		rest = rest[sp+1:]
+	}
+	if !metricNameRe.MatchString(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("expected value [timestamp], got %q", rest)
+	}
+	v, perr := strconv.ParseFloat(fields[0], 64)
+	if perr != nil && fields[0] != "+Inf" && fields[0] != "-Inf" && fields[0] != "NaN" {
+		return "", "", 0, fmt.Errorf("unparseable value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", "", 0, fmt.Errorf("unparseable timestamp %q", fields[1])
+		}
+	}
+	return name, labels, v, nil
+}
+
+// validateLabelPairs checks `k="v",k2="v2"` syntax, tolerating escaped
+// quotes and backslashes inside values.
+func validateLabelPairs(s string) error {
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair missing '=' in %q", s[i:])
+		}
+		key := s[i : i+eq]
+		if !labelNameRe.MatchString(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return fmt.Errorf("label %q value not quoted", key)
+		}
+		i++
+		for i < len(s) {
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return fmt.Errorf("label %q value unterminated", key)
+		}
+		i++ // closing quote
+		if i < len(s) {
+			if s[i] != ',' {
+				return fmt.Errorf("expected ',' between labels at %q", s[i:])
+			}
+			i++
+		}
+	}
+	return nil
+}

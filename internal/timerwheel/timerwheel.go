@@ -22,6 +22,12 @@ type Wheel struct {
 	granularity uint64
 	current     uint64 // last tick Advance processed
 	scheduled   int
+
+	// Cumulative event counts for the observability layer. The wheel is
+	// single-owner (one core), so plain integers suffice; owners export
+	// them through their own atomic mirrors.
+	totalScheduled uint64
+	totalFired     uint64
 }
 
 type entry struct {
@@ -48,6 +54,12 @@ func (w *Wheel) Horizon() uint64 {
 // Len returns the number of scheduled (possibly stale) entries.
 func (w *Wheel) Len() int { return w.scheduled }
 
+// Totals reports cumulative schedules and fires over the wheel's
+// lifetime (fires include stale entries the owner re-arms).
+func (w *Wheel) Totals() (scheduled, fired uint64) {
+	return w.totalScheduled, w.totalFired
+}
+
 // Schedule registers id to be offered for expiry at expireTick.
 // Scheduling the same id again simply adds another entry; the owner's
 // expiry check makes older entries harmless.
@@ -55,6 +67,7 @@ func (w *Wheel) Schedule(id uint64, expireTick uint64) {
 	slot := (expireTick / w.granularity) % uint64(len(w.slots))
 	w.slots[slot] = append(w.slots[slot], entry{id: id, expire: expireTick})
 	w.scheduled++
+	w.totalScheduled++
 }
 
 // Advance moves the wheel to nowTick, invoking fire for every entry whose
@@ -87,6 +100,7 @@ func (w *Wheel) Advance(nowTick uint64, fire func(id uint64)) {
 		kept := bucket[:0]
 		for _, e := range bucket {
 			if e.expire <= nowTick {
+				w.totalFired++
 				fire(e.id)
 				w.scheduled--
 			} else {
@@ -138,6 +152,13 @@ func (h *Hierarchical) Horizon() uint64 { return h.outer.Horizon() }
 
 // Len returns the number of scheduled (possibly stale) entries.
 func (h *Hierarchical) Len() int { return h.inner.Len() + h.outer.Len() }
+
+// Totals reports cumulative schedules and fires across both levels.
+func (h *Hierarchical) Totals() (scheduled, fired uint64) {
+	is, ifd := h.inner.Totals()
+	os, ofd := h.outer.Totals()
+	return is + os, ifd + ofd
+}
 
 // Schedule registers id for expiry at expireTick, choosing the level by
 // distance from the current time.

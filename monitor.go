@@ -3,7 +3,13 @@ package retina
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
+	"sync"
 	"time"
+
+	"retina/internal/mbuf"
+	"retina/internal/metrics"
 )
 
 // LiveStats is a point-in-time snapshot of a running Runtime, safe to
@@ -23,7 +29,22 @@ type LiveStats struct {
 	Conns     int // connections currently tracked across cores
 	PoolFree  int // free packet buffers
 	PoolTotal int
+
+	// Callbacks counts deliveries to the subscription's callback across
+	// all cores (per-subscription rate = ΔCallbacks / Δt).
+	Callbacks uint64
+	// Drops breaks every loss down by telemetry.Drop* reason; zero
+	// reasons are omitted.
+	Drops map[string]uint64
+	// MemoryEstimate approximates bytes held by connection state and
+	// in-flight packet buffers. It is computed from atomic counters only,
+	// so snapshots never race with the processing cores.
+	MemoryEstimate uint64
 }
+
+// connStateEstimate is the approximate per-connection footprint used by
+// MemoryEstimate (table entry + subscription state).
+const connStateEstimate = 320
 
 // LossRate is the fraction of post-hardware-filter traffic lost.
 func (s LiveStats) LossRate() float64 {
@@ -51,7 +72,11 @@ func (r *Runtime) LiveStats() LiveStats {
 	}
 	for _, c := range r.cores {
 		s.Conns += c.Table().ConcurrentLen()
+		s.Callbacks += c.Stats().Delivered
 	}
+	s.Drops = r.DropBreakdown()
+	s.MemoryEstimate = uint64(s.Conns)*connStateEstimate +
+		uint64(r.pool.InUse())*uint64(mbuf.DefaultBufSize)
 	return s
 }
 
@@ -84,15 +109,45 @@ func (r *Runtime) Monitor(interval time.Duration, fn func(LiveStats)) (stop func
 		}
 	}()
 	// stop blocks until the monitor goroutine has exited, so callers may
-	// safely inspect state fn was writing.
+	// safely inspect state fn was writing. Calling stop more than once is
+	// harmless.
+	var once sync.Once
 	return func() {
-		close(done)
+		once.Do(func() { close(done) })
 		<-exited
 	}
 }
 
+// formatDrops renders a drop-reason breakdown as "reason:count"
+// pairs, largest first.
+func formatDrops(drops map[string]uint64) string {
+	if len(drops) == 0 {
+		return "none"
+	}
+	reasons := make([]string, 0, len(drops))
+	for k := range drops {
+		reasons = append(reasons, k)
+	}
+	sort.Slice(reasons, func(i, j int) bool {
+		if drops[reasons[i]] != drops[reasons[j]] {
+			return drops[reasons[i]] > drops[reasons[j]]
+		}
+		return reasons[i] < reasons[j]
+	})
+	var b strings.Builder
+	for i, k := range reasons {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", k, drops[k])
+	}
+	return b.String()
+}
+
 // LogMonitor is a convenience Monitor that writes one status line per
-// interval, mirroring Retina's performance log output.
+// interval, mirroring Retina's performance log output: throughput,
+// per-subscription callback rate, loss with full drop-reason breakdown,
+// and memory pressure.
 func (r *Runtime) LogMonitor(w io.Writer, interval time.Duration) (stop func()) {
 	var last LiveStats
 	start := time.Now()
@@ -102,9 +157,14 @@ func (r *Runtime) LogMonitor(w io.Writer, interval time.Duration) (stop func()) 
 			dt = s.When.Sub(start)
 		}
 		rate := float64(s.Delivered-last.Delivered) / dt.Seconds()
-		fmt.Fprintf(w, "[retina] rx=%d delivered=%d (%.0f pps) hw_drop=%d loss=%d (%.4f%%) conns=%d pool=%d/%d\n",
-			s.RxFrames, s.Delivered, rate, s.HWDropped, s.Loss, s.LossRate()*100,
-			s.Conns, s.PoolFree, s.PoolTotal)
+		cbRate := float64(s.Callbacks-last.Callbacks) / dt.Seconds()
+		fmt.Fprintf(w, "[retina] rx=%d delivered=%d (%.0f pps) cb[%s]=%d (%.0f/s) hw_drop=%d loss=%d (%.4f%%) drops: %s conns=%d pool=%d/%d mem=%s\n",
+			s.RxFrames, s.Delivered, rate,
+			r.sub.Level, s.Callbacks, cbRate,
+			s.HWDropped, s.Loss, s.LossRate()*100,
+			formatDrops(s.Drops),
+			s.Conns, s.PoolFree, s.PoolTotal,
+			metrics.FormatBytes(s.MemoryEstimate))
 		last = s
 	})
 }

@@ -31,6 +31,7 @@ import (
 	"retina/internal/mbuf"
 	"retina/internal/nic"
 	"retina/internal/proto"
+	"retina/internal/telemetry"
 )
 
 // Re-exported data types delivered to callbacks.
@@ -135,6 +136,17 @@ type Config struct {
 	MaxOutOfOrder int
 	// Profile enables per-stage timing (Figure 7).
 	Profile bool
+	// MaxConns bounds each core's connection table (0 = unlimited).
+	MaxConns int
+	// PacketBufferCap overrides the per-connection packet buffer bound
+	// for packet subscriptions awaiting a filter verdict.
+	PacketBufferCap int
+	// TraceSample enables connection lifecycle tracing: one in
+	// TraceSample connections records a first-packet → identify →
+	// first-parse → session-verdict → expiry span (0 disables).
+	TraceSample int
+	// TraceMax bounds retained completed trace spans (0 = default 1024).
+	TraceMax int
 	// Modules registers user-defined protocol modules (the
 	// extensibility mechanism of §3.3 / Appendix A): each contributes
 	// filter-language identifiers and a per-connection parser.
@@ -173,6 +185,7 @@ func (c Config) conntrack() conntrack.Config {
 	case c.InactivityTimeout > 0:
 		cfg.InactivityTimeout = uint64(c.InactivityTimeout / time.Microsecond)
 	}
+	cfg.MaxConns = c.MaxConns
 	return cfg
 }
 
@@ -206,12 +219,14 @@ func (s Stats) Loss() uint64 { return s.NIC.Loss() }
 
 // Runtime is a configured Retina instance.
 type Runtime struct {
-	cfg   Config
-	prog  *filter.Program
-	dev   *nic.NIC
-	pool  *mbuf.Pool
-	cores []*core.Core
-	sub   *Subscription
+	cfg    Config
+	prog   *filter.Program
+	dev    *nic.NIC
+	pool   *mbuf.Pool
+	cores  []*core.Core
+	sub    *Subscription
+	reg    *telemetry.Registry
+	tracer *telemetry.ConnTracer
 }
 
 // New compiles the filter, builds the simulated device and the per-core
@@ -279,20 +294,27 @@ func New(cfg Config, sub *Subscription) (*Runtime, error) {
 	}
 
 	rt := &Runtime{cfg: cfg, prog: prog, dev: dev, pool: pool, sub: sub}
+	if cfg.TraceSample > 0 {
+		rt.tracer = telemetry.NewConnTracer(cfg.TraceSample, cfg.TraceMax)
+	}
 	for i := 0; i < cfg.Cores; i++ {
 		c, err := core.NewCore(i, core.Config{
-			Program:       prog,
-			Sub:           sub,
-			Conntrack:     cfg.conntrack(),
-			MaxOutOfOrder: cfg.MaxOutOfOrder,
-			Profile:       cfg.Profile,
-			ExtraParsers:  extraParsers,
+			Program:         prog,
+			Sub:             sub,
+			Conntrack:       cfg.conntrack(),
+			MaxOutOfOrder:   cfg.MaxOutOfOrder,
+			Profile:         cfg.Profile,
+			PacketBufferCap: cfg.PacketBufferCap,
+			ExtraParsers:    extraParsers,
+			Tracer:          rt.tracer,
 		})
 		if err != nil {
 			return nil, err
 		}
 		rt.cores = append(rt.cores, c)
 	}
+	rt.reg = telemetry.NewRegistry()
+	rt.registerMetrics()
 	return rt, nil
 }
 

@@ -1,0 +1,292 @@
+package retina
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"retina/internal/conntrack"
+	"retina/internal/core"
+	"retina/internal/telemetry"
+)
+
+// Registry exposes the runtime's metric registry (for embedding Retina's
+// metrics into an application's own exposition).
+func (r *Runtime) Registry() *telemetry.Registry { return r.reg }
+
+// Tracer exposes the connection tracer (nil unless Config.TraceSample
+// was set).
+func (r *Runtime) Tracer() *telemetry.ConnTracer { return r.tracer }
+
+// sumCores folds one CoreStats field across all cores at scrape time.
+func (r *Runtime) sumCores(f func(core.CoreStats) uint64) func() uint64 {
+	return func() uint64 {
+		var total uint64
+		for _, c := range r.cores {
+			total += f(c.Stats())
+		}
+		return total
+	}
+}
+
+// registerMetrics wires every layer's counters into the registry as pull
+// collectors. The layers keep their own atomics; scrapes read them
+// through closures, so nothing is double-counted and the hot paths pay
+// nothing for exposition.
+func (r *Runtime) registerMetrics() {
+	reg := r.reg
+
+	// NIC / port counters.
+	reg.CounterFunc("retina_rx_frames_total", "frames offered to the simulated port",
+		func() uint64 { return r.dev.Stats().RxFrames })
+	reg.CounterFunc("retina_delivered_frames_total", "frames enqueued onto receive rings",
+		func() uint64 { return r.dev.Stats().Delivered })
+
+	// The drop-reason taxonomy: one series per reason, all under a single
+	// family so dashboards can sum and break down losses uniformly.
+	drop := func(reason string, fn func() uint64) {
+		reg.CounterFunc("retina_drops_total", "frames dropped, by reason", fn,
+			telemetry.L("reason", reason))
+	}
+	drop(telemetry.DropMalformed, func() uint64 { return r.dev.Stats().Malformed })
+	drop(telemetry.DropHWFilter, func() uint64 { return r.dev.Stats().HWDropped })
+	drop(telemetry.DropRSSSink, func() uint64 { return r.dev.Stats().Sunk })
+	drop(telemetry.DropRingOverflow, func() uint64 { return r.dev.Stats().RingDrops })
+	drop(telemetry.DropPoolExhausted, func() uint64 {
+		nofromNIC := r.dev.Stats().NoMbuf
+		_, fails := r.pool.Stats()
+		if fails > nofromNIC {
+			// Offline mode allocates from the pool directly; count every
+			// failed allocation exactly once.
+			return fails
+		}
+		return nofromNIC
+	})
+	drop(telemetry.DropSWFilter, r.sumCores(func(s core.CoreStats) uint64 { return s.FilterDropped }))
+	drop(telemetry.DropNotTrackable, r.sumCores(func(s core.CoreStats) uint64 { return s.NotTrackable }))
+	drop(telemetry.DropTableFull, r.sumCores(func(s core.CoreStats) uint64 { return s.TableFull }))
+	drop(telemetry.DropConnRejected, r.sumCores(func(s core.CoreStats) uint64 { return s.TombstonePkts }))
+	drop(telemetry.DropPktBufOverflow, r.sumCores(func(s core.CoreStats) uint64 { return s.PktBufOverflow }))
+	drop(telemetry.DropPendingDiscard, r.sumCores(func(s core.CoreStats) uint64 { return s.PendingDiscard }))
+	drop(telemetry.DropStreamBufOverflow, r.sumCores(func(s core.CoreStats) uint64 { return s.StreamBufOverflow }))
+	drop(telemetry.DropReasmBufferFull, r.sumCores(func(s core.CoreStats) uint64 { return s.ReasmDropped }))
+
+	// Buffer pool.
+	reg.GaugeFunc("retina_mbuf_pool_free", "free packet buffers",
+		func() float64 { return float64(r.pool.Available()) })
+	reg.GaugeFunc("retina_mbuf_pool_size", "total packet buffers",
+		func() float64 { return float64(r.pool.Size()) })
+	reg.CounterFunc("retina_mbuf_allocs_total", "packet buffer allocations",
+		func() uint64 { allocs, _ := r.pool.Stats(); return allocs })
+	reg.CounterFunc("retina_mbuf_alloc_fails_total", "failed packet buffer allocations (pool exhausted)",
+		func() uint64 { _, fails := r.pool.Stats(); return fails })
+
+	// Per-core pipeline counters.
+	for i, c := range r.cores {
+		c := c
+		lbl := telemetry.L("core", fmt.Sprintf("%d", i))
+		reg.CounterFunc("retina_core_processed_total", "mbufs consumed from the receive ring",
+			func() uint64 { return c.Stats().Processed }, lbl)
+		reg.CounterFunc("retina_conns_created_total", "connections created",
+			func() uint64 { return c.Stats().ConnsCreated }, lbl)
+		reg.CounterFunc("retina_conns_rejected_total", "connections that failed the filter",
+			func() uint64 { return c.Stats().ConnsRejected }, lbl)
+		reg.CounterFunc("retina_conns_unidentified_total", "connections whose protocol probing was exhausted",
+			func() uint64 { return c.Stats().ConnsUnidentified }, lbl)
+		reg.GaugeFunc("retina_conns_live", "connections currently tracked",
+			func() float64 { return float64(c.Table().ConcurrentLen()) }, lbl)
+		reg.CounterFunc("retina_timer_rearms_total", "lazy timer re-arms (stale wheel entries rescheduled)",
+			func() uint64 { return c.Table().Rearmed() }, lbl)
+		for reason := conntrack.ExpireEstablishTimeout; reason <= conntrack.ExpireEvicted; reason++ {
+			reason := reason
+			reg.CounterFunc("retina_conns_expired_total", "connection removals, by reason",
+				func() uint64 { _, expired := c.Table().Stats(); return expired[reason] },
+				lbl, telemetry.L("reason", reason.String()))
+		}
+		for _, kind := range []struct {
+			name string
+			fn   func(core.CoreStats) uint64
+		}{
+			{"packets", func(s core.CoreStats) uint64 { return s.DeliveredPackets }},
+			{"connections", func(s core.CoreStats) uint64 { return s.DeliveredConns }},
+			{"sessions", func(s core.CoreStats) uint64 { return s.DeliveredSessions }},
+			{"chunks", func(s core.CoreStats) uint64 { return s.DeliveredChunks }},
+		} {
+			kind := kind
+			reg.CounterFunc("retina_delivered_total", "callback deliveries, by data kind",
+				func() uint64 { return kind.fn(c.Stats()) }, lbl, telemetry.L("kind", kind.name))
+		}
+		reg.CounterFunc("retina_sessions_total", "application-layer sessions parsed",
+			func() uint64 { return c.Stats().SessionsSeen }, lbl, telemetry.L("result", "seen"))
+		reg.CounterFunc("retina_sessions_total", "application-layer sessions parsed",
+			func() uint64 { return c.Stats().SessionsMatch }, lbl, telemetry.L("result", "matched"))
+		for _, k := range []struct {
+			name string
+			fn   func(core.CoreStats) uint64
+		}{
+			{"in_order", func(s core.CoreStats) uint64 { return s.ReasmInOrder }},
+			{"out_of_order", func(s core.CoreStats) uint64 { return s.ReasmOutOfOrder }},
+			{"retransmission", func(s core.CoreStats) uint64 { return s.ReasmRetrans }},
+			{"dropped", func(s core.CoreStats) uint64 { return s.ReasmDropped }},
+		} {
+			k := k
+			reg.CounterFunc("retina_reassembly_segments_total", "TCP segments by reassembly outcome",
+				func() uint64 { return k.fn(c.Stats()) }, lbl, telemetry.L("kind", k.name))
+		}
+	}
+
+	// Per-subscription deliveries (this runtime carries one subscription;
+	// the label keeps series stable when multi-subscription lands).
+	reg.CounterFunc("retina_subscription_delivered_total", "callback deliveries per subscription",
+		r.sumCores(func(s core.CoreStats) uint64 { return s.Delivered }),
+		telemetry.L("subscription", r.sub.Level.String()))
+
+	// Per-protocol probe/parse failures, summed across cores at scrape.
+	protoNames := map[string]bool{}
+	for _, c := range r.cores {
+		for name := range c.ProtoStats() {
+			protoNames[name] = true
+		}
+	}
+	for name := range protoNames {
+		name := name
+		reg.CounterFunc("retina_proto_failures_total", "protocol probe/parse failures",
+			func() uint64 {
+				var n uint64
+				for _, c := range r.cores {
+					n += c.ProtoStats()[name].ProbeRejects
+				}
+				return n
+			}, telemetry.L("proto", name), telemetry.L("kind", "probe_reject"))
+		reg.CounterFunc("retina_proto_failures_total", "protocol probe/parse failures",
+			func() uint64 {
+				var n uint64
+				for _, c := range r.cores {
+					n += c.ProtoStats()[name].ParseErrors
+				}
+				return n
+			}, telemetry.L("proto", name), telemetry.L("kind", "parse_error"))
+	}
+
+	// Stage counters (Figure 7), summed across cores at scrape time.
+	for _, st := range core.Stages() {
+		st := st
+		lbl := telemetry.L("stage", st.String())
+		reg.CounterFunc("retina_stage_invocations_total", "pipeline stage invocations",
+			func() uint64 {
+				var n uint64
+				for _, c := range r.cores {
+					n += c.StageStats().Invocations(st)
+				}
+				return n
+			}, lbl)
+		reg.CounterFunc("retina_stage_nanos_total", "pipeline stage time in nanoseconds (needs Profile)",
+			func() uint64 {
+				var n uint64
+				for _, c := range r.cores {
+					n += c.StageStats().Nanos(st)
+				}
+				return n
+			}, lbl)
+	}
+
+	if r.tracer != nil {
+		reg.CounterFunc("retina_trace_spans_total", "sampled connection trace spans",
+			func() uint64 { _, started, _ := r.tracer.Stats(); return started },
+			telemetry.L("state", "started"))
+		reg.CounterFunc("retina_trace_spans_total", "sampled connection trace spans",
+			func() uint64 { _, _, dropped := r.tracer.Stats(); return dropped },
+			telemetry.L("state", "dropped"))
+	}
+}
+
+// DropBreakdown sums every per-reason drop counter across the NIC and
+// all cores. Keys are the telemetry.Drop* reason strings; zero-valued
+// reasons are omitted.
+func (r *Runtime) DropBreakdown() map[string]uint64 {
+	ns := r.dev.Stats()
+	_, poolFails := r.pool.Stats()
+	if ns.NoMbuf > poolFails {
+		poolFails = ns.NoMbuf
+	}
+	var agg core.CoreStats
+	for _, c := range r.cores {
+		s := c.Stats()
+		agg.FilterDropped += s.FilterDropped
+		agg.NotTrackable += s.NotTrackable
+		agg.TableFull += s.TableFull
+		agg.TombstonePkts += s.TombstonePkts
+		agg.PktBufOverflow += s.PktBufOverflow
+		agg.PendingDiscard += s.PendingDiscard
+		agg.StreamBufOverflow += s.StreamBufOverflow
+		agg.ReasmDropped += s.ReasmDropped
+	}
+	out := map[string]uint64{
+		telemetry.DropMalformed:         ns.Malformed,
+		telemetry.DropHWFilter:          ns.HWDropped,
+		telemetry.DropRSSSink:           ns.Sunk,
+		telemetry.DropRingOverflow:      ns.RingDrops,
+		telemetry.DropPoolExhausted:     poolFails,
+		telemetry.DropSWFilter:          agg.FilterDropped,
+		telemetry.DropNotTrackable:      agg.NotTrackable,
+		telemetry.DropTableFull:         agg.TableFull,
+		telemetry.DropConnRejected:      agg.TombstonePkts,
+		telemetry.DropPktBufOverflow:    agg.PktBufOverflow,
+		telemetry.DropPendingDiscard:    agg.PendingDiscard,
+		telemetry.DropStreamBufOverflow: agg.StreamBufOverflow,
+		telemetry.DropReasmBufferFull:   agg.ReasmDropped,
+	}
+	for k, v := range out {
+		if v == 0 {
+			delete(out, k)
+		}
+	}
+	return out
+}
+
+// MetricsServer is a running metrics endpoint started by ServeMetrics.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// ServeMetrics exposes the runtime's metrics over HTTP on addr:
+//
+//	/metrics     Prometheus text exposition
+//	/traces      sampled connection lifecycle spans as JSON
+//	/debug/vars  expvar (the registry is also published as "retina")
+//
+// The server runs until Close is called on the returned MetricsServer.
+func (r *Runtime) ServeMetrics(addr string) (*MetricsServer, error) {
+	telemetry.PublishExpvar("retina", r.reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.tracer == nil {
+			fmt.Fprintln(w, "[]")
+			return
+		}
+		_ = r.tracer.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &MetricsServer{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,51 @@
+package retina_test
+
+// Observability overhead guard: the always-on counters are plain atomic
+// adds, so Base (telemetry on, tracing/profiling off) is the shipping
+// configuration; Traced additionally samples connection lifecycles and
+// times every stage. Compare ns/op between the two to bound the cost of
+// turning tracing on, and Base against historical numbers to catch
+// counter bloat on the hot path.
+
+import (
+	"retina"
+	"testing"
+
+	"retina/internal/traffic"
+)
+
+func benchObservability(b *testing.B, mut func(*retina.Config)) {
+	src := traffic.NewCampusMix(traffic.CampusConfig{Seed: 11, Flows: 400, Gbps: 20})
+	frames, ticks, bytes := materialize(src)
+	b.ReportAllocs()
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := retina.DefaultConfig()
+		cfg.Filter = "tls"
+		cfg.Cores = 1
+		mut(&cfg)
+		rt, err := retina.New(cfg, retina.Packets(func(*retina.Packet) {}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rt.RunOffline(&replay{frames: frames, ticks: ticks})
+	}
+}
+
+// BenchmarkObservabilityBase is the shipping configuration: counters
+// on, tracing and per-stage timing off.
+func BenchmarkObservabilityBase(b *testing.B) {
+	benchObservability(b, func(*retina.Config) {})
+}
+
+// BenchmarkObservabilityTraced turns on connection sampling (1 in 64)
+// and per-stage wall-clock timing.
+func BenchmarkObservabilityTraced(b *testing.B) {
+	benchObservability(b, func(c *retina.Config) {
+		c.TraceSample = 64
+		c.Profile = true
+	})
+}
