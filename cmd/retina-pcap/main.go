@@ -33,6 +33,11 @@ func main() {
 	jsonlOut := flag.String("o", "", "write connection records as JSONL to this file (conns subscription)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this address while processing (e.g. :9090) and print the final drop-reason table")
 	traceSample := flag.Int("trace-sample", 0, "trace 1 in N connection lifecycles (0 = off); dump via the metrics endpoint's /traces")
+	maxConns := flag.Int("max-conns", 0, "bound the connection table (0 = unlimited); at the bound the longest-idle unestablished connection is evicted")
+	noPressureEvict := flag.Bool("no-pressure-evict", false, "with -max-conns, refuse new connections at the bound instead of evicting")
+	reasmBudget := flag.Int64("reasm-budget", 0, "per-core byte budget for out-of-order reassembly buffers (0 = 8MiB default, negative = unlimited)")
+	pktbufBudget := flag.Int64("pktbuf-budget", 0, "per-core byte budget for pre-verdict packet buffers (0 = 8MiB default, negative = unlimited)")
+	streamBudget := flag.Int64("stream-budget", 0, "per-core byte budget for pre-verdict stream buffers (0 = 16MiB default, negative = unlimited)")
 	flag.Parse()
 
 	if *explain {
@@ -54,6 +59,11 @@ func main() {
 	cfg.Cores = 1
 	cfg.Interpreted = *interpreted
 	cfg.TraceSample = *traceSample
+	cfg.MaxConns = *maxConns
+	cfg.NoPressureEvict = *noPressureEvict
+	cfg.ReassemblyBudget = *reasmBudget
+	cfg.PacketBufBudget = *pktbufBudget
+	cfg.StreamBufBudget = *streamBudget
 
 	count := 0
 	emit := func(format string, args ...any) {

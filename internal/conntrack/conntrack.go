@@ -67,6 +67,14 @@ const (
 	// connection and the framework discards it early (dashed arrows in
 	// Figure 4).
 	ExpireEvicted
+	// ExpirePressure fires when a connection is evicted at MaxConns to
+	// admit a new one (pressure-driven eviction: the longest-idle
+	// unestablished connection loses its slot instead of the new
+	// connection being refused).
+	ExpirePressure
+
+	// NumExpireReasons sizes per-reason arrays.
+	NumExpireReasons
 )
 
 // String names the reason; the telemetry layer uses these as label
@@ -81,6 +89,8 @@ func (r ExpireReason) String() string {
 		return "termination"
 	case ExpireEvicted:
 		return "evicted"
+	case ExpirePressure:
+		return "evicted_pressure"
 	}
 	return "?"
 }
@@ -152,8 +162,15 @@ type Config struct {
 	// (default 100ms of virtual time).
 	WheelGranularity uint64
 	// MaxConns bounds the table; 0 is unlimited. At the bound,
-	// GetOrCreate fails, modeling memory exhaustion.
+	// GetOrCreate fails, modeling memory exhaustion — unless
+	// PressureEvict is set.
 	MaxConns int
+	// PressureEvict changes the MaxConns policy from refusal to
+	// eviction: at the bound, the longest-idle unestablished connection
+	// is evicted (reason ExpirePressure) to admit the new one. If every
+	// tracked connection is established, GetOrCreate still refuses —
+	// established state is never shed for an unproven newcomer.
+	PressureEvict bool
 }
 
 // Ticks per time unit at the runtime's 1µs virtual tick.
@@ -187,9 +204,14 @@ type Table struct {
 	// read them while the owning core processes packets; the core's own
 	// updates stay single-writer.
 	created atomic.Uint64
-	expired [4]atomic.Uint64
+	expired [NumExpireReasons]atomic.Uint64
 	rearmed atomic.Uint64 // stale timer entries revalidated and re-armed
 	full    atomic.Uint64 // GetOrCreate refusals at MaxConns
+
+	// evictFn runs for a connection evicted under pressure, before it
+	// leaves the table, so the owner can deliver records and release
+	// subscription state (mirrors Advance's onExpire).
+	evictFn func(*Conn, ExpireReason)
 
 	// count mirrors len(conns) atomically so monitoring goroutines can
 	// observe table occupancy without touching the (unsynchronized,
@@ -233,12 +255,21 @@ func (t *Table) MemoryBytes() uint64 {
 
 // Stats reports cumulative creations and expirations by reason. Safe to
 // call from monitoring goroutines.
-func (t *Table) Stats() (created uint64, expired [4]uint64) {
+func (t *Table) Stats() (created uint64, expired [NumExpireReasons]uint64) {
 	for i := range expired {
 		expired[i] = t.expired[i].Load()
 	}
 	return t.created.Load(), expired
 }
+
+// PressureEvictions reports how many connections were evicted at
+// MaxConns to admit new ones.
+func (t *Table) PressureEvictions() uint64 { return t.expired[ExpirePressure].Load() }
+
+// SetEvictHandler installs the callback run for pressure-evicted
+// connections before removal (the runtime delivers connection records
+// and frees subscription state there, exactly as on timer expiry).
+func (t *Table) SetEvictHandler(fn func(*Conn, ExpireReason)) { t.evictFn = fn }
 
 // Rearmed reports how many stale timer entries were revalidated against
 // a refreshed deadline and re-armed instead of firing — the cost of the
@@ -265,8 +296,10 @@ func (t *Table) GetOrCreate(ft layers.FiveTuple, tick uint64) (c *Conn, created,
 		return c, false, true
 	}
 	if t.cfg.MaxConns > 0 && len(t.conns) >= t.cfg.MaxConns {
-		t.full.Add(1)
-		return nil, false, false
+		if !t.cfg.PressureEvict || !t.evictForPressure() {
+			t.full.Add(1)
+			return nil, false, false
+		}
 	}
 	t.nextID++
 	c = &Conn{
@@ -281,6 +314,68 @@ func (t *Table) GetOrCreate(ft layers.FiveTuple, tick uint64) (c *Conn, created,
 	t.created.Add(1)
 	t.scheduleExpiry(c)
 	return c, true, true
+}
+
+// pressureScanBudget bounds how many live unestablished candidates an
+// eviction scan inspects. The timer wheel yields entries in approximate
+// deadline order, so the first candidates are already close to the
+// longest-idle; scanning a handful trades exactness for O(1) eviction.
+const pressureScanBudget = 32
+
+// pressureVisitBudget bounds how many wheel entries an eviction scan
+// visits in total. Lazy rearming leaves stale entries parked in slots;
+// when the table is dominated by established (non-victim) connections a
+// candidate-only bound would walk the entire wheel per admission.
+const pressureVisitBudget = 256
+
+// evictForPressure frees one table slot by evicting the longest-idle
+// unestablished connection found via a bounded timer-wheel scan,
+// reporting whether a slot was freed. Established connections are never
+// victims: the paper's campus measurement (65% of connections are a
+// single unanswered SYN) means pressure at MaxConns is dominated by
+// state that will never progress, and that state is the cheapest to
+// lose.
+func (t *Table) evictForPressure() bool {
+	var victim *Conn
+	seen, visited := 0, 0
+	t.wheel.Scan(func(id, _ uint64) bool {
+		visited++
+		c, ok := t.byID[id]
+		if ok && !c.Established { // skip stale entries and protected conns
+			seen++
+			if victim == nil || c.LastTick < victim.LastTick {
+				victim = c
+			}
+		}
+		return seen < pressureScanBudget && visited < pressureVisitBudget
+	})
+	if victim == nil {
+		// The wheel yields no victim when timeouts are disabled (nothing
+		// scheduled) or when the visit budget ran out among established
+		// entries. Fall back to a bounded scan of the table itself:
+		// longest-idle within a random sample rather than within the
+		// earliest-deadline slots.
+		for _, c := range t.conns {
+			if c.Established {
+				continue
+			}
+			seen++
+			if victim == nil || c.LastTick < victim.LastTick {
+				victim = c
+			}
+			if seen >= pressureScanBudget {
+				break
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	if t.evictFn != nil {
+		t.evictFn(victim, ExpirePressure)
+	}
+	t.Remove(victim, ExpirePressure)
+	return true
 }
 
 // deadline computes when c should expire given its current state.

@@ -320,3 +320,118 @@ func BenchmarkGetOrCreateTouch(b *testing.B) {
 		}
 	}
 }
+
+func TestPressureEvictionAdmitsNewConn(t *testing.T) {
+	// Timeouts enabled (DefaultConfig) so victims are found via the
+	// timer-wheel scan; TestPressureEvictionChurn covers the
+	// timeouts-disabled fallback scan.
+	cfg := DefaultConfig()
+	cfg.MaxConns = 4
+	cfg.PressureEvict = true
+	tbl := NewTable(cfg)
+	// Four idle unestablished connections with staggered last-activity.
+	for i := 0; i < 4; i++ {
+		c, _, ok := tbl.GetOrCreate(ft("10.0.0.1", "10.0.0.2", uint16(i+1), 443), uint64(i))
+		if !ok {
+			t.Fatalf("create %d failed", i)
+		}
+		tbl.Touch(c, ft("10.0.0.1", "10.0.0.2", uint16(i+1), 443), uint64(i), 60, 0, layers.TCPSyn)
+	}
+
+	var evicted []*Conn
+	tbl.SetEvictHandler(func(c *Conn, reason ExpireReason) {
+		if reason != ExpirePressure {
+			t.Fatalf("evict handler reason = %v, want ExpirePressure", reason)
+		}
+		evicted = append(evicted, c)
+	})
+
+	// A fifth connection at the bound must evict the longest-idle
+	// (LastTick 0) instead of being refused.
+	c, created, ok := tbl.GetOrCreate(ft("10.0.0.9", "10.0.0.2", 999, 443), 100)
+	if !ok || !created || c == nil {
+		t.Fatalf("new connection refused at the bound: ok=%v created=%v", ok, created)
+	}
+	if tbl.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (one in, one out)", tbl.Len())
+	}
+	if tbl.FullDrops() != 0 {
+		t.Fatalf("FullDrops = %d, want 0: eviction must replace refusal", tbl.FullDrops())
+	}
+	if tbl.PressureEvictions() != 1 {
+		t.Fatalf("PressureEvictions = %d, want 1", tbl.PressureEvictions())
+	}
+	if len(evicted) != 1 {
+		t.Fatalf("evict handler called %d times, want 1", len(evicted))
+	}
+	if evicted[0].LastTick != 0 {
+		t.Fatalf("evicted LastTick = %d, want the longest-idle (0)", evicted[0].LastTick)
+	}
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after eviction: %v", err)
+	}
+}
+
+func TestPressureEvictionSparesEstablished(t *testing.T) {
+	tbl := NewTable(Config{MaxConns: 2, PressureEvict: true})
+	// Fill the table with established connections (bidirectional traffic).
+	for i := 0; i < 2; i++ {
+		tuple := ft("10.0.0.1", "10.0.0.2", uint16(i+1), 443)
+		c, _, _ := tbl.GetOrCreate(tuple, 0)
+		tbl.Touch(c, tuple, 0, 60, 0, layers.TCPSyn)
+		rev := ft("10.0.0.2", "10.0.0.1", 443, uint16(i+1))
+		tbl.Touch(c, rev, 1, 60, 0, layers.TCPSyn|layers.TCPAck)
+		if !c.Established {
+			t.Fatalf("connection %d not established after bidirectional traffic", i)
+		}
+	}
+	// With only established connections, the bound falls back to refusal.
+	if _, _, ok := tbl.GetOrCreate(ft("10.0.0.9", "10.0.0.2", 999, 443), 50); ok {
+		t.Fatal("established connection was evicted under pressure")
+	}
+	if tbl.FullDrops() != 1 {
+		t.Fatalf("FullDrops = %d, want 1", tbl.FullDrops())
+	}
+	if tbl.PressureEvictions() != 0 {
+		t.Fatalf("PressureEvictions = %d, want 0", tbl.PressureEvictions())
+	}
+}
+
+func TestPressureEvictionDisabledByDefault(t *testing.T) {
+	// The zero-value config pins the original refusal behavior.
+	tbl := NewTable(Config{MaxConns: 1})
+	tbl.GetOrCreate(ft("10.0.0.1", "10.0.0.2", 1, 443), 0)
+	if _, _, ok := tbl.GetOrCreate(ft("10.0.0.9", "10.0.0.2", 2, 443), 10); ok {
+		t.Fatal("eviction ran without PressureEvict")
+	}
+	if tbl.FullDrops() != 1 {
+		t.Fatalf("FullDrops = %d, want 1", tbl.FullDrops())
+	}
+}
+
+func TestPressureEvictionChurn(t *testing.T) {
+	// A SYN flood against a small table: every arrival past the bound
+	// must succeed by evicting, never by refusal, and invariants must
+	// hold throughout.
+	tbl := NewTable(Config{MaxConns: 16, PressureEvict: true})
+	for i := 0; i < 500; i++ {
+		tuple := ft("10.0.0.1", "10.0.0.2", uint16(i+1), 443)
+		c, _, ok := tbl.GetOrCreate(tuple, uint64(i))
+		if !ok {
+			t.Fatalf("arrival %d refused", i)
+		}
+		tbl.Touch(c, tuple, uint64(i), 60, 0, layers.TCPSyn)
+	}
+	if tbl.FullDrops() != 0 {
+		t.Fatalf("FullDrops = %d, want 0", tbl.FullDrops())
+	}
+	if got := tbl.PressureEvictions(); got != 500-16 {
+		t.Fatalf("PressureEvictions = %d, want %d", got, 500-16)
+	}
+	if tbl.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", tbl.Len())
+	}
+	if err := tbl.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after churn: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"retina/internal/filter"
 	"retina/internal/layers"
 	"retina/internal/mbuf"
+	"retina/internal/overload"
 	"retina/internal/proto"
 	"retina/internal/reassembly"
 	"retina/internal/telemetry"
@@ -44,6 +45,16 @@ type Config struct {
 	// Tracer, when non-nil, samples connections for lifecycle tracing.
 	// It may be shared across cores (sampling is atomic).
 	Tracer *telemetry.ConnTracer
+	// Budget bounds the core's per-class buffered bytes (the zero value
+	// selects the overload package defaults; negative fields disable a
+	// class's bound).
+	Budget overload.Budget
+	// PoolSignal reports (free, total) buffers of the core's mbuf pool;
+	// nil disables the pool low-watermark shedding signal.
+	PoolSignal func() (free, total int)
+	// RingSignal reports (used, capacity) of the core's receive ring;
+	// nil disables the ring high-watermark shedding signal.
+	RingSignal func() (used, capacity int)
 }
 
 // Core is one share-nothing processing pipeline instance.
@@ -60,6 +71,22 @@ type Core struct {
 	protoCtr protoCounters
 	tracer   *telemetry.ConnTracer
 
+	// acct tracks the core's buffered bytes per class and answers
+	// reserve/shed decisions; reasmHooks adapts it to the reassembler's
+	// budget interface (built once, shared by every connection).
+	acct       *overload.Accountant
+	reasmHooks reassembly.BudgetHooks
+
+	// pendingBuf is an approximate FIFO of connections holding buffered
+	// packets while their filter verdict is pending — the eviction order
+	// for packet-buffer shedding (oldest verdict-pending first; those
+	// have waited longest and are the least likely to still match).
+	// Entries go stale when a connection's buffer resolves; they are
+	// skipped on scan and compacted when the queue outgrows the live
+	// count (pendingCount).
+	pendingBuf   []*conntrack.Conn
+	pendingCount int
+
 	parsed layers.Parsed
 	now    uint64
 }
@@ -71,7 +98,12 @@ type connState struct {
 	candidates []proto.Parser
 	active     proto.Parser
 	pktBuf     []*mbuf.Mbuf
-	probeBytes int
+	// pktBufBytes is the packet-buffer budget reserved for pktBuf (the
+	// sum of buffered frame lengths); inPending marks live membership in
+	// the core's pendingBuf shed queue.
+	pktBufBytes int
+	inPending   bool
+	probeBytes  int
 	matched    bool // full filter match achieved
 	rejected   bool // connection failed the filter; kept as a tombstone
 	finOrig    bool
@@ -130,7 +162,14 @@ func NewCore(id int, cfg Config) (*Core, error) {
 	if cfg.PacketBufferCap <= 0 {
 		cfg.PacketBufferCap = defaultPktBufferCap
 	}
-	return &Core{
+	acct := overload.NewAccountant(cfg.Budget)
+	if cfg.PoolSignal != nil {
+		acct.SetPoolSignal(cfg.PoolSignal)
+	}
+	if cfg.RingSignal != nil {
+		acct.SetRingSignal(cfg.RingSignal)
+	}
+	c := &Core{
 		ID:       id,
 		cfg:      cfg,
 		prog:     cfg.Program,
@@ -140,7 +179,27 @@ func NewCore(id int, cfg Config) (*Core, error) {
 		stages:   NewStageStats(cfg.Profile),
 		protoCtr: newProtoCounters(reg.Names()),
 		tracer:   cfg.Tracer,
-	}, nil
+		acct:     acct,
+	}
+	// Shared budget hooks for every connection's reassembler: reserve
+	// consults the low-watermark signals first (under pool/ring pressure
+	// parking OOO segments is optional work we skip), then the byte
+	// budget. Refusals and retroactive sheds both count as reasm_budget
+	// drops — segment-level, outside the frame-disposition taxonomy.
+	c.reasmHooks = reassembly.BudgetHooks{
+		Reserve: func(n int) bool {
+			if c.acct.LowResources() {
+				return false
+			}
+			return c.acct.TryReserve(overload.ClassReassembly, n)
+		},
+		Release: func(n int) { c.acct.Release(overload.ClassReassembly, n) },
+		OnShed:  func(int) { c.ctr.reasmBudget.Inc() },
+	}
+	// Pressure evictions flow through the same teardown as timer-driven
+	// expiry so buffered state is freed and counted.
+	c.table.SetEvictHandler(c.onExpire)
+	return c, nil
 }
 
 // Stats returns a snapshot of the core's packet counters. Safe to call
@@ -165,6 +224,9 @@ func (c *Core) StageStats() *StageStats { return c.stages }
 
 // Table exposes the connection table (monitoring, Figure 8 sampling).
 func (c *Core) Table() *conntrack.Table { return c.table }
+
+// Accountant exposes the core's overload accountant (monitoring).
+func (c *Core) Accountant() *overload.Accountant { return c.acct }
 
 // Now returns the core's current virtual tick.
 func (c *Core) Now() uint64 { return c.now }
@@ -302,12 +364,24 @@ func (c *Core) processStateful(m *mbuf.Mbuf, res filter.Result) {
 			c.ctr.tombstonePkts.Inc()
 		case cs.matched:
 			c.deliverPacket(m)
-		case len(cs.pktBuf) < c.cfg.PacketBufferCap:
-			cs.pktBuf = append(cs.pktBuf, m.Ref())
-			conn.ExtraMem += m.Len()
-			c.ctr.bufferedPkts.Inc()
-		default:
+		case len(cs.pktBuf) >= c.cfg.PacketBufferCap:
 			c.ctr.pktBufOverflow.Inc()
+		case c.acct.LowResources():
+			// Pool or ring at its watermark: buffering a speculative copy
+			// of this packet is optional work — shed it so the pool keeps
+			// feeding the NIC (the packet is still tracked and counted).
+			c.ctr.shedLowPool.Inc()
+		case !c.reservePktBuf(conn, m.Len()):
+			c.ctr.pktBufBudget.Inc()
+		default:
+			cs.pktBuf = append(cs.pktBuf, m.Ref())
+			cs.pktBufBytes += m.Len()
+			conn.ExtraMem += m.Len()
+			if !cs.inPending {
+				cs.inPending = true
+				c.enqueuePending(conn)
+			}
+			c.ctr.bufferedPkts.Inc()
 		}
 	}
 
@@ -426,6 +500,7 @@ func (c *Core) initConn(conn *conntrack.Conn, res filter.Result) {
 			c.sub.Level == LevelStream)
 	if needReasm {
 		cs.reasm = reassembly.NewLite(c.cfg.MaxOutOfOrder)
+		cs.reasm.SetBudget(c.reasmHooks)
 	}
 }
 
@@ -467,8 +542,6 @@ func (c *Core) feed(conn *conntrack.Conn, cs *connState, m *mbuf.Mbuf, ft layers
 		// The reassembler may park the segment; hold a buffer reference
 		// until it lets go.
 		held := m.Ref()
-		before := conn.ExtraMem
-		_ = before
 		seg.Release = func() { held.Free() }
 	}
 	reasm := cs.reasm // emit callbacks may release cs.reasm mid-insert
@@ -486,8 +559,11 @@ func (c *Core) feed(conn *conntrack.Conn, cs *connState, m *mbuf.Mbuf, ft layers
 				c.emitStream(conn, cs, out.Seq, out.Payload, out.Orig)
 			}
 		})
-		if err == reassembly.ErrBufferFull {
+		switch err {
+		case reassembly.ErrBufferFull:
 			c.ctr.reasmDropped.Inc()
+		case reassembly.ErrBudget:
+			c.ctr.reasmBudget.Inc()
 		}
 	})
 	if cs.reasm != nil {
@@ -717,11 +793,12 @@ func (c *Core) onFullMatch(conn *conntrack.Conn, cs *connState) {
 		// Flush packets buffered while the verdict was pending
 		// (Figure 4a: "run callback on any buffered packets").
 		for _, bm := range cs.pktBuf {
-			c.deliverPacketBuf(bm)
+			c.deliverPacket(bm)
 			bm.Free()
 		}
-		conn.ExtraMem = 0
 		cs.pktBuf = nil
+		c.releasePktBufAccounting(cs)
+		conn.ExtraMem = 0
 	case LevelStream:
 		for i := range cs.streamBuf {
 			ch := &cs.streamBuf[i]
@@ -729,8 +806,17 @@ func (c *Core) onFullMatch(conn *conntrack.Conn, cs *connState) {
 			c.ctr.deliveredChunks.Inc()
 		}
 		cs.streamBuf = nil
-		cs.streamBufBytes = 0
+		c.releaseStreamBufAccounting(cs)
 		conn.ExtraMem = 0
+	}
+}
+
+// releaseStreamBufAccounting returns a connection's stream-buffer budget
+// reservation. Idempotent.
+func (c *Core) releaseStreamBufAccounting(cs *connState) {
+	if cs.streamBufBytes > 0 {
+		c.acct.Release(overload.ClassStreamBuf, cs.streamBufBytes)
+		cs.streamBufBytes = 0
 	}
 }
 
@@ -751,7 +837,11 @@ func (c *Core) emitStream(conn *conntrack.Conn, cs *connState, seq uint32, paylo
 		c.ctr.deliveredChunks.Inc()
 		return
 	}
-	if cs.streamBufBytes+len(payload) > maxStreamBufBytes {
+	// Pre-verdict chunks are speculative copies: bounded per connection,
+	// budgeted per core, and skipped outright under pool/ring pressure.
+	if cs.streamBufBytes+len(payload) > maxStreamBufBytes ||
+		c.acct.LowResources() ||
+		!c.acct.TryReserve(overload.ClassStreamBuf, len(payload)) {
 		cs.streamOverflow = true
 		c.ctr.streamBufOverflow.Inc()
 		return
@@ -759,6 +849,93 @@ func (c *Core) emitStream(conn *conntrack.Conn, cs *connState, seq uint32, paylo
 	cs.streamBuf = append(cs.streamBuf, chunk)
 	cs.streamBufBytes += len(payload)
 	conn.ExtraMem += len(payload)
+}
+
+// enqueuePending adds a connection to the packet-buffer shed queue,
+// compacting stale entries when they outnumber live ones.
+func (c *Core) enqueuePending(conn *conntrack.Conn) {
+	c.pendingCount++
+	if len(c.pendingBuf) >= 64 && len(c.pendingBuf) >= 2*c.pendingCount {
+		kept := c.pendingBuf[:0]
+		for _, e := range c.pendingBuf {
+			if es, ok := e.UserData.(*connState); ok && es.inPending {
+				kept = append(kept, e)
+			}
+		}
+		c.pendingBuf = kept
+	}
+	c.pendingBuf = append(c.pendingBuf, conn)
+}
+
+// reservePktBuf reserves n packet-buffer bytes for conn, shedding the
+// oldest other verdict-pending connection's buffer while the budget is
+// exhausted. The arriving packet is cheaper to lose than to let one hot
+// connection starve the class, but it is also the freshest signal — so
+// older speculative buffers go first, and only if none remain is the
+// reservation refused.
+func (c *Core) reservePktBuf(conn *conntrack.Conn, n int) bool {
+	for !c.acct.TryReserve(overload.ClassPacketBuf, n) {
+		if !c.shedOldestPending(conn) {
+			return false
+		}
+	}
+	return true
+}
+
+// shedOldestPending discards the entire packet buffer of the oldest
+// verdict-pending connection other than except. Stale queue entries
+// encountered on the way are dropped. Returns false when no candidate
+// exists.
+func (c *Core) shedOldestPending(except *conntrack.Conn) bool {
+	i := 0
+	kept := c.pendingBuf[:0]
+	var victim *conntrack.Conn
+	for ; i < len(c.pendingBuf); i++ {
+		e := c.pendingBuf[i]
+		es, ok := e.UserData.(*connState)
+		if !ok || !es.inPending {
+			continue // stale: buffer already resolved
+		}
+		if e == except {
+			kept = append(kept, e)
+			continue
+		}
+		victim = e
+		i++
+		break
+	}
+	c.pendingBuf = append(kept, c.pendingBuf[i:]...)
+	if victim == nil {
+		return false
+	}
+	vs := victim.UserData.(*connState)
+	c.ctr.pktBufBudget.Add(uint64(len(vs.pktBuf)))
+	for _, bm := range vs.pktBuf {
+		bm.Free()
+	}
+	vs.pktBuf = nil
+	shed := vs.pktBufBytes
+	c.releasePktBufAccounting(vs)
+	if victim.ExtraMem >= shed {
+		victim.ExtraMem -= shed
+	} else {
+		victim.ExtraMem = 0
+	}
+	return true
+}
+
+// releasePktBufAccounting returns a connection's packet-buffer budget
+// reservation and retires its shed-queue membership. Idempotent; callers
+// free/deliver the mbufs and fix ExtraMem themselves.
+func (c *Core) releasePktBufAccounting(cs *connState) {
+	if cs.pktBufBytes > 0 {
+		c.acct.Release(overload.ClassPacketBuf, cs.pktBufBytes)
+		cs.pktBufBytes = 0
+	}
+	if cs.inPending {
+		cs.inPending = false
+		c.pendingCount--
+	}
 }
 
 // reject marks the connection as failing the filter and releases its
@@ -784,6 +961,7 @@ func (c *Core) reject(conn *conntrack.Conn, cs *connState) {
 		bm.Free()
 	}
 	cs.pktBuf = nil
+	c.releasePktBufAccounting(cs)
 	conn.ExtraMem = 0
 }
 
@@ -866,14 +1044,22 @@ func (c *Core) finishConn(conn *conntrack.Conn, cs *connState, reason conntrack.
 	cs.rejected = true // force full release, including stream state
 	c.releaseStreamState(conn, cs)
 	if n := len(cs.pktBuf); n > 0 {
-		c.ctr.pendingDiscard.Add(uint64(n))
+		// Buffered packets lost to pressure-driven eviction are overload
+		// shedding, not ordinary pre-verdict discard — count them apart
+		// so the operator can see load shedding distinctly.
+		if reason == conntrack.ExpirePressure {
+			c.ctr.evictedPressure.Add(uint64(n))
+		} else {
+			c.ctr.pendingDiscard.Add(uint64(n))
+		}
 	}
 	for _, bm := range cs.pktBuf {
 		bm.Free()
 	}
 	cs.pktBuf = nil
+	c.releasePktBufAccounting(cs)
 	cs.streamBuf = nil
-	cs.streamBufBytes = 0
+	c.releaseStreamBufAccounting(cs)
 	conn.ExtraMem = 0
 }
 
@@ -889,13 +1075,13 @@ func (c *Core) Flush() {
 	}
 }
 
+// deliverPacket invokes the packet callback for an mbuf, whether it
+// arrived this instant or was buffered awaiting the filter verdict.
+// Packet.Data aliases the mbuf's pooled buffer, which is freed — and may
+// be recycled for a new packet — the moment the callback returns; the
+// no-retain contract on Packet.Data exists so this zero-copy hand-off
+// stays safe.
 func (c *Core) deliverPacket(m *mbuf.Mbuf) {
-	pkt := &Packet{Data: m.Data(), Tick: m.RxTick, CoreID: c.ID}
-	c.stages.Time(StageCallback, func() { c.sub.OnPacket(pkt) })
-	c.ctr.deliveredPackets.Inc()
-}
-
-func (c *Core) deliverPacketBuf(m *mbuf.Mbuf) {
 	pkt := &Packet{Data: m.Data(), Tick: m.RxTick, CoreID: c.ID}
 	c.stages.Time(StageCallback, func() { c.sub.OnPacket(pkt) })
 	c.ctr.deliveredPackets.Inc()

@@ -129,12 +129,19 @@ type CoreStats struct {
 	// the packet-conservation invariant for packet-level subscriptions:
 	// Processed == FilterDropped + TombstonePkts + DeliveredPackets +
 	// NotTrackable + TableFull + PktBufOverflow + PendingDiscard +
-	// still-buffered.
+	// PktBufBudget + ShedLowPool + EvictedPressure + still-buffered.
 	NotTrackable      uint64 // no L4 flow and no terminal packet match
 	TableFull         uint64 // connection table at MaxConns
 	PktBufOverflow    uint64 // per-connection packet buffer full
 	PendingDiscard    uint64 // buffered packets freed before any verdict
 	StreamBufOverflow uint64 // stream chunks dropped pre-verdict
+
+	// Overload-control drops: shedding under budget or resource
+	// pressure rather than hard structural bounds.
+	PktBufBudget    uint64 // packets not buffered / discarded: per-core pktbuf byte budget
+	ShedLowPool     uint64 // packets not buffered: pool/ring low-watermark pressure
+	EvictedPressure uint64 // buffered packets discarded by pressure-driven conn eviction
+	ReasmBudgetDrops uint64 // segments refused or shed: reassembly byte budget
 
 	// Connection-level outcomes.
 	ConnsRejected     uint64 // connections that failed the filter
@@ -174,6 +181,11 @@ type coreCounters struct {
 	pendingDiscard    telemetry.Counter
 	streamBufOverflow telemetry.Counter
 
+	pktBufBudget    telemetry.Counter
+	shedLowPool     telemetry.Counter
+	evictedPressure telemetry.Counter
+	reasmBudget     telemetry.Counter
+
 	connsRejected     telemetry.Counter
 	connsUnidentified telemetry.Counter
 
@@ -206,6 +218,11 @@ func (c *coreCounters) snapshot() CoreStats {
 		PktBufOverflow:    c.pktBufOverflow.Value(),
 		PendingDiscard:    c.pendingDiscard.Value(),
 		StreamBufOverflow: c.streamBufOverflow.Value(),
+
+		PktBufBudget:     c.pktBufBudget.Value(),
+		ShedLowPool:      c.shedLowPool.Value(),
+		EvictedPressure:  c.evictedPressure.Value(),
+		ReasmBudgetDrops: c.reasmBudget.Value(),
 
 		ConnsRejected:     c.connsRejected.Value(),
 		ConnsUnidentified: c.connsUnidentified.Value(),

@@ -47,9 +47,14 @@ func (l Level) String() string {
 	return "?"
 }
 
-// Packet is the raw-packet subscription datum. Data aliases the packet
-// buffer and is valid only for the duration of the callback; callbacks
-// that retain bytes must copy them.
+// Packet is the raw-packet subscription datum.
+//
+// Data aliases the mbuf's pooled buffer and is valid ONLY for the
+// duration of the callback: the buffer is freed when the callback
+// returns and may be recycled for a new packet immediately after, at
+// which point a retained slice silently changes contents. Callbacks
+// that need the bytes past their return must copy them
+// (append([]byte(nil), p.Data...)).
 type Packet struct {
 	Data   []byte
 	Tick   uint64

@@ -188,6 +188,14 @@ func (n *NIC) Queues() int { return len(n.rings) }
 // Queue returns the receive ring for queue i; each core polls one.
 func (n *NIC) Queue(i int) <-chan *mbuf.Mbuf { return n.rings[i] }
 
+// RingOccupancy reports queue i's current depth and capacity — the ring
+// high-watermark signal the cores consult to shed optional work before
+// the ring overflows.
+func (n *NIC) RingOccupancy(i int) (used, capacity int) {
+	r := n.rings[i]
+	return len(r), cap(r)
+}
+
 // Close closes all rings, signaling consumers that traffic has ended.
 func (n *NIC) Close() {
 	for _, r := range n.rings {

@@ -1,0 +1,133 @@
+package overload
+
+import "testing"
+
+func TestDefaultsAndNormalization(t *testing.T) {
+	a := NewAccountant(Budget{})
+	if got := a.Limit(ClassReassembly); got != DefaultReassemblyBudget {
+		t.Fatalf("reassembly limit = %d, want default %d", got, DefaultReassemblyBudget)
+	}
+	if got := a.Limit(ClassPacketBuf); got != DefaultPacketBufBudget {
+		t.Fatalf("pktbuf limit = %d, want default %d", got, DefaultPacketBufBudget)
+	}
+	if got := a.Limit(ClassStreamBuf); got != DefaultStreamBufBudget {
+		t.Fatalf("streambuf limit = %d, want default %d", got, DefaultStreamBufBudget)
+	}
+
+	// Negative disables the bound.
+	u := NewAccountant(Budget{ReassemblyBytes: -1})
+	if !u.TryReserve(ClassReassembly, 1<<40) {
+		t.Fatal("negative budget should be unlimited")
+	}
+}
+
+func TestReserveRelease(t *testing.T) {
+	a := NewAccountant(Budget{ReassemblyBytes: 100})
+	if !a.TryReserve(ClassReassembly, 60) {
+		t.Fatal("first reserve within budget refused")
+	}
+	if !a.TryReserve(ClassReassembly, 40) {
+		t.Fatal("reserve exactly to the limit refused")
+	}
+	if a.TryReserve(ClassReassembly, 1) {
+		t.Fatal("reserve past the limit granted")
+	}
+	if got := a.Used(ClassReassembly); got != 100 {
+		t.Fatalf("Used = %d, want 100", got)
+	}
+	a.Release(ClassReassembly, 40)
+	if !a.TryReserve(ClassReassembly, 40) {
+		t.Fatal("reserve after release refused")
+	}
+	a.Release(ClassReassembly, 100)
+	if got := a.TotalUsed(); got != 0 {
+		t.Fatalf("TotalUsed after full release = %d, want 0", got)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants: %v", err)
+	}
+}
+
+func TestClassesAreIndependent(t *testing.T) {
+	a := NewAccountant(Budget{ReassemblyBytes: 10, PacketBufBytes: 10, StreamBufBytes: 10})
+	if !a.TryReserve(ClassReassembly, 10) {
+		t.Fatal("reassembly reserve refused")
+	}
+	if !a.TryReserve(ClassPacketBuf, 10) {
+		t.Fatal("pktbuf reserve refused despite full reassembly class")
+	}
+	if a.TryReserve(ClassStreamBuf, 11) {
+		t.Fatal("streambuf reserve past its own limit granted")
+	}
+	if got := a.TotalUsed(); got != 20 {
+		t.Fatalf("TotalUsed = %d, want 20", got)
+	}
+}
+
+func TestNilAccountantIsPermissive(t *testing.T) {
+	var a *Accountant
+	if !a.TryReserve(ClassReassembly, 1<<40) {
+		t.Fatal("nil accountant should grant every reserve")
+	}
+	a.Release(ClassReassembly, 1) // must not panic
+	if a.LowResources() {
+		t.Fatal("nil accountant should never report pressure")
+	}
+}
+
+func TestLowResources(t *testing.T) {
+	a := NewAccountant(Budget{})
+	if a.LowResources() {
+		t.Fatal("no signals installed: must not report pressure")
+	}
+
+	free, total := 100, 1000
+	a.SetPoolSignal(func() (int, int) { return free, total })
+	if a.LowResources() {
+		t.Fatalf("10%% free is above the %v low-water default", DefaultPoolLowWater)
+	}
+	free = 10 // 1% free < 5% watermark
+	if !a.LowResources() {
+		t.Fatal("1% pool free should trip the low-water signal")
+	}
+	free = 100
+
+	used, capacity := 0, 1000
+	a.SetRingSignal(func() (int, int) { return used, capacity })
+	if a.LowResources() {
+		t.Fatal("empty ring must not trip the high-water signal")
+	}
+	used = 950 // 95% > 90% watermark
+	if !a.LowResources() {
+		t.Fatal("95% ring occupancy should trip the high-water signal")
+	}
+
+	// Negative watermarks disable the signals entirely.
+	d := NewAccountant(Budget{PoolLowWater: -1, RingHighWater: -1})
+	d.SetPoolSignal(func() (int, int) { return 0, 1000 })
+	d.SetRingSignal(func() (int, int) { return 1000, 1000 })
+	if d.LowResources() {
+		t.Fatal("disabled watermarks must never report pressure")
+	}
+}
+
+func TestCheckInvariantsCatchesNegative(t *testing.T) {
+	a := NewAccountant(Budget{})
+	a.Release(ClassPacketBuf, 5)
+	if err := a.CheckInvariants(); err == nil {
+		t.Fatal("negative gauge not detected")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		ClassReassembly: "reassembly",
+		ClassPacketBuf:  "pktbuf",
+		ClassStreamBuf:  "streambuf",
+	}
+	for _, c := range Classes() {
+		if c.String() != want[c] {
+			t.Fatalf("class %d String = %q, want %q", c, c.String(), want[c])
+		}
+	}
+}

@@ -10,9 +10,16 @@ package reassembly
 // the cost under test is the copy-everything architecture, not a
 // strawman implementation.
 type BufferedReassembler struct {
-	dirs  [2]bufferedDir
-	stats Stats
+	dirs     [2]bufferedDir
+	stats    Stats
+	maxBytes int // per-direction stream buffer extent bound
 }
+
+// DefaultMaxBufferedBytes bounds each direction's stream buffer extent.
+// Without a bound, a single segment with a far-ahead sequence number
+// forces an allocation of its offset plus length — up to ~2 GiB for one
+// adversarial packet (the offset arithmetic is int32-based).
+const DefaultMaxBufferedBytes = 8 << 20
 
 // span is a received byte range beyond the contiguous prefix.
 type span struct{ start, end int }
@@ -26,9 +33,26 @@ type bufferedDir struct {
 	ooo     []span // sorted, disjoint ranges past the first hole
 }
 
-// NewBuffered creates a copy-based reassembler.
+// NewBuffered creates a copy-based reassembler with the default
+// per-direction buffer bound.
 func NewBuffered() *BufferedReassembler {
-	return &BufferedReassembler{}
+	return NewBufferedCap(0)
+}
+
+// NewBufferedCap creates a copy-based reassembler whose per-direction
+// stream buffer never extends past maxBytes (0 selects
+// DefaultMaxBufferedBytes, negative disables the bound). Segments whose
+// bytes would land entirely past the bound are dropped (counted in
+// Stats.Dropped, ErrBufferFull returned); a segment straddling the
+// bound keeps its in-bound prefix.
+func NewBufferedCap(maxBytes int) *BufferedReassembler {
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxBufferedBytes
+	}
+	if maxBytes < 0 {
+		maxBytes = int(^uint(0) >> 1) // unbounded
+	}
+	return &BufferedReassembler{maxBytes: maxBytes}
 }
 
 // Stats returns the reassembly counters.
@@ -69,7 +93,22 @@ func (r *BufferedReassembler) Insert(seg Segment, emit func(Segment)) error {
 			off = 0
 			r.stats.Trimmed++
 		}
+		if off >= r.maxBytes {
+			// The segment's bytes all land past the buffer bound: shed it
+			// instead of allocating the offset's worth of buffer (the
+			// unbounded-grow attack this cap exists to stop).
+			r.stats.Dropped++
+			if seg.Release != nil {
+				seg.Release()
+			}
+			return ErrBufferFull
+		}
 		end := off + len(payload)
+		if end > r.maxBytes {
+			payload = payload[:r.maxBytes-off]
+			end = r.maxBytes
+			r.stats.Trimmed++
+		}
 		d.grow(end)
 		copy(d.buf[off:end], payload)
 		if off <= d.contig {

@@ -75,8 +75,16 @@ func FuzzLiteVsBuffered(f *testing.F) {
 			return
 		}
 
+		// Both engines get the same byte bound so they shed identically;
+		// it is far above what a ≤256-byte stream can park, which keeps
+		// the accounting paths live on every insert without perturbing
+		// the differential. The budget gauge must mirror parked bytes
+		// exactly at all times.
+		const byteBound = 1 << 20
+		budget := &budgetTracker{limit: byteBound}
 		lite := NewLite(maxOOO)
-		buff := NewBuffered()
+		lite.SetBudget(budget.hooks())
+		buff := NewBufferedCap(byteBound)
 
 		// delivered[reassembler][dir] maps relative payload offset → byte.
 		type deliveredMap map[int]byte
@@ -130,11 +138,14 @@ func FuzzLiteVsBuffered(f *testing.F) {
 				Release: func() { released[idx]++ },
 			}
 			err := lite.Insert(seg, func(out Segment) { record(&liteGot, "lite", out, true) })
-			if err == ErrBufferFull {
+			if err == ErrBufferFull || err == ErrBudget {
 				// Mirror the drop so both reassemblers see the same
 				// effective input; the differential still exercises Lite's
-				// full-buffer path.
+				// full-buffer and budget-refusal paths.
 				continue
+			}
+			if got := lite.BufferedBytes(); got != budget.used {
+				t.Fatalf("after segment %d: lite parks %d bytes but budget gauge is %d", i, got, budget.used)
 			}
 			bseg := seg
 			bseg.Release = nil
@@ -163,6 +174,9 @@ func FuzzLiteVsBuffered(f *testing.F) {
 
 		if lite.Buffered() != 0 || lite.BufferedBytes() != 0 {
 			t.Fatalf("lite retains %d segments / %d bytes after FlushAll", lite.Buffered(), lite.BufferedBytes())
+		}
+		if budget.used != 0 {
+			t.Fatalf("budget gauge %d after FlushAll, want 0 (unbalanced reserve/release)", budget.used)
 		}
 		for i, n := range released {
 			if n != 1 {

@@ -26,6 +26,11 @@ const DefaultMaxOutOfOrder = 500
 // out-of-order buffer is at capacity.
 var ErrBufferFull = errors.New("reassembly: out-of-order buffer full")
 
+// ErrBudget reports that a segment was dropped because the byte budget
+// refused it (the overload accountant's reservation failed and no
+// parked segment farther ahead could be shed to make room).
+var ErrBudget = errors.New("reassembly: buffer byte budget exhausted")
+
 // Segment is one TCP payload unit flowing through the reassembler — the
 // paper's L4 PDU. Payload aliases the packet buffer; the Release hook
 // (if set) is invoked when the reassembler is done holding the segment.
@@ -64,10 +69,36 @@ type Stats struct {
 	InOrder    uint64 // segments passed straight through
 	OutOfOrder uint64 // segments parked in the buffer
 	Flushed    uint64 // parked segments later delivered in order
-	Dropped    uint64 // segments dropped (buffer full)
+	Dropped    uint64 // segments dropped (buffer full or byte budget)
 	Retrans    uint64 // fully duplicate segments discarded
 	Trimmed    uint64 // partially overlapping segments trimmed
 	HoleEvents uint64 // times a hole opened
+	Shed       uint64 // parked segments shed under byte-budget pressure
+}
+
+// BudgetHooks connects a reassembler to the per-core overload
+// accountant. Reserve is asked before parking payload bytes; Release
+// returns them when the reassembler lets go of a parked segment (drain,
+// supersede, shed, or flush). OnShed observes each parked segment
+// dropped to make room under pressure, so the core can count the loss
+// in its drop taxonomy. Any field may be nil (accounting disabled).
+type BudgetHooks struct {
+	Reserve func(n int) bool
+	Release func(n int)
+	OnShed  func(n int)
+}
+
+func (h *BudgetHooks) reserve(n int) bool {
+	if h.Reserve == nil {
+		return true
+	}
+	return h.Reserve(n)
+}
+
+func (h *BudgetHooks) release(n int) {
+	if h.Release != nil {
+		h.Release(n)
+	}
 }
 
 type direction struct {
@@ -84,6 +115,7 @@ type Lite struct {
 	dirs   [2]direction
 	maxOOO int
 	stats  Stats
+	budget BudgetHooks
 }
 
 // NewLite creates a reassembler with the given out-of-order capacity
@@ -94,6 +126,11 @@ func NewLite(maxOOO int) *Lite {
 	}
 	return &Lite{maxOOO: maxOOO}
 }
+
+// SetBudget installs overload-accounting hooks. Must be called before
+// any segment is parked; installing hooks on a reassembler that already
+// holds segments would release bytes that were never reserved.
+func (r *Lite) SetBudget(h BudgetHooks) { r.budget = h }
 
 // Stats returns a snapshot of the connection's reassembly counters.
 func (r *Lite) Stats() Stats { return r.stats }
@@ -193,6 +230,17 @@ func (r *Lite) Insert(seg Segment, emit func(Segment)) error {
 	if idx < len(d.ooo) && d.ooo[idx].Seq == seg.Seq {
 		r.stats.Retrans++
 		if seg.seqLen() > d.ooo[idx].seqLen() {
+			oldLen, newLen := len(d.ooo[idx].Payload), len(seg.Payload)
+			if newLen > oldLen && !r.shedFarther(newLen-oldLen, seg.Seq-d.nextSeq) {
+				r.stats.Dropped++
+				if seg.Release != nil {
+					seg.Release()
+				}
+				return ErrBudget // keep the shorter original
+			}
+			if newLen < oldLen {
+				r.budget.release(oldLen - newLen)
+			}
 			if d.ooo[idx].Release != nil {
 				d.ooo[idx].Release()
 			}
@@ -202,11 +250,56 @@ func (r *Lite) Insert(seg Segment, emit func(Segment)) error {
 		}
 		return nil
 	}
+	if !r.shedFarther(len(seg.Payload), seg.Seq-d.nextSeq) {
+		r.stats.Dropped++
+		if seg.Release != nil {
+			seg.Release()
+		}
+		return ErrBudget
+	}
 	d.ooo = append(d.ooo, Segment{})
 	copy(d.ooo[idx+1:], d.ooo[idx:])
 	d.ooo[idx] = seg
 	r.stats.OutOfOrder++
 	return nil
+}
+
+// shedFarther makes room for n parked bytes by reserving them against
+// the byte budget, shedding parked segments under pressure: while the
+// reservation fails, the parked segment farthest ahead of its
+// direction's delivery point — the state least likely to ever become
+// deliverable, hence cheapest to lose — is dropped, but only if it is
+// strictly farther ahead than the segment asking for room (dist).
+// Reports whether the reservation succeeded.
+func (r *Lite) shedFarther(n int, dist uint32) bool {
+	for !r.budget.reserve(n) {
+		var victim *direction
+		var farthest uint32
+		for di := range r.dirs {
+			d := &r.dirs[di]
+			if len(d.ooo) == 0 {
+				continue
+			}
+			if cand := d.ooo[len(d.ooo)-1].Seq - d.nextSeq; victim == nil || cand > farthest {
+				victim, farthest = d, cand
+			}
+		}
+		if victim == nil || farthest <= dist {
+			return false
+		}
+		last := victim.ooo[len(victim.ooo)-1]
+		victim.ooo = victim.ooo[:len(victim.ooo)-1]
+		freed := len(last.Payload)
+		r.budget.release(freed)
+		if last.Release != nil {
+			last.Release()
+		}
+		r.stats.Shed++
+		if r.budget.OnShed != nil {
+			r.budget.OnShed(freed)
+		}
+	}
+	return true
 }
 
 func (r *Lite) deliver(d *direction, seg Segment, emit func(Segment)) {
@@ -227,6 +320,7 @@ func (r *Lite) drain(d *direction, emit func(Segment)) {
 			return // still a hole
 		}
 		d.ooo = d.ooo[1:]
+		r.budget.release(len(head.Payload))
 		if !seqBefore(d.nextSeq, head.Seq+head.seqLen()) {
 			// Entirely superseded while parked.
 			r.stats.Retrans++
@@ -267,6 +361,7 @@ func (r *Lite) FlushAll(emit func(Segment)) {
 		d := &r.dirs[di]
 		next := d.nextSeq
 		for _, seg := range d.ooo {
+			r.budget.release(len(seg.Payload))
 			if d.started && !seqBefore(next, seg.Seq) {
 				end := seg.Seq + seg.seqLen()
 				if !seqBefore(next, end) {

@@ -71,7 +71,36 @@ const (
 	// DropReasmBufferFull: TCP segments dropped because the per-direction
 	// out-of-order buffer was at capacity.
 	DropReasmBufferFull = "reassembly_buffer_full"
+	// DropReasmBudget: TCP segments refused or retroactively shed because
+	// the per-core reassembly byte budget (or a pool/ring low-watermark)
+	// ruled out parking them.
+	DropReasmBudget = "reasm_budget"
+	// DropPktBufBudget: packets not buffered — or buffered packets
+	// discarded from another connection — because the per-core packet-
+	// buffer byte budget was exhausted.
+	DropPktBufBudget = "pktbuf_budget"
+	// DropShedLowPool: packets not buffered because the mbuf pool or a
+	// receive ring crossed its overload watermark.
+	DropShedLowPool = "shed_low_pool"
+	// DropEvictedPressure: buffered packets discarded when their
+	// connection was evicted under table pressure (MaxConns reached).
+	DropEvictedPressure = "evicted_pressure"
 )
+
+// FrameDropReasons lists every reason that accounts whole received
+// frames. These — and only these — participate in the frame conservation
+// invariant above. The remaining reasons (stream_buffer_overflow,
+// reassembly_buffer_full, reasm_budget) count payload-level units (TCP
+// segments, stream chunks) carried by frames that are already accounted
+// elsewhere, so including them would double-count.
+func FrameDropReasons() []string {
+	return []string{
+		DropMalformed, DropHWFilter, DropRSSSink, DropRingOverflow,
+		DropPoolExhausted, DropSWFilter, DropNotTrackable, DropTableFull,
+		DropConnRejected, DropPktBufOverflow, DropPendingDiscard,
+		DropPktBufBudget, DropShedLowPool, DropEvictedPressure,
+	}
+}
 
 // Counter is a monotonically increasing atomic counter. The zero value
 // is ready to use.

@@ -115,6 +115,26 @@ func (w *Wheel) Advance(nowTick uint64, fire func(id uint64)) {
 	w.current = nowTick
 }
 
+// Scan visits scheduled entries in ascending slot order starting from
+// the slot of the last Advance, without firing or removing anything.
+// Entries within one slot are visited in insertion order; slot order
+// approximates earliest-deadline order, which is what pressure-driven
+// eviction needs to find long-idle victims cheaply. Stale entries (the
+// id was removed or refreshed since scheduling) are visited too — the
+// caller revalidates. Returns false if fn stopped the scan early.
+func (w *Wheel) Scan(fn func(id, expire uint64) bool) bool {
+	start := w.current / w.granularity
+	n := uint64(len(w.slots))
+	for i := uint64(0); i < n; i++ {
+		for _, e := range w.slots[(start+i)%n] {
+			if !fn(e.id, e.expire) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // CheckInvariants verifies the wheel's accounting: Len() must equal the
 // number of live (possibly stale) entries actually parked in slots. It is
 // cheap enough to call from fuzz targets and tests after every operation.
@@ -168,6 +188,15 @@ func (h *Hierarchical) Schedule(id uint64, expireTick uint64) {
 		return
 	}
 	h.inner.Schedule(id, expireTick)
+}
+
+// Scan visits entries on both levels — inner (sooner) first — in slot
+// order without firing. Returns false if fn stopped the scan early.
+func (h *Hierarchical) Scan(fn func(id, expire uint64) bool) bool {
+	if !h.inner.Scan(fn) {
+		return false
+	}
+	return h.outer.Scan(fn)
 }
 
 // CheckInvariants verifies both levels' accounting.

@@ -43,6 +43,12 @@ const (
 	// KindQUIC is a UDP flow starting with a decryptable QUIC v1 client
 	// Initial followed by opaque short-header packets.
 	KindQUIC
+	// KindSeqJump is an adversarial TCP flow whose sender leaps ~1 GiB
+	// ahead in sequence space after the handshake (overload testing).
+	KindSeqJump
+	// KindOOOFlood is an adversarial TCP flow that opens a sequence hole
+	// and then streams segments that can never become contiguous.
+	KindOOOFlood
 )
 
 // FlowSpec describes one synthetic connection.
@@ -255,6 +261,10 @@ func BuildScript(b *layers.Builder, spec *FlowSpec, rng *rand.Rand) *Script {
 		frame := f.b.Build(ps)
 		f.frames = append(f.frames, frame)
 		f.bytes += len(frame)
+	case KindSeqJump:
+		buildSeqJumpScript(f, spec)
+	case KindOOOFlood:
+		buildOOOFloodScript(f, spec)
 	default:
 		buildTCPScript(f, spec, rng)
 	}

@@ -1,6 +1,10 @@
 package traffic
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"retina/internal/layers"
+)
 
 // NewHTTPSWorkload reproduces the Figure 6 testbed: closed-loop 256 KB
 // HTTPS requests from `parallel` concurrent connections offered at
@@ -92,6 +96,112 @@ func NewVideoWorkload(seed int64, sessions int, svc VideoService, gbps float64) 
 		return spec
 	}
 	return NewMixer(seed, sessions, 24, gbps, factory)
+}
+
+// AdversarialKind selects one of the overload stress shapes used to
+// exercise the load-shedding paths: workloads a malicious or broken
+// sender could aim at a passive analyzer to exhaust its buffers.
+type AdversarialKind int
+
+const (
+	// AdvSeqJump: established connections whose sender leaps ~1 GiB
+	// ahead in TCP sequence space after the handshake — the
+	// unbounded-allocation attack the reassembly byte bounds exist for.
+	AdvSeqJump AdversarialKind = iota
+	// AdvOOOFlood: connections that open a one-byte sequence hole right
+	// after the handshake and then stream segments that can never become
+	// contiguous, pinning out-of-order buffers until shed or expired.
+	AdvOOOFlood
+	// AdvChurn: an endless supply of distinct unanswered SYNs,
+	// saturating the connection table with idle unestablished entries.
+	AdvChurn
+)
+
+// Name labels the kind for test output and benchmarks.
+func (k AdversarialKind) Name() string {
+	switch k {
+	case AdvSeqJump:
+		return "seq-jump"
+	case AdvOOOFlood:
+		return "ooo-flood"
+	case AdvChurn:
+		return "conn-churn"
+	}
+	return "?"
+}
+
+// NewAdversarialWorkload builds a paced source of `flows` adversarial
+// connections of the given kind. Deterministic for a seed, like every
+// generator in this package.
+func NewAdversarialWorkload(kind AdversarialKind, seed int64, flows int, gbps float64) *Mixer {
+	factory := func(rng *rand.Rand, id int) *FlowSpec {
+		spec := &FlowSpec{
+			CliIP:   randIP(rng, true),
+			SrvIP:   [4]byte{203, 0, 113, 9},
+			CliPort: uint16(1024 + id%60000),
+			SrvPort: 443,
+		}
+		switch kind {
+		case AdvSeqJump:
+			spec.Kind = KindSeqJump
+			spec.DataSegments = 4 + rng.Intn(8)
+		case AdvOOOFlood:
+			spec.Kind = KindOOOFlood
+			spec.DataSegments = 16 + rng.Intn(48)
+		case AdvChurn:
+			spec.Kind = KindSingleSYN
+			spec.SrvIP = randIP(rng, false)
+			spec.SrvPort = uint16(1 + rng.Intn(65000))
+		}
+		return spec
+	}
+	return NewMixer(seed, flows, 64, gbps, factory)
+}
+
+// buildSeqJumpScript renders an AdvSeqJump flow: handshake, one in-order
+// segment to start the stream, then segments at ever-larger ~1 GiB
+// sequence offsets. An unbounded copy-based reassembler would allocate
+// each offset's worth of buffer; a bounded one must shed.
+func buildSeqJumpScript(f *scriptFlow, spec *FlowSpec) {
+	f.pkt(true, layers.TCPSyn, nil)
+	f.pkt(false, layers.TCPSyn|layers.TCPAck, nil)
+	f.pkt(true, layers.TCPAck, nil)
+	size := spec.SegmentBytes
+	if size <= 0 {
+		size = 1448
+	}
+	f.pkt(false, layers.TCPAck, opaque(size, 1))
+	segs := spec.DataSegments
+	if segs <= 0 {
+		segs = 8
+	}
+	const jump = 1 << 30
+	for i := 0; i < segs; i++ {
+		f.srvSeq += jump // leap far ahead; the gap is never filled
+		f.pkt(false, layers.TCPAck, opaque(size, byte(i)))
+	}
+}
+
+// buildOOOFloodScript renders an AdvOOOFlood flow: handshake, then a
+// one-byte hole followed by a stream of segments that are contiguous
+// with each other but never with the hole, so every one of them parks in
+// the out-of-order buffer.
+func buildOOOFloodScript(f *scriptFlow, spec *FlowSpec) {
+	f.pkt(true, layers.TCPSyn, nil)
+	f.pkt(false, layers.TCPSyn|layers.TCPAck, nil)
+	f.pkt(true, layers.TCPAck, nil)
+	size := spec.SegmentBytes
+	if size <= 0 {
+		size = 1448
+	}
+	segs := spec.DataSegments
+	if segs <= 0 {
+		segs = 32
+	}
+	f.srvSeq++ // the hole: one byte that is never sent
+	for i := 0; i < segs; i++ {
+		f.pkt(false, layers.TCPAck, opaque(size, byte(i)))
+	}
 }
 
 func pow(base, exp float64) float64 {

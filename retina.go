@@ -30,6 +30,7 @@ import (
 	"retina/internal/filter"
 	"retina/internal/mbuf"
 	"retina/internal/nic"
+	"retina/internal/overload"
 	"retina/internal/proto"
 	"retina/internal/telemetry"
 )
@@ -138,6 +139,28 @@ type Config struct {
 	Profile bool
 	// MaxConns bounds each core's connection table (0 = unlimited).
 	MaxConns int
+	// NoPressureEvict disables pressure-driven eviction at MaxConns. By
+	// default a full table evicts its longest-idle unestablished
+	// connection to admit a new one (counted as evicted_pressure);
+	// disabling it restores hard refusal (table_full) for every arrival
+	// past the bound.
+	NoPressureEvict bool
+	// ReassemblyBudget, PacketBufBudget, and StreamBufBudget bound, per
+	// core, the bytes parked in out-of-order reassembly buffers, held in
+	// pre-verdict packet buffers, and copied into pre-verdict stream
+	// buffers. Zero selects the defaults (8 MiB / 8 MiB / 16 MiB);
+	// negative disables that bound. At the bound the core sheds the
+	// cheapest state first instead of growing (see DESIGN.md §10).
+	ReassemblyBudget int64
+	PacketBufBudget  int64
+	StreamBufBudget  int64
+	// PoolLowWater and RingHighWater set the overload watermarks: when
+	// the mbuf pool's free fraction falls below PoolLowWater or a receive
+	// ring's occupancy exceeds RingHighWater, cores skip optional
+	// buffering work. Zero selects the defaults (0.05 / 0.90); negative
+	// disables the signal.
+	PoolLowWater  float64
+	RingHighWater float64
 	// PacketBufferCap overrides the per-connection packet buffer bound
 	// for packet subscriptions awaiting a filter verdict.
 	PacketBufferCap int
@@ -186,7 +209,19 @@ func (c Config) conntrack() conntrack.Config {
 		cfg.InactivityTimeout = uint64(c.InactivityTimeout / time.Microsecond)
 	}
 	cfg.MaxConns = c.MaxConns
+	cfg.PressureEvict = !c.NoPressureEvict
 	return cfg
+}
+
+// budget maps the Config knobs onto an overload.Budget.
+func (c Config) budget() overload.Budget {
+	return overload.Budget{
+		ReassemblyBytes: c.ReassemblyBudget,
+		PacketBufBytes:  c.PacketBufBudget,
+		StreamBufBytes:  c.StreamBufBudget,
+		PoolLowWater:    c.PoolLowWater,
+		RingHighWater:   c.RingHighWater,
+	}
 }
 
 // Source supplies frames to the runtime with virtual-clock receive
@@ -298,6 +333,7 @@ func New(cfg Config, sub *Subscription) (*Runtime, error) {
 		rt.tracer = telemetry.NewConnTracer(cfg.TraceSample, cfg.TraceMax)
 	}
 	for i := 0; i < cfg.Cores; i++ {
+		q := i
 		c, err := core.NewCore(i, core.Config{
 			Program:         prog,
 			Sub:             sub,
@@ -307,6 +343,13 @@ func New(cfg Config, sub *Subscription) (*Runtime, error) {
 			PacketBufferCap: cfg.PacketBufferCap,
 			ExtraParsers:    extraParsers,
 			Tracer:          rt.tracer,
+			Budget:          cfg.budget(),
+			PoolSignal: func() (free, total int) {
+				return pool.Available(), pool.Size()
+			},
+			RingSignal: func() (used, capacity int) {
+				return dev.RingOccupancy(q)
+			},
 		})
 		if err != nil {
 			return nil, err

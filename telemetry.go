@@ -9,6 +9,7 @@ import (
 
 	"retina/internal/conntrack"
 	"retina/internal/core"
+	"retina/internal/overload"
 	"retina/internal/telemetry"
 )
 
@@ -72,6 +73,10 @@ func (r *Runtime) registerMetrics() {
 	drop(telemetry.DropPendingDiscard, r.sumCores(func(s core.CoreStats) uint64 { return s.PendingDiscard }))
 	drop(telemetry.DropStreamBufOverflow, r.sumCores(func(s core.CoreStats) uint64 { return s.StreamBufOverflow }))
 	drop(telemetry.DropReasmBufferFull, r.sumCores(func(s core.CoreStats) uint64 { return s.ReasmDropped }))
+	drop(telemetry.DropReasmBudget, r.sumCores(func(s core.CoreStats) uint64 { return s.ReasmBudgetDrops }))
+	drop(telemetry.DropPktBufBudget, r.sumCores(func(s core.CoreStats) uint64 { return s.PktBufBudget }))
+	drop(telemetry.DropShedLowPool, r.sumCores(func(s core.CoreStats) uint64 { return s.ShedLowPool }))
+	drop(telemetry.DropEvictedPressure, r.sumCores(func(s core.CoreStats) uint64 { return s.EvictedPressure }))
 
 	// Buffer pool.
 	reg.GaugeFunc("retina_mbuf_pool_free", "free packet buffers",
@@ -99,7 +104,17 @@ func (r *Runtime) registerMetrics() {
 			func() float64 { return float64(c.Table().ConcurrentLen()) }, lbl)
 		reg.CounterFunc("retina_timer_rearms_total", "lazy timer re-arms (stale wheel entries rescheduled)",
 			func() uint64 { return c.Table().Rearmed() }, lbl)
-		for reason := conntrack.ExpireEstablishTimeout; reason <= conntrack.ExpireEvicted; reason++ {
+		// Overload accountant: buffered bytes vs budget per class, so an
+		// operator can see pressure building before shedding starts.
+		for _, cls := range overload.Classes() {
+			cls := cls
+			clsLbl := telemetry.L("class", cls.String())
+			reg.GaugeFunc("retina_overload_used_bytes", "bytes currently charged to a buffer class",
+				func() float64 { return float64(c.Accountant().Used(cls)) }, lbl, clsLbl)
+			reg.GaugeFunc("retina_overload_budget_bytes", "byte budget for a buffer class",
+				func() float64 { return float64(c.Accountant().Limit(cls)) }, lbl, clsLbl)
+		}
+		for reason := conntrack.ExpireEstablishTimeout; reason < conntrack.NumExpireReasons; reason++ {
 			reason := reason
 			reg.CounterFunc("retina_conns_expired_total", "connection removals, by reason",
 				func() uint64 { _, expired := c.Table().Stats(); return expired[reason] },
@@ -222,6 +237,10 @@ func (r *Runtime) DropBreakdown() map[string]uint64 {
 		agg.PendingDiscard += s.PendingDiscard
 		agg.StreamBufOverflow += s.StreamBufOverflow
 		agg.ReasmDropped += s.ReasmDropped
+		agg.ReasmBudgetDrops += s.ReasmBudgetDrops
+		agg.PktBufBudget += s.PktBufBudget
+		agg.ShedLowPool += s.ShedLowPool
+		agg.EvictedPressure += s.EvictedPressure
 	}
 	out := map[string]uint64{
 		telemetry.DropMalformed:         ns.Malformed,
@@ -237,6 +256,10 @@ func (r *Runtime) DropBreakdown() map[string]uint64 {
 		telemetry.DropPendingDiscard:    agg.PendingDiscard,
 		telemetry.DropStreamBufOverflow: agg.StreamBufOverflow,
 		telemetry.DropReasmBufferFull:   agg.ReasmDropped,
+		telemetry.DropReasmBudget:       agg.ReasmBudgetDrops,
+		telemetry.DropPktBufBudget:      agg.PktBufBudget,
+		telemetry.DropShedLowPool:       agg.ShedLowPool,
+		telemetry.DropEvictedPressure:   agg.EvictedPressure,
 	}
 	for k, v := range out {
 		if v == 0 {

@@ -68,15 +68,20 @@ func TestPacketConservation(t *testing.T) {
 				processed += cs.Processed
 				// Per-core packet disposition must itself balance.
 				disposed := cs.FilterDropped + cs.TombstonePkts + cs.NotTrackable +
-					cs.TableFull + cs.PktBufOverflow + cs.PendingDiscard + cs.DeliveredPackets
+					cs.TableFull + cs.PktBufOverflow + cs.PendingDiscard +
+					cs.PktBufBudget + cs.ShedLowPool + cs.EvictedPressure +
+					cs.DeliveredPackets
 				if disposed != cs.Processed {
 					t.Errorf("core %d: disposed %d != processed %d (%+v)", i, disposed, cs.Processed, cs)
 				}
 			}
+			// Sum only the frame-level reasons: payload-level reasons
+			// (reassembly/stream-buffer shedding) count TCP segments whose
+			// frames already have a frame-level disposition.
 			drops := rt.DropBreakdown()
 			var dropSum uint64
-			for _, v := range drops {
-				dropSum += v
+			for _, reason := range telemetry.FrameDropReasons() {
+				dropSum += drops[reason]
 			}
 			if got := delivered + dropSum; got != stats.NIC.RxFrames {
 				t.Fatalf("conservation violated: delivered %d + drops %d = %d, rx %d\nbreakdown: %v",
