@@ -21,8 +21,12 @@ type AsyncStats struct {
 //
 // Ownership audit — why a shallow copy of each event type is safe to
 // hand to another goroutine:
-//   - Packet.Data aliases a pooled mbuf that is recycled as soon as the
-//     inline callback returns, so it is the one field deep-copied here.
+//   - Packet.Data aliases a pooled mbuf that is recycled after the
+//     inline callback returns — under the burst datapath the free is
+//     deferred to the end of the mbuf's burst (Core.ProcessBurst bulk-
+//     frees the whole batch), which widens the window but not the
+//     contract: the alias is still dead once delivery returns, so Data
+//     remains the one field deep-copied here.
 //   - ConnRecord contains only value fields (FiveTuple is fixed-size
 //     arrays); the record is built on delivery and never touched again.
 //   - SessionEvent.Session is a pointer, but parsers construct a fresh

@@ -7,6 +7,8 @@ package retina_test
 // reports the relevant throughput/allocation numbers.
 
 import (
+	"fmt"
+	"math/rand"
 	"retina"
 	"sync/atomic"
 	"testing"
@@ -228,6 +230,86 @@ func BenchmarkTable2Characterization(b *testing.B) {
 			return retina.Packets(func(p *retina.Packet) { d.Add(1) })
 		},
 		traffic.NewCampusMix(traffic.CampusConfig{Seed: 1, Flows: 400, Gbps: 40}))
+}
+
+// --- Burst sweep: batching gain across the datapath ---
+
+// burstSweepWorkload is a small-segment TCP mix: with near-minimum
+// frames the fixed per-packet costs (ring ops, pool locks, counter
+// atomics) dominate over payload copying, which is what the burst
+// refactor amortizes — the same reason DPDK forwarding is benchmarked
+// at 64B. Packet *rates* at a given link speed are also highest there.
+func burstSweepWorkload() retina.Source {
+	return traffic.NewMixer(1, 600, 64, 40, func(rng *rand.Rand, id int) *traffic.FlowSpec {
+		return &traffic.FlowSpec{
+			Kind:         traffic.KindPlainTCP,
+			CliIP:        [4]byte{10, 1, byte(id >> 8), byte(id)},
+			SrvIP:        [4]byte{93, 184, byte(id >> 8), byte(id)},
+			CliPort:      uint16(20000 + rng.Intn(40000)),
+			SrvPort:      443,
+			DataSegments: 30,
+			SegmentBytes: 16,
+			DownFraction: 0.5,
+			Teardown:     true,
+		}
+	})
+}
+
+// benchBurstSize measures the full online path (NIC staging → SPSC ring
+// → bulk mbuf alloc → Core.ProcessBurst) at one batch size. The sweep
+// quantifies the per-packet overhead the burst refactor amortizes;
+// burst=1 is the legacy packet-at-a-time datapath.
+func benchBurstSize(b *testing.B, burst int) {
+	frames, ticks, bytes := materialize(burstSweepWorkload())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := retina.DefaultConfig()
+		cfg.Filter = "ipv4 and tcp"
+		cfg.Cores = 1
+		cfg.RingSize = 1 << 16
+		cfg.PoolSize = 1 << 17
+		cfg.BurstSize = burst
+		rt, err := retina.New(cfg, retina.Packets(func(*retina.Packet) {}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			rt.Cores()[0].Run(rt.NIC().Queue(0))
+			close(done)
+		}()
+		b.StartTimer()
+		if burst > 1 {
+			// Mirror Runtime.Run's BurstSource path: frames arrive at the
+			// NIC a burst at a time.
+			for j := 0; j < len(frames); j += burst {
+				k := j + burst
+				if k > len(frames) {
+					k = len(frames)
+				}
+				rt.NIC().DeliverBurst(frames[j:k], ticks[j:k])
+			}
+		} else {
+			for j, f := range frames {
+				rt.NIC().Deliver(f, ticks[j])
+			}
+		}
+		rt.NIC().Close()
+		<-done
+	}
+	b.StopTimer()
+	b.SetBytes(bytes)
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(len(frames))*float64(b.N)/sec, "pkts/s")
+	}
+}
+
+func BenchmarkBurstSize(b *testing.B) {
+	for _, burst := range []int{1, 8, 32, 64} {
+		b.Run(fmt.Sprintf("%d", burst), func(b *testing.B) { benchBurstSize(b, burst) })
+	}
 }
 
 // --- Ablations ---

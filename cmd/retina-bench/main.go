@@ -19,7 +19,9 @@ func main() {
 	exp := flag.String("experiment", "all", "experiment to run: fig5, fig6, fig7, fig8, fig9, fig12, table2, ablations, all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full documented configuration)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	burst := flag.Int("burst", 0, "datapath burst size for all experiments (0 = default 32, 1 = legacy packet-at-a-time)")
 	flag.Parse()
+	experiments.BurstSize = *burst
 
 	w := os.Stdout
 	run := func(name string) {

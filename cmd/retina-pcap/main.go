@@ -38,6 +38,7 @@ func main() {
 	reasmBudget := flag.Int64("reasm-budget", 0, "per-core byte budget for out-of-order reassembly buffers (0 = 8MiB default, negative = unlimited)")
 	pktbufBudget := flag.Int64("pktbuf-budget", 0, "per-core byte budget for pre-verdict packet buffers (0 = 8MiB default, negative = unlimited)")
 	streamBudget := flag.Int64("stream-budget", 0, "per-core byte budget for pre-verdict stream buffers (0 = 16MiB default, negative = unlimited)")
+	burst := flag.Int("burst", 0, "datapath burst size (0 = default 32, 1 = legacy packet-at-a-time)")
 	flag.Parse()
 
 	if *explain {
@@ -64,6 +65,7 @@ func main() {
 	cfg.ReassemblyBudget = *reasmBudget
 	cfg.PacketBufBudget = *pktbufBudget
 	cfg.StreamBufBudget = *streamBudget
+	cfg.BurstSize = *burst
 
 	count := 0
 	emit := func(format string, args ...any) {

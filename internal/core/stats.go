@@ -76,6 +76,21 @@ func (s *StageStats) Time(st Stage, fn func()) {
 	s.timers[st].Observe(time.Since(start))
 }
 
+// TimeBatch runs fn once on behalf of n invocations of the stage,
+// attributing the measured duration to all of them. The burst datapath
+// uses it to pay for two clock reads per batch instead of two per
+// packet; the per-invocation averages stay comparable to Time's.
+func (s *StageStats) TimeBatch(st Stage, n uint64, fn func()) {
+	if !s.profile {
+		s.timers[st].Add(n, 0)
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	s.timers[st].Add(n, time.Since(start))
+}
+
 // Invocations returns how many times the stage ran.
 func (s *StageStats) Invocations(st Stage) uint64 { return s.timers[st].Count() }
 

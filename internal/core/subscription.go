@@ -49,12 +49,15 @@ func (l Level) String() string {
 
 // Packet is the raw-packet subscription datum.
 //
-// Data aliases the mbuf's pooled buffer and is valid ONLY for the
-// duration of the callback: the buffer is freed when the callback
-// returns and may be recycled for a new packet immediately after, at
-// which point a retained slice silently changes contents. Callbacks
-// that need the bytes past their return must copy them
-// (append([]byte(nil), p.Data...)).
+// Both the *Packet and its Data are valid ONLY for the duration of the
+// callback. Data aliases the mbuf's pooled buffer: the buffer is freed
+// when the callback returns and may be recycled for a new packet
+// immediately after, at which point a retained slice silently changes
+// contents. The struct itself is a per-core scratch that is overwritten
+// by the next delivery. Callbacks that need the datum past their return
+// must copy the struct by value and the bytes explicitly
+// (append([]byte(nil), p.Data...)); the async dispatcher does exactly
+// this.
 type Packet struct {
 	Data   []byte
 	Tick   uint64

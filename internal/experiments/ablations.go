@@ -24,7 +24,7 @@ type AblationResult struct {
 // the paper attributes to on-NIC flow rules.
 func RunHWFilterAblation(seed int64, flows int) AblationResult {
 	run := func(hw bool) float64 {
-		cfg := retina.DefaultConfig()
+		cfg := baseConfig()
 		cfg.Filter = Fig7Filter
 		cfg.Cores = 1
 		cfg.HardwareFilter = hw
@@ -76,7 +76,7 @@ func RunHWFilterAblation(seed int64, flows int) AblationResult {
 // filter.
 func RunLazyParsingAblation(seed int64, flows int) AblationResult {
 	mk := func(lazy bool) float64 {
-		cfg := retina.DefaultConfig()
+		cfg := baseConfig()
 		cfg.Cores = 1
 		cfg.PoolSize = 1 << 15
 		var sub *retina.Subscription

@@ -93,7 +93,7 @@ func RunFig12(cfg Fig12Config, scale float64) []Fig12Point {
 func fig12Run(filterSrc string, interpreted bool, frames [][]byte, ticks []uint64, repeats int) float64 {
 	best := 0.0
 	for r := 0; r < repeats; r++ {
-		cfg := retina.DefaultConfig()
+		cfg := baseConfig()
 		cfg.Filter = filterSrc
 		cfg.Cores = 1
 		cfg.Interpreted = interpreted

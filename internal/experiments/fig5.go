@@ -154,7 +154,7 @@ func runFig5Point(cfg Fig5Config, sub Fig5SubType, cores int, cyc uint64, scale 
 	var delivered atomic.Uint64
 	runtimes := make([]*retina.Runtime, cores)
 	for i := range runtimes {
-		rcfg := retina.DefaultConfig()
+		rcfg := baseConfig()
 		rcfg.Filter = sub.filter()
 		rcfg.Cores = 1
 		rcfg.PoolSize = 8192

@@ -71,7 +71,7 @@ func RunFig6(cfg Fig6Config, scale float64) []Fig6Result {
 		var best float64
 		var matches uint64
 		for r := 0; r < repeats; r++ {
-			rcfg := retina.DefaultConfig()
+			rcfg := baseConfig()
 			rcfg.Filter = `tls.sni matches 'bench'`
 			rcfg.Cores = 1
 			rcfg.PoolSize = 8192

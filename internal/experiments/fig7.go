@@ -30,7 +30,7 @@ const Fig7Filter = `tcp.port = 443 and tls.sni ~ '(.+?\.)?nflxvideo\.net'`
 // RunFig7 reproduces the filter-decomposition breakdown: hardware
 // filtering enabled, connection-record subscription, campus traffic.
 func RunFig7(seed int64, flows int) Fig7Result {
-	cfg := retina.DefaultConfig()
+	cfg := baseConfig()
 	cfg.Filter = Fig7Filter
 	cfg.Cores = 2
 	cfg.HardwareFilter = true

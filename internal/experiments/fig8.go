@@ -87,7 +87,7 @@ func RunFig8(cfg Fig8Config, scale float64) []Fig8Result {
 }
 
 func runFig8Scheme(cfg Fig8Config, scheme Fig8Scheme, flows int) Fig8Result {
-	rcfg := retina.DefaultConfig()
+	rcfg := baseConfig()
 	rcfg.Filter = "ipv4 and tcp"
 	rcfg.Cores = 1
 	rcfg.PoolSize = 1 << 15

@@ -62,7 +62,7 @@ func RunFig9(cfg Fig9Config, scale float64) []Fig9Result {
 		perClient := map[[16]byte]*agg{}
 		var mu sync.Mutex
 
-		rcfg := retina.DefaultConfig()
+		rcfg := baseConfig()
 		rcfg.Filter = res.Filter
 		rcfg.Cores = 2
 		rcfg.PoolSize = 1 << 15

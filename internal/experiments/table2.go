@@ -39,7 +39,7 @@ func RunTable2(seed int64, flows int) Table2Result {
 	hist := metrics.NewHistogram([]float64{56, 218, 380, 542, 704, 866, 1028, 1190, 1352, 1514})
 	var sizeSum, sizeN uint64
 	{
-		cfg := retina.DefaultConfig()
+		cfg := baseConfig()
 		cfg.Cores = 2
 		rt, err := retina.New(cfg, retina.Packets(func(p *retina.Packet) {
 			mu.Lock()
@@ -63,7 +63,7 @@ func RunTable2(seed int64, flows int) Table2Result {
 	var pkts, tcpBytes, allBytes uint64
 	synack := &metrics.Series{}
 	{
-		cfg := retina.DefaultConfig()
+		cfg := baseConfig()
 		cfg.Cores = 2
 		rt, err := retina.New(cfg, retina.Connections(func(r *retina.ConnRecord) {
 			mu.Lock()

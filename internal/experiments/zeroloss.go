@@ -51,7 +51,7 @@ func RunZeroLossSearch(filterSrc string, cores int, flows int) ZeroLossResult {
 	}
 
 	for _, sink := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
-		cfg := retina.DefaultConfig()
+		cfg := baseConfig()
 		cfg.Filter = filterSrc
 		cfg.Cores = cores
 		cfg.RingSize = 512 // small rings make overload visible quickly

@@ -143,6 +143,26 @@ type pktAcc struct {
 	terminal int // first terminal node matched; -1 if none
 }
 
+// PacketScratch is a reusable frontier accumulator for packet-filter
+// evaluation. The accumulator is threaded through the engines' closure
+// trees by pointer, which defeats escape analysis — a fresh one heap-
+// allocates on every packet. Hot paths own one scratch per core and
+// evaluate through Program.PacketWith instead. Not safe for concurrent
+// use; the zero value is ready.
+type PacketScratch struct {
+	buf [8]int
+	acc pktAcc
+}
+
+func (s *PacketScratch) reset() {
+	s.acc.nodes = s.buf[:0]
+	s.acc.terminal = -1
+}
+
+// PacketEvalFunc is a PacketFilterFunc evaluating with a caller-owned
+// scratch (allocation-free on single-branch matches).
+type PacketEvalFunc func(p *layers.Parsed, s *PacketScratch) Result
+
 // frontierResult converts an accumulated frontier into a Result. The
 // deepest-first DFS order is stable for a given trie, so both engines
 // (and the emitted Go source) produce identical Frontier slices.
@@ -173,15 +193,27 @@ func frontierResult(acc *pktAcc) Result {
 // branches are explored — not just the first — so the connection filter
 // can resume from every still-viable pattern.
 func CompilePacketFilter(reg *Registry, t *Trie) (PacketFilterFunc, error) {
-	root, err := compilePacketNode(reg, t.Root)
+	eval, err := CompilePacketEval(reg, t)
 	if err != nil {
 		return nil, err
 	}
 	return func(p *layers.Parsed) Result {
-		var buf [8]int
-		acc := pktAcc{nodes: buf[:0], terminal: -1}
-		root(p, &acc)
-		return frontierResult(&acc)
+		var s PacketScratch
+		return eval(p, &s)
+	}, nil
+}
+
+// CompilePacketEval is CompilePacketFilter with a caller-owned scratch,
+// for callers that evaluate per packet and can reuse the accumulator.
+func CompilePacketEval(reg *Registry, t *Trie) (PacketEvalFunc, error) {
+	root, err := compilePacketNode(reg, t.Root)
+	if err != nil {
+		return nil, err
+	}
+	return func(p *layers.Parsed, s *PacketScratch) Result {
+		s.reset()
+		root(p, &s.acc)
+		return frontierResult(&s.acc)
 	}, nil
 }
 

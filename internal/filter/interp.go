@@ -81,11 +81,20 @@ func (in *Interpreter) evalCompare(lhs Value, pred Predicate) bool {
 
 // PacketFilter returns an interpreting PacketFilterFunc.
 func (in *Interpreter) PacketFilter() PacketFilterFunc {
+	eval := in.PacketEval()
 	return func(p *layers.Parsed) Result {
-		var buf [8]int
-		acc := pktAcc{nodes: buf[:0], terminal: -1}
-		in.walkPacket(in.trie.Root, p, &acc)
-		return frontierResult(&acc)
+		var s PacketScratch
+		return eval(p, &s)
+	}
+}
+
+// PacketEval returns the interpreting packet filter taking a
+// caller-owned scratch (see CompilePacketEval).
+func (in *Interpreter) PacketEval() PacketEvalFunc {
+	return func(p *layers.Parsed, s *PacketScratch) Result {
+		s.reset()
+		in.walkPacket(in.trie.Root, p, &s.acc)
+		return frontierResult(&s.acc)
 	}
 }
 

@@ -1,6 +1,10 @@
 package filter
 
-import "fmt"
+import (
+	"fmt"
+
+	"retina/internal/layers"
+)
 
 // Engine selects how the software sub-filters execute.
 type Engine uint8
@@ -25,8 +29,16 @@ type Program struct {
 	Conn    ConnFilterFunc
 	Session SessionFilterFunc
 
-	reg    *Registry
-	engine Engine
+	packetEval PacketEvalFunc
+	reg        *Registry
+	engine     Engine
+}
+
+// PacketWith evaluates the software packet filter with the caller's
+// reusable scratch, avoiding Packet's per-call accumulator allocation.
+// The cores use it with one scratch each on the hot path.
+func (p *Program) PacketWith(pk *layers.Parsed, s *PacketScratch) Result {
+	return p.packetEval(pk, s)
 }
 
 // Options configures filter compilation.
@@ -63,7 +75,7 @@ func Compile(source string, opts Options) (*Program, error) {
 	prog := &Program{Source: source, Trie: trie, reg: reg, engine: opts.Engine}
 	switch opts.Engine {
 	case EngineCompiled:
-		if prog.Packet, err = CompilePacketFilter(reg, trie); err != nil {
+		if prog.packetEval, err = CompilePacketEval(reg, trie); err != nil {
 			return nil, err
 		}
 		if prog.Conn, err = CompileConnFilter(reg, trie); err != nil {
@@ -74,11 +86,16 @@ func Compile(source string, opts Options) (*Program, error) {
 		}
 	case EngineInterpreted:
 		in := NewInterpreter(reg, trie)
-		prog.Packet = in.PacketFilter()
+		prog.packetEval = in.PacketEval()
 		prog.Conn = in.ConnFilter()
 		prog.Session = in.SessionFilter()
 	default:
 		return nil, fmt.Errorf("filter: unknown engine %d", opts.Engine)
+	}
+	eval := prog.packetEval
+	prog.Packet = func(p *layers.Parsed) Result {
+		var s PacketScratch
+		return eval(p, &s)
 	}
 
 	if opts.HW != nil {

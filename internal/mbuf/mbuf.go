@@ -224,9 +224,94 @@ func (p *Pool) AllocData(data []byte) (*Mbuf, error) {
 	return m, nil
 }
 
+// AllocBulk fills out with freshly allocated buffers (headroom reserved,
+// refcount 1) under a single free-list lock — the DPDK
+// rte_pktmbuf_alloc_bulk analogue the burst datapath uses to amortize
+// pool locking. It returns how many buffers it allocated; a short return
+// means the pool ran out mid-burst (the shortfall is counted as
+// allocation failures, one per missing buffer) and out[n:] is left
+// untouched.
+func (p *Pool) AllocBulk(out []*Mbuf) int {
+	if len(out) == 0 {
+		return 0
+	}
+	p.mu.Lock()
+	n := len(p.free)
+	if n > len(out) {
+		n = len(out)
+	}
+	if n > 0 {
+		tail := p.free[len(p.free)-n:]
+		copy(out[:n], tail)
+		for i := range tail {
+			tail[i] = nil
+		}
+		p.free = p.free[:len(p.free)-n]
+	}
+	p.mu.Unlock()
+
+	// Reset outside the lock: the buffers are exclusively ours now.
+	for _, m := range out[:n] {
+		m.off = DefaultHeadroom
+		if m.off > len(m.buf) {
+			m.off = 0
+		}
+		m.ln = 0
+		m.Port, m.Queue, m.RxTick, m.RSSHash, m.Mark = 0, 0, 0, 0, 0
+		m.refs.Store(1)
+	}
+	p.allocs.Add(uint64(n))
+	if short := len(out) - n; short > 0 {
+		p.fails.Add(uint64(short))
+	}
+	return n
+}
+
+// FreeBulk drops one reference from each non-nil buffer and returns
+// every buffer that reached refcount zero to its pool under a single
+// lock per pool. Heap-backed buffers are simply released to the GC. The
+// refcount semantics are exactly n calls to Free.
+func FreeBulk(ms []*Mbuf) {
+	var pool *Pool
+	// Collect pool returns on the stack: bursts are at most a few dozen
+	// mbufs, so the common case stays allocation-free; larger inputs
+	// flush in chunks of len(buf).
+	var buf [64]*Mbuf
+	batch := buf[:0]
+	for _, m := range ms {
+		if m == nil {
+			continue
+		}
+		n := m.refs.Add(-1)
+		if n < 0 {
+			panic("mbuf: double free")
+		}
+		if n != 0 || m.pool == nil {
+			continue
+		}
+		if pool != nil && (m.pool != pool || len(batch) == len(buf)) {
+			// Mixed-pool burst (rare) or a full stack batch: flush what
+			// we have and restart the batch.
+			pool.putBulk(batch)
+			batch = batch[:0]
+		}
+		pool = m.pool
+		batch = append(batch, m)
+	}
+	if pool != nil && len(batch) > 0 {
+		pool.putBulk(batch)
+	}
+}
+
 func (p *Pool) put(m *Mbuf) {
 	p.mu.Lock()
 	p.free = append(p.free, m)
+	p.mu.Unlock()
+}
+
+func (p *Pool) putBulk(ms []*Mbuf) {
+	p.mu.Lock()
+	p.free = append(p.free, ms...)
 	p.mu.Unlock()
 }
 

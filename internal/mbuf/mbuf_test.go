@@ -183,11 +183,139 @@ func TestQuickSetDataRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAllocBulkFull(t *testing.T) {
+	p := NewPool(8, 256)
+	out := make([]*Mbuf, 4)
+	if n := p.AllocBulk(out); n != 4 {
+		t.Fatalf("AllocBulk = %d, want 4", n)
+	}
+	if p.InUse() != 4 {
+		t.Fatalf("InUse = %d, want 4", p.InUse())
+	}
+	for _, m := range out {
+		if m == nil || m.RefCount() != 1 || m.Len() != 0 || m.Headroom() != DefaultHeadroom {
+			t.Fatalf("bulk-allocated mbuf not reset: %+v", m)
+		}
+	}
+	FreeBulk(out)
+	if p.InUse() != 0 {
+		t.Fatalf("after FreeBulk, InUse = %d, want 0", p.InUse())
+	}
+	allocs, fails := p.Stats()
+	if allocs != 4 || fails != 0 {
+		t.Fatalf("Stats = %d allocs, %d fails", allocs, fails)
+	}
+}
+
+// Pool exhaustion mid-burst: the partial burst is returned, the tail is
+// untouched, the shortfall is counted as failures, and no references
+// leak (InUse balances back to zero after the partial burst is freed).
+func TestAllocBulkPartialOnExhaustion(t *testing.T) {
+	p := NewPool(3, 256)
+	out := make([]*Mbuf, 8)
+	sentinel := &Mbuf{}
+	for i := range out {
+		out[i] = sentinel
+	}
+	n := p.AllocBulk(out)
+	if n != 3 {
+		t.Fatalf("AllocBulk = %d, want 3", n)
+	}
+	for i := 3; i < 8; i++ {
+		if out[i] != sentinel {
+			t.Fatalf("out[%d] touched beyond the allocated prefix", i)
+		}
+	}
+	if p.Available() != 0 || p.InUse() != 3 {
+		t.Fatalf("Available=%d InUse=%d", p.Available(), p.InUse())
+	}
+	allocs, fails := p.Stats()
+	if allocs != 3 || fails != 5 {
+		t.Fatalf("Stats = %d allocs, %d fails; want 3, 5", allocs, fails)
+	}
+	// A second bulk call on the empty pool allocates nothing.
+	var out2 [2]*Mbuf
+	if n := p.AllocBulk(out2[:]); n != 0 {
+		t.Fatalf("AllocBulk on empty pool = %d, want 0", n)
+	}
+	FreeBulk(out[:n])
+	if p.InUse() != 0 || p.Available() != 3 {
+		t.Fatalf("after free: Available=%d InUse=%d", p.Available(), p.InUse())
+	}
+}
+
+// FreeBulk must honor refcounts exactly like n calls to Free: buffers
+// with extra references stay out of the pool until their last holder
+// lets go, and nil entries are skipped.
+func TestFreeBulkRefCountsAndNils(t *testing.T) {
+	p := NewPool(4, 256)
+	out := make([]*Mbuf, 4)
+	if n := p.AllocBulk(out); n != 4 {
+		t.Fatal("short alloc")
+	}
+	held := out[1].Ref()
+	out[2] = nil // simulates a slot consumed elsewhere in the burst
+	FreeBulk(out)
+	// out[0], out[3] freed; out[1] has one ref left; out[2] skipped.
+	if p.Available() != 2 {
+		t.Fatalf("Available = %d, want 2", p.Available())
+	}
+	held.Free()
+	if p.Available() != 3 {
+		t.Fatalf("Available = %d, want 3", p.Available())
+	}
+	if p.InUse() != 1 { // the nil'd slot's buffer is still out
+		t.Fatalf("InUse = %d, want 1", p.InUse())
+	}
+}
+
+func TestFreeBulkDoubleFreePanics(t *testing.T) {
+	p := NewPool(1, 256)
+	m, _ := p.Alloc()
+	m.Free()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FreeBulk double free did not panic")
+		}
+	}()
+	FreeBulk([]*Mbuf{m})
+}
+
+func TestConcurrentBulkAllocFree(t *testing.T) {
+	p := NewPool(128, 256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			burst := make([]*Mbuf, 16)
+			for i := 0; i < 500; i++ {
+				n := p.AllocBulk(burst)
+				FreeBulk(burst[:n])
+			}
+		}()
+	}
+	wg.Wait()
+	if p.InUse() != 0 {
+		t.Fatalf("InUse = %d, want 0", p.InUse())
+	}
+}
+
 func BenchmarkPoolAllocFree(b *testing.B) {
 	p := NewPool(16, DefaultBufSize)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m, _ := p.Alloc()
 		m.Free()
+	}
+}
+
+func BenchmarkPoolAllocFreeBulk32(b *testing.B) {
+	p := NewPool(64, DefaultBufSize)
+	burst := make([]*Mbuf, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := p.AllocBulk(burst)
+		FreeBulk(burst[:n])
 	}
 }

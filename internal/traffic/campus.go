@@ -78,6 +78,23 @@ func (m *Mixer) Next() (frame []byte, tick uint64, ok bool) {
 	return frame, uint64(m.tick), true
 }
 
+// NextBurst implements the runtime BurstSource interface. Mixer frames
+// are pre-materialized per flow script and never reused across calls,
+// so the burst variant can simply loop Next — all filled slots remain
+// readable for the caller's whole burst.
+func (m *Mixer) NextBurst(frames [][]byte, ticks []uint64) int {
+	n := 0
+	for n < len(frames) {
+		f, t, ok := m.Next()
+		if !ok {
+			break
+		}
+		frames[n], ticks[n] = f, t
+		n++
+	}
+	return n
+}
+
 // Emitted reports frames and bytes generated so far.
 func (m *Mixer) Emitted() (frames, bytes uint64) { return m.frames, m.bytes }
 

@@ -73,6 +73,7 @@ type PcapReader struct {
 	f      *os.File
 	le     bool
 	buf    []byte
+	bufs   [][]byte // per-slot buffers for NextBurst (lazily grown)
 	err    error
 	frames uint64
 }
@@ -132,6 +133,32 @@ func (p *PcapReader) Next() (frame []byte, tick uint64, ok bool) {
 	}
 	p.frames++
 	return p.buf[:capLen], uint64(sec)*1e6 + uint64(usec), true
+}
+
+// NextBurst implements the runtime BurstSource interface: it fills up
+// to len(frames) slots and returns the count (0 at end of file). Unlike
+// Next, each filled slot points at its own buffer, so all frames of a
+// burst are simultaneously readable until the following NextBurst call.
+func (p *PcapReader) NextBurst(frames [][]byte, ticks []uint64) int {
+	for len(p.bufs) < len(frames) {
+		p.bufs = append(p.bufs, make([]byte, pcapSnapLen))
+	}
+	n := 0
+	for n < len(frames) {
+		// Reuse Next's header parsing but land the payload in slot n's
+		// dedicated buffer rather than the shared one.
+		saved := p.buf
+		p.buf = p.bufs[n]
+		frame, tick, ok := p.Next()
+		p.buf = saved
+		if !ok {
+			break
+		}
+		frames[n] = frame
+		ticks[n] = tick
+		n++
+	}
+	return n
 }
 
 // Err reports a read error encountered by Next.

@@ -119,6 +119,13 @@ type Config struct {
 	RingSize int
 	// PoolSize is the packet buffer pool size.
 	PoolSize int
+	// BurstSize is the datapath batch size: the NIC stages up to this
+	// many frames per ring enqueue and each core dequeues, decodes, and
+	// filters that many packets per iteration, folding telemetry into
+	// shared counters once per burst. Zero selects the default (32);
+	// 1 selects the legacy packet-at-a-time path (useful to bisect
+	// burst-related regressions). See DESIGN.md §11.
+	BurstSize int
 	// Interpreted selects the interpreted filter engine (Appendix B
 	// baseline) instead of the compiled engine.
 	Interpreted bool
@@ -233,6 +240,19 @@ type Source interface {
 	Next() (frame []byte, tick uint64, ok bool)
 }
 
+// BurstSource is an optional Source extension that yields several
+// frames per call, letting the producer loop amortize its call
+// overhead to match the burst datapath. Runtime.Run uses it when the
+// source implements it and BurstSize > 1.
+type BurstSource interface {
+	Source
+	// NextBurst fills frames and ticks (equal length) and returns the
+	// number filled; 0 ends input. Each frames[i] must remain readable
+	// until the next NextBurst call — slots may not alias one shared
+	// buffer the way Next's return may.
+	NextBurst(frames [][]byte, ticks []uint64) int
+}
+
 // Stats summarizes a run.
 type Stats struct {
 	NIC   nic.Stats
@@ -276,6 +296,9 @@ func New(cfg Config, sub *Subscription) (*Runtime, error) {
 	if cfg.PoolSize <= 0 {
 		cfg.PoolSize = cfg.Cores*cfg.RingSize + 4096
 	}
+	if cfg.BurstSize <= 0 {
+		cfg.BurstSize = core.DefaultBurstSize
+	}
 	if sub == nil {
 		return nil, fmt.Errorf("retina: nil subscription")
 	}
@@ -317,6 +340,7 @@ func New(cfg Config, sub *Subscription) (*Runtime, error) {
 		Queues:     cfg.Cores,
 		RingSize:   cfg.RingSize,
 		Pool:       pool,
+		Burst:      cfg.BurstSize,
 		Capability: capModel,
 	})
 	if cfg.HardwareFilter {
@@ -337,6 +361,7 @@ func New(cfg Config, sub *Subscription) (*Runtime, error) {
 		c, err := core.NewCore(i, core.Config{
 			Program:         prog,
 			Sub:             sub,
+			BurstSize:       cfg.BurstSize,
 			Conntrack:       cfg.conntrack(),
 			MaxOutOfOrder:   cfg.MaxOutOfOrder,
 			Profile:         cfg.Profile,
@@ -390,14 +415,29 @@ func (r *Runtime) Run(src Source) Stats {
 	}
 
 	var lastTick uint64
-	for {
-		frame, tick, ok := src.Next()
-		if !ok {
-			break
+	if bs, ok := src.(BurstSource); ok && r.cfg.BurstSize > 1 {
+		frames := make([][]byte, r.cfg.BurstSize)
+		ticks := make([]uint64, r.cfg.BurstSize)
+		for {
+			n := bs.NextBurst(frames, ticks)
+			if n == 0 {
+				break
+			}
+			r.dev.DeliverBurst(frames[:n], ticks[:n])
+			lastTick = ticks[n-1]
 		}
-		r.dev.Deliver(frame, tick)
-		lastTick = tick
+	} else {
+		for {
+			frame, tick, ok := src.Next()
+			if !ok {
+				break
+			}
+			r.dev.Deliver(frame, tick)
+			lastTick = tick
+		}
 	}
+	// Close flushes frames still staged in the NIC's per-queue burst
+	// buffers before closing the rings, so nothing is silently lost.
 	r.dev.Close()
 	wg.Wait()
 	return r.stats(start, lastTick)
@@ -420,10 +460,15 @@ func (r *Runtime) stats(start time.Time, lastTick uint64) Stats {
 }
 
 // RunOffline processes frames on a single core directly, bypassing the
-// simulated NIC — the paper's offline mode used in Appendix B.
+// simulated NIC — the paper's offline mode used in Appendix B. Frames
+// are still batched into bursts of BurstSize mbufs (AllocData copies
+// each frame, so batching is safe even though sources may reuse their
+// frame buffer between Next calls).
 func (r *Runtime) RunOffline(src Source) Stats {
 	start := time.Now()
 	c := r.cores[0]
+	burst := r.cfg.BurstSize
+	batch := make([]*mbuf.Mbuf, 0, burst)
 	var lastTick uint64
 	for {
 		frame, tick, ok := src.Next()
@@ -435,8 +480,19 @@ func (r *Runtime) RunOffline(src Source) Stats {
 			continue
 		}
 		m.RxTick = tick
-		c.ProcessMbuf(m)
 		lastTick = tick
+		if burst <= 1 {
+			c.ProcessMbuf(m)
+			continue
+		}
+		batch = append(batch, m)
+		if len(batch) >= burst {
+			c.ProcessBurst(batch)
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		c.ProcessBurst(batch)
 	}
 	c.Flush()
 	return r.stats(start, lastTick)
