@@ -5,14 +5,24 @@
 // Usage:
 //
 //	retina-bench -experiment fig5|fig6|fig7|fig8|fig9|fig12|table2|ablations|all [-scale 0.25]
+//	retina-bench -subs subscriptions.json [-scale 0.5]
+//
+// With -subs, a JSON array of {name, filter, callback} specs is run as
+// one multi-subscription set over the campus-mix workload and the
+// sustained throughput plus per-subscription delivery counts are
+// reported (the control-plane analogue of the single-subscription
+// experiments).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"retina"
 	"retina/internal/experiments"
+	"retina/internal/traffic"
 )
 
 func main() {
@@ -20,8 +30,15 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full documented configuration)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	burst := flag.Int("burst", 0, "datapath burst size for all experiments (0 = default 32, 1 = legacy packet-at-a-time)")
+	subsFile := flag.String("subs", "", "JSON file of {name, filter, callback} subscription specs; benches them as one multi-subscription set instead of -experiment")
+	cores := flag.Int("cores", 4, "cores for the -subs multi-subscription bench")
 	flag.Parse()
 	experiments.BurstSize = *burst
+
+	if *subsFile != "" {
+		benchSubs(*subsFile, *scale, *seed, *burst, *cores)
+		return
+	}
 
 	w := os.Stdout
 	run := func(name string) {
@@ -77,4 +94,54 @@ func main() {
 		return
 	}
 	run(*exp)
+}
+
+// benchSubs runs a declarative multi-subscription set over the campus
+// mix and reports throughput next to the per-subscription counters.
+func benchSubs(subsFile string, scale float64, seed int64, burst, cores int) {
+	specs, err := retina.LoadSubscriptionSpecs(subsFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(specs) == 0 {
+		fmt.Fprintf(os.Stderr, "%s holds no subscription specs\n", subsFile)
+		os.Exit(1)
+	}
+	flows := int(6000 * scale)
+	if flows < 500 {
+		flows = 500
+	}
+	cfg := retina.DefaultConfig()
+	cfg.Cores = cores
+	cfg.BurstSize = burst
+	rt, err := retina.NewDynamic(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := rt.AddSubscriptionSpecs(specs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	gen := traffic.NewCampusMix(traffic.CampusConfig{Seed: seed, Flows: flows, Gbps: 100})
+	start := time.Now()
+	stats := rt.Run(gen)
+	elapsed := time.Since(start)
+
+	var processed uint64
+	for _, cs := range stats.Cores {
+		processed += cs.Processed
+	}
+	fmt.Printf("multi-subscription bench: %d subscriptions, %d cores, %d flows\n",
+		len(specs), cores, flows)
+	fmt.Printf("rx %d frames, processed %d, %.2f Mpps sustained, %v elapsed\n\n",
+		stats.NIC.RxFrames, processed,
+		float64(processed)/elapsed.Seconds()/1e6, elapsed.Round(time.Millisecond))
+	fmt.Println("id  name                  level       delivered  matched-conns  filter")
+	for _, info := range rt.ListSubscriptions() {
+		fmt.Printf("%-3d %-21s %-10s %10d %14d  %s\n",
+			info.ID, info.Name, info.Level, info.Delivered, info.MatchedConns, info.Filter)
+	}
 }

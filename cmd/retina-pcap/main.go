@@ -7,6 +7,12 @@
 //	retina-pcap -r trace.pcap -filter "tls.sni matches '\.com$'" -subscribe tls
 //	retina-pcap -r trace.pcap -filter "ipv4 and tcp" -subscribe conns
 //	retina-pcap -r trace.pcap -filter "udp" -subscribe packets -quiet
+//	retina-pcap -r trace.pcap -subs subscriptions.json
+//
+// With -subs, a JSON array of {name, filter, callback} specs defines a
+// multi-subscription run: each filter is compiled independently, merged
+// by the control plane, and the per-subscription delivery counts are
+// printed at the end.
 package main
 
 import (
@@ -39,6 +45,7 @@ func main() {
 	pktbufBudget := flag.Int64("pktbuf-budget", 0, "per-core byte budget for pre-verdict packet buffers (0 = 8MiB default, negative = unlimited)")
 	streamBudget := flag.Int64("stream-budget", 0, "per-core byte budget for pre-verdict stream buffers (0 = 16MiB default, negative = unlimited)")
 	burst := flag.Int("burst", 0, "datapath burst size (0 = default 32, 1 = legacy packet-at-a-time)")
+	subsFile := flag.String("subs", "", "JSON file of {name, filter, callback} subscription specs; runs them all as one multi-subscription set (overrides -filter/-subscribe)")
 	flag.Parse()
 
 	if *explain {
@@ -84,6 +91,11 @@ func main() {
 		defer f.Close()
 		rec = export.NewJSONL(f)
 		defer rec.Flush()
+	}
+
+	if *subsFile != "" {
+		runSpecs(cfg, *subsFile, *path, *metricsAddr)
+		return
 	}
 
 	var sub *retina.Subscription
@@ -146,6 +158,57 @@ func main() {
 	if *metricsAddr != "" {
 		// Offline mode bypasses the simulated NIC, so frames read from
 		// the pcap is the denominator.
+		rx := stats.NIC.RxFrames
+		if rx == 0 {
+			rx = r.Frames()
+		}
+		printDropTable(rt, rx)
+	}
+}
+
+// runSpecs replays the trace against a declarative multi-subscription
+// set and prints each subscription's delivery counters.
+func runSpecs(cfg retina.Config, subsFile, path, metricsAddr string) {
+	specs, err := retina.LoadSubscriptionSpecs(subsFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(specs) == 0 {
+		log.Fatalf("%s holds no subscription specs", subsFile)
+	}
+	rt, err := retina.NewDynamic(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.AddSubscriptionSpecs(specs); err != nil {
+		log.Fatal(err)
+	}
+	if metricsAddr != "" {
+		srv, err := rt.ServeMetrics(metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics endpoint: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", srv.Addr())
+	}
+	r, err := traffic.OpenPcap(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+
+	stats := rt.RunOffline(r)
+	if err := r.Err(); err != nil {
+		log.Fatalf("pcap read error: %v", err)
+	}
+	fmt.Printf("%d frames read, %d subscriptions, %v elapsed\n\n",
+		r.Frames(), len(specs), stats.Elapsed)
+	fmt.Println("id  name                  level       delivered  matched-conns  filter")
+	for _, info := range rt.ListSubscriptions() {
+		fmt.Printf("%-3d %-21s %-10s %10d %14d  %s\n",
+			info.ID, info.Name, info.Level, info.Delivered, info.MatchedConns, info.Filter)
+	}
+	if metricsAddr != "" {
 		rx := stats.NIC.RxFrames
 		if rx == 0 {
 			rx = r.Frames()

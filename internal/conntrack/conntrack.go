@@ -111,6 +111,12 @@ type Conn struct {
 	PktMark  uint32
 	ConnMark int
 
+	// SubMask has bit i set when the connection has fully matched the
+	// subscription in program-set slot i (multi-subscription runtimes;
+	// realigned on epoch reconcile). The control plane reads it through
+	// Table.CountMatching to observe drain progress.
+	SubMask uint64
+
 	FirstTick uint64
 	LastTick  uint64
 
@@ -243,6 +249,19 @@ func (t *Table) Len() int { return len(t.conns) }
 // mirror, safe to call from monitoring goroutines while the owning core
 // is processing.
 func (t *Table) ConcurrentLen() int { return int(t.count.Load()) }
+
+// CountMatching returns how many tracked connections have any of the
+// mask's subscription bits set in their SubMask. Core-goroutine only
+// (drain observation goes through the owning core's table accessor).
+func (t *Table) CountMatching(mask uint64) int {
+	n := 0
+	for _, c := range t.conns {
+		if c.SubMask&mask != 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // MemoryBytes estimates the memory held by tracked connections.
 func (t *Table) MemoryBytes() uint64 {

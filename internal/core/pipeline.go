@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 
 	"retina/internal/conntrack"
 	"retina/internal/filter"
@@ -27,10 +29,16 @@ const maxStreamBufBytes = 256 << 10
 
 // Config configures one processing core.
 type Config struct {
-	// Program is the compiled filter.
+	// Program is the compiled filter (single-subscription construction;
+	// ignored when Set is non-nil).
 	Program *filter.Program
-	// Sub is the user's subscription.
+	// Sub is the user's subscription (single-subscription construction;
+	// ignored when Set is non-nil).
 	Sub *Subscription
+	// Set is the initial multi-subscription program set. When nil, a
+	// one-slot static set is built from Program and Sub — the historical
+	// single-subscription datapath, packet-for-packet identical.
+	Set *ProgramSet
 	// Conntrack configures the core's connection table.
 	Conntrack conntrack.Config
 	// MaxOutOfOrder bounds the per-connection reorder buffer.
@@ -68,7 +76,9 @@ const DefaultBurstSize = 32
 // RxRing is the burst face of a receive ring the core consumes from.
 // DequeueBurst fills buf and returns the count without blocking; Wait
 // blocks until the ring is non-empty (true) or closed and drained
-// (false). *nic.Ring implements it.
+// (false). Wait may also return true spuriously when the ring is poked
+// (the control plane's wake-up for epoch pickup on idle cores).
+// *nic.Ring implements it.
 type RxRing interface {
 	DequeueBurst(buf []*mbuf.Mbuf) int
 	Wait() bool
@@ -78,15 +88,25 @@ type RxRing interface {
 type Core struct {
 	ID int
 
-	cfg      Config
-	prog     *filter.Program
-	sub      *Subscription
-	table    *conntrack.Table
-	parReg   *proto.Registry
-	stages   *StageStats
-	ctr      coreCounters
-	protoCtr protoCounters
-	tracer   *telemetry.ConnTracer
+	cfg    Config
+	table  *conntrack.Table
+	parReg *proto.Registry
+	stages *StageStats
+	ctr    coreCounters
+	tracer *telemetry.ConnTracer
+
+	// ps is the program set the core is currently serving (core
+	// goroutine only); next is the RCU publication slot the control
+	// plane stores into; acked is the epoch the core has picked up —
+	// once every core acks epoch E, no packet is being evaluated
+	// against any set older than E and the control plane may retire it.
+	ps    *ProgramSet
+	next  atomic.Pointer[ProgramSet]
+	acked atomic.Uint64
+
+	// protoCtr is swapped wholesale on registry rebuild (epoch pickup)
+	// so monitoring goroutines never observe a map mutation.
+	protoCtr atomic.Pointer[protoCounters]
 
 	// acct tracks the core's buffered bytes per class and answers
 	// reserve/shed decisions; reasmHooks adapts it to the reassembler's
@@ -107,12 +127,15 @@ type Core struct {
 	parsed layers.Parsed
 	now    uint64
 
-	// Burst-mode scratch state: one decode slot and one filter verdict
-	// per packet of the largest burst seen, reused across bursts so the
-	// steady state allocates nothing.
+	// Burst-mode scratch state: one decode slot, one match mask, and one
+	// slot-indexed filter result row per packet of the largest burst
+	// seen, reused across bursts so the steady state allocates nothing.
 	burstSize   int
 	burstParsed []layers.Parsed
+	burstMask   []uint64
 	burstRes    []filter.Result
+	// singleRes is the one-packet result row for ProcessMbuf.
+	singleRes []filter.Result
 
 	// pktScratch is this core's reusable packet-filter accumulator
 	// (avoids a per-packet heap allocation in both engines).
@@ -124,6 +147,12 @@ type Core struct {
 	// reusing one struct per core is observationally equivalent to
 	// allocating — minus one heap allocation per delivered packet.
 	pktOut Packet
+
+	// sessOK is the per-session per-subscription verdict scratch;
+	// frameBufs collects the buffer entries one frame landed in so a
+	// shared disposition token can be wired after the dispatch loop.
+	sessOK    []bool
+	frameBufs []*pktBufEntry
 }
 
 // burstDelta accumulates the per-packet hot counters of one burst in
@@ -149,71 +178,187 @@ func (c *Core) foldDelta(d *burstDelta) {
 	}
 }
 
-// connState is the per-connection processing state the subscription
-// derives (the Trackable of Appendix A).
-type connState struct {
-	reasm      *reassembly.Lite
-	candidates []proto.Parser
-	active     proto.Parser
-	pktBuf     []*mbuf.Mbuf
-	// pktBufBytes is the packet-buffer budget reserved for pktBuf (the
-	// sum of buffered frame lengths); inPending marks live membership in
-	// the core's pendingBuf shed queue.
-	pktBufBytes int
-	inPending   bool
-	probeBytes  int
-	matched    bool // full filter match achieved
-	rejected   bool // connection failed the filter; kept as a tombstone
-	finOrig    bool
-	finResp    bool
+// pktToken resolves one frame's drop/delivery account exactly once when
+// several subscriptions buffer references to the same frame. holders is
+// the number of buffer entries still holding the frame; the first flush
+// marks it delivered, and a discard counts a drop only when it is the
+// last holder and no delivery happened — so a frame buffered for two
+// subscriptions and delivered by either counts as delivered, and counts
+// as exactly one drop only when every holder discarded it.
+type pktToken struct {
+	holders  int
+	resolved bool
+}
+
+// pktBufEntry is one buffered frame reference awaiting a subscription's
+// filter verdict. tok is nil when this entry solely owns the frame's
+// disposition account (the single-subscription case, and the common
+// multi-subscription case of one buffering subscription).
+type pktBufEntry struct {
+	m   *mbuf.Mbuf
+	tok *pktToken
+}
+
+// subState is one subscription's per-connection processing state.
+type subState struct {
+	// spec identifies the subscription (pointer identity; stable across
+	// program swaps). nil marks a free slot.
+	spec *SubSpec
+
+	matched  bool // full filter match achieved for this subscription
+	rejected bool // this subscription's filter failed for the connection
+	// drain marks a removed subscription kept only to deliver its final
+	// connection record; it receives no new data.
+	drain bool
 
 	// frontier is the union of packet-filter frontier nodes matched by
-	// the connection's packets: every trie branch still viable for it.
-	// The connection filter must try all of them — a single mark commits
-	// to one branch and silently drops patterns matched on another.
+	// the connection's packets for this subscription: every trie branch
+	// still viable. The connection filter must try all of them — a
+	// single mark commits to one branch and silently drops patterns
+	// matched on another. An empty frontier means the subscription is
+	// dormant for the connection (none of its packets matched yet).
 	frontier []int
 	// connMarks are the connection-filter nodes that matched once the
 	// service was identified; the session filter must likewise try all.
 	connMarks []int
+	connMark  int
+
+	// Packet-level subscriptions: frames buffered while the verdict is
+	// pending, flushed on match.
+	pktBuf      []pktBufEntry
+	pktBufBytes int
 
 	// Byte-stream subscriptions: chunks copied while the verdict is
 	// pending, flushed on match.
 	streamBuf      []StreamChunk
 	streamBufBytes int
 	streamOverflow bool
+}
+
+// engaged reports whether any packet of the connection has matched the
+// subscription's packet filter.
+func (s *subState) engaged() bool { return len(s.frontier) > 0 }
+
+// connState is the per-connection processing state (the Trackable of
+// Appendix A): stream machinery shared by all subscriptions plus one
+// subState per program-set slot. subs is aligned with the current
+// ProgramSet's slots (index i ↔ slot i) whenever epoch is current;
+// draining connection-record entries are appended past the slot count.
+type connState struct {
+	epoch uint64
+	subs  []subState
+
+	reasm      *reassembly.Lite
+	candidates []proto.Parser
+	active     proto.Parser
+	probeBytes int
+
+	// identified/unidentified record the probe outcome; tombstone marks
+	// a connection every subscription has rejected (kept as a zero-cost
+	// entry the normal timeouts collect).
+	identified   bool
+	unidentified bool
+	tombstone    bool
+
+	// pktBufBytes is the total packet-buffer budget reserved across all
+	// subscriptions; inPending marks live membership in the core's
+	// pendingBuf shed queue.
+	pktBufBytes int
+	inPending   bool
+
+	finOrig bool
+	finResp bool
 
 	// trace is the connection's sampled lifecycle span (nil when the
 	// connection was not sampled or tracing is off).
 	trace *telemetry.ConnTrace
 }
 
+// pktBufFrames counts buffered frame references across subscriptions.
+func (cs *connState) pktBufFrames() int {
+	n := 0
+	for i := range cs.subs {
+		n += len(cs.subs[i].pktBuf)
+	}
+	return n
+}
+
+// streamBytesTotal sums buffered stream bytes across subscriptions.
+func (cs *connState) streamBytesTotal() int {
+	n := 0
+	for i := range cs.subs {
+		n += cs.subs[i].streamBufBytes
+	}
+	return n
+}
+
+// anyStreamLive reports whether any byte-stream subscription still wants
+// the connection's reconstructed bytes (matched, or engaged and verdict
+// pending).
+func (cs *connState) anyStreamLive() bool {
+	for i := range cs.subs {
+		s := &cs.subs[i]
+		if s.spec == nil || s.rejected || s.drain {
+			continue
+		}
+		if s.spec.Sub.Level != LevelStream {
+			continue
+		}
+		if s.matched || s.engaged() {
+			return true
+		}
+	}
+	return false
+}
+
+// allRejected reports whether every present subscription entry has
+// rejected the connection (dormant pending entries block, since a later
+// packet may still engage them; so do draining record entries).
+func (cs *connState) allRejected() bool {
+	any := false
+	for i := range cs.subs {
+		s := &cs.subs[i]
+		if s.spec == nil {
+			continue
+		}
+		any = true
+		if !s.rejected {
+			return false
+		}
+	}
+	return any
+}
+
 // NewCore builds a core. The parser registry is populated with the union
-// of the filter's connection protocols and the subscription's data-type
-// protocols — probing work is proportional to the subscription (§5.2).
+// of the filters' connection protocols and the subscriptions' data-type
+// protocols — probing work is proportional to the subscriptions (§5.2).
 func NewCore(id int, cfg Config) (*Core, error) {
-	if cfg.Program == nil {
-		return nil, fmt.Errorf("core: nil filter program")
-	}
-	if cfg.Sub == nil {
-		return nil, fmt.Errorf("core: nil subscription")
-	}
-	if err := cfg.Sub.Validate(); err != nil {
-		return nil, err
-	}
-	names := cfg.Program.ConnProtocols()
-	for _, p := range cfg.Sub.SessionProtos {
-		dup := false
-		for _, n := range names {
-			if n == p {
-				dup = true
-				break
-			}
+	ps := cfg.Set
+	if ps == nil {
+		if cfg.Program == nil {
+			return nil, fmt.Errorf("core: nil filter program")
 		}
-		if !dup {
-			names = append(names, p)
+		if cfg.Sub == nil {
+			return nil, fmt.Errorf("core: nil subscription")
+		}
+		if err := cfg.Sub.Validate(); err != nil {
+			return nil, err
+		}
+		spec := &SubSpec{
+			ID:        0,
+			Name:      "static",
+			Filter:    cfg.Program.Source,
+			Sub:       cfg.Sub,
+			Prog:      cfg.Program,
+			NeedsConn: cfg.Program.NeedsConnTracking(),
+		}
+		var err error
+		ps, err = NewProgramSet(0, []*SubSpec{spec}, cfg.ExtraParsers)
+		if err != nil {
+			return nil, err
 		}
 	}
-	reg, err := proto.BuildRegistryWith(names, cfg.ExtraParsers)
+	reg, err := proto.BuildRegistryWith(ps.ParserNames, ps.ExtraParsers)
 	if err != nil {
 		return nil, err
 	}
@@ -233,16 +378,16 @@ func NewCore(id int, cfg Config) (*Core, error) {
 	c := &Core{
 		ID:        id,
 		cfg:       cfg,
-		prog:      cfg.Program,
-		sub:       cfg.Sub,
+		ps:        ps,
 		table:     conntrack.NewTable(cfg.Conntrack),
 		parReg:    reg,
 		stages:    NewStageStats(cfg.Profile),
-		protoCtr:  newProtoCounters(reg.Names()),
 		tracer:    cfg.Tracer,
 		acct:      acct,
 		burstSize: cfg.BurstSize,
 	}
+	c.acked.Store(ps.Epoch)
+	c.protoCtr.Store(newProtoCounters(reg.Names()))
 	// Shared budget hooks for every connection's reassembler: reserve
 	// consults the low-watermark signals first (under pool/ring pressure
 	// parking OOO segments is optional work we skip), then the byte
@@ -264,6 +409,39 @@ func NewCore(id int, cfg Config) (*Core, error) {
 	return c, nil
 }
 
+// SetProgramSet publishes a new program set to the core (RCU publish
+// side). The core picks it up at its next burst boundary — including
+// while idle, if its ring is poked — and acks the epoch; until then
+// packets are processed against the previous set. Safe to call from the
+// control plane while the core runs.
+func (c *Core) SetProgramSet(ps *ProgramSet) { c.next.Store(ps) }
+
+// AckedEpoch returns the program-set epoch the core has picked up. Safe
+// to call concurrently.
+func (c *Core) AckedEpoch() uint64 { return c.acked.Load() }
+
+// pickup swaps in a newly published program set at a burst boundary.
+// Connections reconcile lazily on their next packet; the parser registry
+// is rebuilt only when the subscription union's protocol needs changed.
+func (c *Core) pickup() {
+	ps := c.next.Load()
+	if ps == nil || ps == c.ps {
+		return
+	}
+	if !sameParsers(ps.ParserNames, c.ps.ParserNames) {
+		// The control plane validates parser availability at Add time, so
+		// a rebuild failure here is unreachable; if it ever happens, keep
+		// the old registry rather than killing the datapath.
+		if reg, err := proto.BuildRegistryWith(ps.ParserNames, ps.ExtraParsers); err == nil {
+			c.parReg = reg
+			c.protoCtr.Store(extendProtoCounters(c.protoCtr.Load(), reg.Names()))
+		}
+	}
+	c.ps = ps
+	c.ctr.epochSwaps.Inc()
+	c.acked.Store(ps.Epoch)
+}
+
 // Stats returns a snapshot of the core's packet counters. Safe to call
 // from a monitoring goroutine while the core runs.
 func (c *Core) Stats() CoreStats { return c.ctr.snapshot() }
@@ -271,11 +449,12 @@ func (c *Core) Stats() CoreStats { return c.ctr.snapshot() }
 // ProtoStats returns per-protocol identification/parsing failure counts.
 // Safe to call concurrently with processing.
 func (c *Core) ProtoStats() map[string]ProtoStat {
-	out := make(map[string]ProtoStat, len(c.protoCtr.probeRejects))
-	for name, pr := range c.protoCtr.probeRejects {
+	pc := c.protoCtr.Load()
+	out := make(map[string]ProtoStat, len(pc.probeRejects))
+	for name, pr := range pc.probeRejects {
 		out[name] = ProtoStat{
 			ProbeRejects: pr.Value(),
-			ParseErrors:  c.protoCtr.parseErrors[name].Value(),
+			ParseErrors:  pc.parseErrors[name].Value(),
 		}
 	}
 	return out
@@ -297,22 +476,30 @@ func (c *Core) Now() uint64 { return c.now }
 // It owns the mbuf and frees it (directly or after buffering). This is
 // the burst=1 datapath; ProcessBurst is the batched equivalent.
 func (c *Core) ProcessMbuf(m *mbuf.Mbuf) {
+	c.pickup()
 	var d burstDelta
 	d.processed = 1
 	if m.RxTick > c.now {
 		c.now = m.RxTick
 	}
 
-	// Stage: software packet filter (decode + trie match).
-	var res filter.Result
+	slots := len(c.ps.Multi.Slots)
+	if cap(c.singleRes) < slots {
+		c.singleRes = make([]filter.Result, slots)
+	}
+	res := c.singleRes[:slots]
+
+	// Stage: software packet filter (decode + per-subscription trie
+	// match).
+	var mask uint64
 	c.stages.Time(StageSWFilter, func() {
 		if err := c.parsed.DecodeLayers(m.Data()); err != nil {
-			res = filter.NoMatch
+			mask = 0
 			return
 		}
-		res = c.prog.PacketWith(&c.parsed, &c.pktScratch)
+		mask = c.ps.Multi.PacketInto(&c.parsed, &c.pktScratch, res)
 	})
-	c.processFiltered(&c.parsed, m, res, &d)
+	c.processFiltered(&c.parsed, m, filter.MultiResult{Mask: mask, Res: res}, &d)
 	c.foldDelta(&d)
 	m.Free()
 	c.advance()
@@ -320,32 +507,40 @@ func (c *Core) ProcessMbuf(m *mbuf.Mbuf) {
 
 // ProcessBurst consumes a burst of packet buffers in two passes: decode
 // + software packet filter over the whole batch (one stage-timer entry,
-// tight loop over the trie), then per-packet disposition. The virtual
+// tight loop over the tries), then per-packet disposition. The virtual
 // clock follows each packet's RxTick, but connection-expiry timers fire
 // once per burst at the final clock, and the burst's hot counters are
 // folded into the shared atomics once. Frees (one reference per mbuf)
-// are batched through the pool in one lock acquisition.
+// are batched through the pool in one lock acquisition. A newly
+// published program set is picked up at the top — never mid-burst — so
+// every packet of a burst sees one consistent subscription set.
 func (c *Core) ProcessBurst(ms []*mbuf.Mbuf) {
+	c.pickup()
 	n := len(ms)
 	if n == 0 {
 		return
 	}
+	slots := len(c.ps.Multi.Slots)
 	if cap(c.burstParsed) < n {
 		c.burstParsed = make([]layers.Parsed, n)
-		c.burstRes = make([]filter.Result, n)
+		c.burstMask = make([]uint64, n)
+	}
+	if cap(c.burstRes) < n*slots {
+		c.burstRes = make([]filter.Result, n*slots)
 	}
 	parsed := c.burstParsed[:n]
-	res := c.burstRes[:n]
+	masks := c.burstMask[:n]
+	resAll := c.burstRes[:n*slots]
 
 	var d burstDelta
 	d.processed = uint64(n)
 	c.stages.TimeBatch(StageSWFilter, uint64(n), func() {
 		for i, m := range ms {
 			if err := parsed[i].DecodeLayers(m.Data()); err != nil {
-				res[i] = filter.NoMatch
+				masks[i] = 0
 				continue
 			}
-			res[i] = c.prog.PacketWith(&parsed[i], &c.pktScratch)
+			masks[i] = c.ps.Multi.PacketInto(&parsed[i], &c.pktScratch, resAll[i*slots:(i+1)*slots])
 		}
 	})
 
@@ -353,7 +548,8 @@ func (c *Core) ProcessBurst(ms []*mbuf.Mbuf) {
 		if m.RxTick > c.now {
 			c.now = m.RxTick
 		}
-		c.processFiltered(&parsed[i], m, res[i], &d)
+		mr := filter.MultiResult{Mask: masks[i], Res: resAll[i*slots : (i+1)*slots]}
+		c.processFiltered(&parsed[i], m, mr, &d)
 	}
 	c.foldDelta(&d)
 	c.advance()
@@ -361,25 +557,45 @@ func (c *Core) ProcessBurst(ms []*mbuf.Mbuf) {
 }
 
 // processFiltered routes one packet that already went through decode and
-// the packet filter. It does not free m — the caller owns one reference
+// the packet filters. It does not free m — the caller owns one reference
 // and releases it (singly or in bulk) after the call; paths that keep
 // the packet take their own reference.
-func (c *Core) processFiltered(p *layers.Parsed, m *mbuf.Mbuf, res filter.Result, d *burstDelta) {
-	if !res.Match {
+func (c *Core) processFiltered(p *layers.Parsed, m *mbuf.Mbuf, mr filter.MultiResult, d *burstDelta) {
+	if mr.Mask == 0 {
 		d.filterDropped++
 		return
 	}
-	m.Mark = uint32(res.Node)
+	first := bits.TrailingZeros64(mr.Mask)
+	m.Mark = uint32(mr.Res[first].Node)
 
-	// Fast path: a terminal packet match with a packet-level
-	// subscription invokes the callback immediately, bypassing all
-	// stateful processing (§5.1).
-	if res.Terminal && c.sub.Level == LevelPacket && len(c.sub.SessionProtos) == 0 {
-		c.deliverPacketDelta(m, d)
-		return
+	// Fast path: when every matching subscription is packet-level with a
+	// terminal match and no session protocols, the callbacks run
+	// immediately and all stateful processing is bypassed (§5.1). The
+	// frame counts once as delivered regardless of fan-out.
+	if mr.Mask&^c.ps.fastSlots == 0 {
+		allTerminal := true
+		rem := mr.Mask
+		for rem != 0 {
+			i := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			if !mr.Res[i].Terminal {
+				allTerminal = false
+				break
+			}
+		}
+		if allTerminal {
+			rem = mr.Mask
+			for rem != 0 {
+				i := bits.TrailingZeros64(rem)
+				rem &= rem - 1
+				c.deliverPacketTo(c.ps.Slots[i], m)
+			}
+			d.deliveredPackets++
+			return
+		}
 	}
 
-	c.processStateful(p, m, res)
+	c.processStateful(p, m, mr)
 }
 
 // advance moves the connection table's clock, firing expirations.
@@ -396,14 +612,40 @@ func (c *Core) AdvanceTime(tick uint64) {
 	c.advance()
 }
 
-func (c *Core) processStateful(p *layers.Parsed, m *mbuf.Mbuf, res filter.Result) {
+// Frame dispositions, in ascending precedence: one frame of a
+// packet-level subscription set takes exactly one disposition, the most
+// useful outcome any subscription gave it — delivery beats buffering
+// beats any drop — so rx == delivered + Σdrops + still-buffered holds in
+// frame units no matter how many subscriptions touched the frame.
+const (
+	dispNone = iota
+	dispTombstone
+	dispBudget
+	dispShed
+	dispOverflow
+	dispBuffered
+	dispDelivered
+)
+
+func (c *Core) processStateful(p *layers.Parsed, m *mbuf.Mbuf, mr filter.MultiResult) {
 	ft, ok := layers.FiveTupleFrom(p)
 	if !ok {
 		// Not a trackable flow (no L4 ports). A terminal match can
 		// still satisfy packet-level delivery; stateful subscriptions
 		// cannot use it.
-		if res.Terminal && c.sub.Level == LevelPacket {
-			c.deliverPacket(m)
+		delivered := false
+		rem := mr.Mask
+		for rem != 0 {
+			i := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			spec := c.ps.Slots[i]
+			if spec != nil && spec.Sub.Level == LevelPacket && mr.Res[i].Terminal {
+				c.deliverPacketTo(spec, m)
+				delivered = true
+			}
+		}
+		if delivered {
+			c.ctr.deliveredPackets.Inc()
 		} else {
 			c.ctr.notTrackable.Inc()
 		}
@@ -433,22 +675,45 @@ func (c *Core) processStateful(p *layers.Parsed, m *mbuf.Mbuf, res filter.Result
 		return
 	}
 
+	var cs *connState
 	if created {
 		c.ctr.connsCreated.Inc()
 		conn.PktMark = m.Mark
-		c.initConn(conn, res)
-	} else if s := c.state(conn); !s.matched {
+		c.initConn(conn, mr)
+		cs = c.state(conn)
+	} else {
+		cs = c.state(conn) // reconciles to the current epoch lazily
 		// A later packet may match different or deeper trie branches
 		// (e.g. a predicate satisfied only by some packets); keep the
-		// union of viable branches and the most specific mark.
-		s.addFrontier(res)
-		if m.Mark > conn.PktMark {
+		// union of viable branches per subscription and the most
+		// specific mark. A subscription whose first packet this is
+		// (dormant until now) gets its verdict resolved as far as the
+		// connection's progress allows.
+		anyPending := false
+		rem := mr.Mask
+		for rem != 0 {
+			i := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			if i >= len(cs.subs) {
+				continue
+			}
+			s := &cs.subs[i]
+			if s.spec == nil || s.matched || s.rejected || s.drain {
+				continue
+			}
+			anyPending = true
+			wasDormant := !s.engaged()
+			s.addFrontier(mr.Res[i])
+			if wasDormant && s.engaged() {
+				c.activateSub(conn, cs, i, s)
+			}
+		}
+		if anyPending && m.Mark > conn.PktMark {
 			conn.PktMark = m.Mark
 		}
 	}
-	cs := c.state(conn)
 
-	if cs.rejected {
+	if cs.tombstone {
 		c.ctr.tombstonePkts.Inc()
 		c.maybeTerminate(conn, cs, ft, flags)
 		return
@@ -457,40 +722,104 @@ func (c *Core) processStateful(p *layers.Parsed, m *mbuf.Mbuf, res filter.Result
 	// Feed the stream machinery while the connection needs it. Stream
 	// subscriptions keep the reassembler for the connection's lifetime.
 	if conn.State == conntrack.StateProbe || conn.State == conntrack.StateParse ||
-		c.sub.Level == LevelStream {
+		cs.anyStreamLive() {
 		c.feed(conn, cs, p, m, ft, payload, flags)
 	}
 
-	// Packet-level delivery/buffering. Each packet of a packet-level
-	// subscription takes exactly one branch here (or one of the earlier
-	// drop paths), so the per-reason counters sum back to Processed —
-	// the conservation invariant the telemetry tests assert.
-	if c.sub.Level == LevelPacket {
-		switch {
-		case cs.rejected || conn.State == conntrack.StateDelete:
-			// The connection was rejected or deleted while this very
-			// packet's payload was being fed: it lands on a tombstone.
-			c.ctr.tombstonePkts.Inc()
-		case cs.matched:
-			c.deliverPacket(m)
-		case len(cs.pktBuf) >= c.cfg.PacketBufferCap:
-			c.ctr.pktBufOverflow.Inc()
-		case c.acct.LowResources():
-			// Pool or ring at its watermark: buffering a speculative copy
-			// of this packet is optional work — shed it so the pool keeps
-			// feeding the NIC (the packet is still tracked and counted).
-			c.ctr.shedLowPool.Inc()
-		case !c.reservePktBuf(conn, m.Len()):
-			c.ctr.pktBufBudget.Inc()
-		default:
-			cs.pktBuf = append(cs.pktBuf, m.Ref())
-			cs.pktBufBytes += m.Len()
-			conn.ExtraMem += m.Len()
-			if !cs.inPending {
-				cs.inPending = true
-				c.enqueuePending(conn)
+	// Packet-level delivery/buffering. Each frame matched by at least
+	// one packet-level subscription takes exactly one disposition here
+	// (or one of the earlier drop paths), so the per-reason counters sum
+	// back to Processed — the conservation invariant the telemetry tests
+	// assert. Per-subscription callback counts live on the SubSpecs.
+	if c.ps.hasPacket {
+		disp := dispNone
+		deliveredAny := false
+		rem := mr.Mask
+		for rem != 0 {
+			si := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			if si >= len(cs.subs) {
+				continue
 			}
+			s := &cs.subs[si]
+			if s.spec == nil || s.drain || s.spec.Sub.Level != LevelPacket {
+				continue
+			}
+			if s.rejected || conn.State == conntrack.StateDelete {
+				// The subscription rejected the connection — or the
+				// connection was deleted while this very packet's payload
+				// was being fed: it lands on a tombstone.
+				if disp < dispTombstone {
+					disp = dispTombstone
+				}
+				continue
+			}
+			if s.matched {
+				c.deliverPacketTo(s.spec, m)
+				deliveredAny = true
+				continue
+			}
+			// Verdict pending: buffer a reference for this subscription.
+			switch {
+			case len(s.pktBuf) >= c.cfg.PacketBufferCap:
+				if disp < dispOverflow {
+					disp = dispOverflow
+				}
+			case c.acct.LowResources():
+				// Pool or ring at its watermark: buffering a speculative
+				// copy of this packet is optional work — shed it so the
+				// pool keeps feeding the NIC (the packet is still tracked
+				// and counted).
+				if disp < dispShed {
+					disp = dispShed
+				}
+			case !c.reservePktBuf(conn, m.Len()):
+				if disp < dispBudget {
+					disp = dispBudget
+				}
+			default:
+				s.pktBuf = append(s.pktBuf, pktBufEntry{m: m.Ref()})
+				s.pktBufBytes += m.Len()
+				cs.pktBufBytes += m.Len()
+				conn.ExtraMem += m.Len()
+				if !cs.inPending {
+					cs.inPending = true
+					c.enqueuePending(conn)
+				}
+				c.frameBufs = append(c.frameBufs, &s.pktBuf[len(s.pktBuf)-1])
+				if disp < dispBuffered {
+					disp = dispBuffered
+				}
+			}
+		}
+		if deliveredAny {
+			disp = dispDelivered
+		}
+		// Wire the shared disposition token when the frame landed in more
+		// than one buffer, or was both delivered and buffered (the buffer
+		// entries then start pre-resolved: the frame is already counted).
+		if k := len(c.frameBufs); k > 0 {
+			if deliveredAny || k > 1 {
+				tok := &pktToken{holders: k, resolved: deliveredAny}
+				for _, e := range c.frameBufs {
+					e.tok = tok
+				}
+			}
+			c.frameBufs = c.frameBufs[:0]
+		}
+		switch disp {
+		case dispDelivered:
+			c.ctr.deliveredPackets.Inc()
+		case dispBuffered:
 			c.ctr.bufferedPkts.Inc()
+		case dispOverflow:
+			c.ctr.pktBufOverflow.Inc()
+		case dispShed:
+			c.ctr.shedLowPool.Inc()
+		case dispBudget:
+			c.ctr.pktBufBudget.Inc()
+		case dispTombstone:
+			c.ctr.tombstonePkts.Inc()
 		}
 	}
 
@@ -498,39 +827,199 @@ func (c *Core) processStateful(p *layers.Parsed, m *mbuf.Mbuf, res filter.Result
 }
 
 // state returns the connection's subscription state, creating it if the
-// connection was made before initConn ran (defensive).
+// connection was made before initConn ran (defensive) and reconciling it
+// to the current program-set epoch.
 func (c *Core) state(conn *conntrack.Conn) *connState {
 	cs, ok := conn.UserData.(*connState)
 	if !ok {
-		cs = &connState{}
+		cs = &connState{epoch: c.ps.Epoch, subs: make([]subState, len(c.ps.Slots))}
+		for i, spec := range c.ps.Slots {
+			cs.subs[i].spec = spec
+		}
 		conn.UserData = cs
+	}
+	if cs.epoch != c.ps.Epoch {
+		c.reconcileConn(conn, cs)
 	}
 	return cs
 }
 
+// reconcileConn realigns a connection's per-subscription state with the
+// current program set after an epoch swap. Entries are carried over by
+// SubSpec identity (slot indices may have been recycled); removed
+// subscriptions drain — a matched connection-level entry stays to
+// deliver its final record, everything else of a removed subscription is
+// released (buffered frames count as pre-verdict discard) — and newly
+// added subscriptions attach as dormant pending entries that the next
+// matching packet engages.
+func (c *Core) reconcileConn(conn *conntrack.Conn, cs *connState) {
+	ps := c.ps
+	old := cs.subs
+	subs := make([]subState, len(ps.Slots))
+	for i, spec := range ps.Slots {
+		subs[i].spec = spec
+	}
+	for oi := range old {
+		s := &old[oi]
+		if s.spec == nil {
+			continue
+		}
+		slot := -1
+		for i, spec := range ps.Slots {
+			if spec == s.spec {
+				slot = i
+				break
+			}
+		}
+		if slot >= 0 {
+			subs[slot] = *s
+			continue
+		}
+		// Subscription removed. Matched connection-level entries drain:
+		// they owe a final record at termination. Everything else is
+		// released now — new data never reaches a removed subscription.
+		if s.matched && !s.rejected && !s.drain && s.spec.Sub.Level == LevelConnection {
+			d := *s
+			d.drain = true
+			subs = append(subs, d)
+			continue
+		}
+		if s.drain && !s.rejected {
+			subs = append(subs, *s)
+			continue
+		}
+		c.dropSubEntry(conn, cs, s)
+	}
+	cs.subs = subs
+	cs.epoch = ps.Epoch
+
+	// Recompute the matched-subscription bitmask over the new alignment.
+	conn.SubMask = 0
+	live := 0
+	for i := range subs {
+		s := &subs[i]
+		if s.spec == nil {
+			continue
+		}
+		live++
+		if s.matched && !s.rejected && i < filter.MaxSubscriptions {
+			conn.SubMask |= 1 << uint(i)
+		}
+	}
+	if live == 0 {
+		// Every subscription is gone and nothing drains: the connection
+		// is an orphan. Tombstone it without counting a filter rejection.
+		cs.tombstone = true
+		conn.State = conntrack.StateTrack
+		c.releaseStreamState(conn, cs)
+		return
+	}
+	// A removed subscription may have been the only reason the
+	// connection was probing or parsing; downgrade to plain tracking
+	// when nothing needs the stream machinery anymore.
+	if conn.State == conntrack.StateProbe || conn.State == conntrack.StateParse {
+		if !c.needsStreamWork(cs) {
+			conn.State = conntrack.StateTrack
+			c.releaseStreamState(conn, cs)
+		}
+	}
+}
+
+// needsStreamWork reports whether any live entry still needs protocol
+// identification or session parsing.
+func (c *Core) needsStreamWork(cs *connState) bool {
+	for i := range cs.subs {
+		s := &cs.subs[i]
+		if s.spec == nil || s.rejected || s.drain {
+			continue
+		}
+		if s.matched {
+			if s.spec.wantsParsing() {
+				return true
+			}
+			continue
+		}
+		if s.engaged() {
+			return true
+		}
+	}
+	return false
+}
+
+// dropSubEntry releases one removed subscription's per-connection state:
+// buffered frames count as pre-verdict discard, stream chunks are
+// freed, and a matched entry gives up its live-connection hold.
+func (c *Core) dropSubEntry(conn *conntrack.Conn, cs *connState, s *subState) {
+	c.discardSubPktBuf(conn, cs, s, &c.ctr.pendingDiscard)
+	c.releaseSubStreamBytes(conn, cs, s)
+	s.streamBuf = nil
+	if s.matched && !s.rejected {
+		s.spec.LiveConns.Add(-1)
+	}
+	s.rejected = true
+	s.matched = false
+}
+
+// activateSub resolves a formerly dormant subscription whose packet
+// filter just matched its first packet of the connection. The verdict is
+// decided as far as the connection's progress allows: an identified
+// service is evaluated immediately; a connection whose probe is still
+// running includes the subscription at identification; and a connection
+// whose identification window has passed (probe exhausted, or stream
+// history already released) rejects the subscription — it attached too
+// late to be decidable, exactly the drain-mirror semantics of Add.
+func (c *Core) activateSub(conn *conntrack.Conn, cs *connState, si int, s *subState) {
+	if cs.identified {
+		cr := c.evalConnSub(conn, s)
+		if !cr.Match {
+			c.rejectSub(conn, cs, s)
+			return
+		}
+		s.connMark = cr.Node
+		if cr.Terminal {
+			c.markSubMatched(conn, cs, si, s)
+			c.onSubFullMatch(conn, cs, s)
+			return
+		}
+		// Non-terminal: a session verdict is needed; only a connection
+		// still parsing can provide one.
+		if conn.State != conntrack.StateParse {
+			c.rejectSub(conn, cs, s)
+		}
+		return
+	}
+	if conn.State == conntrack.StateProbe {
+		return // probe in flight; resolved at identification/exhaustion
+	}
+	// Unidentifiable (probe exhausted) or never probed (stream history
+	// gone): the connection filter can never rule for this subscription.
+	c.rejectSub(conn, cs, s)
+}
+
 // addFrontier unions a packet-filter result's frontier nodes into the
-// connection's viable-branch set.
-func (cs *connState) addFrontier(res filter.Result) {
+// subscription's viable-branch set.
+func (s *subState) addFrontier(res filter.Result) {
 	res.FrontierNodes(func(n int) {
-		for _, have := range cs.frontier {
+		for _, have := range s.frontier {
 			if have == n {
 				return
 			}
 		}
-		cs.frontier = append(cs.frontier, n)
+		s.frontier = append(s.frontier, n)
 	})
 }
 
-// evalConn runs the connection filter from every viable packet-filter
-// frontier node, collecting all distinct matching connection nodes into
-// cs.connMarks. It returns the best verdict (terminal preferred) — a
-// single frontier node would commit the connection to one trie branch
-// and silently drop patterns matched on another.
-func (c *Core) evalConn(conn *conntrack.Conn, cs *connState) filter.Result {
+// evalConnSub runs one subscription's connection filter from every
+// viable packet-filter frontier node, collecting all distinct matching
+// connection nodes into s.connMarks. It returns the best verdict
+// (terminal preferred) — a single frontier node would commit the
+// connection to one trie branch and silently drop patterns matched on
+// another.
+func (c *Core) evalConnSub(conn *conntrack.Conn, s *subState) filter.Result {
 	best := filter.NoMatch
-	cs.connMarks = cs.connMarks[:0]
-	for _, pn := range cs.frontier {
-		r := c.prog.Conn(conn, pn)
+	s.connMarks = s.connMarks[:0]
+	for _, pn := range s.frontier {
+		r := s.spec.Prog.Conn(conn, pn)
 		if !r.Match {
 			continue
 		}
@@ -538,12 +1027,12 @@ func (c *Core) evalConn(conn *conntrack.Conn, cs *connState) filter.Result {
 		// service may match on the mark and on an ancestor branch, each
 		// with its own session continuation.
 		r.FrontierNodes(func(node int) {
-			for _, mk := range cs.connMarks {
+			for _, mk := range s.connMarks {
 				if mk == node {
 					return
 				}
 			}
-			cs.connMarks = append(cs.connMarks, node)
+			s.connMarks = append(s.connMarks, node)
 		})
 		if !best.Match || (r.Terminal && !best.Terminal) {
 			best = r
@@ -553,59 +1042,100 @@ func (c *Core) evalConn(conn *conntrack.Conn, cs *connState) filter.Result {
 }
 
 // initConn derives the connection's initial processing state from the
-// subscription and the packet filter verdict (Figure 4).
-func (c *Core) initConn(conn *conntrack.Conn, res filter.Result) {
-	cs := &connState{}
+// subscriptions and the packet filter verdicts (Figure 4). The
+// connection's State is the union of every live subscription's needs: it
+// probes if any engaged subscription still needs the connection layer,
+// reassembles if any byte-stream subscription is in scope, and goes
+// straight to lightweight tracking only when every subscription agrees.
+func (c *Core) initConn(conn *conntrack.Conn, mr filter.MultiResult) {
+	ps := c.ps
+	cs := &connState{epoch: ps.Epoch, subs: make([]subState, len(ps.Slots))}
+	for i, spec := range ps.Slots {
+		cs.subs[i].spec = spec
+	}
 	conn.UserData = cs
-	cs.addFrontier(res)
+	rem := mr.Mask
+	for rem != 0 {
+		i := bits.TrailingZeros64(rem)
+		rem &= rem - 1
+		cs.subs[i].addFrontier(mr.Res[i])
+	}
 	if c.tracer != nil {
 		cs.trace = c.tracer.Start(c.ID, conn.ID, conn.Tuple.String(), c.now)
 	}
 
 	needParse := len(c.parReg.Names()) > 0
 
-	// A packet-terminal mark means the whole filter is already
-	// satisfied for this connection.
-	cr := c.evalConn(conn, cs)
-	if cr.Match && cr.Terminal {
-		conn.ConnMark = cr.Node
-		cs.matched = true
-		c.onFullMatch(conn, cs)
-		// Keep probing only when the data type needs sessions (session
-		// level) or the user explicitly requested protocol
-		// identification (SessionProtos on a packet/connection
-		// subscription); otherwise payload processing is bypassed
-		// entirely (§6.1's TCP connection records configuration).
-		wantsParsing := c.sub.Level == LevelSession || len(c.sub.SessionProtos) > 0
-		if wantsParsing && needParse {
-			conn.State = conntrack.StateProbe
-		} else {
-			conn.State = conntrack.StateTrack
+	// A packet-terminal mark means a subscription's whole filter is
+	// already satisfied for this connection.
+	for i := range cs.subs {
+		s := &cs.subs[i]
+		if s.spec == nil || !s.engaged() {
+			continue
 		}
-	} else {
-		conn.State = conntrack.StateProbe
+		cr := c.evalConnSub(conn, s)
+		if cr.Match && cr.Terminal {
+			s.connMark = cr.Node
+			if conn.ConnMark == 0 {
+				conn.ConnMark = cr.Node
+			}
+			c.markSubMatched(conn, cs, i, s)
+			c.onSubFullMatch(conn, cs, s)
+		}
 	}
 
-	if conn.State == conntrack.StateProbe {
-		if !needParse {
-			// Nothing can identify the protocol; without identification
-			// the connection filter can never pass a non-terminal mark.
-			if cs.matched {
-				conn.State = conntrack.StateTrack
-			} else {
-				c.reject(conn, cs)
-				return
-			}
-		} else {
-			cs.candidates = c.parReg.NewParsers()
+	// Keep probing when some engaged subscription's verdict is pending,
+	// or a matched one needs sessions (session level) or explicit
+	// protocol identification (SessionProtos); otherwise payload
+	// processing is bypassed entirely (§6.1's TCP connection records
+	// configuration).
+	wantProbe := false
+	anyMatched := false
+	for i := range cs.subs {
+		s := &cs.subs[i]
+		if s.spec == nil {
+			continue
 		}
+		if s.matched {
+			anyMatched = true
+			if s.spec.wantsParsing() {
+				wantProbe = true
+			}
+			continue
+		}
+		if s.engaged() {
+			wantProbe = true
+		}
+	}
+
+	if wantProbe && needParse {
+		conn.State = conntrack.StateProbe
+		cs.candidates = c.parReg.NewParsers()
+	} else if wantProbe {
+		// Nothing can identify the protocol; without identification the
+		// connection filter can never pass a non-terminal mark.
+		for i := range cs.subs {
+			s := &cs.subs[i]
+			if s.spec == nil || s.matched || s.rejected || !s.engaged() {
+				continue
+			}
+			c.rejectSub(conn, cs, s)
+		}
+		if !cs.tombstone {
+			conn.State = conntrack.StateTrack
+		}
+		if cs.tombstone && !anyMatched {
+			return
+		}
+	} else {
+		conn.State = conntrack.StateTrack
 	}
 	// Byte-stream subscriptions always reassemble matched-or-pending
 	// TCP connections; other levels only reassemble while probing or
 	// parsing.
 	needReasm := conn.Tuple.Proto == layers.IPProtoTCP &&
 		(conn.State == conntrack.StateProbe || conn.State == conntrack.StateParse ||
-			c.sub.Level == LevelStream)
+			cs.anyStreamLive())
 	if needReasm {
 		cs.reasm = reassembly.NewLite(c.cfg.MaxOutOfOrder)
 		cs.reasm.SetBudget(c.reasmHooks)
@@ -625,7 +1155,7 @@ func (c *Core) feed(conn *conntrack.Conn, cs *connState, p *layers.Parsed, m *mb
 				c.handleStreamData(conn, cs, payload, orig)
 			})
 		}
-		if c.sub.Level == LevelStream && !cs.rejected {
+		if cs.anyStreamLive() {
 			c.emitStream(conn, cs, 0, payload, orig)
 		}
 		return
@@ -663,7 +1193,7 @@ func (c *Core) feed(conn *conntrack.Conn, cs *connState, p *layers.Parsed, m *mb
 					c.handleStreamData(conn, cs, out.Payload, out.Orig)
 				})
 			}
-			if c.sub.Level == LevelStream && !cs.rejected {
+			if cs.anyStreamLive() {
 				c.emitStream(conn, cs, out.Seq, out.Payload, out.Orig)
 			}
 		})
@@ -694,7 +1224,7 @@ func (c *Core) handleStreamData(conn *conntrack.Conn, cs *connState, data []byte
 				kept = append(kept, p)
 			case proto.ProbeReject:
 				c.ctr.probeRejects.Inc()
-				if ctr := c.protoCtr.probeRejects[p.Name()]; ctr != nil {
+				if ctr := c.protoCtr.Load().probeRejects[p.Name()]; ctr != nil {
 					ctr.Inc()
 				}
 			}
@@ -707,19 +1237,27 @@ func (c *Core) handleStreamData(conn *conntrack.Conn, cs *connState, data []byte
 		if cs.active != nil {
 			cs.candidates = nil
 			c.onServiceIdentified(conn, cs)
-			if cs.rejected {
+			if cs.tombstone {
 				return
 			}
 		} else if len(cs.candidates) == 0 || cs.probeBytes > probeBudget {
-			// Unidentifiable protocol.
+			// Unidentifiable protocol: every pending subscription's
+			// connection filter can never rule now.
 			cs.candidates = nil
+			cs.unidentified = true
 			c.ctr.connsUnidentified.Inc()
-			if cs.matched {
-				// Filter already satisfied; sessions will never come.
+			for i := range cs.subs {
+				s := &cs.subs[i]
+				if s.spec == nil || s.matched || s.rejected || s.drain || !s.engaged() {
+					continue
+				}
+				c.rejectSub(conn, cs, s)
+			}
+			if !cs.tombstone {
+				// Some subscription already matched (its filter was
+				// satisfied at the packet layer); sessions will never come.
 				conn.State = conntrack.StateTrack
 				c.releaseStreamState(conn, cs)
-			} else {
-				c.reject(conn, cs)
 			}
 			return
 		} else {
@@ -734,7 +1272,7 @@ func (c *Core) handleStreamData(conn *conntrack.Conn, cs *connState, data []byte
 		res := cs.active.Parse(data, orig)
 		for _, s := range cs.active.DrainSessions() {
 			c.onSessionParsed(conn, cs, s)
-			if cs.rejected || conn.State == conntrack.StateDelete {
+			if cs.tombstone || conn.State == conntrack.StateDelete {
 				return
 			}
 		}
@@ -743,114 +1281,219 @@ func (c *Core) handleStreamData(conn *conntrack.Conn, cs *connState, data []byte
 			c.afterParsing(conn, cs)
 		case proto.ParseError:
 			c.ctr.parseErrors.Inc()
-			if ctr := c.protoCtr.parseErrors[cs.active.Name()]; ctr != nil {
+			if ctr := c.protoCtr.Load().parseErrors[cs.active.Name()]; ctr != nil {
 				ctr.Inc()
 			}
-			if cs.matched {
+			for i := range cs.subs {
+				s := &cs.subs[i]
+				if s.spec == nil || s.matched || s.rejected || s.drain || !s.engaged() {
+					continue
+				}
+				c.rejectSub(conn, cs, s)
+			}
+			if !cs.tombstone {
 				conn.State = conntrack.StateTrack
 				c.releaseStreamState(conn, cs)
-			} else {
-				c.reject(conn, cs)
 			}
 		}
 	}
 }
 
-// onServiceIdentified applies the connection filter the moment the L7
-// protocol is known (§5.2: "as soon as enough data has been observed to
-// identify the L7 protocol but before full L7 parsing occurs").
+// onServiceIdentified applies each pending subscription's connection
+// filter the moment the L7 protocol is known (§5.2: "as soon as enough
+// data has been observed to identify the L7 protocol but before full L7
+// parsing occurs").
 func (c *Core) onServiceIdentified(conn *conntrack.Conn, cs *connState) {
+	cs.identified = true
 	if cs.trace != nil {
 		cs.trace.EventDetail("identified", conn.Service, c.now)
 		cs.trace.Service = conn.Service
 	}
-	if cs.matched {
-		// Filter already terminal; parsing continues only to feed the
-		// data type.
-		conn.State = conntrack.StateParse
-		return
-	}
-	cr := c.evalConn(conn, cs)
-	if !cr.Match {
-		c.reject(conn, cs)
-		return
-	}
-	conn.ConnMark = cr.Node
-	if cr.Terminal {
-		cs.matched = true
-		c.onFullMatch(conn, cs)
-		if c.sub.Level == LevelSession {
-			conn.State = conntrack.StateParse // deliver every session
-		} else {
-			conn.State = conntrack.StateTrack
-			c.releaseStreamState(conn, cs)
+	anyParse := false
+	for i := range cs.subs {
+		s := &cs.subs[i]
+		if s.spec == nil || s.rejected || s.drain {
+			continue
 		}
+		if s.matched {
+			// Filter already terminal; parsing continues only to feed the
+			// data type.
+			if s.spec.wantsParsing() {
+				anyParse = true
+			}
+			continue
+		}
+		if !s.engaged() {
+			continue // dormant: resolved if a packet ever engages it
+		}
+		cr := c.evalConnSub(conn, s)
+		if !cr.Match {
+			c.rejectSub(conn, cs, s)
+			continue
+		}
+		s.connMark = cr.Node
+		if conn.ConnMark == 0 {
+			conn.ConnMark = cr.Node
+		}
+		if cr.Terminal {
+			c.markSubMatched(conn, cs, i, s)
+			c.onSubFullMatch(conn, cs, s)
+			if s.spec.Sub.Level == LevelSession {
+				anyParse = true // deliver every session
+			}
+			continue
+		}
+		// Session predicates pending: parse until the session filter can
+		// rule (Figure 4b).
+		anyParse = true
+	}
+	if cs.tombstone {
 		return
 	}
-	// Session predicates pending: parse until the session filter can
-	// rule (Figure 4b).
-	conn.State = conntrack.StateParse
+	if anyParse {
+		conn.State = conntrack.StateParse
+	} else {
+		conn.State = conntrack.StateTrack
+		c.releaseStreamState(conn, cs)
+	}
 }
 
-// onSessionParsed applies the session filter to one parsed session and
-// routes the verdict (Figure 4's session-filter pseudostate).
-func (c *Core) onSessionParsed(conn *conntrack.Conn, cs *connState, s *proto.Session) {
-	c.ctr.sessionsSeen.Inc()
-	var ok bool
-	c.stages.Time(StageSessionFilter, func() {
-		if len(cs.connMarks) == 0 {
-			ok = c.prog.Session(s.Data, conn.ConnMark)
-			return
+// sessionOK evaluates one subscription's session filter against a parsed
+// session.
+func (c *Core) sessionOK(s *subState, data filter.Session) bool {
+	if len(s.connMarks) == 0 {
+		return s.spec.Prog.Session(data, s.connMark)
+	}
+	// Every matched connection node may carry different session
+	// predicates; any of them passing delivers the session.
+	for _, mark := range s.connMarks {
+		if s.spec.Prog.Session(data, mark) {
+			return true
 		}
-		// Every matched connection node may carry different session
-		// predicates; any of them passing delivers the session.
-		for _, mark := range cs.connMarks {
-			if c.prog.Session(s.Data, mark) {
-				ok = true
-				return
+	}
+	return false
+}
+
+// onSessionParsed applies every relevant subscription's session filter
+// to one parsed session and routes the verdicts (Figure 4's
+// session-filter pseudostate). The connection's next state is the union
+// of the subscriptions' needs: it keeps parsing if anyone still needs
+// sessions, stays tracked if anyone needs the connection, and is deleted
+// only when every subscription is done with it.
+func (c *Core) onSessionParsed(conn *conntrack.Conn, cs *connState, sess *proto.Session) {
+	c.ctr.sessionsSeen.Inc()
+	n := len(cs.subs)
+	if cap(c.sessOK) < n {
+		c.sessOK = make([]bool, n)
+	}
+	ok := c.sessOK[:n]
+	anyOK := false
+	c.stages.Time(StageSessionFilter, func() {
+		for i := range cs.subs {
+			s := &cs.subs[i]
+			ok[i] = false
+			if s.spec == nil || s.rejected || s.drain {
+				continue
 			}
+			if !s.matched && !s.engaged() {
+				continue
+			}
+			ok[i] = c.sessionOK(s, sess.Data)
+			anyOK = anyOK || ok[i]
 		}
 	})
-	if ok {
-		c.ctr.sessionsMatch.Inc()
-		if cs.trace != nil {
+	if cs.trace != nil {
+		if anyOK {
 			cs.trace.EventDetail("session_verdict", "match", c.now)
+		} else {
+			cs.trace.EventDetail("session_verdict", "nomatch", c.now)
 		}
-		first := !cs.matched
-		cs.matched = true
-		if first {
-			c.onFullMatch(conn, cs)
+	}
+	if anyOK {
+		c.ctr.sessionsMatch.Inc()
+	}
+
+	voteParse, voteTrack, voteDelete := false, false, false
+	vote := func(st conntrack.State) {
+		switch st {
+		case conntrack.StateParse:
+			voteParse = true
+		case conntrack.StateDelete:
+			voteDelete = true
+		default:
+			voteTrack = true
 		}
-		if c.sub.Level == LevelSession {
-			c.deliverSession(conn, s)
+	}
+	for i := range cs.subs {
+		s := &cs.subs[i]
+		if s.spec == nil || s.rejected {
+			continue
 		}
-		// Post-match state: the parser's default, overridden by
-		// subscriptions that still need the connection.
-		next := cs.active.SessionMatchState()
-		switch c.sub.Level {
-		case LevelPacket, LevelConnection, LevelStream:
-			if next == conntrack.StateDelete {
-				// The subscription still needs packets/records/bytes;
-				// keep tracking instead of deleting (Figure 4a vs 4b).
+		lvl := s.spec.Sub.Level
+		if s.drain {
+			vote(conntrack.StateTrack) // owes a final record; hold the conn
+			continue
+		}
+		if s.matched {
+			if ok[i] && lvl == LevelSession {
+				c.deliverSessionTo(s.spec, conn, sess)
+			}
+			// Post-match state: the parser's default, overridden by
+			// subscriptions that still need the connection.
+			var next conntrack.State
+			if ok[i] {
+				next = cs.active.SessionMatchState()
+				if lvl != LevelSession && next == conntrack.StateDelete {
+					// The subscription still needs packets/records/bytes;
+					// keep tracking instead of deleting (Figure 4a vs 4b).
+					next = conntrack.StateTrack
+				}
+			} else {
+				next = cs.active.SessionNoMatchState()
+				if next == conntrack.StateDelete {
+					next = conntrack.StateTrack
+				}
+			}
+			vote(next)
+			continue
+		}
+		if !s.engaged() {
+			continue // dormant: neither holds nor releases the connection
+		}
+		// Verdict pending on the session filter.
+		if ok[i] {
+			c.markSubMatched(conn, cs, i, s)
+			c.onSubFullMatch(conn, cs, s)
+			if lvl == LevelSession {
+				c.deliverSessionTo(s.spec, conn, sess)
+			}
+			next := cs.active.SessionMatchState()
+			if lvl != LevelSession && next == conntrack.StateDelete {
 				next = conntrack.StateTrack
 			}
+			vote(next)
+			continue
 		}
-		c.applyState(conn, cs, next)
+		next := cs.active.SessionNoMatchState()
+		if next == conntrack.StateDelete {
+			c.rejectSub(conn, cs, s)
+			continue
+		}
+		vote(next)
+	}
+	if cs.tombstone {
 		return
 	}
-	// Session failed the filter.
-	if cs.trace != nil {
-		cs.trace.EventDetail("session_verdict", "nomatch", c.now)
+	switch {
+	case voteParse:
+		c.applyState(conn, cs, conntrack.StateParse)
+	case voteTrack:
+		c.applyState(conn, cs, conntrack.StateTrack)
+	case voteDelete:
+		c.applyState(conn, cs, conntrack.StateDelete)
+	default:
+		c.applyState(conn, cs, conntrack.StateTrack)
 	}
-	next := cs.active.SessionNoMatchState()
-	if next == conntrack.StateDelete && !cs.matched {
-		c.reject(conn, cs)
-		return
-	}
-	if next == conntrack.StateDelete {
-		next = conntrack.StateTrack
-	}
-	c.applyState(conn, cs, next)
 }
 
 func (c *Core) applyState(conn *conntrack.Conn, cs *connState, next conntrack.State) {
@@ -871,92 +1514,200 @@ func (c *Core) applyState(conn *conntrack.Conn, cs *connState, next conntrack.St
 	}
 }
 
-// afterParsing handles a parser that is done for the connection.
+// afterParsing handles a parser that is done for the connection: no more
+// sessions will ever come, so pending subscriptions resolve to rejection
+// and the connection keeps only what its matched subscriptions need.
 func (c *Core) afterParsing(conn *conntrack.Conn, cs *connState) {
 	if conn.State != conntrack.StateParse {
 		return
 	}
-	if cs.matched {
-		switch c.sub.Level {
-		case LevelSession:
-			st := cs.active.SessionMatchState()
-			if st == conntrack.StateDelete {
-				c.applyState(conn, cs, conntrack.StateDelete)
-				return
-			}
+	for i := range cs.subs {
+		s := &cs.subs[i]
+		if s.spec == nil || s.matched || s.rejected || s.drain || !s.engaged() {
+			continue
 		}
-		conn.State = conntrack.StateTrack
-		c.releaseStreamState(conn, cs)
+		c.rejectSub(conn, cs, s)
+	}
+	if cs.tombstone {
 		return
 	}
-	// Parser finished without any matching session.
-	c.reject(conn, cs)
+	anyMatched := false
+	wantDelete := true
+	for i := range cs.subs {
+		s := &cs.subs[i]
+		if s.spec == nil || s.rejected || !s.matched {
+			continue
+		}
+		anyMatched = true
+		if s.drain || s.spec.Sub.Level != LevelSession ||
+			cs.active == nil || cs.active.SessionMatchState() != conntrack.StateDelete {
+			wantDelete = false
+		}
+	}
+	if anyMatched && wantDelete {
+		c.applyState(conn, cs, conntrack.StateDelete)
+		return
+	}
+	conn.State = conntrack.StateTrack
+	c.releaseStreamState(conn, cs)
 }
 
-// onFullMatch runs once when the connection first satisfies the whole
-// filter.
-func (c *Core) onFullMatch(conn *conntrack.Conn, cs *connState) {
-	switch c.sub.Level {
+// markSubMatched records a subscription's full filter match for the
+// connection: the per-subscription match counters, the live-connection
+// hold used for drain progress, and the conntrack match bitmask.
+func (c *Core) markSubMatched(conn *conntrack.Conn, cs *connState, si int, s *subState) {
+	s.matched = true
+	s.spec.MatchedConns.Inc()
+	s.spec.LiveConns.Add(1)
+	if si >= 0 && si < filter.MaxSubscriptions && si < len(c.ps.Slots) {
+		conn.SubMask |= 1 << uint(si)
+	}
+	_ = cs
+}
+
+// onSubFullMatch runs once when the connection first satisfies one
+// subscription's whole filter: speculative buffers flush to that
+// subscription's callback.
+func (c *Core) onSubFullMatch(conn *conntrack.Conn, cs *connState, s *subState) {
+	switch s.spec.Sub.Level {
 	case LevelPacket:
 		// Flush packets buffered while the verdict was pending
 		// (Figure 4a: "run callback on any buffered packets").
-		for _, bm := range cs.pktBuf {
-			c.deliverPacket(bm)
-			bm.Free()
-		}
-		cs.pktBuf = nil
-		c.releasePktBufAccounting(cs)
-		conn.ExtraMem = 0
+		c.flushSubPktBuf(conn, cs, s)
 	case LevelStream:
-		for i := range cs.streamBuf {
-			ch := &cs.streamBuf[i]
-			c.stages.Time(StageCallback, func() { c.sub.OnStream(ch) })
+		for i := range s.streamBuf {
+			ch := &s.streamBuf[i]
+			c.stages.Time(StageCallback, func() { s.spec.Sub.OnStream(ch) })
 			c.ctr.deliveredChunks.Inc()
+			s.spec.Delivered.Inc()
 		}
-		cs.streamBuf = nil
-		c.releaseStreamBufAccounting(cs)
-		conn.ExtraMem = 0
+		s.streamBuf = nil
+		c.releaseSubStreamBytes(conn, cs, s)
 	}
 }
 
-// releaseStreamBufAccounting returns a connection's stream-buffer budget
+// flushSubPktBuf delivers a subscription's buffered frames on match.
+// Each frame counts as delivered exactly once core-wide (the shared
+// token dedupes frames buffered for several subscriptions).
+func (c *Core) flushSubPktBuf(conn *conntrack.Conn, cs *connState, s *subState) {
+	for i := range s.pktBuf {
+		e := &s.pktBuf[i]
+		c.deliverPacketTo(s.spec, e.m)
+		if e.tok == nil {
+			c.ctr.deliveredPackets.Inc()
+		} else {
+			e.tok.holders--
+			if !e.tok.resolved {
+				c.ctr.deliveredPackets.Inc()
+				e.tok.resolved = true
+			}
+		}
+		e.m.Free()
+	}
+	s.pktBuf = nil
+	c.releaseSubPktBytes(conn, cs, s)
+}
+
+// discardSubPktBuf frees a subscription's buffered frames unflushed,
+// counting each frame's loss once core-wide under ctr (pendingDiscard,
+// evictedPressure, or pktBufBudget depending on the path). A frame some
+// other subscription still holds (or already delivered) is not counted
+// here — its account resolves with the last holder.
+func (c *Core) discardSubPktBuf(conn *conntrack.Conn, cs *connState, s *subState, ctr *telemetry.Counter) {
+	for i := range s.pktBuf {
+		e := &s.pktBuf[i]
+		if e.tok == nil {
+			ctr.Inc()
+		} else {
+			e.tok.holders--
+			if !e.tok.resolved && e.tok.holders == 0 {
+				ctr.Inc()
+				e.tok.resolved = true
+			}
+		}
+		e.m.Free()
+	}
+	s.pktBuf = nil
+	c.releaseSubPktBytes(conn, cs, s)
+}
+
+// releaseSubPktBytes returns one subscription's packet-buffer budget
+// reservation and retires the connection's shed-queue membership once no
+// subscription holds buffered frames. Idempotent; callers free/deliver
+// the mbufs themselves.
+func (c *Core) releaseSubPktBytes(conn *conntrack.Conn, cs *connState, s *subState) {
+	if s.pktBufBytes > 0 {
+		c.acct.Release(overload.ClassPacketBuf, s.pktBufBytes)
+		cs.pktBufBytes -= s.pktBufBytes
+		if conn.ExtraMem >= s.pktBufBytes {
+			conn.ExtraMem -= s.pktBufBytes
+		} else {
+			conn.ExtraMem = 0
+		}
+		s.pktBufBytes = 0
+	}
+	if cs.pktBufBytes <= 0 && cs.inPending {
+		cs.inPending = false
+		c.pendingCount--
+	}
+}
+
+// releaseSubStreamBytes returns one subscription's stream-buffer budget
 // reservation. Idempotent.
-func (c *Core) releaseStreamBufAccounting(cs *connState) {
-	if cs.streamBufBytes > 0 {
-		c.acct.Release(overload.ClassStreamBuf, cs.streamBufBytes)
-		cs.streamBufBytes = 0
+func (c *Core) releaseSubStreamBytes(conn *conntrack.Conn, cs *connState, s *subState) {
+	if s.streamBufBytes > 0 {
+		c.acct.Release(overload.ClassStreamBuf, s.streamBufBytes)
+		if conn.ExtraMem >= s.streamBufBytes {
+			conn.ExtraMem -= s.streamBufBytes
+		} else {
+			conn.ExtraMem = 0
+		}
+		s.streamBufBytes = 0
 	}
 }
 
-// emitStream delivers or buffers one reconstructed chunk for a
-// byte-stream subscription. Pre-verdict bytes are copied (bounded);
-// post-match bytes are copied once into the callback's chunk.
+// emitStream delivers or buffers one reconstructed chunk for every
+// byte-stream subscription in scope. Pre-verdict bytes are copied per
+// pending subscription (bounded); post-match bytes are copied once per
+// matched subscription into the callback's chunk — chunk Data ownership
+// passes to the callback, so subscriptions never share backing arrays.
 func (c *Core) emitStream(conn *conntrack.Conn, cs *connState, seq uint32, payload []byte, orig bool) {
-	chunk := StreamChunk{
-		Tuple:  conn.Tuple,
-		Orig:   orig,
-		Seq:    seq,
-		Data:   append([]byte(nil), payload...),
-		Tick:   c.now,
-		CoreID: c.ID,
+	for i := range cs.subs {
+		s := &cs.subs[i]
+		if s.spec == nil || s.rejected || s.drain || s.spec.Sub.Level != LevelStream {
+			continue
+		}
+		if !s.matched && !s.engaged() {
+			continue // dormant: chunks start at its first matching packet
+		}
+		chunk := StreamChunk{
+			Tuple:  conn.Tuple,
+			Orig:   orig,
+			Seq:    seq,
+			Data:   append([]byte(nil), payload...),
+			Tick:   c.now,
+			CoreID: c.ID,
+		}
+		if s.matched {
+			c.stages.Time(StageCallback, func() { s.spec.Sub.OnStream(&chunk) })
+			c.ctr.deliveredChunks.Inc()
+			s.spec.Delivered.Inc()
+			continue
+		}
+		// Pre-verdict chunks are speculative copies: bounded per
+		// connection, budgeted per core, and skipped outright under
+		// pool/ring pressure.
+		if s.streamBufBytes+len(payload) > maxStreamBufBytes ||
+			c.acct.LowResources() ||
+			!c.acct.TryReserve(overload.ClassStreamBuf, len(payload)) {
+			s.streamOverflow = true
+			c.ctr.streamBufOverflow.Inc()
+			continue
+		}
+		s.streamBuf = append(s.streamBuf, chunk)
+		s.streamBufBytes += len(payload)
+		conn.ExtraMem += len(payload)
 	}
-	if cs.matched {
-		c.stages.Time(StageCallback, func() { c.sub.OnStream(&chunk) })
-		c.ctr.deliveredChunks.Inc()
-		return
-	}
-	// Pre-verdict chunks are speculative copies: bounded per connection,
-	// budgeted per core, and skipped outright under pool/ring pressure.
-	if cs.streamBufBytes+len(payload) > maxStreamBufBytes ||
-		c.acct.LowResources() ||
-		!c.acct.TryReserve(overload.ClassStreamBuf, len(payload)) {
-		cs.streamOverflow = true
-		c.ctr.streamBufOverflow.Inc()
-		return
-	}
-	cs.streamBuf = append(cs.streamBuf, chunk)
-	cs.streamBufBytes += len(payload)
-	conn.ExtraMem += len(payload)
 }
 
 // enqueuePending adds a connection to the packet-buffer shed queue,
@@ -976,7 +1727,7 @@ func (c *Core) enqueuePending(conn *conntrack.Conn) {
 }
 
 // reservePktBuf reserves n packet-buffer bytes for conn, shedding the
-// oldest other verdict-pending connection's buffer while the budget is
+// oldest other verdict-pending connection's buffers while the budget is
 // exhausted. The arriving packet is cheaper to lose than to let one hot
 // connection starve the class, but it is also the freshest signal — so
 // older speculative buffers go first, and only if none remain is the
@@ -990,10 +1741,10 @@ func (c *Core) reservePktBuf(conn *conntrack.Conn, n int) bool {
 	return true
 }
 
-// shedOldestPending discards the entire packet buffer of the oldest
-// verdict-pending connection other than except. Stale queue entries
-// encountered on the way are dropped. Returns false when no candidate
-// exists.
+// shedOldestPending discards the entire packet buffer (every
+// subscription's) of the oldest verdict-pending connection other than
+// except. Stale queue entries encountered on the way are dropped.
+// Returns false when no candidate exists.
 func (c *Core) shedOldestPending(except *conntrack.Conn) bool {
 	i := 0
 	kept := c.pendingBuf[:0]
@@ -1017,59 +1768,49 @@ func (c *Core) shedOldestPending(except *conntrack.Conn) bool {
 		return false
 	}
 	vs := victim.UserData.(*connState)
-	c.ctr.pktBufBudget.Add(uint64(len(vs.pktBuf)))
-	for _, bm := range vs.pktBuf {
-		bm.Free()
-	}
-	vs.pktBuf = nil
-	shed := vs.pktBufBytes
-	c.releasePktBufAccounting(vs)
-	if victim.ExtraMem >= shed {
-		victim.ExtraMem -= shed
-	} else {
-		victim.ExtraMem = 0
+	for si := range vs.subs {
+		s := &vs.subs[si]
+		if s.spec == nil || len(s.pktBuf) == 0 {
+			continue
+		}
+		c.discardSubPktBuf(victim, vs, s, &c.ctr.pktBufBudget)
 	}
 	return true
 }
 
-// releasePktBufAccounting returns a connection's packet-buffer budget
-// reservation and retires its shed-queue membership. Idempotent; callers
-// free/deliver the mbufs and fix ExtraMem themselves.
-func (c *Core) releasePktBufAccounting(cs *connState) {
-	if cs.pktBufBytes > 0 {
-		c.acct.Release(overload.ClassPacketBuf, cs.pktBufBytes)
-		cs.pktBufBytes = 0
+// rejectSub marks one subscription's filter as failed for the
+// connection and releases that subscription's speculative buffers. When
+// every present subscription has rejected, the whole connection becomes
+// a tombstone.
+func (c *Core) rejectSub(conn *conntrack.Conn, cs *connState, s *subState) {
+	if s.rejected {
+		return
 	}
-	if cs.inPending {
-		cs.inPending = false
-		c.pendingCount--
+	s.rejected = true
+	c.discardSubPktBuf(conn, cs, s, &c.ctr.pendingDiscard)
+	c.releaseSubStreamBytes(conn, cs, s)
+	s.streamBuf = nil
+	if cs.allRejected() {
+		c.rejectConn(conn, cs)
 	}
 }
 
-// reject marks the connection as failing the filter and releases its
-// processing state. The paper's state machine deletes such connections
-// outright; deleting means the next packet of the connection would
-// recreate and re-probe it, so we keep a zero-cost tombstone entry that
-// the normal timeouts collect. The heavy state (buffers, parsers) is
-// freed either way.
-func (c *Core) reject(conn *conntrack.Conn, cs *connState) {
-	if !cs.rejected {
-		c.ctr.connsRejected.Inc()
-		if cs.trace != nil {
-			cs.trace.EventDetail("rejected", "filter", c.now)
-		}
+// rejectConn finalizes a connection every subscription has rejected. The
+// paper's state machine deletes such connections outright; deleting
+// means the next packet of the connection would recreate and re-probe
+// it, so we keep a zero-cost tombstone entry that the normal timeouts
+// collect. The heavy state (buffers, parsers) is freed either way.
+func (c *Core) rejectConn(conn *conntrack.Conn, cs *connState) {
+	if cs.tombstone {
+		return
 	}
-	cs.rejected = true
+	c.ctr.connsRejected.Inc()
+	if cs.trace != nil {
+		cs.trace.EventDetail("rejected", "filter", c.now)
+	}
+	cs.tombstone = true
 	conn.State = conntrack.StateTrack
 	c.releaseStreamState(conn, cs)
-	if n := len(cs.pktBuf); n > 0 {
-		c.ctr.pendingDiscard.Add(uint64(n))
-	}
-	for _, bm := range cs.pktBuf {
-		bm.Free()
-	}
-	cs.pktBuf = nil
-	c.releasePktBufAccounting(cs)
 	conn.ExtraMem = 0
 }
 
@@ -1078,7 +1819,7 @@ func (c *Core) reject(conn *conntrack.Conn, cs *connState) {
 // subscriptions retain the reassembler for connections that are still
 // in scope (matched or verdict pending).
 func (c *Core) releaseStreamState(conn *conntrack.Conn, cs *connState) {
-	keepReasm := c.sub.Level == LevelStream && !cs.rejected
+	keepReasm := !cs.tombstone && cs.anyStreamLive()
 	if cs.reasm != nil && !keepReasm {
 		// Fold the connection's reassembly counters into the core totals
 		// before the reassembler is dropped (buffer-full drops are counted
@@ -1092,7 +1833,7 @@ func (c *Core) releaseStreamState(conn *conntrack.Conn, cs *connState) {
 	}
 	cs.candidates = nil
 	cs.active = nil
-	conn.ExtraMem = len(cs.pktBuf)*mbuf.DefaultBufSize + cs.streamBufBytes
+	conn.ExtraMem = cs.pktBufFrames()*mbuf.DefaultBufSize + cs.streamBytesTotal()
 }
 
 // maybeTerminate removes gracefully finished connections.
@@ -1116,58 +1857,69 @@ func (c *Core) onExpire(conn *conntrack.Conn, reason conntrack.ExpireReason) {
 	c.finishConn(conn, cs, reason)
 }
 
-// finishConn delivers the connection record (if subscribed and matched)
-// and frees held resources. Safe to call more than once.
+// finishConn delivers final records to every matched connection-level
+// subscription (including draining removed ones) and frees held
+// resources. Safe to call more than once.
 func (c *Core) finishConn(conn *conntrack.Conn, cs *connState, reason conntrack.ExpireReason) {
-	if c.sub.Level == LevelConnection && cs.matched && !cs.rejected {
-		rec := &ConnRecord{
-			Tuple:       conn.Tuple,
-			Service:     conn.Service,
-			FirstTick:   conn.FirstTick,
-			LastTick:    conn.LastTick,
-			PktsOrig:    conn.PktsOrig,
-			PktsResp:    conn.PktsResp,
-			BytesOrig:   conn.BytesOrig,
-			BytesResp:   conn.BytesResp,
-			PayloadOrig: conn.PayloadOrig,
-			PayloadResp: conn.PayloadResp,
-			OOOOrig:     conn.OOOOrig,
-			OOOResp:     conn.OOOResp,
-			Established: conn.Established,
-			SynSeen:     conn.SynSeen,
-			FinSeen:     conn.FinSeen,
-			RstSeen:     conn.RstSeen,
-			Why:         reason,
-			CoreID:      c.ID,
+	for si := range cs.subs {
+		s := &cs.subs[si]
+		if s.spec == nil || s.rejected || !s.matched {
+			continue
 		}
-		c.stages.Time(StageCallback, func() { c.sub.OnConn(rec) })
-		c.ctr.deliveredConns.Inc()
+		if s.spec.Sub.Level == LevelConnection {
+			rec := &ConnRecord{
+				Tuple:       conn.Tuple,
+				Service:     conn.Service,
+				FirstTick:   conn.FirstTick,
+				LastTick:    conn.LastTick,
+				PktsOrig:    conn.PktsOrig,
+				PktsResp:    conn.PktsResp,
+				BytesOrig:   conn.BytesOrig,
+				BytesResp:   conn.BytesResp,
+				PayloadOrig: conn.PayloadOrig,
+				PayloadResp: conn.PayloadResp,
+				OOOOrig:     conn.OOOOrig,
+				OOOResp:     conn.OOOResp,
+				Established: conn.Established,
+				SynSeen:     conn.SynSeen,
+				FinSeen:     conn.FinSeen,
+				RstSeen:     conn.RstSeen,
+				Why:         reason,
+				CoreID:      c.ID,
+			}
+			spec := s.spec
+			c.stages.Time(StageCallback, func() { spec.Sub.OnConn(rec) })
+			c.ctr.deliveredConns.Inc()
+			spec.Delivered.Inc()
+		}
+		s.spec.LiveConns.Add(-1)
 	}
 	if cs.trace != nil {
 		cs.trace.EventDetail("expire", reason.String(), c.now)
 		c.tracer.Finish(cs.trace)
 		cs.trace = nil
 	}
-	cs.matched = false // prevent double delivery
-	cs.rejected = true // force full release, including stream state
-	c.releaseStreamState(conn, cs)
-	if n := len(cs.pktBuf); n > 0 {
-		// Buffered packets lost to pressure-driven eviction are overload
-		// shedding, not ordinary pre-verdict discard — count them apart
-		// so the operator can see load shedding distinctly.
-		if reason == conntrack.ExpirePressure {
-			c.ctr.evictedPressure.Add(uint64(n))
-		} else {
-			c.ctr.pendingDiscard.Add(uint64(n))
+	// Buffered packets lost to pressure-driven eviction are overload
+	// shedding, not ordinary pre-verdict discard — count them apart so
+	// the operator can see load shedding distinctly.
+	lost := &c.ctr.pendingDiscard
+	if reason == conntrack.ExpirePressure {
+		lost = &c.ctr.evictedPressure
+	}
+	for si := range cs.subs {
+		s := &cs.subs[si]
+		if s.spec == nil {
+			continue
 		}
+		c.discardSubPktBuf(conn, cs, s, lost)
+		c.releaseSubStreamBytes(conn, cs, s)
+		s.streamBuf = nil
+		s.matched = false // prevent double delivery
+		s.rejected = true // force full release, including stream state
 	}
-	for _, bm := range cs.pktBuf {
-		bm.Free()
-	}
-	cs.pktBuf = nil
-	c.releasePktBufAccounting(cs)
-	cs.streamBuf = nil
-	c.releaseStreamBufAccounting(cs)
+	conn.SubMask = 0
+	cs.tombstone = true
+	c.releaseStreamState(conn, cs)
 	conn.ExtraMem = 0
 }
 
@@ -1183,39 +1935,35 @@ func (c *Core) Flush() {
 	}
 }
 
-// deliverPacket invokes the packet callback for an mbuf, whether it
-// arrived this instant or was buffered awaiting the filter verdict.
-// Packet.Data aliases the mbuf's pooled buffer, which is freed — and may
-// be recycled for a new packet — the moment the callback returns; the
-// no-retain contract on Packet.Data exists so this zero-copy hand-off
-// stays safe.
-func (c *Core) deliverPacket(m *mbuf.Mbuf) {
+// deliverPacket invokes one subscription's packet callback for an mbuf,
+// whether it arrived this instant or was buffered awaiting the filter
+// verdict. Packet.Data aliases the mbuf's pooled buffer, which is freed
+// — and may be recycled for a new packet — the moment the callback
+// returns; the no-retain contract on Packet.Data exists so this
+// zero-copy hand-off stays safe. Frame-level delivery counting is the
+// caller's job (a frame delivered to N subscriptions counts once).
+func (c *Core) deliverPacketTo(spec *SubSpec, m *mbuf.Mbuf) {
 	c.pktOut = Packet{Data: m.Data(), Tick: m.RxTick, CoreID: c.ID}
-	c.stages.Time(StageCallback, func() { c.sub.OnPacket(&c.pktOut) })
-	c.ctr.deliveredPackets.Inc()
+	c.stages.Time(StageCallback, func() { spec.Sub.OnPacket(&c.pktOut) })
+	spec.Delivered.Inc()
 }
 
-// deliverPacketDelta is deliverPacket with the delivery count landing in
-// the burst's local delta instead of the shared atomic (fast path).
-func (c *Core) deliverPacketDelta(m *mbuf.Mbuf, d *burstDelta) {
-	c.pktOut = Packet{Data: m.Data(), Tick: m.RxTick, CoreID: c.ID}
-	c.stages.Time(StageCallback, func() { c.sub.OnPacket(&c.pktOut) })
-	d.deliveredPackets++
-}
-
-func (c *Core) deliverSession(conn *conntrack.Conn, s *proto.Session) {
+func (c *Core) deliverSessionTo(spec *SubSpec, conn *conntrack.Conn, s *proto.Session) {
 	ev := &SessionEvent{Session: s, Tuple: conn.Tuple, Tick: c.now, CoreID: c.ID}
-	c.stages.Time(StageCallback, func() { c.sub.OnSession(ev) })
+	c.stages.Time(StageCallback, func() { spec.Sub.OnSession(ev) })
 	c.ctr.deliveredSessions.Inc()
+	spec.Delivered.Inc()
 }
 
 // Run consumes bursts from a receive ring until it closes, then flushes.
 // With BurstSize 1 every dequeue processes a single mbuf and the
 // datapath is packet-for-packet identical to the historical per-packet
-// loop (the bisection baseline).
+// loop (the bisection baseline). A poked ring wakes the loop without
+// data so a newly published program set is picked up while idle.
 func (c *Core) Run(queue RxRing) {
 	buf := make([]*mbuf.Mbuf, c.burstSize)
 	for {
+		c.pickup()
 		n := queue.DequeueBurst(buf)
 		if n == 0 {
 			if !queue.Wait() {
@@ -1223,7 +1971,12 @@ func (c *Core) Run(queue RxRing) {
 			}
 			continue
 		}
-		c.ProcessBurst(buf[:n])
+		if c.burstSize == 1 {
+			c.ProcessMbuf(buf[0])
+		} else {
+			c.ProcessBurst(buf[:n])
+		}
 	}
+	c.pickup()
 	c.Flush()
 }

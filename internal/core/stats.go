@@ -178,6 +178,10 @@ type CoreStats struct {
 	// exposed through Core.ProtoStats).
 	ProbeRejects uint64
 	ParseErrors  uint64
+
+	// EpochSwaps counts program-set pickups (control-plane swaps the
+	// core has acked).
+	EpochSwaps uint64
 }
 
 // coreCounters is the live, atomic backing store for CoreStats.
@@ -216,6 +220,8 @@ type coreCounters struct {
 
 	probeRejects telemetry.Counter
 	parseErrors  telemetry.Counter
+
+	epochSwaps telemetry.Counter
 }
 
 func (c *coreCounters) snapshot() CoreStats {
@@ -254,6 +260,8 @@ func (c *coreCounters) snapshot() CoreStats {
 
 		ProbeRejects: c.probeRejects.Value(),
 		ParseErrors:  c.parseErrors.Value(),
+
+		EpochSwaps: c.epochSwaps.Value(),
 	}
 	s.Delivered = s.DeliveredPackets + s.DeliveredConns + s.DeliveredSessions + s.DeliveredChunks
 	return s
@@ -265,22 +273,47 @@ type ProtoStat struct {
 	ParseErrors  uint64
 }
 
-// protoCounters holds per-protocol failure counters. The map is built
-// once at core construction and never mutated, so concurrent reads of
-// the (atomic) values are safe.
+// protoCounters holds per-protocol failure counters. Each instance is
+// immutable once published (the core swaps in an extended copy behind
+// an atomic pointer when a program swap changes the parser set), so
+// concurrent reads of the maps and the (atomic) values are safe.
 type protoCounters struct {
 	probeRejects map[string]*telemetry.Counter
 	parseErrors  map[string]*telemetry.Counter
 }
 
-func newProtoCounters(names []string) protoCounters {
-	pc := protoCounters{
+func newProtoCounters(names []string) *protoCounters {
+	pc := &protoCounters{
 		probeRejects: make(map[string]*telemetry.Counter, len(names)),
 		parseErrors:  make(map[string]*telemetry.Counter, len(names)),
 	}
 	for _, n := range names {
 		pc.probeRejects[n] = &telemetry.Counter{}
 		pc.parseErrors[n] = &telemetry.Counter{}
+	}
+	return pc
+}
+
+// extendProtoCounters builds the counter set for a new parser-name list,
+// carrying over the existing counter instances so per-protocol history
+// survives program swaps (a protocol that leaves and returns keeps its
+// totals for the runtime's lifetime).
+func extendProtoCounters(old *protoCounters, names []string) *protoCounters {
+	pc := &protoCounters{
+		probeRejects: make(map[string]*telemetry.Counter, len(names)),
+		parseErrors:  make(map[string]*telemetry.Counter, len(names)),
+	}
+	for name, ctr := range old.probeRejects {
+		pc.probeRejects[name] = ctr
+	}
+	for name, ctr := range old.parseErrors {
+		pc.parseErrors[name] = ctr
+	}
+	for _, n := range names {
+		if pc.probeRejects[n] == nil {
+			pc.probeRejects[n] = &telemetry.Counter{}
+			pc.parseErrors[n] = &telemetry.Counter{}
+		}
 	}
 	return pc
 }

@@ -16,6 +16,12 @@ type Result struct {
 	Terminal bool
 	Node     int
 
+	// Sub identifies the subscription the result belongs to when the
+	// program is one slot of a MultiProgram (0 for standalone programs).
+	// Node and Frontier values are only meaningful relative to that
+	// subscription's own trie.
+	Sub int
+
 	// Frontier lists every matched frontier node when the packet
 	// satisfied more than one disjoint trie branch (nil when Node is the
 	// only one). The connection filter must consider all of them: a
@@ -29,7 +35,7 @@ type Result struct {
 // engine-differential tests; == no longer applies with a slice field).
 func (r Result) Equal(o Result) bool {
 	if r.Match != o.Match || r.Terminal != o.Terminal || r.Node != o.Node ||
-		len(r.Frontier) != len(o.Frontier) {
+		r.Sub != o.Sub || len(r.Frontier) != len(o.Frontier) {
 		return false
 	}
 	for i := range r.Frontier {

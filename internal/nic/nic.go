@@ -98,8 +98,7 @@ type NIC struct {
 	key     []byte
 	reta    *Reta
 	rings   []*Ring
-	rules   []compiledRule
-	hwOn    bool
+	tbl     atomic.Pointer[ruleTable]
 	parsed  layers.Parsed // hardware parser state (Deliver is single-producer)
 	scratch [36]byte
 
@@ -126,6 +125,17 @@ type compiledRule struct {
 	src      string
 	matchers []func(*layers.Parsed) bool
 }
+
+// ruleTable is one immutable generation of the device's flow table. The
+// whole table swaps atomically — the hardware analogue of a flow-group
+// replace — so the (single-producer) datapath and the control plane
+// never observe a half-updated rule set.
+type ruleTable struct {
+	rules []compiledRule
+	on    bool
+}
+
+var emptyRuleTable = &ruleTable{}
 
 // New creates a port with empty flow table (hardware filter off:
 // everything is RSS-dispatched).
@@ -154,6 +164,7 @@ func New(cfg Config) *NIC {
 	for i := range n.rings {
 		n.rings[i] = NewRing(cfg.RingSize)
 	}
+	n.tbl.Store(emptyRuleTable)
 	if n.burst > 1 {
 		n.pending = make([][]*mbuf.Mbuf, cfg.Queues)
 		for i := range n.pending {
@@ -168,37 +179,138 @@ func New(cfg Config) *NIC {
 // compilation (filter.Options.HW).
 func (n *NIC) Capability() filter.Capability { return n.cfg.Capability }
 
-// InstallRules validates and installs hardware flow rules. Packets
-// matching any rule are RSS-dispatched; with at least one rule installed,
-// non-matching packets are dropped in "hardware" at zero CPU cost.
-func (n *NIC) InstallRules(rules []filter.FlowRule) error {
+// compileRules validates rules against the capability model and builds
+// their matchers, without touching the installed table.
+func (n *NIC) compileRules(rules []filter.FlowRule) ([]compiledRule, error) {
 	if n.cfg.Capability.MaxRules > 0 && len(rules) > n.cfg.Capability.MaxRules {
-		return fmt.Errorf("%w: %d rules, limit %d", ErrTooManyRules, len(rules), n.cfg.Capability.MaxRules)
+		return nil, fmt.Errorf("%w: %d rules, limit %d", ErrTooManyRules, len(rules), n.cfg.Capability.MaxRules)
 	}
 	compiled := make([]compiledRule, 0, len(rules))
 	for _, r := range rules {
 		cr := compiledRule{src: r.String()}
 		for _, pred := range r.Preds {
 			if !n.cfg.Capability.Supports(pred) {
-				return fmt.Errorf("nic: device cannot match %q", pred)
+				return nil, fmt.Errorf("nic: device cannot match %q", pred)
 			}
 			m, err := filter.CompilePredicateMatcher(n.reg, pred)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			cr.matchers = append(cr.matchers, m)
 		}
 		compiled = append(compiled, cr)
 	}
-	n.rules = compiled
-	n.hwOn = len(compiled) > 0
+	return compiled, nil
+}
+
+// InstallRules validates and installs hardware flow rules, atomically
+// replacing whatever was installed. Packets matching any rule are
+// RSS-dispatched; with at least one rule installed, non-matching packets
+// are dropped in "hardware" at zero CPU cost. Safe to call from a
+// control goroutine while the datapath delivers.
+func (n *NIC) InstallRules(rules []filter.FlowRule) error {
+	compiled, err := n.compileRules(rules)
+	if err != nil {
+		return err
+	}
+	n.tbl.Store(&ruleTable{rules: compiled, on: len(compiled) > 0})
 	return nil
 }
 
-// ClearRules removes all flow rules (hardware filtering off).
+// ClearRules removes all flow rules (hardware filtering off: every frame
+// is RSS-dispatched and filtered in software).
 func (n *NIC) ClearRules() {
-	n.rules = nil
-	n.hwOn = false
+	n.tbl.Store(emptyRuleTable)
+}
+
+// InstalledRuleStrings reports the currently installed rules in their
+// Figure 3 rendering — the observable the reconcile tests diff against.
+// Safe from any goroutine.
+func (n *NIC) InstalledRuleStrings() []string {
+	tbl := n.tbl.Load()
+	out := make([]string, len(tbl.rules))
+	for i, r := range tbl.rules {
+		out[i] = r.src
+	}
+	return out
+}
+
+// HardwareActive reports whether hardware filtering is currently
+// enforcing a rule set (false = all frames pass to software).
+func (n *NIC) HardwareActive() bool { return n.tbl.Load().on }
+
+// DiffRules computes the minimal install/remove sets transitioning the
+// hardware table from old to next, comparing rules by their canonical
+// rendering. Rules in both sets are untouched — a real device keeps
+// their flow-table entries (and their counters) in place across the
+// reconcile.
+func DiffRules(old, next []filter.FlowRule) (install, remove []filter.FlowRule) {
+	oldSet := make(map[string]bool, len(old))
+	for _, r := range old {
+		oldSet[r.String()] = true
+	}
+	nextSet := make(map[string]bool, len(next))
+	for _, r := range next {
+		s := r.String()
+		if nextSet[s] {
+			continue // duplicate within next
+		}
+		nextSet[s] = true
+		if !oldSet[s] {
+			install = append(install, r)
+		}
+	}
+	seen := make(map[string]bool, len(old))
+	for _, r := range old {
+		s := r.String()
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		if !nextSet[s] {
+			remove = append(remove, r)
+		}
+	}
+	return install, remove
+}
+
+// ReconcileGrow is the first half of an install-before-remove rule swap:
+// it publishes the union of the currently installed set and next, so
+// hardware coverage is a superset of both the outgoing and the incoming
+// program while cores transition between them. If the union cannot be
+// held (table capacity) or next contains a rule the device cannot
+// express, the table falls back to pass-everything — software filtering
+// takes over, coverage never narrows — and the reason is returned.
+func (n *NIC) ReconcileGrow(current, next []filter.FlowRule) error {
+	install, _ := DiffRules(current, next)
+	if len(install) == 0 {
+		return nil // next ⊆ current: already covered
+	}
+	union := make([]filter.FlowRule, 0, len(current)+len(install))
+	union = append(union, current...)
+	union = append(union, install...)
+	if err := n.InstallRules(union); err != nil {
+		n.ClearRules()
+		return err
+	}
+	return nil
+}
+
+// ReconcileShrink is the second half of the swap, called after every
+// core has acked the new program: it publishes exactly next, dropping
+// the outgoing program's rules. An empty next (no subscription
+// contributes rules, or none can be expressed) turns hardware filtering
+// off rather than installing a drop-everything table.
+func (n *NIC) ReconcileShrink(next []filter.FlowRule) error {
+	if len(next) == 0 {
+		n.ClearRules()
+		return nil
+	}
+	if err := n.InstallRules(next); err != nil {
+		n.ClearRules()
+		return err
+	}
+	return nil
 }
 
 // SetSinkFraction redirects approximately frac of flows to the sink.
@@ -210,6 +322,15 @@ func (n *NIC) Queues() int { return len(n.rings) }
 // Queue returns the receive ring for queue i; each core polls one via
 // DequeueBurst.
 func (n *NIC) Queue(i int) *Ring { return n.rings[i] }
+
+// PokeAll wakes every queue's consumer without delivering traffic, so
+// idle cores reach a burst boundary and pick up a newly published
+// program set. Safe from any goroutine.
+func (n *NIC) PokeAll() {
+	for _, r := range n.rings {
+		r.Poke()
+	}
+}
 
 // RingOccupancy reports queue i's current depth and capacity — the ring
 // high-watermark signal the cores consult to shed optional work before
@@ -258,7 +379,7 @@ func (n *NIC) deliver(frame []byte, tick uint64) {
 		return
 	}
 
-	if n.hwOn && !n.matchRules(&n.parsed) {
+	if tbl := n.tbl.Load(); tbl.on && !matchRules(tbl, &n.parsed) {
 		n.hwDropped.Add(1)
 		return
 	}
@@ -368,8 +489,8 @@ func (n *NIC) flushQueue(q int) {
 	n.pending[q] = pq[:0]
 }
 
-func (n *NIC) matchRules(p *layers.Parsed) bool {
-	for _, r := range n.rules {
+func matchRules(tbl *ruleTable, p *layers.Parsed) bool {
+	for _, r := range tbl.rules {
 		ok := true
 		for _, m := range r.matchers {
 			if !m(p) {

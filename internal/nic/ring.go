@@ -32,6 +32,7 @@ type Ring struct {
 	_    [64]byte
 
 	closed atomic.Bool
+	poked  atomic.Bool
 	// notify carries consumer wakeups. The producer's non-blocking send
 	// after an enqueue (or Close) pairs with the consumer's blocking
 	// receive in Wait; capacity 1 makes the token sticky, so the
@@ -107,14 +108,15 @@ func (r *Ring) DequeueBurst(out []*mbuf.Mbuf) int {
 	return int(n)
 }
 
-// Wait blocks until the ring is non-empty or closed-and-drained. It
-// returns true when there is something to dequeue and false when the
-// ring is closed and empty (end of traffic). It spins briefly before
-// parking — under load the producer refills within a few iterations and
-// the consumer never touches the scheduler.
+// Wait blocks until the ring is non-empty, poked, or closed-and-drained.
+// It returns true when there is something to dequeue — or spuriously,
+// after a Poke — and false when the ring is closed and empty (end of
+// traffic). It spins briefly before parking — under load the producer
+// refills within a few iterations and the consumer never touches the
+// scheduler.
 func (r *Ring) Wait() bool {
 	for spin := 0; spin < 64; spin++ {
-		if r.tail.Load() != r.head.Load() {
+		if r.tail.Load() != r.head.Load() || r.poked.Swap(false) {
 			return true
 		}
 		if r.closed.Load() {
@@ -125,7 +127,7 @@ func (r *Ring) Wait() bool {
 		runtime.Gosched()
 	}
 	for {
-		if r.tail.Load() != r.head.Load() {
+		if r.tail.Load() != r.head.Load() || r.poked.Swap(false) {
 			return true
 		}
 		if r.closed.Load() {
@@ -133,6 +135,16 @@ func (r *Ring) Wait() bool {
 		}
 		<-r.notify
 	}
+}
+
+// Poke wakes the consumer without enqueuing anything: its next Wait
+// returns true even though the ring may be empty. The control plane
+// pokes every core's ring after publishing a new program set so idle
+// cores reach a burst boundary — where program pickup happens — without
+// waiting for traffic.
+func (r *Ring) Poke() {
+	r.poked.Store(true)
+	r.wake()
 }
 
 // Close marks the ring as finished. The consumer drains what remains,

@@ -22,11 +22,13 @@ package retina
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"retina/internal/conntrack"
 	"retina/internal/core"
+	"retina/internal/ctl"
 	"retina/internal/filter"
 	"retina/internal/mbuf"
 	"retina/internal/nic"
@@ -107,6 +109,31 @@ func HTTPTransactions(cb func(*HTTPTransaction, *SessionEvent)) *Subscription {
 			}
 		},
 	}
+}
+
+// SubscriptionForKind builds a subscription with a counting no-op
+// callback for a named data kind — the factory behind the admin API's
+// and the CLI tools' declarative subscription specs. Recognized kinds:
+// "packets", "connections" (or "conns"), "sessions", "streams" (or
+// "bytestreams"), "tls", "http". Deliveries are still counted in the
+// per-subscription metrics, so spec-driven subscriptions remain
+// observable without user code.
+func SubscriptionForKind(kind string) (*Subscription, error) {
+	switch strings.ToLower(strings.TrimSpace(kind)) {
+	case "", "packets", "packet":
+		return Packets(func(*Packet) {}), nil
+	case "connections", "conns", "conn":
+		return Connections(func(*ConnRecord) {}), nil
+	case "sessions", "session":
+		return Sessions(func(*SessionEvent) {}), nil
+	case "streams", "bytestreams", "stream":
+		return ByteStreams(func(*StreamChunk) {}), nil
+	case "tls":
+		return TLSHandshakes(func(*TLSHandshake, *SessionEvent) {}), nil
+	case "http":
+		return HTTPTransactions(func(*HTTPTransaction, *SessionEvent) {}), nil
+	}
+	return nil, fmt.Errorf("retina: unknown callback kind %q (want packets, connections, sessions, streams, tls, or http)", kind)
 }
 
 // Config configures a Runtime.
@@ -279,14 +306,31 @@ type Runtime struct {
 	dev    *nic.NIC
 	pool   *mbuf.Pool
 	cores  []*core.Core
-	sub    *Subscription
+	sub    *Subscription // initial subscription (nil for NewDynamic)
+	plane  *ctl.Plane
 	reg    *telemetry.Registry
 	tracer *telemetry.ConnTracer
 }
 
 // New compiles the filter, builds the simulated device and the per-core
-// pipelines, and installs hardware rules if requested.
+// pipelines, and installs hardware rules if requested. The subscription
+// becomes the control plane's initial entry, named "main"; more can be
+// added and removed at runtime with AddSubscription / RemoveSubscription.
 func New(cfg Config, sub *Subscription) (*Runtime, error) {
+	if sub == nil {
+		return nil, fmt.Errorf("retina: nil subscription")
+	}
+	return build(cfg, sub)
+}
+
+// NewDynamic builds a runtime with an empty subscription set: every
+// packet is filter-dropped until the first AddSubscription. Config.Filter
+// is ignored (each subscription carries its own filter).
+func NewDynamic(cfg Config) (*Runtime, error) {
+	return build(cfg, nil)
+}
+
+func build(cfg Config, sub *Subscription) (*Runtime, error) {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 1
 	}
@@ -298,9 +342,6 @@ func New(cfg Config, sub *Subscription) (*Runtime, error) {
 	}
 	if cfg.BurstSize <= 0 {
 		cfg.BurstSize = core.DefaultBurstSize
-	}
-	if sub == nil {
-		return nil, fmt.Errorf("retina: nil subscription")
 	}
 
 	capModel := nic.CapabilityModel{}
@@ -324,16 +365,46 @@ func New(cfg Config, sub *Subscription) (*Runtime, error) {
 			if mod.Filter == nil || mod.Parser == nil {
 				return nil, fmt.Errorf("retina: protocol module needs both filter metadata and a parser")
 			}
+			if _, dup := extraParsers[mod.Filter.Name]; dup {
+				return nil, fmt.Errorf("retina: protocol module %q registered twice", mod.Filter.Name)
+			}
 			if err := freg.Register(mod.Filter); err != nil {
 				return nil, err
 			}
 			extraParsers[mod.Filter.Name] = mod.Parser
 		}
 	}
-	prog, err := filter.Compile(cfg.Filter, filter.Options{Engine: engine, HW: hwCap, Registry: freg})
+
+	ctlOpts := ctl.Options{
+		Engine:       engine,
+		HW:           hwCap,
+		Registry:     freg,
+		ExtraParsers: extraParsers,
+	}
+	var slots []*core.SubSpec
+	var prog *filter.Program
+	if sub != nil {
+		spec, err := ctl.NewSpec("main", cfg.Filter, sub, ctlOpts)
+		if err != nil {
+			return nil, err
+		}
+		slots = append(slots, spec)
+		prog = spec.Prog
+	} else {
+		// Dynamic mode: keep Program() meaningful (diagnostics) with a
+		// compile of the empty filter.
+		var err error
+		prog, err = filter.Compile("", filter.Options{Engine: engine, HW: hwCap, Registry: freg})
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctlOpts.Slots = slots
+	plane, err := ctl.New(ctlOpts)
 	if err != nil {
 		return nil, err
 	}
+	ps := plane.Current()
 
 	pool := mbuf.NewPool(cfg.PoolSize, mbuf.DefaultBufSize)
 	dev := nic.New(nic.Config{
@@ -344,7 +415,7 @@ func New(cfg Config, sub *Subscription) (*Runtime, error) {
 		Capability: capModel,
 	})
 	if cfg.HardwareFilter {
-		if err := dev.InstallRules(prog.Rules); err != nil {
+		if err := dev.InstallRules(ps.Multi.Rules); err != nil {
 			return nil, fmt.Errorf("retina: installing hardware rules: %w", err)
 		}
 	}
@@ -352,15 +423,14 @@ func New(cfg Config, sub *Subscription) (*Runtime, error) {
 		dev.SetSinkFraction(cfg.SinkFraction)
 	}
 
-	rt := &Runtime{cfg: cfg, prog: prog, dev: dev, pool: pool, sub: sub}
+	rt := &Runtime{cfg: cfg, prog: prog, dev: dev, pool: pool, sub: sub, plane: plane}
 	if cfg.TraceSample > 0 {
 		rt.tracer = telemetry.NewConnTracer(cfg.TraceSample, cfg.TraceMax)
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		q := i
 		c, err := core.NewCore(i, core.Config{
-			Program:         prog,
-			Sub:             sub,
+			Set:             ps,
 			BurstSize:       cfg.BurstSize,
 			Conntrack:       cfg.conntrack(),
 			MaxOutOfOrder:   cfg.MaxOutOfOrder,
@@ -381,9 +451,52 @@ func New(cfg Config, sub *Subscription) (*Runtime, error) {
 		}
 		rt.cores = append(rt.cores, c)
 	}
+	plane.AttachCores(rt.cores, dev)
 	rt.reg = telemetry.NewRegistry()
 	rt.registerMetrics()
+	for _, info := range plane.List() {
+		if spec := plane.Spec(info.Name); spec != nil {
+			rt.registerSubscriptionMetrics(spec)
+		}
+	}
 	return rt, nil
+}
+
+// ControlPlane exposes the live-subscription control plane (epoch and
+// swap introspection; benchmark and test harness access).
+func (r *Runtime) ControlPlane() *ctl.Plane { return r.plane }
+
+// SubscriptionInfo is one subscription's operator-facing state as
+// reported by ListSubscriptions and the admin API.
+type SubscriptionInfo = ctl.SubInfo
+
+// AddSubscription compiles the filter and atomically adds a named
+// subscription to the running set: the control plane publishes a new
+// program set, every core picks it up at a burst boundary, and hardware
+// rules grow before the swap so coverage never narrows. Safe to call
+// while Run is processing traffic.
+func (r *Runtime) AddSubscription(name, filterSrc string, sub *Subscription) (SubscriptionInfo, error) {
+	info, err := r.plane.Add(name, filterSrc, sub)
+	if spec := r.plane.Spec(name); spec != nil {
+		r.registerSubscriptionMetrics(spec)
+	}
+	return info, err
+}
+
+// RemoveSubscription removes a named subscription from the live set.
+// New connections stop matching it as soon as each core picks up the
+// swap; connections that already matched drain — they still deliver
+// their final callback — and the subscription stays visible in
+// ListSubscriptions (draining) until its live-connection count reaches
+// zero.
+func (r *Runtime) RemoveSubscription(name string) error {
+	return r.plane.Remove(name)
+}
+
+// ListSubscriptions reports every live and draining subscription with
+// its per-subscription counters.
+func (r *Runtime) ListSubscriptions() []SubscriptionInfo {
+	return r.plane.List()
 }
 
 // Program exposes the compiled filter (rule inspection, diagnostics).
@@ -405,6 +518,8 @@ func (r *Runtime) Cores() []*core.Core { return r.cores }
 // concurrent use.
 func (r *Runtime) Run(src Source) Stats {
 	start := time.Now()
+	r.plane.Start()
+	defer r.plane.Stop()
 	var wg sync.WaitGroup
 	for i, c := range r.cores {
 		wg.Add(1)

@@ -1,0 +1,56 @@
+package retina
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SubscriptionSpec is the declarative form of one subscription, as
+// accepted by the admin API and the CLI tools' -subs flag: a name, a
+// filter expression, and a callback kind resolved by
+// SubscriptionForKind.
+type SubscriptionSpec struct {
+	Name     string `json:"name"`
+	Filter   string `json:"filter"`
+	Callback string `json:"callback"`
+}
+
+// LoadSubscriptionSpecs reads a JSON array of subscription specs:
+//
+//	[
+//	  {"name": "tls-coms", "filter": "tls.sni ~ '\\.com$'", "callback": "tls"},
+//	  {"name": "dns", "filter": "udp.port = 53", "callback": "packets"}
+//	]
+func LoadSubscriptionSpecs(path string) ([]SubscriptionSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var specs []SubscriptionSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("retina: parsing subscription specs %s: %w", path, err)
+	}
+	for i, s := range specs {
+		if s.Name == "" {
+			return nil, fmt.Errorf("retina: spec %d in %s has no name", i, path)
+		}
+	}
+	return specs, nil
+}
+
+// AddSubscriptionSpecs adds every spec to the running set, resolving
+// each callback kind to a counting no-op subscription. Fails on the
+// first bad spec; already-added specs stay.
+func (r *Runtime) AddSubscriptionSpecs(specs []SubscriptionSpec) error {
+	for _, s := range specs {
+		sub, err := SubscriptionForKind(s.Callback)
+		if err != nil {
+			return fmt.Errorf("spec %q: %w", s.Name, err)
+		}
+		if _, err := r.AddSubscription(s.Name, s.Filter, sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}

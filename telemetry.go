@@ -1,10 +1,13 @@
 package retina
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"retina/internal/conntrack"
@@ -104,6 +107,8 @@ func (r *Runtime) registerMetrics() {
 			func() float64 { return float64(c.Table().ConcurrentLen()) }, lbl)
 		reg.CounterFunc("retina_timer_rearms_total", "lazy timer re-arms (stale wheel entries rescheduled)",
 			func() uint64 { return c.Table().Rearmed() }, lbl)
+		reg.CounterFunc("retina_core_epoch_swaps_total", "program-set epochs picked up at burst boundaries",
+			func() uint64 { return c.Stats().EpochSwaps }, lbl)
 		// Overload accountant: buffered bytes vs budget per class, so an
 		// operator can see pressure building before shedding starts.
 		for _, cls := range overload.Classes() {
@@ -152,11 +157,22 @@ func (r *Runtime) registerMetrics() {
 		}
 	}
 
-	// Per-subscription deliveries (this runtime carries one subscription;
-	// the label keeps series stable when multi-subscription lands).
-	reg.CounterFunc("retina_subscription_delivered_total", "callback deliveries per subscription",
-		r.sumCores(func(s core.CoreStats) uint64 { return s.Delivered }),
-		telemetry.L("subscription", r.sub.Level.String()))
+	// Legacy per-level delivery series (kept for dashboards written
+	// against the single-subscription runtime; NewDynamic has no initial
+	// subscription, so nothing to label).
+	if r.sub != nil {
+		reg.CounterFunc("retina_subscription_delivered_total", "callback deliveries per subscription",
+			r.sumCores(func(s core.CoreStats) uint64 { return s.Delivered }),
+			telemetry.L("subscription", r.sub.Level.String()))
+	}
+
+	// Control plane: swap epochs and the size of the live set.
+	reg.GaugeFunc("retina_ctl_epoch", "current program-set epoch",
+		func() float64 { return float64(r.plane.Epoch()) })
+	reg.CounterFunc("retina_ctl_swaps_total", "program-set swaps published by the control plane",
+		r.plane.Swaps)
+	reg.GaugeFunc("retina_ctl_subscriptions", "subscriptions live or draining",
+		func() float64 { return float64(len(r.plane.List())) })
 
 	// Per-protocol probe/parse failures, summed across cores at scrape.
 	protoNames := map[string]bool{}
@@ -215,6 +231,25 @@ func (r *Runtime) registerMetrics() {
 			func() uint64 { _, _, dropped := r.tracer.Stats(); return dropped },
 			telemetry.L("state", "dropped"))
 	}
+}
+
+// registerSubscriptionMetrics registers one subscription's counter
+// series. Called once per SubSpec — at construction for initial
+// subscriptions and at AddSubscription for dynamic ones; the id label
+// keeps series distinct when a name is reused after a remove. The
+// registry's own locking makes this safe while /metrics is being
+// scraped.
+func (r *Runtime) registerSubscriptionMetrics(spec *core.SubSpec) {
+	lbls := []telemetry.Label{
+		telemetry.L("subscription", spec.Name),
+		telemetry.L("id", strconv.Itoa(spec.ID)),
+	}
+	r.reg.CounterFunc("retina_sub_delivered_total", "callback deliveries per subscription",
+		spec.Delivered.Value, lbls...)
+	r.reg.CounterFunc("retina_sub_matched_conns_total", "connections fully matched per subscription",
+		spec.MatchedConns.Value, lbls...)
+	r.reg.GaugeFunc("retina_sub_live_conns", "connections currently holding a match per subscription",
+		func() float64 { return float64(spec.LiveConns.Load()) }, lbls...)
 }
 
 // DropBreakdown sums every per-reason drop counter across the NIC and
@@ -281,13 +316,20 @@ func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
 // Close shuts the endpoint down.
 func (m *MetricsServer) Close() error { return m.srv.Close() }
 
-// ServeMetrics exposes the runtime's metrics over HTTP on addr:
+// ServeMetrics exposes the runtime's metrics and the subscription admin
+// API over HTTP on addr:
 //
-//	/metrics     Prometheus text exposition
-//	/traces      sampled connection lifecycle spans as JSON
-//	/debug/vars  expvar (the registry is also published as "retina")
+//	/metrics              Prometheus text exposition
+//	/traces               sampled connection lifecycle spans as JSON
+//	/debug/vars           expvar (the registry is also published as "retina")
+//	/subscriptions        GET: list (JSON); POST: add {"name","filter","callback"}
+//	/subscriptions/{name} GET: one subscription; DELETE: remove (drain)
 //
-// The server runs until Close is called on the returned MetricsServer.
+// The POST body's "callback" is a kind name accepted by
+// SubscriptionForKind ("packets", "connections", "sessions", "streams",
+// "tls", "http"); API-added subscriptions count deliveries without
+// user code. The server runs until Close is called on the returned
+// MetricsServer.
 func (r *Runtime) ServeMetrics(addr string) (*MetricsServer, error) {
 	telemetry.PublishExpvar("retina", r.reg)
 	mux := http.NewServeMux()
@@ -304,6 +346,8 @@ func (r *Runtime) ServeMetrics(addr string) (*MetricsServer, error) {
 		_ = r.tracer.WriteJSON(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/subscriptions", r.handleSubscriptions)
+	mux.HandleFunc("/subscriptions/", r.handleSubscription)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -312,4 +356,82 @@ func (r *Runtime) ServeMetrics(addr string) (*MetricsServer, error) {
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &MetricsServer{ln: ln, srv: srv}, nil
+}
+
+// handleSubscriptions serves the collection endpoint: GET lists the
+// live and draining set, POST adds a subscription by spec.
+func (r *Runtime) handleSubscriptions(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, r.ListSubscriptions())
+	case http.MethodPost:
+		var spec struct {
+			Name     string `json:"name"`
+			Filter   string `json:"filter"`
+			Callback string `json:"callback"`
+		}
+		if err := json.NewDecoder(req.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+			return
+		}
+		if spec.Name == "" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("missing \"name\""))
+			return
+		}
+		sub, err := SubscriptionForKind(spec.Callback)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		info, err := r.AddSubscription(spec.Name, spec.Filter, sub)
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", req.Method))
+	}
+}
+
+// handleSubscription serves one subscription: GET reports it, DELETE
+// removes it (the subscription drains; see RemoveSubscription).
+func (r *Runtime) handleSubscription(w http.ResponseWriter, req *http.Request) {
+	name := strings.TrimPrefix(req.URL.Path, "/subscriptions/")
+	if name == "" || strings.Contains(name, "/") {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such subscription"))
+		return
+	}
+	switch req.Method {
+	case http.MethodGet:
+		for _, info := range r.ListSubscriptions() {
+			if info.Name == name {
+				writeJSON(w, http.StatusOK, info)
+				return
+			}
+		}
+		httpError(w, http.StatusNotFound, fmt.Errorf("no subscription %q", name))
+	case http.MethodDelete:
+		if err := r.RemoveSubscription(name); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", req.Method))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
