@@ -64,7 +64,7 @@ func TestBurstConservation(t *testing.T) {
 	st := runDifferential(t, 32)
 
 	n := st.NIC
-	if n.RxFrames != n.HWDropped+n.Sunk+n.Delivered+n.RingDrops+n.NoMbuf+n.Malformed {
+	if n.RxFrames != n.HWDropped+n.HWOffloadDrop+n.Sunk+n.Delivered+n.RingDrops+n.NoMbuf+n.Oversize+n.Malformed {
 		t.Fatalf("NIC conservation violated: %+v", n)
 	}
 	var processed uint64
@@ -101,7 +101,7 @@ func TestBurstRingOverflowOnlineExactlyOnce(t *testing.T) {
 	st := rt.Run(src)
 
 	n := st.NIC
-	if n.RxFrames != n.HWDropped+n.Sunk+n.Delivered+n.RingDrops+n.NoMbuf+n.Malformed {
+	if n.RxFrames != n.HWDropped+n.HWOffloadDrop+n.Sunk+n.Delivered+n.RingDrops+n.NoMbuf+n.Oversize+n.Malformed {
 		t.Fatalf("NIC conservation violated under overflow: %+v", n)
 	}
 	var processed uint64

@@ -32,11 +32,15 @@ func main() {
 	burst := flag.Int("burst", 0, "datapath burst size for all experiments (0 = default 32, 1 = legacy packet-at-a-time)")
 	subsFile := flag.String("subs", "", "JSON file of {name, filter, callback} subscription specs; benches them as one multi-subscription set instead of -experiment")
 	cores := flag.Int("cores", 4, "cores for the -subs multi-subscription bench")
+	offload := flag.Bool("offload", false, "enable the dynamic flow-offload fastpath for the -subs bench (per-flow drop rules for terminally-decided connections)")
+	offloadRules := flag.Int("offload-rules", 0, "flow-offload rule-table budget (0 = device capacity)")
+	offloadIdle := flag.Duration("offload-idle", 0, "flow-offload idle eviction horizon in virtual time (0 = 5s default, negative = never)")
 	flag.Parse()
 	experiments.BurstSize = *burst
 
 	if *subsFile != "" {
-		benchSubs(*subsFile, *scale, *seed, *burst, *cores)
+		fo := retina.FlowOffloadConfig{Enable: *offload, MaxFlowRules: *offloadRules, IdleTimeout: *offloadIdle}
+		benchSubs(*subsFile, *scale, *seed, *burst, *cores, fo)
 		return
 	}
 
@@ -98,7 +102,7 @@ func main() {
 
 // benchSubs runs a declarative multi-subscription set over the campus
 // mix and reports throughput next to the per-subscription counters.
-func benchSubs(subsFile string, scale float64, seed int64, burst, cores int) {
+func benchSubs(subsFile string, scale float64, seed int64, burst, cores int, fo retina.FlowOffloadConfig) {
 	specs, err := retina.LoadSubscriptionSpecs(subsFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -115,6 +119,7 @@ func benchSubs(subsFile string, scale float64, seed int64, burst, cores int) {
 	cfg := retina.DefaultConfig()
 	cfg.Cores = cores
 	cfg.BurstSize = burst
+	cfg.FlowOffload = fo
 	rt, err := retina.NewDynamic(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -143,5 +148,10 @@ func benchSubs(subsFile string, scale float64, seed int64, burst, cores int) {
 	for _, info := range rt.ListSubscriptions() {
 		fmt.Printf("%-3d %-21s %-10s %10d %14d  %s\n",
 			info.ID, info.Name, info.Level, info.Delivered, info.MatchedConns, info.Filter)
+	}
+	if mgr := rt.Offload(); mgr != nil {
+		ms := mgr.Stats()
+		fmt.Printf("\nflow offload: %d frames dropped at the device, %d rules installed (peak %d live), %d evicted lru, %d evicted idle\n",
+			stats.NIC.HWOffloadDrop, ms.Installed, ms.PeakRules, ms.EvictedLRU, ms.EvictedIdle)
 	}
 }

@@ -46,6 +46,9 @@ func main() {
 	streamBudget := flag.Int64("stream-budget", 0, "per-core byte budget for pre-verdict stream buffers (0 = 16MiB default, negative = unlimited)")
 	burst := flag.Int("burst", 0, "datapath burst size (0 = default 32, 1 = legacy packet-at-a-time)")
 	subsFile := flag.String("subs", "", "JSON file of {name, filter, callback} subscription specs; runs them all as one multi-subscription set (overrides -filter/-subscribe)")
+	offload := flag.Bool("offload", false, "enable the dynamic flow-offload fastpath; the trace is replayed through the simulated NIC datapath (online mode) so decided flows are dropped at the device")
+	offloadRules := flag.Int("offload-rules", 0, "flow-offload rule-table budget (0 = device capacity)")
+	offloadIdle := flag.Duration("offload-idle", 0, "flow-offload idle eviction horizon in virtual time (0 = 5s default, negative = never)")
 	flag.Parse()
 
 	if *explain {
@@ -73,6 +76,11 @@ func main() {
 	cfg.PacketBufBudget = *pktbufBudget
 	cfg.StreamBufBudget = *streamBudget
 	cfg.BurstSize = *burst
+	cfg.FlowOffload = retina.FlowOffloadConfig{
+		Enable:       *offload,
+		MaxFlowRules: *offloadRules,
+		IdleTimeout:  *offloadIdle,
+	}
 
 	count := 0
 	emit := func(format string, args ...any) {
@@ -149,12 +157,24 @@ func main() {
 	}
 	defer r.Close()
 
-	stats := rt.RunOffline(r)
+	// The flow-offload fastpath lives in the device, which offline mode
+	// bypasses — with -offload the trace goes through the full online
+	// datapath instead.
+	run := rt.RunOffline
+	if *offload {
+		run = rt.Run
+	}
+	stats := run(r)
 	if err := r.Err(); err != nil {
 		log.Fatalf("pcap read error: %v", err)
 	}
+	var processed, filterDropped uint64
+	for _, cs := range stats.Cores {
+		processed += cs.Processed
+		filterDropped += cs.FilterDropped
+	}
 	fmt.Printf("\n%d frames read, %d matched the filter, %d deliveries, %v elapsed\n",
-		r.Frames(), stats.Cores[0].Processed-stats.Cores[0].FilterDropped, count, stats.Elapsed)
+		r.Frames(), processed-filterDropped, count, stats.Elapsed)
 	if *metricsAddr != "" {
 		// Offline mode bypasses the simulated NIC, so frames read from
 		// the pcap is the denominator.
@@ -197,7 +217,11 @@ func runSpecs(cfg retina.Config, subsFile, path, metricsAddr string) {
 	}
 	defer r.Close()
 
-	stats := rt.RunOffline(r)
+	run := rt.RunOffline
+	if cfg.FlowOffload.Enable {
+		run = rt.Run
+	}
+	stats := run(r)
 	if err := r.Err(); err != nil {
 		log.Fatalf("pcap read error: %v", err)
 	}

@@ -9,6 +9,7 @@ import (
 	"retina/internal/filter"
 	"retina/internal/layers"
 	"retina/internal/mbuf"
+	"retina/internal/offload"
 	"retina/internal/overload"
 	"retina/internal/proto"
 	"retina/internal/reassembly"
@@ -67,6 +68,19 @@ type Config struct {
 	// a time (Run / ProcessBurst). <= 0 selects DefaultBurstSize; 1
 	// reproduces the per-packet datapath exactly.
 	BurstSize int
+	// Offload, when non-nil, receives per-connection terminal-verdict
+	// notifications at burst boundaries — the dynamic flow-offload
+	// feedback loop that installs per-flow drop rules on the device
+	// (DESIGN.md §13).
+	Offload OffloadSink
+}
+
+// OffloadSink is the face of the flow-offload manager the core pushes
+// terminal verdicts to. Submit is called at burst boundaries with the
+// core's current program-set epoch; implementations must be safe for
+// concurrent use across cores. *offload.Manager implements it.
+type OffloadSink interface {
+	Submit(epoch uint64, reqs []offload.Request)
 }
 
 // DefaultBurstSize mirrors DPDK's conventional 32-packet receive burst,
@@ -153,6 +167,11 @@ type Core struct {
 	// shared disposition token can be wired after the dispatch loop.
 	sessOK    []bool
 	frameBufs []*pktBufEntry
+
+	// offloadReqs accumulates terminal-verdict offload requests within a
+	// burst; flushOffload publishes them to cfg.Offload at burst
+	// boundaries (core goroutine only).
+	offloadReqs []offload.Request
 }
 
 // burstDelta accumulates the per-packet hot counters of one burst in
@@ -259,6 +278,11 @@ type connState struct {
 	identified   bool
 	unidentified bool
 	tombstone    bool
+
+	// offloaded marks that the connection's terminal verdict has been
+	// published to the flow-offload manager (one-shot per connection;
+	// expiry queues the matching removal).
+	offloaded bool
 
 	// pktBufBytes is the total packet-buffer budget reserved across all
 	// subscriptions; inPending marks live membership in the core's
@@ -503,6 +527,7 @@ func (c *Core) ProcessMbuf(m *mbuf.Mbuf) {
 	c.foldDelta(&d)
 	m.Free()
 	c.advance()
+	c.flushOffload()
 }
 
 // ProcessBurst consumes a burst of packet buffers in two passes: decode
@@ -553,6 +578,7 @@ func (c *Core) ProcessBurst(ms []*mbuf.Mbuf) {
 	}
 	c.foldDelta(&d)
 	c.advance()
+	c.flushOffload()
 	mbuf.FreeBulk(ms)
 }
 
@@ -610,6 +636,7 @@ func (c *Core) AdvanceTime(tick uint64) {
 		c.now = tick
 	}
 	c.advance()
+	c.flushOffload()
 }
 
 // Frame dispositions, in ascending precedence: one frame of a
@@ -1506,6 +1533,7 @@ func (c *Core) applyState(conn *conntrack.Conn, cs *connState, next conntrack.St
 		conn.State = conntrack.StateDelete
 		c.finishConn(conn, cs, conntrack.ExpireEvicted)
 		c.table.Remove(conn, conntrack.ExpireEvicted)
+		c.queueOffload(conn, cs, offload.VerdictParsedDone)
 	case conntrack.StateTrack:
 		conn.State = conntrack.StateTrack
 		c.releaseStreamState(conn, cs)
@@ -1812,6 +1840,44 @@ func (c *Core) rejectConn(conn *conntrack.Conn, cs *connState) {
 	conn.State = conntrack.StateTrack
 	c.releaseStreamState(conn, cs)
 	conn.ExtraMem = 0
+	c.queueOffload(conn, cs, offload.VerdictUnsubscribed)
+}
+
+// queueOffload publishes a connection's terminal verdict to the
+// flow-offload manager (once per connection): subsequent frames of the
+// flow can be dropped at the device without changing any subscription's
+// output. Requests batch up and flush at the burst boundary.
+func (c *Core) queueOffload(conn *conntrack.Conn, cs *connState, v offload.Verdict) {
+	if c.cfg.Offload == nil || cs.offloaded {
+		return
+	}
+	key, _ := conn.Tuple.Canonical()
+	cs.offloaded = true
+	c.offloadReqs = append(c.offloadReqs, offload.Request{Key: key, Tick: c.now, Verdict: v})
+}
+
+// queueOffloadRemove revokes a connection's flow rule when its backing
+// conntrack entry dies (expiry or pressure eviction): a recreated
+// connection must be re-evaluated in software, so the table stays
+// coherent with conntrack.
+func (c *Core) queueOffloadRemove(conn *conntrack.Conn, cs *connState) {
+	if c.cfg.Offload == nil || !cs.offloaded {
+		return
+	}
+	cs.offloaded = false
+	key, _ := conn.Tuple.Canonical()
+	c.offloadReqs = append(c.offloadReqs, offload.Request{Key: key, Tick: c.now, Remove: true})
+}
+
+// flushOffload publishes the accumulated offload requests at a burst
+// boundary, tagged with the core's current epoch so the manager can
+// discard verdicts reached against a retired program set.
+func (c *Core) flushOffload() {
+	if len(c.offloadReqs) == 0 {
+		return
+	}
+	c.cfg.Offload.Submit(c.ps.Epoch, c.offloadReqs)
+	c.offloadReqs = c.offloadReqs[:0]
 }
 
 // releaseStreamState frees reassembly and parser resources once the
@@ -1848,13 +1914,16 @@ func (c *Core) maybeTerminate(conn *conntrack.Conn, cs *connState, ft layers.Fiv
 	if conn.RstSeen || (cs.finOrig && cs.finResp) {
 		c.finishConn(conn, cs, conntrack.ExpireTermination)
 		c.table.Remove(conn, conntrack.ExpireTermination)
+		c.queueOffload(conn, cs, offload.VerdictClosed)
 	}
 }
 
-// onExpire handles timer-driven connection removal.
+// onExpire handles timer-driven connection removal (and pressure
+// eviction, which routes through the same handler).
 func (c *Core) onExpire(conn *conntrack.Conn, reason conntrack.ExpireReason) {
 	cs := c.state(conn)
 	c.finishConn(conn, cs, reason)
+	c.queueOffloadRemove(conn, cs)
 }
 
 // finishConn delivers final records to every matched connection-level
@@ -1932,7 +2001,9 @@ func (c *Core) Flush() {
 		cs := c.state(conn)
 		c.finishConn(conn, cs, conntrack.ExpireEvicted)
 		c.table.Remove(conn, conntrack.ExpireEvicted)
+		c.queueOffloadRemove(conn, cs)
 	}
+	c.flushOffload()
 }
 
 // deliverPacket invokes one subscription's packet callback for an mbuf,

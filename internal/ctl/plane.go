@@ -16,6 +16,7 @@ package ctl
 
 import (
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +51,19 @@ type Options struct {
 	ExtraParsers map[string]proto.Factory
 	// SwapTimeout overrides DefaultSwapTimeout (0 = default).
 	SwapTimeout time.Duration
+	// Logf receives operator-facing control-plane warnings (hardware
+	// reconcile failures); nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// FlowOffload is the face of the dynamic flow-offload manager the plane
+// coordinates program swaps with. Per-flow verdicts reached under the
+// outgoing program may be wrong under the incoming one, so the plane
+// invalidates the dynamic partition — flush every flow rule and raise
+// the minimum accepted request epoch — before it touches the static
+// rules or publishes the set. *offload.Manager implements it.
+type FlowOffload interface {
+	Invalidate(minEpoch uint64)
 }
 
 // SubInfo is one subscription's operator-facing state.
@@ -93,6 +107,20 @@ type Plane struct {
 	started atomic.Bool
 	swaps   atomic.Uint64
 	timeout time.Duration
+
+	// offload, when set, is invalidated before every publish (per-flow
+	// verdicts do not survive a program change).
+	offload FlowOffload
+
+	// reconcileErrs counts hardware reconcile failures (grow or shrink);
+	// lastReconcileErr (under mu) keeps the most recent one for the
+	// admin status API. Failures are logged once per swap transition.
+	reconcileErrs    atomic.Uint64
+	lastReconcileErr string
+	// loggedErrEpoch is the last epoch a reconcile warning was logged
+	// for: when both the grow and the shrink of one transition fail
+	// (same oversized set), the operator still sees one line.
+	loggedErrEpoch uint64
 }
 
 // NewSpec compiles one subscription's filter into a SubSpec the plane
@@ -350,11 +378,24 @@ func (p *Plane) ackedLocked(epoch uint64) bool {
 // epoch acks (when the cores are consuming), then shrink hardware to
 // exactly the new set. Called with p.mu held.
 func (p *Plane) publish(ps *core.ProgramSet) error {
+	// (0) Invalidate the dynamic flow-offload partition before anything
+	// else: per-flow drop rules encode verdicts against the outgoing
+	// program (a new subscription may claim a previously rejected flow),
+	// and raising the accepted epoch first guarantees verdicts still in
+	// flight from cores on the old program cannot reinstall them.
+	if p.offload != nil {
+		p.offload.Invalidate(ps.Epoch)
+	}
+
 	// (1) Hardware grow: install-before-remove. A grow failure falls
 	// back to pass-everything inside the NIC — software filters enforce
-	// correctness — and is not fatal to the swap.
+	// correctness — and is not fatal to the swap, but it is not silent
+	// either: the operator sees a counter, the last error, and one log
+	// line per transition.
 	if p.reconcileHW() {
-		_ = p.dev.ReconcileGrow(p.currentRulesLocked(), ps.Multi.Rules)
+		if err := p.dev.ReconcileGrow(p.currentRulesLocked(), ps.Multi.Rules); err != nil {
+			p.noteReconcileErrLocked("grow", ps.Epoch, err)
+		}
 	}
 
 	// (2) RCU publish: one atomic store per core, then wake idle cores
@@ -385,12 +426,51 @@ func (p *Plane) publish(ps *core.ProgramSet) error {
 	// shrink failure leaves the device in pass-everything — software
 	// filtering keeps the datapath correct — so neither narrows coverage.
 	if p.reconcileHW() && acked {
-		_ = p.dev.ReconcileShrink(ps.Multi.Rules)
+		if err := p.dev.ReconcileShrink(ps.Multi.Rules); err != nil {
+			p.noteReconcileErrLocked("shrink", ps.Epoch, err)
+		}
 	}
 	if !acked {
 		return fmt.Errorf("ctl: epoch %d not acked by all cores within %v", ps.Epoch, p.timeout)
 	}
 	return nil
+}
+
+// noteReconcileErrLocked records a hardware reconcile failure: bump the
+// counter, remember the error for the admin status API, and log one
+// line for this swap transition. Called with p.mu held.
+func (p *Plane) noteReconcileErrLocked(op string, epoch uint64, err error) {
+	p.reconcileErrs.Add(1)
+	p.lastReconcileErr = fmt.Sprintf("epoch %d %s: %v", epoch, op, err)
+	if p.loggedErrEpoch == epoch {
+		return
+	}
+	p.loggedErrEpoch = epoch
+	logf := p.opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	logf("ctl: hardware reconcile %s failed at epoch %d (device falls back to pass-everything; software filters keep the datapath correct): %v", op, epoch, err)
+}
+
+// SetOffload attaches the dynamic flow-offload manager the plane must
+// invalidate before each program swap. Call before Start.
+func (p *Plane) SetOffload(fo FlowOffload) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.offload = fo
+}
+
+// ReconcileErrors reports how many hardware reconcile operations (grow
+// or shrink) have failed across all swaps. Lock-free.
+func (p *Plane) ReconcileErrors() uint64 { return p.reconcileErrs.Load() }
+
+// LastReconcileError returns the most recent reconcile failure ("" when
+// none has occurred) for the admin status API.
+func (p *Plane) LastReconcileError() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastReconcileErr
 }
 
 // currentRulesLocked returns the outgoing program's hardware rules.

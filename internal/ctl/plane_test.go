@@ -1,6 +1,7 @@
 package ctl
 
 import (
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"retina/internal/filter"
 	"retina/internal/layers"
 	"retina/internal/mbuf"
+	"retina/internal/nic"
 )
 
 func pktSub(count *atomic.Uint64) *core.Subscription {
@@ -368,4 +370,90 @@ func mustCompile(tb testing.TB, src string) *filter.Program {
 		tb.Fatal(err)
 	}
 	return prog
+}
+
+// TestPlaneReconcileErrorSurfaced: a subscription add whose merged rule
+// set exceeds the device's rule capacity must not silently degrade. The
+// swap itself succeeds — the NIC falls back to pass-everything and
+// software filters keep the output correct — but the operator sees the
+// error counter, the last-error string, and exactly one log line.
+func TestPlaneReconcileErrorSurfaced(t *testing.T) {
+	capModel := nic.CapabilityModel{ExactMatch: true, PrefixMatch: true, MaxRules: 1}
+	pool := mbuf.NewPool(64, 2048)
+	dev := nic.New(nic.Config{Queues: 1, RingSize: 64, Pool: pool, Capability: capModel})
+
+	var nTLS, nDNS atomic.Uint64
+	var logs []string
+	spec, err := NewSpec("tls", "ipv4 and tcp.port = 443", pktSub(&nTLS), Options{HW: capModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Options{
+		Slots: []*core.SubSpec{spec},
+		HW:    capModel,
+		Logf:  func(format string, args ...any) { logs = append(logs, fmt.Sprintf(format, args...)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.InstallRules(p.Current().Multi.Rules); err != nil {
+		t.Fatal(err)
+	}
+	if !dev.HardwareActive() {
+		t.Fatal("initial single-rule program should fit the device")
+	}
+	c := newTestCore(t, p)
+	p.AttachCores([]*core.Core{c}, dev)
+
+	// The union (tcp.443 + udp.53) needs 2 rules > MaxRules 1: the grow
+	// reconcile fails mid-swap, the swap still commits.
+	if _, err := p.Add("dns", "ipv4 and udp.port = 53", pktSub(&nDNS)); err != nil {
+		t.Fatalf("swap must survive a hardware reconcile failure: %v", err)
+	}
+	// Both the grow (union) and the shrink (new set) fail — two counted
+	// operations, but the operator log carries one line per transition.
+	if got := p.ReconcileErrors(); got != 2 {
+		t.Fatalf("ReconcileErrors = %d, want 2 (grow and shrink)", got)
+	}
+	if last := p.LastReconcileError(); !strings.Contains(last, "shrink") {
+		t.Fatalf("LastReconcileError = %q, want the most recent failing operation named", last)
+	}
+	if len(logs) != 1 || !strings.Contains(logs[0], "grow") {
+		t.Fatalf("logged %q, want exactly one warning naming the first failure", logs)
+	}
+	if dev.HardwareActive() {
+		t.Fatal("failed grow must fall back to pass-everything")
+	}
+
+	// End-to-end through the device: everything passes to software,
+	// software filters keep per-subscription deliveries exact.
+	tls := newConn(40500, 443, layers.IPProtoTCP)
+	dns := newConn(40501, 53, layers.IPProtoUDP)
+	other := newConn(40502, 8080, layers.IPProtoTCP)
+	dev.Deliver(tls.pkt(true, layers.TCPSyn, nil), 1000)
+	dev.Deliver(dns.pkt(true, 0, []byte("q")), 2000)
+	dev.Deliver(other.pkt(true, layers.TCPSyn, nil), 3000)
+	st := dev.Stats()
+	if st.HWDropped != 0 || st.Delivered != 3 {
+		t.Fatalf("device stats %+v, want all 3 frames delivered", st)
+	}
+
+	buf := make([]*mbuf.Mbuf, 8)
+	n := dev.Queue(0).DequeueBurst(buf)
+	if n != 3 {
+		t.Fatalf("dequeued %d frames, want 3", n)
+	}
+	for _, m := range buf[:n] {
+		c.ProcessMbuf(m)
+	}
+	if nTLS.Load() != 1 || nDNS.Load() != 1 {
+		t.Fatalf("deliveries tls=%d dns=%d, want 1/1", nTLS.Load(), nDNS.Load())
+	}
+	cs := c.Stats()
+	if cs.Processed != 3 || cs.FilterDropped != 1 {
+		t.Fatalf("core stats %+v, want 3 processed with 1 filter drop", cs)
+	}
+	if st.RxFrames != st.Delivered+st.HWDropped+st.Loss()+st.Malformed {
+		t.Fatalf("conservation violated: %+v", st)
+	}
 }

@@ -1,0 +1,218 @@
+package nic
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"retina/internal/layers"
+)
+
+// Dynamic per-flow offload partition.
+//
+// Alongside the static subscription rules (ruleTable, semantics: match →
+// RSS-dispatch), the device holds a second partition of per-5-tuple drop
+// rules installed at runtime by the offload manager when a connection
+// reaches a terminal software verdict. Flow rules are more specific than
+// the subscription wildcards, so they are matched first — a hit discards
+// the frame in "hardware" at zero CPU cost, counted under the dedicated
+// hw_offload_drop reason so frame conservation holds exactly.
+//
+// The partition shares CapabilityModel.MaxRules with the static rules,
+// and static rules always take precedence for the capacity: installing a
+// subscription rule set evicts least-recently-hit flow rules until both
+// partitions fit. Like the static table, the partition is an immutable
+// generation swapped atomically (copy-on-write under ruleMu); entries are
+// shared by pointer across generations so their hit counters survive
+// unrelated installs.
+
+// flowEntry is one installed per-flow rule. Hit accounting is written by
+// the (single-producer) datapath and read by the offload manager's
+// eviction policy, so both fields are atomics.
+type flowEntry struct {
+	hits      atomic.Uint64
+	lastHit   atomic.Uint64 // virtual tick of the most recent hit
+	installed uint64        // virtual tick the rule was installed at
+}
+
+// flowTable is one immutable generation of the dynamic partition.
+type flowTable struct {
+	flows map[layers.FiveTuple]*flowEntry
+}
+
+var emptyFlowTable = &flowTable{}
+
+// FlowRuleInfo is one flow rule's observable state (eviction policy and
+// test introspection).
+type FlowRuleInfo struct {
+	Key       layers.FiveTuple
+	Hits      uint64
+	LastHit   uint64
+	Installed uint64
+}
+
+// FlowCapacity reports how many dynamic flow rules the device can
+// currently hold: MaxRules minus the installed static subscription
+// rules. Negative means unlimited (no MaxRules bound).
+func (n *NIC) FlowCapacity() int {
+	if n.cfg.Capability.MaxRules <= 0 {
+		return -1
+	}
+	c := n.cfg.Capability.MaxRules - len(n.tbl.Load().rules)
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// FlowRuleCount reports the number of installed dynamic flow rules.
+func (n *NIC) FlowRuleCount() int { return len(n.ftbl.Load().flows) }
+
+// FlowRules snapshots every installed flow rule with its hit counters.
+func (n *NIC) FlowRules() []FlowRuleInfo {
+	ft := n.ftbl.Load()
+	out := make([]FlowRuleInfo, 0, len(ft.flows))
+	for k, e := range ft.flows {
+		out = append(out, FlowRuleInfo{
+			Key:       k,
+			Hits:      e.hits.Load(),
+			LastHit:   e.lastHit.Load(),
+			Installed: e.installed,
+		})
+	}
+	return out
+}
+
+// FlowTrims reports how many flow rules were evicted to make room for
+// static subscription rules (static precedence).
+func (n *NIC) FlowTrims() uint64 { return n.flowTrims.Load() }
+
+// AddFlowRules installs per-flow drop rules for the given canonical
+// five-tuples. A key already installed refreshes its last-hit tick
+// instead (the rule keeps its counters). Keys past the device's dynamic
+// capacity are rejected — the caller owns the eviction policy. Safe to
+// call from a control goroutine while the datapath delivers.
+func (n *NIC) AddFlowRules(keys []layers.FiveTuple, tick uint64) (added, refreshed, rejected int) {
+	if len(keys) == 0 {
+		return 0, 0, 0
+	}
+	n.ruleMu.Lock()
+	defer n.ruleMu.Unlock()
+	old := n.ftbl.Load()
+	capacity := n.FlowCapacity()
+	next := make(map[layers.FiveTuple]*flowEntry, len(old.flows)+len(keys))
+	for k, e := range old.flows {
+		next[k] = e
+	}
+	for _, k := range keys {
+		if e := next[k]; e != nil {
+			e.lastHit.Store(tick)
+			refreshed++
+			continue
+		}
+		if capacity >= 0 && len(next) >= capacity {
+			rejected++
+			continue
+		}
+		e := &flowEntry{installed: tick}
+		e.lastHit.Store(tick)
+		next[k] = e
+		added++
+	}
+	if added > 0 {
+		n.ftbl.Store(&flowTable{flows: next})
+	}
+	return added, refreshed, rejected
+}
+
+// RemoveFlowRules uninstalls the given flow rules, returning how many
+// were present.
+func (n *NIC) RemoveFlowRules(keys []layers.FiveTuple) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	n.ruleMu.Lock()
+	defer n.ruleMu.Unlock()
+	old := n.ftbl.Load()
+	removed := 0
+	for _, k := range keys {
+		if _, ok := old.flows[k]; ok {
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	drop := make(map[layers.FiveTuple]bool, len(keys))
+	for _, k := range keys {
+		drop[k] = true
+	}
+	next := make(map[layers.FiveTuple]*flowEntry, len(old.flows)-removed)
+	for k, e := range old.flows {
+		if !drop[k] {
+			next[k] = e
+		}
+	}
+	n.ftbl.Store(&flowTable{flows: next})
+	return removed
+}
+
+// FlushFlowRules removes every dynamic flow rule (program swaps
+// invalidate per-flow verdicts), returning how many were installed.
+func (n *NIC) FlushFlowRules() int {
+	n.ruleMu.Lock()
+	defer n.ruleMu.Unlock()
+	old := n.ftbl.Load()
+	if len(old.flows) == 0 {
+		return 0
+	}
+	n.ftbl.Store(emptyFlowTable)
+	return len(old.flows)
+}
+
+// trimFlowsLocked evicts least-recently-hit flow rules until the dynamic
+// partition fits the device's remaining capacity. Called (with ruleMu
+// held) after a static install narrows the capacity — subscription rules
+// always win the table space.
+func (n *NIC) trimFlowsLocked() {
+	capacity := n.FlowCapacity()
+	old := n.ftbl.Load()
+	if capacity < 0 || len(old.flows) <= capacity {
+		return
+	}
+	infos := make([]FlowRuleInfo, 0, len(old.flows))
+	for k, e := range old.flows {
+		infos = append(infos, FlowRuleInfo{Key: k, LastHit: e.lastHit.Load()})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].LastHit < infos[j].LastHit })
+	evict := len(old.flows) - capacity
+	next := make(map[layers.FiveTuple]*flowEntry, capacity)
+	for k, e := range old.flows {
+		next[k] = e
+	}
+	for i := 0; i < evict; i++ {
+		delete(next, infos[i].Key)
+	}
+	n.flowTrims.Add(uint64(evict))
+	if len(next) == 0 {
+		n.ftbl.Store(emptyFlowTable)
+		return
+	}
+	n.ftbl.Store(&flowTable{flows: next})
+}
+
+// matchFlow checks the dynamic partition for the parsed frame's flow and
+// records the hit. Only trackable flows (L3+L4) can have rules.
+func (n *NIC) matchFlow(ft *flowTable, p *layers.Parsed, tick uint64) bool {
+	tuple, ok := layers.FiveTupleFrom(p)
+	if !ok {
+		return false
+	}
+	key, _ := tuple.Canonical()
+	e := ft.flows[key]
+	if e == nil {
+		return false
+	}
+	e.hits.Add(1)
+	e.lastHit.Store(tick)
+	return true
+}

@@ -3,6 +3,7 @@ package nic
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"retina/internal/filter"
@@ -53,14 +54,16 @@ func (c CapabilityModel) Supports(p filter.Predicate) bool {
 
 // Stats aggregates port counters.
 type Stats struct {
-	RxFrames  uint64 // frames offered to the port
-	HWDropped uint64 // dropped by the hardware filter
-	Sunk      uint64 // redirected to the sink by RSS sampling
-	Delivered uint64 // enqueued onto a receive queue
-	RingDrops uint64 // dropped because a descriptor ring was full (packet loss)
-	NoMbuf    uint64 // dropped because the buffer pool was exhausted
-	NonRSS    uint64 // frames without an L3 header (delivered to queue 0)
-	Malformed uint64 // frames the hardware parser could not read
+	RxFrames      uint64 // frames offered to the port
+	HWDropped     uint64 // dropped by the hardware filter
+	HWOffloadDrop uint64 // dropped by a dynamic per-flow offload rule
+	Sunk          uint64 // redirected to the sink by RSS sampling
+	Delivered     uint64 // enqueued onto a receive queue
+	RingDrops     uint64 // dropped because a descriptor ring was full (packet loss)
+	NoMbuf        uint64 // dropped because the buffer pool was exhausted
+	Oversize      uint64 // dropped because the frame exceeds the buffer capacity
+	NonRSS        uint64 // frames without an L3 header (delivered to queue 0)
+	Malformed     uint64 // frames the hardware parser could not read
 }
 
 // Config configures a simulated port.
@@ -111,12 +114,21 @@ type NIC struct {
 	cache   []*mbuf.Mbuf
 	cacheN  int
 
+	// ruleMu serializes table mutations across the two writers (the
+	// control plane's static reconciles and the offload manager's flow
+	// installs); the datapath reads both partitions lock-free.
+	ruleMu    sync.Mutex
+	ftbl      atomic.Pointer[flowTable]
+	flowTrims atomic.Uint64
+
 	rxFrames  atomic.Uint64
 	hwDropped atomic.Uint64
+	hwOffload atomic.Uint64
 	sunk      atomic.Uint64
 	delivered atomic.Uint64
 	ringDrops atomic.Uint64
 	noMbuf    atomic.Uint64
+	oversize  atomic.Uint64
 	nonRSS    atomic.Uint64
 	malformed atomic.Uint64
 }
@@ -124,6 +136,17 @@ type NIC struct {
 type compiledRule struct {
 	src      string
 	matchers []func(*layers.Parsed) bool
+	// hits counts frames this rule admitted (first matching rule wins
+	// the attribution, like a priority flow table's per-entry counter).
+	// compiledRule is held by pointer so the counter survives table
+	// generations that keep the rule installed.
+	hits atomic.Uint64
+}
+
+// RuleStat is one static rule's observable state.
+type RuleStat struct {
+	Src  string
+	Hits uint64
 }
 
 // ruleTable is one immutable generation of the device's flow table. The
@@ -131,7 +154,7 @@ type compiledRule struct {
 // replace — so the (single-producer) datapath and the control plane
 // never observe a half-updated rule set.
 type ruleTable struct {
-	rules []compiledRule
+	rules []*compiledRule
 	on    bool
 }
 
@@ -165,6 +188,7 @@ func New(cfg Config) *NIC {
 		n.rings[i] = NewRing(cfg.RingSize)
 	}
 	n.tbl.Store(emptyRuleTable)
+	n.ftbl.Store(emptyFlowTable)
 	if n.burst > 1 {
 		n.pending = make([][]*mbuf.Mbuf, cfg.Queues)
 		for i := range n.pending {
@@ -181,13 +205,13 @@ func (n *NIC) Capability() filter.Capability { return n.cfg.Capability }
 
 // compileRules validates rules against the capability model and builds
 // their matchers, without touching the installed table.
-func (n *NIC) compileRules(rules []filter.FlowRule) ([]compiledRule, error) {
+func (n *NIC) compileRules(rules []filter.FlowRule) ([]*compiledRule, error) {
 	if n.cfg.Capability.MaxRules > 0 && len(rules) > n.cfg.Capability.MaxRules {
 		return nil, fmt.Errorf("%w: %d rules, limit %d", ErrTooManyRules, len(rules), n.cfg.Capability.MaxRules)
 	}
-	compiled := make([]compiledRule, 0, len(rules))
+	compiled := make([]*compiledRule, 0, len(rules))
 	for _, r := range rules {
-		cr := compiledRule{src: r.String()}
+		cr := &compiledRule{src: r.String()}
 		for _, pred := range r.Preds {
 			if !n.cfg.Capability.Supports(pred) {
 				return nil, fmt.Errorf("nic: device cannot match %q", pred)
@@ -213,14 +237,48 @@ func (n *NIC) InstallRules(rules []filter.FlowRule) error {
 	if err != nil {
 		return err
 	}
+	n.ruleMu.Lock()
+	defer n.ruleMu.Unlock()
+	// Rules present in both generations keep their flow-table entries —
+	// and their hit counters — in place, like a real device's reconcile.
+	old := n.tbl.Load()
+	if len(old.rules) > 0 {
+		bySrc := make(map[string]*compiledRule, len(old.rules))
+		for _, r := range old.rules {
+			bySrc[r.src] = r
+		}
+		for i, r := range compiled {
+			if prev := bySrc[r.src]; prev != nil {
+				compiled[i] = prev
+			}
+		}
+	}
 	n.tbl.Store(&ruleTable{rules: compiled, on: len(compiled) > 0})
+	// Static subscription rules take precedence for the shared MaxRules
+	// capacity: shrink the dynamic partition if the install outgrew it.
+	n.trimFlowsLocked()
 	return nil
 }
 
-// ClearRules removes all flow rules (hardware filtering off: every frame
-// is RSS-dispatched and filtered in software).
+// ClearRules removes all static flow rules (hardware filtering off:
+// every frame is RSS-dispatched and filtered in software). Dynamic
+// per-flow offload rules are unaffected — they encode per-connection
+// software verdicts that stay valid without a static filter.
 func (n *NIC) ClearRules() {
+	n.ruleMu.Lock()
+	defer n.ruleMu.Unlock()
 	n.tbl.Store(emptyRuleTable)
+}
+
+// InstalledRuleStats reports the static rules with their per-rule hit
+// counters. Safe from any goroutine.
+func (n *NIC) InstalledRuleStats() []RuleStat {
+	tbl := n.tbl.Load()
+	out := make([]RuleStat, len(tbl.rules))
+	for i, r := range tbl.rules {
+		out[i] = RuleStat{Src: r.src, Hits: r.hits.Load()}
+	}
+	return out
 }
 
 // InstalledRuleStrings reports the currently installed rules in their
@@ -379,6 +437,15 @@ func (n *NIC) deliver(frame []byte, tick uint64) {
 		return
 	}
 
+	// Dynamic per-flow offload rules are more specific than the static
+	// subscription wildcards, so they match first (a priority flow
+	// table): the flow already reached a terminal software verdict and
+	// its frames are discarded before costing any core cycles.
+	if ft := n.ftbl.Load(); len(ft.flows) > 0 && n.matchFlow(ft, &n.parsed, tick) {
+		n.hwOffload.Add(1)
+		return
+	}
+
 	if tbl := n.tbl.Load(); tbl.on && !matchRules(tbl, &n.parsed) {
 		n.hwDropped.Add(1)
 		return
@@ -399,8 +466,7 @@ func (n *NIC) deliver(frame []byte, tick uint64) {
 
 	m := n.allocMbuf(frame)
 	if m == nil {
-		n.noMbuf.Add(1)
-		return
+		return // attributed inside allocMbuf (pool exhausted vs oversize)
 	}
 	m.Queue = uint16(queue)
 	m.RxTick = tick
@@ -433,13 +499,20 @@ func (n *NIC) DeliverBurst(frames [][]byte, ticks []uint64) {
 }
 
 // allocMbuf draws a buffer filled with frame, through the bulk cache in
-// burst mode. Returns nil when the pool is exhausted (one pool
-// allocation failure is recorded per dropped frame, matching the
-// per-packet path).
+// burst mode, attributing each failure to its cause: pool exhaustion
+// (no_mbuf, one pool allocation failure recorded per dropped frame,
+// matching the per-packet path) or a frame too large for the buffer
+// geometry (oversize — the pool had buffers, the frame just cannot be
+// stored).
 func (n *NIC) allocMbuf(frame []byte) *mbuf.Mbuf {
 	if n.burst <= 1 {
 		m, err := n.cfg.Pool.AllocData(frame)
 		if err != nil {
+			if errors.Is(err, mbuf.ErrTooLarge) {
+				n.oversize.Add(1)
+			} else {
+				n.noMbuf.Add(1)
+			}
 			return nil
 		}
 		return m
@@ -456,6 +529,7 @@ func (n *NIC) allocMbuf(frame []byte) *mbuf.Mbuf {
 		}
 		n.cacheN = n.cfg.Pool.AllocBulk(n.cache[:want])
 		if n.cacheN == 0 {
+			n.noMbuf.Add(1)
 			return nil
 		}
 	}
@@ -464,6 +538,7 @@ func (n *NIC) allocMbuf(frame []byte) *mbuf.Mbuf {
 	n.cache[n.cacheN] = nil
 	if err := m.SetData(frame); err != nil {
 		m.Free()
+		n.oversize.Add(1)
 		return nil
 	}
 	return m
@@ -499,6 +574,7 @@ func matchRules(tbl *ruleTable, p *layers.Parsed) bool {
 			}
 		}
 		if ok {
+			r.hits.Add(1)
 			return true
 		}
 	}
@@ -508,18 +584,20 @@ func matchRules(tbl *ruleTable, p *layers.Parsed) bool {
 // Stats snapshots the port counters.
 func (n *NIC) Stats() Stats {
 	return Stats{
-		RxFrames:  n.rxFrames.Load(),
-		HWDropped: n.hwDropped.Load(),
-		Sunk:      n.sunk.Load(),
-		Delivered: n.delivered.Load(),
-		RingDrops: n.ringDrops.Load(),
-		NoMbuf:    n.noMbuf.Load(),
-		NonRSS:    n.nonRSS.Load(),
-		Malformed: n.malformed.Load(),
+		RxFrames:      n.rxFrames.Load(),
+		HWDropped:     n.hwDropped.Load(),
+		HWOffloadDrop: n.hwOffload.Load(),
+		Sunk:          n.sunk.Load(),
+		Delivered:     n.delivered.Load(),
+		RingDrops:     n.ringDrops.Load(),
+		NoMbuf:        n.noMbuf.Load(),
+		Oversize:      n.oversize.Load(),
+		NonRSS:        n.nonRSS.Load(),
+		Malformed:     n.malformed.Load(),
 	}
 }
 
-// Loss reports packets lost after hardware filtering (ring overflows and
-// buffer exhaustion) — the "packet loss" the paper's zero-loss
-// experiments require to be zero.
-func (s Stats) Loss() uint64 { return s.RingDrops + s.NoMbuf }
+// Loss reports packets lost after hardware filtering (ring overflows,
+// buffer exhaustion, and unstorable oversized frames) — the "packet
+// loss" the paper's zero-loss experiments require to be zero.
+func (s Stats) Loss() uint64 { return s.RingDrops + s.NoMbuf + s.Oversize }

@@ -1,0 +1,209 @@
+package offload
+
+import (
+	"testing"
+
+	"retina/internal/layers"
+	"retina/internal/mbuf"
+	"retina/internal/nic"
+)
+
+func newDev(t *testing.T, maxRules int) *nic.NIC {
+	t.Helper()
+	pool := mbuf.NewPool(64, 2048)
+	return nic.New(nic.Config{
+		Queues: 1, RingSize: 64, Pool: pool,
+		Capability: nic.CapabilityModel{ExactMatch: true, PrefixMatch: true, MaxRules: maxRules},
+	})
+}
+
+func addr4(s string) (a [16]byte) {
+	b := layers.ParseAddr4(s)
+	copy(a[:4], b[:])
+	return a
+}
+
+// key builds the canonical five-tuple every test flow with this source
+// port maps to (the same key a core would submit).
+func key(t *testing.T, port uint16) layers.FiveTuple {
+	t.Helper()
+	ft := layers.FiveTuple{
+		SrcIP: addr4("10.0.0.1"), DstIP: addr4("10.0.0.2"),
+		SrcPort: port, DstPort: 443, Proto: layers.IPProtoTCP,
+	}
+	k, _ := ft.Canonical()
+	return k
+}
+
+func install(port uint16, tick uint64, v Verdict) Request {
+	ft := layers.FiveTuple{
+		SrcIP: addr4("10.0.0.1"), DstIP: addr4("10.0.0.2"),
+		SrcPort: port, DstPort: 443, Proto: layers.IPProtoTCP,
+	}
+	k, _ := ft.Canonical()
+	return Request{Key: k, Tick: tick, Verdict: v}
+}
+
+func TestManagerInstallRefreshRemove(t *testing.T) {
+	m := NewManager(Config{Dev: newDev(t, 512)})
+
+	m.Submit(0, []Request{
+		install(1, 10, VerdictUnsubscribed),
+		install(2, 11, VerdictParsedDone),
+		install(3, 12, VerdictClosed),
+	})
+	st := m.Stats()
+	if st.Installed != 3 || st.RulesLive != 3 || st.PeakRules != 3 {
+		t.Fatalf("after install: %+v", st)
+	}
+	if st.ByVerdict[VerdictUnsubscribed] != 1 || st.ByVerdict[VerdictParsedDone] != 1 || st.ByVerdict[VerdictClosed] != 1 {
+		t.Fatalf("verdict attribution: %+v", st.ByVerdict)
+	}
+
+	// Re-submitting an installed flow refreshes it, no duplicate rule.
+	m.Submit(0, []Request{install(1, 20, VerdictClosed)})
+	st = m.Stats()
+	if st.Refreshed != 1 || st.RulesLive != 3 {
+		t.Fatalf("after refresh: %+v", st)
+	}
+
+	// Conntrack-coherence removal.
+	m.Submit(0, []Request{{Key: key(t, 2), Tick: 21, Remove: true}})
+	st = m.Stats()
+	if st.Removed != 1 || st.RulesLive != 2 {
+		t.Fatalf("after remove: %+v", st)
+	}
+}
+
+// TestManagerBudgetLRU: the table never exceeds the configured budget;
+// overflow evicts the least-recently-hit rule.
+func TestManagerBudgetLRU(t *testing.T) {
+	dev := newDev(t, 512)
+	m := NewManager(Config{Dev: dev, MaxRules: 3, IdleTimeout: -1})
+
+	// One submit per flow so each rule carries a distinct last-hit tick.
+	m.Submit(0, []Request{install(1, 10, VerdictClosed)})
+	m.Submit(0, []Request{install(2, 11, VerdictClosed)})
+	m.Submit(0, []Request{install(3, 12, VerdictClosed)})
+	if st := m.Stats(); st.RulesLive != 3 {
+		t.Fatalf("%+v", st)
+	}
+
+	// A fourth install evicts the LRU entry (port 1, oldest tick).
+	m.Submit(0, []Request{install(4, 13, VerdictClosed)})
+	st := m.Stats()
+	if st.RulesLive != 3 || st.EvictedLRU != 1 || st.PeakRules != 3 {
+		t.Fatalf("after overflow: %+v", st)
+	}
+	for _, info := range dev.FlowRules() {
+		if info.Key == key(t, 1) {
+			t.Fatal("LRU entry survived the eviction")
+		}
+	}
+
+	// A batch far larger than the budget: tail rejected, bound holds.
+	batch := make([]Request, 8)
+	for i := range batch {
+		batch[i] = install(uint16(100+i), uint64(20+i), VerdictClosed)
+	}
+	m.Submit(0, batch)
+	st = m.Stats()
+	if st.RulesLive > 3 || st.PeakRules > 3 {
+		t.Fatalf("budget exceeded: %+v", st)
+	}
+	if st.RejectedCapacity == 0 {
+		t.Fatalf("oversized batch not partially rejected: %+v", st)
+	}
+}
+
+// TestManagerDeviceCapacityCap: with no explicit budget the manager
+// defers to the device's remaining capacity (MaxRules − static rules).
+func TestManagerDeviceCapacityCap(t *testing.T) {
+	dev := newDev(t, 2)
+	m := NewManager(Config{Dev: dev, IdleTimeout: -1})
+	m.Submit(0, []Request{
+		install(1, 1, VerdictClosed),
+		install(2, 2, VerdictClosed),
+		install(3, 3, VerdictClosed),
+	})
+	st := m.Stats()
+	if st.RulesLive != 2 || st.PeakRules != 2 {
+		t.Fatalf("device capacity not honored: %+v", st)
+	}
+}
+
+func TestManagerIdleSweep(t *testing.T) {
+	dev := newDev(t, 512)
+	m := NewManager(Config{Dev: dev, MaxRules: 16, IdleTimeout: 100})
+
+	// Separate submits: installs take the manager's max tick as their
+	// initial last-hit, so each batch must carry its own clock.
+	m.Submit(0, []Request{install(1, 10, VerdictClosed)})
+	m.Submit(0, []Request{install(2, 90, VerdictClosed)})
+	// At tick 105 neither rule is past the 100-tick horizon.
+	m.SweepIdle(105)
+	if st := m.Stats(); st.EvictedIdle != 0 || st.RulesLive != 2 {
+		t.Fatalf("premature idle eviction: %+v", st)
+	}
+	// At tick 115 the rule last hit at tick 10 is idle; the other is not.
+	m.SweepIdle(115)
+	st := m.Stats()
+	if st.EvictedIdle != 1 || st.RulesLive != 1 {
+		t.Fatalf("idle sweep: %+v", st)
+	}
+	if len(dev.FlowRules()) != 1 || dev.FlowRules()[0].Key != key(t, 2) {
+		t.Fatalf("wrong rule evicted: %+v", dev.FlowRules())
+	}
+
+	// A device hit refreshes last-hit and defers idle eviction — covered
+	// at the NIC layer; here assert the disabled-idle config never sweeps.
+	m2 := NewManager(Config{Dev: newDev(t, 512), IdleTimeout: -1})
+	m2.Submit(0, []Request{install(1, 10, VerdictClosed)})
+	m2.SweepIdle(1 << 40)
+	if st := m2.Stats(); st.EvictedIdle != 0 || st.RulesLive != 1 {
+		t.Fatalf("disabled idle eviction still swept: %+v", st)
+	}
+}
+
+// TestManagerInvalidate: a program swap flushes the partition and drops
+// in-flight requests from cores still on the old epoch.
+func TestManagerInvalidate(t *testing.T) {
+	dev := newDev(t, 512)
+	m := NewManager(Config{Dev: dev, IdleTimeout: -1})
+
+	m.Submit(0, []Request{install(1, 10, VerdictClosed), install(2, 11, VerdictClosed)})
+	m.Invalidate(1)
+	st := m.Stats()
+	if st.Flushed != 2 || st.RulesLive != 0 || st.Invalidations != 1 {
+		t.Fatalf("after invalidate: %+v", st)
+	}
+	if dev.FlowRuleCount() != 0 {
+		t.Fatal("device partition not flushed")
+	}
+
+	// A core still publishing epoch-0 verdicts is stale.
+	m.Submit(0, []Request{install(3, 12, VerdictClosed)})
+	st = m.Stats()
+	if st.StaleDropped != 1 || st.RulesLive != 0 {
+		t.Fatalf("stale request not dropped: %+v", st)
+	}
+
+	// The new epoch's verdicts land.
+	m.Submit(1, []Request{install(3, 13, VerdictClosed)})
+	if st := m.Stats(); st.RulesLive != 1 {
+		t.Fatalf("post-swap install: %+v", st)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	want := map[Verdict]string{
+		VerdictUnsubscribed: "unsubscribed",
+		VerdictParsedDone:   "parsed_done",
+		VerdictClosed:       "closed",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", v, v.String(), s)
+		}
+	}
+}

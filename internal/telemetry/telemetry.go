@@ -85,6 +85,15 @@ const (
 	// DropEvictedPressure: buffered packets discarded when their
 	// connection was evicted under table pressure (MaxConns reached).
 	DropEvictedPressure = "evicted_pressure"
+	// DropHWOffload: dropped by a dynamic per-flow offload rule — the
+	// connection already reached a terminal software verdict (rejected,
+	// parsed-and-done, or closed) and its remaining packets are discarded
+	// in "hardware" at zero CPU cost.
+	DropHWOffload = "hw_offload_drop"
+	// DropOversize: the frame exceeds the packet buffer capacity and
+	// could not be stored (distinct from pool exhaustion: buffers were
+	// available, the frame just does not fit one).
+	DropOversize = "oversize_frame"
 )
 
 // FrameDropReasons lists every reason that accounts whole received
@@ -95,10 +104,11 @@ const (
 // elsewhere, so including them would double-count.
 func FrameDropReasons() []string {
 	return []string{
-		DropMalformed, DropHWFilter, DropRSSSink, DropRingOverflow,
-		DropPoolExhausted, DropSWFilter, DropNotTrackable, DropTableFull,
-		DropConnRejected, DropPktBufOverflow, DropPendingDiscard,
-		DropPktBufBudget, DropShedLowPool, DropEvictedPressure,
+		DropMalformed, DropHWFilter, DropHWOffload, DropRSSSink,
+		DropRingOverflow, DropPoolExhausted, DropOversize, DropSWFilter,
+		DropNotTrackable, DropTableFull, DropConnRejected,
+		DropPktBufOverflow, DropPendingDiscard, DropPktBufBudget,
+		DropShedLowPool, DropEvictedPressure,
 	}
 }
 

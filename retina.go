@@ -32,6 +32,7 @@ import (
 	"retina/internal/filter"
 	"retina/internal/mbuf"
 	"retina/internal/nic"
+	"retina/internal/offload"
 	"retina/internal/overload"
 	"retina/internal/proto"
 	"retina/internal/telemetry"
@@ -208,6 +209,29 @@ type Config struct {
 	// extensibility mechanism of §3.3 / Appendix A): each contributes
 	// filter-language identifiers and a per-connection parser.
 	Modules []ProtocolModule
+	// FlowOffload configures the dynamic per-flow offload fastpath
+	// (DESIGN.md §13): connections that reach a terminal verdict get a
+	// per-5-tuple drop rule installed on the device, so the rest of the
+	// flow never reaches a core. Subscription output is byte-identical
+	// with the fastpath on or off; the dropped frames count under
+	// hw_offload_drop.
+	FlowOffload FlowOffloadConfig
+}
+
+// FlowOffloadConfig are the dynamic flow-offload knobs.
+type FlowOffloadConfig struct {
+	// Enable turns the feedback loop on. Enabling it gives the device a
+	// rule-table capability model even when HardwareFilter is off (the
+	// dynamic partition is bounded by CapabilityModel.MaxRules).
+	Enable bool
+	// MaxFlowRules bounds the dynamic partition (the table budget); the
+	// effective bound is further capped by the device capacity left
+	// over by static subscription rules. 0 defers to the device.
+	MaxFlowRules int
+	// IdleTimeout evicts rules with no hit for this long (virtual
+	// time). 0 selects the default (5s); negative disables idle
+	// eviction.
+	IdleTimeout time.Duration
 }
 
 // ProtocolModule bundles the two halves of a protocol extension: filter
@@ -306,10 +330,11 @@ type Runtime struct {
 	dev    *nic.NIC
 	pool   *mbuf.Pool
 	cores  []*core.Core
-	sub    *Subscription // initial subscription (nil for NewDynamic)
-	plane  *ctl.Plane
-	reg    *telemetry.Registry
-	tracer *telemetry.ConnTracer
+	sub     *Subscription // initial subscription (nil for NewDynamic)
+	plane   *ctl.Plane
+	offload *offload.Manager // nil unless Config.FlowOffload.Enable
+	reg     *telemetry.Registry
+	tracer  *telemetry.ConnTracer
 }
 
 // New compiles the filter, builds the simulated device and the per-core
@@ -345,7 +370,10 @@ func build(cfg Config, sub *Subscription) (*Runtime, error) {
 	}
 
 	capModel := nic.CapabilityModel{}
-	if cfg.HardwareFilter {
+	if cfg.HardwareFilter || cfg.FlowOffload.Enable {
+		// FlowOffload needs the capability model too: the dynamic
+		// partition is bounded by the model's MaxRules even when no
+		// static subscription rules are installed.
 		capModel = nic.ConnectX5Model()
 	}
 
@@ -423,13 +451,30 @@ func build(cfg Config, sub *Subscription) (*Runtime, error) {
 		dev.SetSinkFraction(cfg.SinkFraction)
 	}
 
-	rt := &Runtime{cfg: cfg, prog: prog, dev: dev, pool: pool, sub: sub, plane: plane}
+	var mgr *offload.Manager
+	if cfg.FlowOffload.Enable {
+		var idle int64
+		switch {
+		case cfg.FlowOffload.IdleTimeout < 0:
+			idle = -1
+		case cfg.FlowOffload.IdleTimeout > 0:
+			idle = int64(cfg.FlowOffload.IdleTimeout / time.Microsecond)
+		}
+		mgr = offload.NewManager(offload.Config{
+			Dev:         dev,
+			MaxRules:    cfg.FlowOffload.MaxFlowRules,
+			IdleTimeout: idle,
+		})
+		plane.SetOffload(mgr)
+	}
+
+	rt := &Runtime{cfg: cfg, prog: prog, dev: dev, pool: pool, sub: sub, plane: plane, offload: mgr}
 	if cfg.TraceSample > 0 {
 		rt.tracer = telemetry.NewConnTracer(cfg.TraceSample, cfg.TraceMax)
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		q := i
-		c, err := core.NewCore(i, core.Config{
+		coreCfg := core.Config{
 			Set:             ps,
 			BurstSize:       cfg.BurstSize,
 			Conntrack:       cfg.conntrack(),
@@ -445,7 +490,11 @@ func build(cfg Config, sub *Subscription) (*Runtime, error) {
 			RingSignal: func() (used, capacity int) {
 				return dev.RingOccupancy(q)
 			},
-		})
+		}
+		if mgr != nil {
+			coreCfg.Offload = mgr
+		}
+		c, err := core.NewCore(i, coreCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -507,6 +556,10 @@ func (r *Runtime) NIC() *nic.NIC { return r.dev }
 
 // Pool exposes the packet buffer pool (benchmark harness access).
 func (r *Runtime) Pool() *mbuf.Pool { return r.pool }
+
+// Offload exposes the dynamic flow-offload manager (nil unless
+// Config.FlowOffload.Enable).
+func (r *Runtime) Offload() *offload.Manager { return r.offload }
 
 // Cores exposes the per-core pipelines (benchmark harness access).
 func (r *Runtime) Cores() []*core.Core { return r.cores }

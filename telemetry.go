@@ -56,6 +56,8 @@ func (r *Runtime) registerMetrics() {
 	}
 	drop(telemetry.DropMalformed, func() uint64 { return r.dev.Stats().Malformed })
 	drop(telemetry.DropHWFilter, func() uint64 { return r.dev.Stats().HWDropped })
+	drop(telemetry.DropHWOffload, func() uint64 { return r.dev.Stats().HWOffloadDrop })
+	drop(telemetry.DropOversize, func() uint64 { return r.dev.Stats().Oversize })
 	drop(telemetry.DropRSSSink, func() uint64 { return r.dev.Stats().Sunk })
 	drop(telemetry.DropRingOverflow, func() uint64 { return r.dev.Stats().RingDrops })
 	drop(telemetry.DropPoolExhausted, func() uint64 {
@@ -166,13 +168,45 @@ func (r *Runtime) registerMetrics() {
 			telemetry.L("subscription", r.sub.Level.String()))
 	}
 
-	// Control plane: swap epochs and the size of the live set.
+	// Control plane: swap epochs, the size of the live set, and hardware
+	// reconcile failures (the device has fallen back to pass-everything
+	// at least once when this is non-zero).
 	reg.GaugeFunc("retina_ctl_epoch", "current program-set epoch",
 		func() float64 { return float64(r.plane.Epoch()) })
 	reg.CounterFunc("retina_ctl_swaps_total", "program-set swaps published by the control plane",
 		r.plane.Swaps)
 	reg.GaugeFunc("retina_ctl_subscriptions", "subscriptions live or draining",
 		func() float64 { return float64(len(r.plane.List())) })
+	reg.CounterFunc("retina_nic_reconcile_errors_total", "hardware rule reconcile failures during program swaps",
+		r.plane.ReconcileErrors)
+
+	// Dynamic flow offload: rule-table occupancy and lifecycle counters.
+	if r.offload != nil {
+		reg.GaugeFunc("retina_offload_rules", "per-flow drop rules currently installed",
+			func() float64 { return float64(r.offload.Stats().RulesLive) })
+		reg.GaugeFunc("retina_offload_rules_peak", "peak per-flow drop rules installed",
+			func() float64 { return float64(r.offload.Stats().PeakRules) })
+		reg.CounterFunc("retina_offload_installed_total", "per-flow drop rules installed",
+			func() uint64 { return r.offload.Stats().Installed })
+		reg.CounterFunc("retina_offload_removed_total", "per-flow rules removed on conntrack expiry/eviction",
+			func() uint64 { return r.offload.Stats().Removed })
+		for _, ev := range []struct {
+			kind string
+			fn   func() uint64
+		}{
+			{"lru", func() uint64 { return r.offload.Stats().EvictedLRU }},
+			{"idle", func() uint64 { return r.offload.Stats().EvictedIdle }},
+			{"invalidated", func() uint64 { return r.offload.Stats().Flushed }},
+		} {
+			ev := ev
+			reg.CounterFunc("retina_offload_evicted_total", "per-flow rules evicted, by cause",
+				ev.fn, telemetry.L("cause", ev.kind))
+		}
+		reg.CounterFunc("retina_offload_rejected_total", "offload requests refused for capacity",
+			func() uint64 { return r.offload.Stats().RejectedCapacity })
+		reg.CounterFunc("retina_offload_stale_total", "offload requests dropped for a retired epoch",
+			func() uint64 { return r.offload.Stats().StaleDropped })
+	}
 
 	// Per-protocol probe/parse failures, summed across cores at scrape.
 	protoNames := map[string]bool{}
@@ -280,6 +314,8 @@ func (r *Runtime) DropBreakdown() map[string]uint64 {
 	out := map[string]uint64{
 		telemetry.DropMalformed:         ns.Malformed,
 		telemetry.DropHWFilter:          ns.HWDropped,
+		telemetry.DropHWOffload:         ns.HWOffloadDrop,
+		telemetry.DropOversize:          ns.Oversize,
 		telemetry.DropRSSSink:           ns.Sunk,
 		telemetry.DropRingOverflow:      ns.RingDrops,
 		telemetry.DropPoolExhausted:     poolFails,
@@ -322,6 +358,9 @@ func (m *MetricsServer) Close() error { return m.srv.Close() }
 //	/metrics              Prometheus text exposition
 //	/traces               sampled connection lifecycle spans as JSON
 //	/debug/vars           expvar (the registry is also published as "retina")
+//	/status               control-plane health: epoch, swaps, hardware
+//	                      state, reconcile errors, flow-offload table
+
 //	/subscriptions        GET: list (JSON); POST: add {"name","filter","callback"}
 //	/subscriptions/{name} GET: one subscription; DELETE: remove (drain)
 //
@@ -346,6 +385,7 @@ func (r *Runtime) ServeMetrics(addr string) (*MetricsServer, error) {
 		_ = r.tracer.WriteJSON(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/status", r.handleStatus)
 	mux.HandleFunc("/subscriptions", r.handleSubscriptions)
 	mux.HandleFunc("/subscriptions/", r.handleSubscription)
 
@@ -422,6 +462,75 @@ func (r *Runtime) handleSubscription(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Allow", "GET, DELETE")
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", req.Method))
 	}
+}
+
+// StatusReport is the control-plane health snapshot served at /status:
+// swap progress, hardware filter state (including reconcile failures —
+// when ReconcileErrors is non-zero the device has fallen back to
+// pass-everything at least once and software filters carried
+// correctness), and the dynamic flow-offload table.
+type StatusReport struct {
+	Epoch         uint64 `json:"epoch"`
+	Swaps         uint64 `json:"swaps"`
+	Subscriptions int    `json:"subscriptions"`
+	// HardwareActive reports whether the device is currently filtering
+	// in hardware (false = pass-everything).
+	HardwareActive     bool   `json:"hardware_active"`
+	ReconcileErrors    uint64 `json:"reconcile_errors"`
+	LastReconcileError string `json:"last_reconcile_error,omitempty"`
+
+	Offload *OffloadStatus `json:"offload,omitempty"`
+}
+
+// OffloadStatus is the flow-offload slice of StatusReport.
+type OffloadStatus struct {
+	Rules            int    `json:"rules"`
+	PeakRules        int    `json:"peak_rules"`
+	Installed        uint64 `json:"installed"`
+	Removed          uint64 `json:"removed"`
+	EvictedLRU       uint64 `json:"evicted_lru"`
+	EvictedIdle      uint64 `json:"evicted_idle"`
+	Invalidated      uint64 `json:"invalidated"`
+	RejectedCapacity uint64 `json:"rejected_capacity"`
+	StaleDropped     uint64 `json:"stale_dropped"`
+}
+
+// Status assembles the StatusReport (also used directly by tests and
+// embedding applications).
+func (r *Runtime) Status() StatusReport {
+	st := StatusReport{
+		Epoch:              r.plane.Epoch(),
+		Swaps:              r.plane.Swaps(),
+		Subscriptions:      len(r.plane.List()),
+		HardwareActive:     r.dev.HardwareActive(),
+		ReconcileErrors:    r.plane.ReconcileErrors(),
+		LastReconcileError: r.plane.LastReconcileError(),
+	}
+	if r.offload != nil {
+		os := r.offload.Stats()
+		st.Offload = &OffloadStatus{
+			Rules:            os.RulesLive,
+			PeakRules:        os.PeakRules,
+			Installed:        os.Installed,
+			Removed:          os.Removed,
+			EvictedLRU:       os.EvictedLRU,
+			EvictedIdle:      os.EvictedIdle,
+			Invalidated:      os.Flushed,
+			RejectedCapacity: os.RejectedCapacity,
+			StaleDropped:     os.StaleDropped,
+		}
+	}
+	return st
+}
+
+// handleStatus serves the admin status snapshot.
+func (r *Runtime) handleStatus(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", req.Method))
+		return
+	}
+	writeJSON(w, http.StatusOK, r.Status())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
