@@ -21,7 +21,9 @@ import (
 	"time"
 
 	"retina"
+	"retina/internal/core"
 	"retina/internal/experiments"
+	"retina/internal/metrics"
 	"retina/internal/traffic"
 )
 
@@ -35,12 +37,13 @@ func main() {
 	offload := flag.Bool("offload", false, "enable the dynamic flow-offload fastpath for the -subs bench (per-flow drop rules for terminally-decided connections)")
 	offloadRules := flag.Int("offload-rules", 0, "flow-offload rule-table budget (0 = device capacity)")
 	offloadIdle := flag.Duration("offload-idle", 0, "flow-offload idle eviction horizon in virtual time (0 = 5s default, negative = never)")
+	latency := flag.Bool("latency", false, "enable latency tracking for the -subs bench and print the observability report (rx→delivery percentiles, per-stage cycles, duty cycle, RSS skew)")
 	flag.Parse()
 	experiments.BurstSize = *burst
 
 	if *subsFile != "" {
 		fo := retina.FlowOffloadConfig{Enable: *offload, MaxFlowRules: *offloadRules, IdleTimeout: *offloadIdle}
-		benchSubs(*subsFile, *scale, *seed, *burst, *cores, fo)
+		benchSubs(*subsFile, *scale, *seed, *burst, *cores, fo, *latency)
 		return
 	}
 
@@ -102,7 +105,7 @@ func main() {
 
 // benchSubs runs a declarative multi-subscription set over the campus
 // mix and reports throughput next to the per-subscription counters.
-func benchSubs(subsFile string, scale float64, seed int64, burst, cores int, fo retina.FlowOffloadConfig) {
+func benchSubs(subsFile string, scale float64, seed int64, burst, cores int, fo retina.FlowOffloadConfig, latency bool) {
 	specs, err := retina.LoadSubscriptionSpecs(subsFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -120,6 +123,7 @@ func benchSubs(subsFile string, scale float64, seed int64, burst, cores int, fo 
 	cfg.Cores = cores
 	cfg.BurstSize = burst
 	cfg.FlowOffload = fo
+	cfg.LatencyTracking = latency
 	rt, err := retina.NewDynamic(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -154,4 +158,43 @@ func benchSubs(subsFile string, scale float64, seed int64, burst, cores int, fo 
 		fmt.Printf("\nflow offload: %d frames dropped at the device, %d rules installed (peak %d live), %d evicted lru, %d evicted idle\n",
 			stats.NIC.HWOffloadDrop, ms.Installed, ms.PeakRules, ms.EvictedLRU, ms.EvictedIdle)
 	}
+	if latency {
+		printObservability(rt)
+	}
+}
+
+// printObservability renders the latency/duty/skew report: rx→delivery
+// percentiles, a Figure 7-style per-stage cycle table built from the
+// sampled stage histograms, each core's duty ledger, and the RSS skew.
+func printObservability(rt *retina.Runtime) {
+	sum := rt.LatencySummary()
+	fmt.Printf("\nlatency (rx → delivery, %d samples): p50 %s  p99 %s  p99.9 %s\n",
+		sum.Count, metrics.FormatNanos(sum.P50Ns), metrics.FormatNanos(sum.P99Ns),
+		metrics.FormatNanos(sum.P999Ns))
+
+	fmt.Println("\nstage            samples    p50          p99          ~cycles(p50)")
+	for _, st := range core.Stages() {
+		ss := rt.StageLatencySummary(st)
+		if ss.Count == 0 {
+			continue
+		}
+		fmt.Printf("%-15s %8d   %-10s   %-10s   %8.0f\n",
+			st.Slug(), ss.Count, metrics.FormatNanos(ss.P50Ns),
+			metrics.FormatNanos(ss.P99Ns), metrics.NsToCycles(ss.P50Ns))
+	}
+
+	fmt.Println("\ncore   busy%   mean-occ   bursts   wakeups   top flow")
+	for i, c := range rt.Cores() {
+		d, w := c.Duty(), c.Witness()
+		if d == nil || w == nil {
+			continue
+		}
+		topFlow := "-"
+		if top := w.Top(); len(top) > 0 {
+			topFlow = fmt.Sprintf("%s (%d pkts)", top[0].Tuple.String(), top[0].Packets)
+		}
+		fmt.Printf("%-5d  %5.1f   %8.2f   %6d   %7d   %s\n",
+			i, d.BusyFraction()*100, d.MeanOccupancy(), d.Bursts(), d.Wakeups(), topFlow)
+	}
+	fmt.Printf("\nrss skew (max/mean core share): %.3f\n", rt.RSSSkew())
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"retina/internal/traffic"
 )
@@ -56,9 +57,13 @@ func main() {
 		log.Fatalf("unknown workload %q", *workload)
 	}
 
+	start := time.Now()
 	n, err := traffic.WriteSourceToPcap(src, *out)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %d frames to %s\n", n, *out)
+	elapsed := time.Since(start)
+	rate := float64(n) / elapsed.Seconds()
+	fmt.Printf("wrote %d frames to %s in %v (%.2f Mfps generation rate)\n",
+		n, *out, elapsed.Round(time.Millisecond), rate/1e6)
 }

@@ -25,6 +25,7 @@ import (
 	"retina"
 	"retina/internal/export"
 	"retina/internal/filter"
+	"retina/internal/metrics"
 	"retina/internal/nic"
 	"retina/internal/traffic"
 )
@@ -49,6 +50,7 @@ func main() {
 	offload := flag.Bool("offload", false, "enable the dynamic flow-offload fastpath; the trace is replayed through the simulated NIC datapath (online mode) so decided flows are dropped at the device")
 	offloadRules := flag.Int("offload-rules", 0, "flow-offload rule-table budget (0 = device capacity)")
 	offloadIdle := flag.Duration("offload-idle", 0, "flow-offload idle eviction horizon in virtual time (0 = 5s default, negative = never)")
+	latency := flag.Bool("latency", false, "enable latency tracking and print rx→delivery percentiles in the summary")
 	flag.Parse()
 
 	if *explain {
@@ -76,6 +78,7 @@ func main() {
 	cfg.PacketBufBudget = *pktbufBudget
 	cfg.StreamBufBudget = *streamBudget
 	cfg.BurstSize = *burst
+	cfg.LatencyTracking = *latency
 	cfg.FlowOffload = retina.FlowOffloadConfig{
 		Enable:       *offload,
 		MaxFlowRules: *offloadRules,
@@ -175,6 +178,9 @@ func main() {
 	}
 	fmt.Printf("\n%d frames read, %d matched the filter, %d deliveries, %v elapsed\n",
 		r.Frames(), processed-filterDropped, count, stats.Elapsed)
+	if *latency {
+		printLatency(rt)
+	}
 	if *metricsAddr != "" {
 		// Offline mode bypasses the simulated NIC, so frames read from
 		// the pcap is the denominator.
@@ -239,6 +245,14 @@ func runSpecs(cfg retina.Config, subsFile, path, metricsAddr string) {
 		}
 		printDropTable(rt, rx)
 	}
+}
+
+// printLatency renders the rx→delivery percentile summary.
+func printLatency(rt *retina.Runtime) {
+	sum := rt.LatencySummary()
+	fmt.Printf("latency (rx → delivery, %d samples): p50 %s  p99 %s  p99.9 %s\n",
+		sum.Count, metrics.FormatNanos(sum.P50Ns), metrics.FormatNanos(sum.P99Ns),
+		metrics.FormatNanos(sum.P999Ns))
 }
 
 // printDropTable renders the final per-reason drop accounting, largest

@@ -9,6 +9,7 @@ import (
 	"retina/internal/filter"
 	"retina/internal/layers"
 	"retina/internal/mbuf"
+	"retina/internal/metrics"
 	"retina/internal/offload"
 	"retina/internal/overload"
 	"retina/internal/proto"
@@ -73,6 +74,11 @@ type Config struct {
 	// feedback loop that installs per-flow drop rules on the device
 	// (DESIGN.md §13).
 	Offload OffloadSink
+	// Latency enables the observability layer (DESIGN.md §14):
+	// rx→delivery and sampled per-stage latency histograms, poll-loop
+	// duty-cycle accounting, and the elephant-flow witness. Off by
+	// default; the hot path then pays nothing beyond nil checks.
+	Latency bool
 }
 
 // OffloadSink is the face of the flow-offload manager the core pushes
@@ -172,7 +178,28 @@ type Core struct {
 	// burst; flushOffload publishes them to cfg.Offload at burst
 	// boundaries (core goroutine only).
 	offloadReqs []offload.Request
+
+	// Observability state (all nil when Config.Latency is off). nowNs is
+	// the wall clock read once at the top of each burst; rx→delivery
+	// observations subtract mbuf RX stamps from it so delivery costs no
+	// clock read per packet.
+	lat   *LatencyStats
+	duty  *DutyStats
+	wit   *FlowWitness
+	nowNs int64
+	// obsBursts throttles folding the burst-local observability state
+	// into the shared structures to every obsFlushEvery-th burst:
+	// monitoring scrapes at second granularity, so per-burst folds
+	// (seven histogram flushes plus a mutexed witness copy) were pure
+	// overhead. AdvanceTime and Flush still fold unconditionally, so
+	// idle and end-of-run snapshots are exact.
+	obsBursts uint64
 }
+
+// obsFlushEvery is the observability fold interval in bursts (power of
+// two). At 64 bursts of 32 packets, shared metrics lag the hot path by
+// at most ~2k packets — microseconds at line rate.
+const obsFlushEvery = 64
 
 // burstDelta accumulates the per-packet hot counters of one burst in
 // plain (non-atomic) fields; ProcessBurst folds it into the shared
@@ -412,6 +439,12 @@ func NewCore(id int, cfg Config) (*Core, error) {
 	}
 	c.acked.Store(ps.Epoch)
 	c.protoCtr.Store(newProtoCounters(reg.Names()))
+	if cfg.Latency {
+		c.lat = NewLatencyStats()
+		c.stages.lat = c.lat
+		c.duty = &DutyStats{}
+		c.wit = &FlowWitness{}
+	}
 	// Shared budget hooks for every connection's reassembler: reserve
 	// consults the low-watermark signals first (under pool/ring pressure
 	// parking OOO segments is optional work we skip), then the byte
@@ -496,11 +529,26 @@ func (c *Core) Accountant() *overload.Accountant { return c.acct }
 // Now returns the core's current virtual tick.
 func (c *Core) Now() uint64 { return c.now }
 
+// Latency returns the core's latency histograms (nil when
+// Config.Latency is off).
+func (c *Core) Latency() *LatencyStats { return c.lat }
+
+// Duty returns the core's poll-loop duty accounting (nil when
+// Config.Latency is off).
+func (c *Core) Duty() *DutyStats { return c.duty }
+
+// Witness returns the core's elephant-flow witness (nil when
+// Config.Latency is off).
+func (c *Core) Witness() *FlowWitness { return c.wit }
+
 // ProcessMbuf consumes one packet buffer from the core's receive queue.
 // It owns the mbuf and frees it (directly or after buffering). This is
 // the burst=1 datapath; ProcessBurst is the batched equivalent.
 func (c *Core) ProcessMbuf(m *mbuf.Mbuf) {
 	c.pickup()
+	if c.lat != nil {
+		c.nowNs = metrics.NowNanos()
+	}
 	var d burstDelta
 	d.processed = 1
 	if m.RxTick > c.now {
@@ -528,6 +576,13 @@ func (c *Core) ProcessMbuf(m *mbuf.Mbuf) {
 	m.Free()
 	c.advance()
 	c.flushOffload()
+	if c.lat != nil {
+		c.obsBursts++
+		if c.obsBursts&(obsFlushEvery-1) == 0 {
+			c.lat.flush()
+			c.wit.publish()
+		}
+	}
 }
 
 // ProcessBurst consumes a burst of packet buffers in two passes: decode
@@ -544,6 +599,9 @@ func (c *Core) ProcessBurst(ms []*mbuf.Mbuf) {
 	n := len(ms)
 	if n == 0 {
 		return
+	}
+	if c.lat != nil {
+		c.nowNs = metrics.NowNanos()
 	}
 	slots := len(c.ps.Multi.Slots)
 	if cap(c.burstParsed) < n {
@@ -579,6 +637,13 @@ func (c *Core) ProcessBurst(ms []*mbuf.Mbuf) {
 	c.foldDelta(&d)
 	c.advance()
 	c.flushOffload()
+	if c.lat != nil {
+		c.obsBursts++
+		if c.obsBursts&(obsFlushEvery-1) == 0 {
+			c.lat.flush()
+			c.wit.publish()
+		}
+	}
 	mbuf.FreeBulk(ms)
 }
 
@@ -632,11 +697,18 @@ func (c *Core) advance() {
 // AdvanceTime explicitly moves the virtual clock (idle periods, end of
 // input) so timeouts fire without packet arrivals.
 func (c *Core) AdvanceTime(tick uint64) {
+	if c.lat != nil {
+		c.nowNs = metrics.NowNanos()
+	}
 	if tick > c.now {
 		c.now = tick
 	}
 	c.advance()
 	c.flushOffload()
+	if c.lat != nil {
+		c.lat.flush()
+		c.wit.publish()
+	}
 }
 
 // Frame dispositions, in ascending precedence: one frame of a
@@ -700,6 +772,9 @@ func (c *Core) processStateful(p *layers.Parsed, m *mbuf.Mbuf, mr filter.MultiRe
 	if !okc {
 		c.ctr.tableFull.Inc() // table full: connection-level loss
 		return
+	}
+	if c.wit != nil {
+		c.wit.Note(&conn.Tuple)
 	}
 
 	var cs *connState
@@ -1995,6 +2070,9 @@ func (c *Core) finishConn(conn *conntrack.Conn, cs *connState, reason conntrack.
 // Flush delivers records for all live connections (end of run) and
 // clears the table.
 func (c *Core) Flush() {
+	if c.lat != nil {
+		c.nowNs = metrics.NowNanos()
+	}
 	var conns []*conntrack.Conn
 	c.table.Each(func(conn *conntrack.Conn) { conns = append(conns, conn) })
 	for _, conn := range conns {
@@ -2004,6 +2082,10 @@ func (c *Core) Flush() {
 		c.queueOffloadRemove(conn, cs)
 	}
 	c.flushOffload()
+	if c.lat != nil {
+		c.lat.flush()
+		c.wit.publish()
+	}
 }
 
 // deliverPacket invokes one subscription's packet callback for an mbuf,
@@ -2014,6 +2096,17 @@ func (c *Core) Flush() {
 // zero-copy hand-off stays safe. Frame-level delivery counting is the
 // caller's job (a frame delivered to N subscriptions counts once).
 func (c *Core) deliverPacketTo(spec *SubSpec, m *mbuf.Mbuf) {
+	if l := c.lat; l != nil && m.RxNanos != 0 {
+		// Memo hit open-coded here: observeRx is past the inlining
+		// budget, and one compare beats a call on the per-delivery path.
+		// A negative delta converts to a huge uint64, misses the memo,
+		// and observeRx clamps it.
+		if n := uint64(c.nowNs - m.RxNanos); n == l.lastRxNs {
+			l.rxLocal.ObserveAt(l.lastRxIdx, n)
+		} else {
+			l.observeRx(c.nowNs - m.RxNanos)
+		}
+	}
 	c.pktOut = Packet{Data: m.Data(), Tick: m.RxTick, CoreID: c.ID}
 	c.stages.Time(StageCallback, func() { spec.Sub.OnPacket(&c.pktOut) })
 	spec.Delivered.Inc()
@@ -2032,6 +2125,10 @@ func (c *Core) deliverSessionTo(spec *SubSpec, conn *conntrack.Conn, s *proto.Se
 // loop (the bisection baseline). A poked ring wakes the loop without
 // data so a newly published program set is picked up while idle.
 func (c *Core) Run(queue RxRing) {
+	if c.duty != nil {
+		c.runAccounted(queue)
+		return
+	}
 	buf := make([]*mbuf.Mbuf, c.burstSize)
 	for {
 		c.pickup()
@@ -2047,6 +2144,50 @@ func (c *Core) Run(queue RxRing) {
 		} else {
 			c.ProcessBurst(buf[:n])
 		}
+	}
+	c.pickup()
+	c.Flush()
+}
+
+// runAccounted is Run with duty-cycle accounting: every wall interval
+// is attributed to busy (dequeue + processing) or wait (parked in ring
+// Wait), and ring depth observed at each dequeue is integrated over the
+// iteration it fed — two clock reads per burst or park, never per
+// packet.
+func (c *Core) runAccounted(queue RxRing) {
+	buf := make([]*mbuf.Mbuf, c.burstSize)
+	last := metrics.NowNanos()
+	for {
+		c.pickup()
+		n := queue.DequeueBurst(buf)
+		if n == 0 {
+			t0 := metrics.NowNanos()
+			c.duty.busyNs.Add(t0 - last)
+			ok := queue.Wait()
+			last = metrics.NowNanos()
+			c.duty.waitNs.Add(last - t0)
+			c.duty.wakeups.Add(1)
+			if !ok {
+				break
+			}
+			continue
+		}
+		depth := int64(n)
+		if c.cfg.RingSignal != nil {
+			used, _ := c.cfg.RingSignal()
+			depth += int64(used) // what remained after this dequeue
+		}
+		if c.burstSize == 1 {
+			c.ProcessMbuf(buf[0])
+		} else {
+			c.ProcessBurst(buf[:n])
+		}
+		now := metrics.NowNanos()
+		iter := now - last
+		c.duty.busyNs.Add(iter)
+		c.duty.occWeighted.Add(iter * depth)
+		c.duty.bursts.Add(1)
+		last = now
 	}
 	c.pickup()
 	c.Flush()

@@ -50,6 +50,10 @@ func (s Stage) String() string {
 type StageStats struct {
 	timers  [numStages]metrics.StageTimer
 	profile bool
+	// lat, when non-nil, receives deterministic 1-in-128 per-stage
+	// latency samples into its burst-local histograms (observe.go). It
+	// is owned by the same core goroutine that calls Time/TimeBatch.
+	lat *LatencyStats
 }
 
 // NewStageStats creates stage counters; profile enables wall-time
@@ -64,31 +68,61 @@ func (s *StageStats) Count(st Stage, n uint64) {
 }
 
 // Time runs fn under the stage's timer (or untimed when profiling is
-// off).
+// off). With latency tracking on, 1 invocation in 128 is additionally
+// timed into the stage's latency histogram — the sampling decision
+// depends only on the invocation count, so recorded sample counts are
+// identical across burst sizes.
 func (s *StageStats) Time(st Stage, fn func()) {
-	if !s.profile {
-		s.timers[st].Add(1, 0)
+	// The sampling decision rides the invocation count the stage timer
+	// increments anyway: record when the count crosses a
+	// 2^latencySampleShift boundary. One counter, one atomic.
+	n := s.timers[st].AddCount(1)
+	var rec uint64
+	if s.lat != nil {
+		rec = n>>latencySampleShift - (n-1)>>latencySampleShift
+	}
+	if !s.profile && rec == 0 {
 		fn()
 		return
 	}
-	start := time.Now()
+	// metrics.NowNanos is the monotonic-only read; time.Now would also
+	// fetch the wall clock and costs twice as much per sample.
+	start := metrics.NowNanos()
 	fn()
-	s.timers[st].Observe(time.Since(start))
+	d := metrics.NowNanos() - start
+	if s.profile {
+		s.timers[st].AddNanos(time.Duration(d))
+	}
+	if rec > 0 {
+		s.lat.stageLocal[st].ObserveNs(uint64(d))
+	}
 }
 
 // TimeBatch runs fn once on behalf of n invocations of the stage,
 // attributing the measured duration to all of them. The burst datapath
 // uses it to pay for two clock reads per batch instead of two per
 // packet; the per-invocation averages stay comparable to Time's.
+// Latency samples get the mean per-invocation duration, recorded once
+// per 128 invocations like Time's.
 func (s *StageStats) TimeBatch(st Stage, n uint64, fn func()) {
-	if !s.profile {
-		s.timers[st].Add(n, 0)
+	total := s.timers[st].AddCount(n)
+	var rec uint64
+	if s.lat != nil {
+		rec = total>>latencySampleShift - (total-n)>>latencySampleShift
+	}
+	if !s.profile && rec == 0 {
 		fn()
 		return
 	}
-	start := time.Now()
+	start := metrics.NowNanos()
 	fn()
-	s.timers[st].Add(n, time.Since(start))
+	d := metrics.NowNanos() - start
+	if s.profile {
+		s.timers[st].AddNanos(time.Duration(d))
+	}
+	if rec > 0 && n > 0 {
+		s.lat.stageLocal[st].ObserveN(float64(d)/float64(n), rec)
+	}
 }
 
 // Invocations returns how many times the stage ran.

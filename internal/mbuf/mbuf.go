@@ -47,6 +47,10 @@ type Mbuf struct {
 	Queue   uint16 // RSS queue the packet was delivered to
 	RxTick  uint64 // virtual-clock tick at reception
 	RSSHash uint32 // RSS hash computed by the (simulated) NIC
+	// RxNanos is the wall-clock RX timestamp (metrics.NowNanos at NIC
+	// ingress), the software stand-in for the NIC's hardware timestamp
+	// register. Zero when RX stamping is disabled.
+	RxNanos int64
 
 	// Mark carries the deepest matched predicate-trie node id, set by the
 	// software packet filter and read by the connection filter.
@@ -205,7 +209,7 @@ func (p *Pool) Alloc() (*Mbuf, error) {
 		m.off = 0
 	}
 	m.ln = 0
-	m.Port, m.Queue, m.RxTick, m.RSSHash, m.Mark = 0, 0, 0, 0, 0
+	m.Port, m.Queue, m.RxTick, m.RSSHash, m.Mark, m.RxNanos = 0, 0, 0, 0, 0, 0
 	m.refs.Store(1)
 	p.allocs.Add(1)
 	return m, nil
@@ -257,7 +261,7 @@ func (p *Pool) AllocBulk(out []*Mbuf) int {
 			m.off = 0
 		}
 		m.ln = 0
-		m.Port, m.Queue, m.RxTick, m.RSSHash, m.Mark = 0, 0, 0, 0, 0
+		m.Port, m.Queue, m.RxTick, m.RSSHash, m.Mark, m.RxNanos = 0, 0, 0, 0, 0, 0
 		m.refs.Store(1)
 	}
 	p.allocs.Add(uint64(n))

@@ -17,6 +17,18 @@ import (
 // cycles" so stage costs are reported in the paper's units (Figure 7).
 const CPUGHz = 3.0
 
+// processStart anchors NowNanos: timestamps are nanoseconds since
+// process start, so they stay small, positive, and strictly monotonic
+// (time.Since uses the monotonic clock reading).
+var processStart = time.Now()
+
+// NowNanos returns a monotonic nanosecond timestamp — the software
+// stand-in for the NIC's hardware RX timestamp register. All latency
+// math subtracts two NowNanos readings, so the epoch is irrelevant;
+// what matters is that wall-clock steps can never make a latency
+// negative.
+func NowNanos() int64 { return int64(time.Since(processStart)) }
+
 // NsToCycles converts nanoseconds to nominal CPU cycles.
 func NsToCycles(ns float64) float64 { return ns * CPUGHz }
 
@@ -61,6 +73,16 @@ func (s *StageTimer) Add(n uint64, d time.Duration) {
 	s.count.Add(n)
 	s.nanos.Add(uint64(d))
 }
+
+// AddCount records n invocations with no duration and returns the new
+// invocation count. Returning the count lets the latency layer key its
+// deterministic sampling off the increment the stage path already pays,
+// instead of maintaining a second per-stage counter — and skips Add's
+// add-of-zero on the nanos word.
+func (s *StageTimer) AddCount(n uint64) uint64 { return s.count.Add(n) }
+
+// AddNanos attributes d to invocations already counted via AddCount.
+func (s *StageTimer) AddNanos(d time.Duration) { s.nanos.Add(uint64(d)) }
 
 // Count returns the number of invocations.
 func (s *StageTimer) Count() uint64 { return s.count.Load() }
@@ -271,4 +293,18 @@ func FormatBytes(b uint64) string {
 		exp++
 	}
 	return fmt.Sprintf("%.1f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}
+
+// FormatNanos renders a nanosecond duration in human units (ns, µs, ms,
+// s), keeping monitor lines compact across six orders of magnitude.
+func FormatNanos(ns float64) string {
+	switch {
+	case ns < 1e3:
+		return fmt.Sprintf("%.0fns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	}
+	return fmt.Sprintf("%.2fs", ns/1e9)
 }

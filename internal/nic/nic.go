@@ -9,6 +9,7 @@ import (
 	"retina/internal/filter"
 	"retina/internal/layers"
 	"retina/internal/mbuf"
+	"retina/internal/metrics"
 )
 
 // CapabilityModel describes what the simulated device's flow engine
@@ -87,6 +88,11 @@ type Config struct {
 	// operation, and buffers are drawn from the pool in bulk. 0 or 1
 	// selects the legacy per-packet enqueue.
 	Burst int
+	// RxStamp stamps every accepted frame with metrics.NowNanos at
+	// ingress (Mbuf.RxNanos) — the hardware RX timestamp the latency
+	// subsystem measures rx→delivery against. The clock is read once
+	// per Deliver/DeliverBurst call, not per frame.
+	RxStamp bool
 }
 
 // ErrTooManyRules reports flow-table exhaustion.
@@ -113,6 +119,9 @@ type NIC struct {
 	pending [][]*mbuf.Mbuf
 	cache   []*mbuf.Mbuf
 	cacheN  int
+	// nowNs is the RX timestamp applied to frames of the current
+	// Deliver/DeliverBurst call (producer-owned; 0 when RxStamp is off).
+	nowNs int64
 
 	// ruleMu serializes table mutations across the two writers (the
 	// control plane's static reconciles and the offload manager's flow
@@ -398,6 +407,11 @@ func (n *NIC) RingOccupancy(i int) (used, capacity int) {
 	return n.rings[i].Occupancy()
 }
 
+// RingHighWater reports the deepest occupancy queue i has ever reached.
+func (n *NIC) RingHighWater(i int) int {
+	return n.rings[i].HighWater()
+}
+
 // FlushPending publishes every staged partial burst to its ring. The
 // producer calls it when the source goes idle or ends so no frame waits
 // for a burst that will never fill. Not safe concurrently with Deliver.
@@ -427,6 +441,9 @@ func (n *NIC) Close() {
 // concurrent use (a port has one wire).
 func (n *NIC) Deliver(frame []byte, tick uint64) {
 	n.rxFrames.Add(1)
+	if n.cfg.RxStamp {
+		n.nowNs = metrics.NowNanos()
+	}
 	n.deliver(frame, tick)
 }
 
@@ -471,6 +488,7 @@ func (n *NIC) deliver(frame []byte, tick uint64) {
 	m.Queue = uint16(queue)
 	m.RxTick = tick
 	m.RSSHash = hash
+	m.RxNanos = n.nowNs
 
 	if n.burst <= 1 {
 		if n.rings[queue].Enqueue(m) {
@@ -493,6 +511,9 @@ func (n *NIC) deliver(frame []byte, tick uint64) {
 // staged rings and bulk buffer cache underneath.
 func (n *NIC) DeliverBurst(frames [][]byte, ticks []uint64) {
 	n.rxFrames.Add(uint64(len(frames)))
+	if n.cfg.RxStamp {
+		n.nowNs = metrics.NowNanos()
+	}
 	for i, f := range frames {
 		n.deliver(f, ticks[i])
 	}

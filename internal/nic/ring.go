@@ -33,6 +33,10 @@ type Ring struct {
 
 	closed atomic.Bool
 	poked  atomic.Bool
+	// high is the deepest occupancy ever observed, maintained by the
+	// producer after each enqueue (monotonic; plain atomic store suffices
+	// since only the producer writes it).
+	high atomic.Uint64
 	// notify carries consumer wakeups. The producer's non-blocking send
 	// after an enqueue (or Close) pairs with the consumer's blocking
 	// receive in Wait; capacity 1 makes the token sticky, so the
@@ -76,6 +80,9 @@ func (r *Ring) EnqueueBurst(ms []*mbuf.Mbuf) int {
 		r.buf[(tail+i)&r.mask] = ms[i]
 	}
 	r.tail.Store(tail + n) // publishes the slots written above
+	if d := tail + n - r.head.Load(); d > r.high.Load() {
+		r.high.Store(d)
+	}
 	r.wake()
 	return int(n)
 }
@@ -168,6 +175,17 @@ func (r *Ring) Occupancy() (used, capacity int) {
 		d = r.capa
 	}
 	return int(d), int(r.capa)
+}
+
+// HighWater reports the deepest occupancy the ring has ever reached —
+// the burstiness witness behind the retina_ring_high_water gauge. Safe
+// from any goroutine.
+func (r *Ring) HighWater() int {
+	h := r.high.Load()
+	if h > r.capa {
+		h = r.capa
+	}
+	return int(h)
 }
 
 func (r *Ring) wake() {

@@ -1,0 +1,318 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+)
+
+// Log-linear histogram layout (HDR-histogram style): bucket bounds grow
+// by powers of two between 2^MinExp and 2^MaxExp, with Sub linearly
+// spaced sub-buckets per octave. The result is bounded relative error
+// (≤ 1/Sub per octave) across five decades of latency with a few dozen
+// buckets — where uniform buckets would need thousands to cover 100ns
+// poll-loop iterations and 10ms tail stalls in the same histogram.
+//
+// The layout also admits an O(1) Index that replaces the binary search
+// in Histogram.Observe on the packet hot path: exponent extraction via
+// math.Frexp plus one multiply, no branches over the bounds slice.
+type LogLinear struct {
+	MinExp int // first bound is 2^MinExp
+	MaxExp int // last bound is 2^MaxExp
+	Sub    int // linear sub-buckets per octave (power of two not required)
+}
+
+// LatencyLayout is the layout used for all pipeline latency histograms:
+// 128ns .. ~67ms in 2 sub-buckets per octave (~39 bounds, ≤50% relative
+// error — plenty for p50/p99/p999 on a log-scale phenomenon).
+var LatencyLayout = LogLinear{MinExp: 7, MaxExp: 26, Sub: 2}
+
+// Bounds materializes the ascending bucket upper bounds.
+func (l LogLinear) Bounds() []float64 {
+	out := make([]float64, 0, (l.MaxExp-l.MinExp)*l.Sub+1)
+	out = append(out, math.Ldexp(1, l.MinExp))
+	for e := l.MinExp; e < l.MaxExp; e++ {
+		lo := math.Ldexp(1, e)
+		for s := 1; s <= l.Sub; s++ {
+			out = append(out, lo+lo*float64(s)/float64(l.Sub))
+		}
+	}
+	return out
+}
+
+// Index returns the bucket index for v, matching
+// sort.SearchFloat64s(l.Bounds(), v) exactly (Observe semantics: bucket
+// i counts v ≤ bounds[i]; the final index is the +Inf bucket). The
+// equivalence is pinned by a differential test.
+func (l LogLinear) Index(v float64) int {
+	first := math.Ldexp(1, l.MinExp)
+	if v <= first {
+		return 0
+	}
+	if v > math.Ldexp(1, l.MaxExp) {
+		return (l.MaxExp-l.MinExp)*l.Sub + 1
+	}
+	fr, exp := math.Frexp(v) // v = fr·2^exp, fr ∈ [0.5, 1)
+	e := exp - 1             // v ∈ (2^e, 2^(e+1)]  except exact powers
+	frac := 2*fr - 1         // position in (0, 1) within the octave; 0 at 2^e
+	if frac == 0 {
+		// Exact power of two: upper bound of the previous octave.
+		e--
+		frac = 1
+	}
+	s := int(math.Ceil(frac * float64(l.Sub)))
+	return 1 + (e-l.MinExp)*l.Sub + (s - 1)
+}
+
+// IndexNs is Index for non-negative integer nanosecond values, in pure
+// integer math: bits.Len64 for the octave, one multiply and divide for
+// the sub-bucket — no float conversion or Frexp on the packet hot path.
+// Matches Index(float64(n)) exactly (pinned by a differential test).
+func (l LogLinear) IndexNs(n uint64) int {
+	if n <= uint64(1)<<uint(l.MinExp) {
+		return 0
+	}
+	if n > uint64(1)<<uint(l.MaxExp) {
+		return (l.MaxExp-l.MinExp)*l.Sub + 1
+	}
+	e := bits.Len64(n) - 1
+	p := uint64(1) << uint(e)
+	if n == p {
+		// Exact power of two: upper bound of the previous octave.
+		e--
+		p >>= 1
+	}
+	// ceil of the octave fraction; >> e, not / p — the compiler can't see
+	// p is a power of two, and a DIV would cost more than the rest of
+	// this function combined.
+	s := int(((n-p)*uint64(l.Sub) + p - 1) >> uint(e))
+	return 1 + (e-l.MinExp)*l.Sub + (s - 1)
+}
+
+// NewLogLinearHistogram builds a Histogram over the layout's bounds with
+// the O(1) index function installed.
+func NewLogLinearHistogram(l LogLinear) *Histogram {
+	h := NewHistogramBuckets(l.Bounds())
+	h.index = l.Index
+	return h
+}
+
+// addFloatBits atomically adds v to a float64 stored as uint64 bits.
+// This is the only way the histogram sum is ever mutated, so concurrent
+// Observe and Merge compose correctly: each CAS either lands or retries
+// against the other's published value — no update is lost, though a
+// reader may observe sum and count from slightly different instants
+// (acceptable for monitoring; buckets are each individually exact).
+func addFloatBits(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Merge folds other's current contents into h. Both histograms must
+// share the same bucket bounds. Merge is safe to run concurrently with
+// Observe on either histogram: buckets and count are atomic adds, and
+// the sum goes through the same CAS loop as Observe. It is the fold
+// half of the burst-local accumulation pattern — cores observe into a
+// core-local histogram and Merge it into the shared one periodically.
+func (h *Histogram) Merge(other *Histogram) {
+	if len(other.bounds) != len(h.bounds) {
+		panic("telemetry: Merge over mismatched histogram bounds")
+	}
+	for i := range other.counts {
+		if n := other.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	if n := other.count.Load(); n != 0 {
+		h.count.Add(n)
+	}
+	if s := other.Sum(); s != 0 {
+		addFloatBits(&h.sum, s)
+	}
+}
+
+// BucketCounts returns a snapshot of the non-cumulative bucket counts
+// (len(bounds)+1 entries; the last is the +Inf bucket).
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Bounds returns the histogram's bucket upper bounds.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts
+// with linear interpolation inside the target bucket. Returns 0 for an
+// empty histogram. Values in the +Inf bucket report the last finite
+// bound (a floor — honest for tail estimates given the layout's range).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// LocalHist is a plain (non-atomic) histogram owned by a single
+// goroutine, the burst-local half of the accumulation pattern: the core
+// Observes into it with no atomics at all, then FlushInto folds the
+// accumulated delta into the shared atomic Histogram periodically
+// (every few bursts) and resets. Must share bounds with the flush target.
+type LocalHist struct {
+	index  func(float64) int
+	layout LogLinear // for the integer-index ObserveNs fast path
+	counts []uint64
+	count  uint64
+	sum    float64
+	sumNs  uint64 // integer-sample sum, folded into sum at flush
+	nb     int    // len(bounds), for SearchFloat64s fallback
+	bounds []float64
+	// lo/hi bound the touched bucket range since the last flush, so
+	// FlushInto scans only the handful of buckets a burst actually hit
+	// instead of the whole layout. lo > hi means nothing touched.
+	lo, hi int
+}
+
+// NewLocalHist builds a burst-local histogram over the layout's bounds.
+func NewLocalHist(l LogLinear) *LocalHist {
+	b := l.Bounds()
+	return &LocalHist{index: l.Index, layout: l, counts: make([]uint64, len(b)+1), nb: len(b), bounds: b, lo: len(b) + 1, hi: -1}
+}
+
+// Observe records one sample. Not safe for concurrent use.
+func (h *LocalHist) Observe(v float64) {
+	i := h.idx(v)
+	h.counts[i]++
+	if i < h.lo {
+		h.lo = i
+	}
+	if i > h.hi {
+		h.hi = i
+	}
+	h.count++
+	h.sum += v
+}
+
+// ObserveNs records one integer-nanosecond sample through the layout's
+// pure-integer index — the packet hot path's variant of Observe (no
+// float conversion, no indirect call). Returns the bucket index so the
+// caller can replay identical values through ObserveAt.
+func (h *LocalHist) ObserveNs(n uint64) int {
+	i := h.layout.IndexNs(n)
+	h.counts[i]++
+	if i < h.lo {
+		h.lo = i
+	}
+	if i > h.hi {
+		h.hi = i
+	}
+	h.count++
+	h.sumNs += n
+	return i
+}
+
+// ObserveAt records one integer sample whose bucket index the caller
+// memoized from an ObserveNs since the last flush (flush resets the
+// touched-bucket range the index vouches for, so callers must
+// invalidate their memo then). Three increments — it inlines where
+// ObserveNs cannot.
+func (h *LocalHist) ObserveAt(i int, n uint64) {
+	h.counts[i]++
+	h.count++
+	h.sumNs += n
+}
+
+// ObserveN records n samples of value v (used when one timing covers a
+// batch: per-item value, batch count).
+func (h *LocalHist) ObserveN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	i := h.idx(v)
+	h.counts[i] += n
+	if i < h.lo {
+		h.lo = i
+	}
+	if i > h.hi {
+		h.hi = i
+	}
+	h.count += n
+	h.sum += v * float64(n)
+}
+
+func (h *LocalHist) idx(v float64) int {
+	if h.index != nil {
+		return h.index(v)
+	}
+	return sort.SearchFloat64s(h.bounds, v)
+}
+
+// Count returns the number of samples since the last flush.
+func (h *LocalHist) Count() uint64 { return h.count }
+
+// FlushInto folds the accumulated samples into dst and resets. The
+// shared histogram must have identical bounds.
+func (h *LocalHist) FlushInto(dst *Histogram) {
+	if h.count == 0 {
+		return
+	}
+	if len(dst.counts) != len(h.counts) {
+		panic("telemetry: FlushInto over mismatched histogram bounds")
+	}
+	for i := h.lo; i <= h.hi; i++ {
+		if n := h.counts[i]; n != 0 {
+			dst.counts[i].Add(n)
+			h.counts[i] = 0
+		}
+	}
+	dst.count.Add(h.count)
+	addFloatBits(&dst.sum, h.sum+float64(h.sumNs))
+	h.count, h.sum, h.sumNs = 0, 0, 0
+	h.lo, h.hi = len(h.counts), -1
+}
+
+// AttachHistogram registers an externally owned histogram under
+// name+labels so layers that keep per-core histograms (the latency
+// subsystem) can expose them without copying — the pull-collector
+// pattern extended to histogram families.
+func (r *Registry) AttachHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.seriesLocked(name, help, kindHistogram, labels)
+	if s.hist == nil {
+		s.hist = h
+	}
+}

@@ -144,7 +144,11 @@ type Histogram struct {
 	bounds []float64 // ascending upper bounds; +Inf bucket implicit
 	counts []atomic.Uint64
 	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits, updated by CAS
+	sum    atomic.Uint64 // float64 bits, updated by CAS (see addFloatBits)
+	// index, when set, computes the bucket index in O(1) instead of a
+	// binary search — installed by NewLogLinearHistogram. Must agree
+	// with sort.SearchFloat64s(bounds, v) exactly.
+	index func(float64) int
 }
 
 // NewHistogramBuckets builds a histogram with the given ascending upper
@@ -157,16 +161,15 @@ func NewHistogramBuckets(bounds []float64) *Histogram {
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
-	i := sort.SearchFloat64s(h.bounds, v)
+	var i int
+	if h.index != nil {
+		i = h.index(v)
+	} else {
+		i = sort.SearchFloat64s(h.bounds, v)
+	}
 	h.counts[i].Add(1)
 	h.count.Add(1)
-	for {
-		old := h.sum.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sum.CompareAndSwap(old, next) {
-			return
-		}
-	}
+	addFloatBits(&h.sum, v)
 }
 
 // Count returns the number of observations.
@@ -410,6 +413,10 @@ func (r *Registry) Samples() []Sample {
 
 func formatValue(v float64, isInt bool) string {
 	if isInt && v == math.Trunc(v) && !math.IsInf(v, 0) {
+		if v < 0 {
+			// Gauges may go negative; uint64 conversion would wrap.
+			return strconv.FormatInt(int64(v), 10)
+		}
 		return strconv.FormatUint(uint64(v), 10)
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)

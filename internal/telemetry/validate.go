@@ -78,6 +78,82 @@ func ValidateExposition(data []byte) error {
 	return nil
 }
 
+// ParsedSample is one sample line from a parsed exposition payload,
+// with its label pairs decoded.
+type ParsedSample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label returns the value of the named label ("" when absent).
+func (p ParsedSample) Label(key string) string {
+	for _, l := range p.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// ParseExposition validates a Prometheus text payload and returns every
+// sample with decoded labels — the read half of WritePrometheus, used
+// by retina-top to consume a /metrics scrape without an external
+// client library.
+func ParseExposition(data []byte) ([]ParsedSample, error) {
+	if err := ValidateExposition(data); err != nil {
+		return nil, err
+	}
+	var out []ParsedSample
+	for _, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ParsedSample{Name: name, Labels: parseLabelPairs(labels), Value: value})
+	}
+	return out, nil
+}
+
+// parseLabelPairs decodes `k="v",k2="v2"` into Label pairs, undoing the
+// exposition escapes. The input has already passed validateLabelPairs.
+func parseLabelPairs(s string) []Label {
+	var out []Label
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			break
+		}
+		key := s[i : i+eq]
+		i += eq + 2 // skip = and opening quote
+		var b strings.Builder
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(s[i])
+			i++
+		}
+		i++ // closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+		out = append(out, Label{Key: key, Value: b.String()})
+	}
+	return out
+}
+
 // parseSampleLine parses `name{labels} value [timestamp]`.
 func parseSampleLine(line string) (name, labels string, value float64, err error) {
 	rest := line

@@ -40,6 +40,17 @@ type LiveStats struct {
 	// in-flight packet buffers. It is computed from atomic counters only,
 	// so snapshots never race with the processing cores.
 	MemoryEstimate uint64
+
+	// Observability fields (zero unless Config.LatencyTracking):
+	// rx→delivery latency percentiles aggregated across cores, the mean
+	// poll-loop duty cycle, and the RSS-skew gauge.
+	LatencyCount uint64
+	LatencyP50Ns float64
+	LatencyP99Ns float64
+	// LatencyP999Ns is the 99.9th percentile rx→delivery latency.
+	LatencyP999Ns float64
+	BusyFraction  float64
+	RSSSkew       float64
 }
 
 // connStateEstimate is the approximate per-connection footprint used by
@@ -77,6 +88,24 @@ func (r *Runtime) LiveStats() LiveStats {
 	s.Drops = r.DropBreakdown()
 	s.MemoryEstimate = uint64(s.Conns)*connStateEstimate +
 		uint64(r.pool.InUse())*uint64(mbuf.DefaultBufSize)
+	if r.cfg.LatencyTracking {
+		sum := r.LatencySummary()
+		s.LatencyCount = sum.Count
+		s.LatencyP50Ns = sum.P50Ns
+		s.LatencyP99Ns = sum.P99Ns
+		s.LatencyP999Ns = sum.P999Ns
+		var busy, total int64
+		for _, c := range r.cores {
+			if d := c.Duty(); d != nil {
+				busy += d.BusyNs()
+				total += d.BusyNs() + d.WaitNs()
+			}
+		}
+		if total > 0 {
+			s.BusyFraction = float64(busy) / float64(total)
+		}
+		s.RSSSkew = r.RSSSkew()
+	}
 	return s
 }
 
@@ -158,13 +187,19 @@ func (r *Runtime) LogMonitor(w io.Writer, interval time.Duration) (stop func()) 
 		}
 		rate := float64(s.Delivered-last.Delivered) / dt.Seconds()
 		cbRate := float64(s.Callbacks-last.Callbacks) / dt.Seconds()
-		fmt.Fprintf(w, "[retina] rx=%d delivered=%d (%.0f pps) cb[%s]=%d (%.0f/s) hw_drop=%d loss=%d (%.4f%%) drops: %s conns=%d pool=%d/%d mem=%s\n",
+		var lat string
+		if r.cfg.LatencyTracking {
+			lat = fmt.Sprintf(" lat[p50/p99/p999]=%s/%s/%s busy=%.0f%% skew=%.2f",
+				metrics.FormatNanos(s.LatencyP50Ns), metrics.FormatNanos(s.LatencyP99Ns),
+				metrics.FormatNanos(s.LatencyP999Ns), s.BusyFraction*100, s.RSSSkew)
+		}
+		fmt.Fprintf(w, "[retina] rx=%d delivered=%d (%.0f pps) cb[%s]=%d (%.0f/s) hw_drop=%d loss=%d (%.4f%%) drops: %s conns=%d pool=%d/%d mem=%s%s\n",
 			s.RxFrames, s.Delivered, rate,
 			r.sub.Level, s.Callbacks, cbRate,
 			s.HWDropped, s.Loss, s.LossRate()*100,
 			formatDrops(s.Drops),
 			s.Conns, s.PoolFree, s.PoolTotal,
-			metrics.FormatBytes(s.MemoryEstimate))
+			metrics.FormatBytes(s.MemoryEstimate), lat)
 		last = s
 	})
 }

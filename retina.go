@@ -31,6 +31,7 @@ import (
 	"retina/internal/ctl"
 	"retina/internal/filter"
 	"retina/internal/mbuf"
+	"retina/internal/metrics"
 	"retina/internal/nic"
 	"retina/internal/offload"
 	"retina/internal/overload"
@@ -216,6 +217,12 @@ type Config struct {
 	// with the fastpath on or off; the dropped frames count under
 	// hw_offload_drop.
 	FlowOffload FlowOffloadConfig
+	// LatencyTracking enables the observability layer (DESIGN.md §14):
+	// RX timestamps on every frame, rx→delivery and sampled per-stage
+	// latency histograms, per-core duty-cycle accounting, the RSS-skew
+	// gauge inputs, and the elephant-flow witness. Costs under 3% of
+	// throughput (pinned by BenchmarkLatencyTracking); off by default.
+	LatencyTracking bool
 }
 
 // FlowOffloadConfig are the dynamic flow-offload knobs.
@@ -441,6 +448,7 @@ func build(cfg Config, sub *Subscription) (*Runtime, error) {
 		Pool:       pool,
 		Burst:      cfg.BurstSize,
 		Capability: capModel,
+		RxStamp:    cfg.LatencyTracking,
 	})
 	if cfg.HardwareFilter {
 		if err := dev.InstallRules(ps.Multi.Rules); err != nil {
@@ -490,6 +498,7 @@ func build(cfg Config, sub *Subscription) (*Runtime, error) {
 			RingSignal: func() (used, capacity int) {
 				return dev.RingOccupancy(q)
 			},
+			Latency: cfg.LatencyTracking,
 		}
 		if mgr != nil {
 			coreCfg.Offload = mgr
@@ -638,6 +647,13 @@ func (r *Runtime) RunOffline(src Source) Stats {
 	burst := r.cfg.BurstSize
 	batch := make([]*mbuf.Mbuf, 0, burst)
 	var lastTick uint64
+	// Offline mode bypasses the NIC, so RX stamping happens here: one
+	// clock read per batch, like the device's per-DeliverBurst read.
+	stamp := r.cfg.LatencyTracking
+	var nowNs int64
+	if stamp {
+		nowNs = metrics.NowNanos()
+	}
 	for {
 		frame, tick, ok := src.Next()
 		if !ok {
@@ -648,15 +664,22 @@ func (r *Runtime) RunOffline(src Source) Stats {
 			continue
 		}
 		m.RxTick = tick
+		m.RxNanos = nowNs
 		lastTick = tick
 		if burst <= 1 {
 			c.ProcessMbuf(m)
+			if stamp {
+				nowNs = metrics.NowNanos()
+			}
 			continue
 		}
 		batch = append(batch, m)
 		if len(batch) >= burst {
 			c.ProcessBurst(batch)
 			batch = batch[:0]
+			if stamp {
+				nowNs = metrics.NowNanos()
+			}
 		}
 	}
 	if len(batch) > 0 {
@@ -664,4 +687,92 @@ func (r *Runtime) RunOffline(src Source) Stats {
 	}
 	c.Flush()
 	return r.stats(start, lastTick)
+}
+
+// RSSSkew reports max/mean of the per-core packet share — 1.0 means
+// perfectly even RSS spread, N (the core count) means one core took
+// everything. 1.0 when no traffic has been processed. This is the gauge
+// the ROADMAP's NUMA/elephant-rebalancing item consumes.
+func (r *Runtime) RSSSkew() float64 {
+	var total, max uint64
+	for _, c := range r.cores {
+		p := c.Stats().Processed
+		total += p
+		if p > max {
+			max = p
+		}
+	}
+	if total == 0 {
+		return 1.0
+	}
+	mean := float64(total) / float64(len(r.cores))
+	return float64(max) / mean
+}
+
+// LatencySummary aggregates the rx→delivery histograms across cores.
+type LatencySummary struct {
+	Count  uint64
+	P50Ns  float64
+	P99Ns  float64
+	P999Ns float64
+}
+
+// LatencySummary merges every core's rx→delivery histogram and returns
+// its percentiles. Zero summary when LatencyTracking is off or nothing
+// was delivered. Safe while the runtime processes traffic (counts are
+// at-burst-boundary consistent).
+func (r *Runtime) LatencySummary() LatencySummary {
+	agg := r.aggregateRxHist()
+	if agg == nil || agg.Count() == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		Count:  agg.Count(),
+		P50Ns:  agg.Quantile(0.50),
+		P99Ns:  agg.Quantile(0.99),
+		P999Ns: agg.Quantile(0.999),
+	}
+}
+
+// aggregateRxHist merges per-core rx→delivery histograms (nil when
+// latency tracking is off).
+func (r *Runtime) aggregateRxHist() *telemetry.Histogram {
+	var agg *telemetry.Histogram
+	for _, c := range r.cores {
+		lat := c.Latency()
+		if lat == nil {
+			return nil
+		}
+		if agg == nil {
+			agg = telemetry.NewLogLinearHistogram(telemetry.LatencyLayout)
+		}
+		agg.Merge(lat.RxHist())
+	}
+	return agg
+}
+
+// StageLatencySummary merges every core's sampled histogram for one
+// pipeline stage and returns its percentiles (zero when tracking is
+// off).
+func (r *Runtime) StageLatencySummary(st core.Stage) LatencySummary {
+	var agg *telemetry.Histogram
+	for _, c := range r.cores {
+		lat := c.Latency()
+		if lat == nil {
+			return LatencySummary{}
+		}
+		if agg == nil {
+			agg = telemetry.NewLogLinearHistogram(telemetry.LatencyLayout)
+		}
+		agg.Merge(lat.StageHist(st))
+	}
+	if agg == nil || agg.Count() == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		Count:  agg.Count(),
+		P50Ns:  agg.Quantile(0.50),
+		P99Ns:  agg.Quantile(0.99),
+		P999Ns: agg.Quantile(0.999),
+	}
 }

@@ -265,6 +265,89 @@ func (r *Runtime) registerMetrics() {
 			func() uint64 { _, _, dropped := r.tracer.Stats(); return dropped },
 			telemetry.L("state", "dropped"))
 	}
+
+	r.registerObservabilityMetrics()
+}
+
+// registerObservabilityMetrics wires the DESIGN.md §14 observability
+// layer into the registry: receive-ring occupancy and high-water marks,
+// the RSS-skew gauge, flow-offload partition occupancy, and — when
+// LatencyTracking is on — the per-core latency histograms, duty-cycle
+// ledger, and elephant-flow witness share.
+func (r *Runtime) registerObservabilityMetrics() {
+	reg := r.reg
+
+	// Ring occupancy and producer-maintained high-water marks are always
+	// available (the ring keeps them regardless of LatencyTracking).
+	for q := range r.cores {
+		q := q
+		lbl := telemetry.L("queue", fmt.Sprintf("%d", q))
+		reg.GaugeFunc("retina_ring_occupancy", "frames currently queued on a receive ring",
+			func() float64 { used, _ := r.dev.RingOccupancy(q); return float64(used) }, lbl)
+		reg.GaugeFunc("retina_ring_high_water", "peak receive-ring occupancy since start",
+			func() float64 { return float64(r.dev.RingHighWater(q)) }, lbl)
+	}
+
+	// RSS skew: max/mean per-core packet share (1.0 = perfectly even).
+	reg.GaugeFunc("retina_rss_skew", "max/mean per-core packet share (1.0 = even RSS spread)",
+		r.RSSSkew)
+
+	// Flow-offload partition occupancy and hit ratio: how full the
+	// dynamic rule partition is and what fraction of offered frames the
+	// installed rules absorbed in hardware.
+	if r.offload != nil {
+		reg.GaugeFunc("retina_offload_partition_used", "per-flow rules installed in the dynamic partition",
+			func() float64 { return float64(r.dev.FlowRuleCount()) })
+		reg.GaugeFunc("retina_offload_partition_capacity", "dynamic flow-rule partition capacity",
+			func() float64 { return float64(r.dev.FlowCapacity()) })
+		reg.GaugeFunc("retina_offload_hit_ratio", "fraction of offered frames dropped by per-flow hardware rules",
+			func() float64 {
+				s := r.dev.Stats()
+				if s.RxFrames == 0 {
+					return 0
+				}
+				return float64(s.HWOffloadDrop) / float64(s.RxFrames)
+			})
+	}
+
+	if !r.cfg.LatencyTracking {
+		return
+	}
+
+	for i, c := range r.cores {
+		c := c
+		lat, duty, wit := c.Latency(), c.Duty(), c.Witness()
+		if lat == nil || duty == nil || wit == nil {
+			continue
+		}
+		lbl := telemetry.L("core", fmt.Sprintf("%d", i))
+
+		// Latency histograms: the shared per-core histograms are attached
+		// directly — the registry reads their atomics at scrape time.
+		reg.AttachHistogram("retina_latency_rx_to_delivery_nanoseconds",
+			"NIC RX stamp to callback delivery latency", lat.RxHist(), lbl)
+		for _, st := range core.Stages() {
+			reg.AttachHistogram("retina_latency_stage_nanoseconds",
+				"per-invocation pipeline stage latency (1-in-128 sampled)",
+				lat.StageHist(st), lbl, telemetry.L("stage", st.Slug()))
+		}
+
+		// Duty-cycle ledger.
+		reg.CounterFunc("retina_core_busy_nanos_total", "nanoseconds spent dequeuing and processing",
+			func() uint64 { return uint64(duty.BusyNs()) }, lbl)
+		reg.CounterFunc("retina_core_wait_nanos_total", "nanoseconds parked in ring wait",
+			func() uint64 { return uint64(duty.WaitNs()) }, lbl)
+		reg.CounterFunc("retina_core_bursts_total", "non-empty bursts processed by the poll loop",
+			duty.Bursts, lbl)
+		reg.CounterFunc("retina_core_wakeups_total", "times the poll loop fell into ring wait",
+			duty.Wakeups, lbl)
+		reg.GaugeFunc("retina_core_busy_fraction", "busy/(busy+wait) duty cycle of the poll loop",
+			duty.BusyFraction, lbl)
+		reg.GaugeFunc("retina_core_ring_occupancy_mean", "time-weighted mean ring depth seen at dequeue",
+			duty.MeanOccupancy, lbl)
+		reg.GaugeFunc("retina_core_elephant_share", "top witnessed flow's estimated (1-in-32 sampled) share of the core's packets",
+			func() float64 { return wit.TopShare(c.Stats().Processed) }, lbl)
+	}
 }
 
 // registerSubscriptionMetrics registers one subscription's counter
@@ -480,6 +563,35 @@ type StatusReport struct {
 	LastReconcileError string `json:"last_reconcile_error,omitempty"`
 
 	Offload *OffloadStatus `json:"offload,omitempty"`
+
+	// RSSSkew is always reported (max/mean per-core packet share);
+	// Observability is present only when Config.LatencyTracking is on.
+	RSSSkew       float64              `json:"rss_skew"`
+	Observability *ObservabilityStatus `json:"observability,omitempty"`
+}
+
+// ObservabilityStatus is the latency/duty slice of StatusReport,
+// populated when Config.LatencyTracking is enabled.
+type ObservabilityStatus struct {
+	// Latency summarizes rx→delivery across all cores.
+	Latency LatencySummary `json:"latency"`
+	Cores   []CoreDuty     `json:"cores"`
+}
+
+// CoreDuty is one core's duty-cycle and elephant snapshot.
+type CoreDuty struct {
+	Core          int         `json:"core"`
+	BusyFraction  float64     `json:"busy_fraction"`
+	MeanOccupancy float64     `json:"mean_ring_occupancy"`
+	Bursts        uint64      `json:"bursts"`
+	Wakeups       uint64      `json:"wakeups"`
+	Elephants     []FlowShare `json:"elephants,omitempty"`
+}
+
+// FlowShare is one witnessed elephant flow.
+type FlowShare struct {
+	Flow    string `json:"flow"`
+	Packets uint64 `json:"packets"`
 }
 
 // OffloadStatus is the flow-offload slice of StatusReport.
@@ -519,6 +631,28 @@ func (r *Runtime) Status() StatusReport {
 			RejectedCapacity: os.RejectedCapacity,
 			StaleDropped:     os.StaleDropped,
 		}
+	}
+	st.RSSSkew = r.RSSSkew()
+	if r.cfg.LatencyTracking {
+		obs := &ObservabilityStatus{Latency: r.LatencySummary()}
+		for i, c := range r.cores {
+			d, w := c.Duty(), c.Witness()
+			if d == nil || w == nil {
+				continue
+			}
+			cd := CoreDuty{
+				Core:          i,
+				BusyFraction:  d.BusyFraction(),
+				MeanOccupancy: d.MeanOccupancy(),
+				Bursts:        d.Bursts(),
+				Wakeups:       d.Wakeups(),
+			}
+			for _, fc := range w.Top() {
+				cd.Elephants = append(cd.Elephants, FlowShare{Flow: fc.Tuple.String(), Packets: fc.Packets})
+			}
+			obs.Cores = append(obs.Cores, cd)
+		}
+		st.Observability = obs
 	}
 	return st
 }
