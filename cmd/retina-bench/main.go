@@ -38,8 +38,10 @@ func main() {
 	offloadRules := flag.Int("offload-rules", 0, "flow-offload rule-table budget (0 = device capacity)")
 	offloadIdle := flag.Duration("offload-idle", 0, "flow-offload idle eviction horizon in virtual time (0 = 5s default, negative = never)")
 	latency := flag.Bool("latency", false, "enable latency tracking for the -subs bench and print the observability report (rx→delivery percentiles, per-stage cycles, duty cycle, RSS skew)")
+	conntrackTable := flag.String("conntrack", "", "connection-table backend: flat (open-addressing, default) or map (oracle)")
 	flag.Parse()
 	experiments.BurstSize = *burst
+	experiments.ConntrackTable = *conntrackTable
 
 	if *subsFile != "" {
 		fo := retina.FlowOffloadConfig{Enable: *offload, MaxFlowRules: *offloadRules, IdleTimeout: *offloadIdle}
@@ -122,6 +124,7 @@ func benchSubs(subsFile string, scale float64, seed int64, burst, cores int, fo 
 	cfg := retina.DefaultConfig()
 	cfg.Cores = cores
 	cfg.BurstSize = burst
+	cfg.ConntrackTable = experiments.ConntrackTable
 	cfg.FlowOffload = fo
 	cfg.LatencyTracking = latency
 	rt, err := retina.NewDynamic(cfg)

@@ -42,6 +42,7 @@ func main() {
 	traceSample := flag.Int("trace-sample", 0, "trace 1 in N connection lifecycles (0 = off); dump via the metrics endpoint's /traces")
 	maxConns := flag.Int("max-conns", 0, "bound the connection table (0 = unlimited); at the bound the longest-idle unestablished connection is evicted")
 	noPressureEvict := flag.Bool("no-pressure-evict", false, "with -max-conns, refuse new connections at the bound instead of evicting")
+	conntrackTable := flag.String("conntrack", "", "connection-table backend: flat (open-addressing, default) or map (oracle)")
 	reasmBudget := flag.Int64("reasm-budget", 0, "per-core byte budget for out-of-order reassembly buffers (0 = 8MiB default, negative = unlimited)")
 	pktbufBudget := flag.Int64("pktbuf-budget", 0, "per-core byte budget for pre-verdict packet buffers (0 = 8MiB default, negative = unlimited)")
 	streamBudget := flag.Int64("stream-budget", 0, "per-core byte budget for pre-verdict stream buffers (0 = 16MiB default, negative = unlimited)")
@@ -74,6 +75,7 @@ func main() {
 	cfg.TraceSample = *traceSample
 	cfg.MaxConns = *maxConns
 	cfg.NoPressureEvict = *noPressureEvict
+	cfg.ConntrackTable = *conntrackTable
 	cfg.ReassemblyBudget = *reasmBudget
 	cfg.PacketBufBudget = *pktbufBudget
 	cfg.StreamBufBudget = *streamBudget

@@ -1,0 +1,8 @@
+//go:build !conntrack_map
+
+package conntrack
+
+// defaultBackend selects the index used when Config.Backend is empty.
+// The conntrack_map build tag flips the whole binary onto the Go-map
+// oracle, so any suite can be replayed against it unchanged.
+const defaultBackend = BackendFlat

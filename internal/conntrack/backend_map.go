@@ -1,0 +1,8 @@
+//go:build conntrack_map
+
+package conntrack
+
+// defaultBackend under the conntrack_map build tag: every Table whose
+// Config.Backend is empty runs on the Go-map oracle, so the full test
+// suite doubles as a differential harness (`go test -tags conntrack_map`).
+const defaultBackend = BackendMap

@@ -9,6 +9,13 @@
 // evicts those quickly, while a longer inactivity timeout governs
 // established connections. Timer wheels fire lazily and the table
 // revalidates deadlines, so refreshing a connection costs O(1).
+//
+// The connection store itself is pluggable (Config.Backend): the default
+// flat backend is an open-addressing, cache-line-bucketed hash table
+// with slab-allocated Conn structs (see flat.go) so the per-packet
+// lookup path touches at most two cache lines and allocates nothing in
+// steady state; the map backend is the original Go-map implementation,
+// kept as a differential-testing oracle.
 package conntrack
 
 import (
@@ -95,6 +102,51 @@ func (r ExpireReason) String() string {
 	return "?"
 }
 
+// Backend names for Config.Backend.
+const (
+	// BackendFlat is the open-addressing, cache-line-bucketed table
+	// with slab-allocated connections (the default).
+	BackendFlat = "flat"
+	// BackendMap is the Go-map implementation, kept as the
+	// differential-testing oracle.
+	BackendMap = "map"
+)
+
+// index is the connection store behind Table: canonical-key lookup,
+// id-keyed resolution for timer-wheel entries, and slot lifecycle. Both
+// implementations are single-owner (core goroutine); only stats() is
+// safe to call concurrently.
+type index interface {
+	lookup(key layers.FiveTuple) *Conn
+	alloc(key layers.FiveTuple, id uint64) *Conn
+	remove(c *Conn) bool
+	byID(id uint64) *Conn
+	size() int
+	each(fn func(*Conn))
+	stats() IndexStats
+	check() error
+}
+
+// IndexStats describes the health of the connection store. Safe to read
+// from monitoring goroutines (backends keep atomic mirrors).
+type IndexStats struct {
+	// Backend is BackendFlat or BackendMap.
+	Backend string
+	// Slots is the bucket-slot capacity (0 for the map backend).
+	Slots int
+	// Live is the number of stored connections.
+	Live int
+	// LoadFactor is Live/Slots (0 for the map backend).
+	LoadFactor float64
+	// MaxProbe is the worst insert probe length in buckets since the
+	// table was created (flat backend only).
+	MaxProbe uint64
+	// Rehashes counts bucket-array rebuilds (flat backend only).
+	Rehashes uint64
+	// SlabBytes is the Conn slab footprint (flat backend only).
+	SlabBytes uint64
+}
+
 // Conn is one tracked connection. Tuple preserves the orientation of the
 // first packet seen (originator → responder).
 type Conn struct {
@@ -136,6 +188,19 @@ type Conn struct {
 	expSeq     [2]uint32 // next expected TCP sequence number per direction
 	expSeqInit [2]bool
 
+	// ckey is the canonical form of Tuple, set by the index at
+	// allocation and used as the removal key.
+	ckey layers.FiveTuple
+	// origCanonical records whether the first packet's tuple was
+	// already in canonical order; Orig classifies later packets by
+	// comparing orientations instead of whole tuples.
+	origCanonical bool
+	// symmetric marks tuples whose two directions are identical
+	// (src and dst endpoint equal): direction is then inherently
+	// indistinguishable, so every packet counts as originator and
+	// establishment falls back to a packet-count rule.
+	symmetric bool
+
 	// ExtraMem accounts buffers owned by reassembly/parsing for this
 	// connection, included in Table.MemoryBytes (Figure 8).
 	ExtraMem int
@@ -148,7 +213,19 @@ type Conn struct {
 func (c *Conn) ServiceName() string { return c.Service }
 
 // Orig reports whether ft runs in the connection's original direction.
-func (c *Conn) Orig(ft layers.FiveTuple) bool { return ft == c.Tuple }
+// Orientations are compared, not tuples: ft equals either Tuple or its
+// reverse, and exactly one of the two is in canonical order — except for
+// self-symmetric tuples, where both directions compare equal and the old
+// `ft == c.Tuple` test classified every packet as originator (keeping
+// the data-both-ways establishment rule from ever firing). Symmetric
+// connections have no distinguishable direction; Orig reports true and
+// establishment uses a packet-count rule instead.
+func (c *Conn) Orig(ft layers.FiveTuple) bool {
+	if c.symmetric {
+		return true
+	}
+	return ft.IsCanonical() == c.origCanonical
+}
 
 // connBaseBytes approximates the in-memory footprint of one tracked
 // connection (struct, table entry, timer entries), used for the memory
@@ -177,6 +254,11 @@ type Config struct {
 	// tracked connection is established, GetOrCreate still refuses —
 	// established state is never shed for an unproven newcomer.
 	PressureEvict bool
+	// Backend selects the connection store: BackendFlat (default) or
+	// BackendMap (the differential-testing oracle). Empty selects the
+	// build default; the conntrack_map build tag flips that to the
+	// oracle so whole suites can be replayed against it.
+	Backend string
 }
 
 // Ticks per time unit at the runtime's 1µs virtual tick.
@@ -198,13 +280,18 @@ func DefaultConfig() Config {
 }
 
 // Table is a single core's connection table.
+//
+// Tick discipline: the ticks passed to GetOrCreate/Touch/TouchSeq must
+// not lag the largest tick passed to Advance (the core's virtual clock
+// is monotonic and advances before packet processing). Under that
+// contract no live connection's deadline ever predates Now(), which
+// CheckInvariants asserts.
 type Table struct {
 	cfg    Config
-	conns  map[layers.FiveTuple]*Conn // canonical-tuple key
-	byID   map[uint64]*Conn
+	idx    index
 	wheel  *timerwheel.Hierarchical
 	nextID uint64
-	now    uint64
+	now    uint64 // virtual clock: largest tick passed to Advance
 
 	// Cumulative event counters are atomic so monitoring goroutines can
 	// read them while the owning core processes packets; the core's own
@@ -219,56 +306,83 @@ type Table struct {
 	// subscription state (mirrors Advance's onExpire).
 	evictFn func(*Conn, ExpireReason)
 
-	// count mirrors len(conns) atomically so monitoring goroutines can
-	// observe table occupancy without touching the (unsynchronized,
-	// core-owned) map.
+	// count mirrors the store size atomically so monitoring goroutines
+	// can observe table occupancy without touching the (unsynchronized,
+	// core-owned) index.
 	count atomic.Int64
 }
 
-// NewTable builds a table for one core.
+// NewTable builds a table for one core. An unrecognized Config.Backend
+// panics: the value is validated where operators can set it (root
+// config), so a bad value here is a programming error.
 func NewTable(cfg Config) *Table {
 	gran := cfg.WheelGranularity
 	if gran == 0 {
 		gran = 100 * TickMillisecond
 	}
 	cfg.WheelGranularity = gran
+	if cfg.Backend == "" {
+		cfg.Backend = defaultBackend
+	}
+	var idx index
+	switch cfg.Backend {
+	case BackendFlat:
+		idx = newFlatIndex(cfg.MaxConns)
+	case BackendMap:
+		idx = newMapIndex()
+	default:
+		panic("conntrack: unknown backend " + cfg.Backend)
+	}
 	// Inner wheel: 512 slots (51.2s horizon at default granularity);
 	// outer: 64 laps (~54 min), comfortably above the 5m default.
 	return &Table{
 		cfg:   cfg,
-		conns: make(map[layers.FiveTuple]*Conn),
-		byID:  make(map[uint64]*Conn),
+		idx:   idx,
 		wheel: timerwheel.NewHierarchical(512, 64, gran),
 	}
 }
 
 // Len returns the number of tracked connections.
-func (t *Table) Len() int { return len(t.conns) }
+func (t *Table) Len() int { return t.idx.size() }
 
 // ConcurrentLen returns the number of tracked connections via an atomic
 // mirror, safe to call from monitoring goroutines while the owning core
 // is processing.
 func (t *Table) ConcurrentLen() int { return int(t.count.Load()) }
 
+// Backend reports which connection store the table runs on.
+func (t *Table) Backend() string { return t.cfg.Backend }
+
+// IndexStats reports connection-store health (occupancy, load factor,
+// probe length, rehashes, slab footprint). Safe to call from monitoring
+// goroutines.
+func (t *Table) IndexStats() IndexStats { return t.idx.stats() }
+
+// Now returns the table's virtual clock: the largest tick passed to
+// Advance. Ticks passed to GetOrCreate/Touch must not lag it (see the
+// Table tick discipline); CheckInvariants asserts no live connection's
+// deadline predates it.
+func (t *Table) Now() uint64 { return t.now }
+
 // CountMatching returns how many tracked connections have any of the
 // mask's subscription bits set in their SubMask. Core-goroutine only
 // (drain observation goes through the owning core's table accessor).
 func (t *Table) CountMatching(mask uint64) int {
 	n := 0
-	for _, c := range t.conns {
+	t.idx.each(func(c *Conn) {
 		if c.SubMask&mask != 0 {
 			n++
 		}
-	}
+	})
 	return n
 }
 
 // MemoryBytes estimates the memory held by tracked connections.
 func (t *Table) MemoryBytes() uint64 {
 	total := uint64(0)
-	for _, c := range t.conns {
+	t.idx.each(func(c *Conn) {
 		total += connBaseBytes + uint64(c.ExtraMem)
-	}
+	})
 	return total
 }
 
@@ -302,34 +416,32 @@ func (t *Table) FullDrops() uint64 { return t.full.Load() }
 // Lookup finds the connection for a five-tuple in either direction.
 func (t *Table) Lookup(ft layers.FiveTuple) (*Conn, bool) {
 	key, _ := ft.Canonical()
-	c, ok := t.conns[key]
-	return c, ok
+	c := t.idx.lookup(key)
+	return c, c != nil
 }
 
 // GetOrCreate returns the connection for ft, creating it at tick if
 // absent. created reports whether a new entry was made; ok is false only
 // when the table is at MaxConns.
 func (t *Table) GetOrCreate(ft layers.FiveTuple, tick uint64) (c *Conn, created, ok bool) {
-	key, _ := ft.Canonical()
-	if c, exists := t.conns[key]; exists {
+	key, canonical := ft.Canonical()
+	if c := t.idx.lookup(key); c != nil {
 		return c, false, true
 	}
-	if t.cfg.MaxConns > 0 && len(t.conns) >= t.cfg.MaxConns {
+	if t.cfg.MaxConns > 0 && t.idx.size() >= t.cfg.MaxConns {
 		if !t.cfg.PressureEvict || !t.evictForPressure() {
 			t.full.Add(1)
 			return nil, false, false
 		}
 	}
 	t.nextID++
-	c = &Conn{
-		ID:        t.nextID,
-		Tuple:     ft, // orientation of the first packet
-		FirstTick: tick,
-		LastTick:  tick,
-	}
-	t.conns[key] = c
-	t.byID[c.ID] = c
-	t.count.Store(int64(len(t.conns)))
+	c = t.idx.alloc(key, t.nextID)
+	c.Tuple = ft // orientation of the first packet
+	c.origCanonical = canonical
+	c.symmetric = key == key.Reverse()
+	c.FirstTick = tick
+	c.LastTick = tick
+	t.count.Store(int64(t.idx.size()))
 	t.created.Add(1)
 	t.scheduleExpiry(c)
 	return c, true, true
@@ -347,6 +459,16 @@ const pressureScanBudget = 32
 // candidate-only bound would walk the entire wheel per admission.
 const pressureVisitBudget = 256
 
+// idlerThan orders pressure-eviction candidates: longest idle first,
+// connection ID as the tie-break. The ID tie-break makes victim choice a
+// pure function of table history, so the flat and map backends — whose
+// iteration orders differ — evict identical victims (a precondition for
+// the flat-vs-map differential tests).
+func idlerThan(c, than *Conn) bool {
+	return than == nil || c.LastTick < than.LastTick ||
+		(c.LastTick == than.LastTick && c.ID < than.ID)
+}
+
 // evictForPressure frees one table slot by evicting the longest-idle
 // unestablished connection found via a bounded timer-wheel scan,
 // reporting whether a slot was freed. Established connections are never
@@ -359,10 +481,10 @@ func (t *Table) evictForPressure() bool {
 	seen, visited := 0, 0
 	t.wheel.Scan(func(id, _ uint64) bool {
 		visited++
-		c, ok := t.byID[id]
-		if ok && !c.Established { // skip stale entries and protected conns
+		c := t.idx.byID(id)
+		if c != nil && !c.Established { // skip stale entries and protected conns
 			seen++
-			if victim == nil || c.LastTick < victim.LastTick {
+			if idlerThan(c, victim) {
 				victim = c
 			}
 		}
@@ -371,21 +493,16 @@ func (t *Table) evictForPressure() bool {
 	if victim == nil {
 		// The wheel yields no victim when timeouts are disabled (nothing
 		// scheduled) or when the visit budget ran out among established
-		// entries. Fall back to a bounded scan of the table itself:
-		// longest-idle within a random sample rather than within the
-		// earliest-deadline slots.
-		for _, c := range t.conns {
-			if c.Established {
-				continue
-			}
-			seen++
-			if victim == nil || c.LastTick < victim.LastTick {
+		// entries. Fall back to an exact scan of the whole store: the
+		// order-independent (LastTick, ID) minimum costs O(conns) but
+		// only runs when the wheel path failed, and — unlike a bounded
+		// sample of backend iteration order — picks the same victim on
+		// every backend.
+		t.idx.each(func(c *Conn) {
+			if !c.Established && idlerThan(c, victim) {
 				victim = c
 			}
-			if seen >= pressureScanBudget {
-				break
-			}
-		}
+		})
 	}
 	if victim == nil {
 		return false
@@ -431,11 +548,19 @@ func (t *Table) Touch(c *Conn, ft layers.FiveTuple, tick uint64, wireBytes, payl
 // TouchSeq is Touch with the TCP sequence number, enabling out-of-order
 // detection. hasSeq is false for non-TCP packets.
 func (t *Table) TouchSeq(c *Conn, ft layers.FiveTuple, tick uint64, wireBytes, payloadBytes int, tcpFlags uint8, seq uint32, hasSeq bool) {
-	c.LastTick = tick
+	if tick > c.LastTick {
+		c.LastTick = tick
+	}
 	orig := c.Orig(ft)
 	if hasSeq {
+		// SYN and FIN each consume one sequence number, so a segment
+		// carrying both advances the expected sequence by two beyond
+		// its payload.
 		seqLen := uint32(payloadBytes)
-		if tcpFlags&(layers.TCPSyn|layers.TCPFin) != 0 {
+		if tcpFlags&layers.TCPSyn != 0 {
+			seqLen++
+		}
+		if tcpFlags&layers.TCPFin != 0 {
 			seqLen++
 		}
 		if seqLen > 0 {
@@ -478,8 +603,11 @@ func (t *Table) TouchSeq(c *Conn, ft layers.FiveTuple, tick uint64, wireBytes, p
 		}
 	}
 	// Data flowing both ways also establishes (covers UDP and captures
-	// joined mid-connection).
-	if !c.Established && c.PktsOrig > 0 && c.PktsResp > 0 {
+	// joined mid-connection). Symmetric tuples have no distinguishable
+	// directions — every packet counts as originator — so any two
+	// packets establish them.
+	if !c.Established && ((c.PktsOrig > 0 && c.PktsResp > 0) ||
+		(c.symmetric && c.PktsOrig+c.PktsResp >= 2)) {
 		c.Established = true
 		t.scheduleExpiry(c)
 	}
@@ -491,26 +619,32 @@ func (t *Table) TouchSeq(c *Conn, ft layers.FiveTuple, tick uint64, wireBytes, p
 	}
 }
 
-// Remove deletes c from the table with the given reason.
+// Remove deletes c from the table with the given reason. A second Remove
+// of the same connection is a no-op, but the pointer must not be held
+// across subsequent GetOrCreate calls: the flat backend recycles Conn
+// storage, so a long-stale pointer may alias a different, newer
+// connection (validate with the ID, which is never reused).
 func (t *Table) Remove(c *Conn, reason ExpireReason) {
-	key, _ := c.Tuple.Canonical()
-	if cur, ok := t.conns[key]; !ok || cur != c {
+	if !t.idx.remove(c) {
 		return
 	}
-	delete(t.conns, key)
-	delete(t.byID, c.ID)
-	t.count.Store(int64(len(t.conns)))
+	t.count.Store(int64(t.idx.size()))
 	t.expired[reason].Add(1)
 }
 
 // Advance moves the virtual clock, expiring due connections. onExpire
 // runs for each expired connection before it leaves the table, letting
 // the runtime deliver connection records and tear down subscriptions.
+// The clock is monotonic: a tick earlier than a previous Advance is
+// clamped forward.
 func (t *Table) Advance(tick uint64, onExpire func(*Conn, ExpireReason)) {
+	if tick < t.now {
+		tick = t.now
+	}
 	t.now = tick
 	t.wheel.Advance(tick, func(id uint64) {
-		c, ok := t.byID[id]
-		if !ok {
+		c := t.idx.byID(id)
+		if c == nil {
 			return // already removed; stale timer entry
 		}
 		d := t.deadline(c)
@@ -536,44 +670,61 @@ func (t *Table) Advance(tick uint64, onExpire func(*Conn, ExpireReason)) {
 
 // CheckInvariants verifies the table's internal accounting. It is cheap
 // enough (O(conns)) to call from fuzz targets and tests after every
-// operation: the two indexes must mirror each other, the atomic count
-// must match, per-connection memory accounting must be non-negative, and
+// operation: the store's internal structure must verify (bucket/slab
+// accounting for the flat backend, mirror maps for the oracle), the
+// atomic count must match, every live connection must be keyed by its
+// canonical tuple and resolvable by ID, no live deadline may predate the
+// virtual clock (every due connection expired in the last Advance), and
 // every created connection must be either live or expired — never both,
 // never neither (no leaks, no double-removal).
 func (t *Table) CheckInvariants() error {
-	if len(t.conns) != len(t.byID) {
-		return fmt.Errorf("conntrack: %d conns but %d byID entries", len(t.conns), len(t.byID))
+	if err := t.idx.check(); err != nil {
+		return err
 	}
-	if got := t.count.Load(); got != int64(len(t.conns)) {
-		return fmt.Errorf("conntrack: atomic count %d != len(conns) %d", got, len(t.conns))
+	live := t.idx.size()
+	if got := t.count.Load(); got != int64(live) {
+		return fmt.Errorf("conntrack: atomic count %d != store size %d", got, live)
 	}
-	for key, c := range t.conns {
-		canon, _ := c.Tuple.Canonical()
-		if canon != key {
-			return fmt.Errorf("conntrack: conn %d keyed at %v but canonical tuple is %v", c.ID, key, canon)
+	var err error
+	t.idx.each(func(c *Conn) {
+		if err != nil {
+			return
 		}
-		if byID, ok := t.byID[c.ID]; !ok || byID != c {
-			return fmt.Errorf("conntrack: conn %d missing or mismatched in byID", c.ID)
+		if canon, _ := c.Tuple.Canonical(); canon != c.ckey {
+			err = fmt.Errorf("conntrack: conn %d keyed at %v but canonical tuple is %v", c.ID, c.ckey, canon)
+			return
+		}
+		if got := t.idx.byID(c.ID); got != c {
+			err = fmt.Errorf("conntrack: conn %d not resolvable by ID", c.ID)
+			return
 		}
 		if c.ExtraMem < 0 {
-			return fmt.Errorf("conntrack: conn %d ExtraMem %d is negative", c.ID, c.ExtraMem)
+			err = fmt.Errorf("conntrack: conn %d ExtraMem %d is negative", c.ID, c.ExtraMem)
+			return
 		}
+		if d := t.deadline(c); d > 0 && d <= t.now {
+			err = fmt.Errorf("conntrack: conn %d deadline %d predates clock %d (missed expiry)", c.ID, d, t.now)
+			return
+		}
+	})
+	if err != nil {
+		return err
 	}
 	totalExpired := uint64(0)
 	for i := range t.expired {
 		totalExpired += t.expired[i].Load()
 	}
-	if created := t.created.Load(); created != uint64(len(t.conns))+totalExpired {
+	if created := t.created.Load(); created != uint64(live)+totalExpired {
 		return fmt.Errorf("conntrack: created %d != live %d + expired %d (leak or double-remove)",
-			created, len(t.conns), totalExpired)
+			created, live, totalExpired)
 	}
 	return t.wheel.CheckInvariants()
 }
 
 // Each iterates over all tracked connections (diagnostics, Figure 8
-// sampling). The callback must not mutate the table.
+// sampling). The callback must not mutate the table. Iteration order is
+// backend-defined: deterministic bucket order on the flat backend,
+// randomized on the map oracle — consumers must not depend on it.
 func (t *Table) Each(fn func(*Conn)) {
-	for _, c := range t.conns {
-		fn(c)
-	}
+	t.idx.each(fn)
 }

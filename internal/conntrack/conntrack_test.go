@@ -199,9 +199,10 @@ func TestRemoveThenRecreateSameTuple(t *testing.T) {
 	tbl := NewTable(DefaultConfig())
 	fwd := ft("10.0.0.1", "10.0.0.2", 1, 443)
 	c1, _, _ := tbl.GetOrCreate(fwd, 0)
+	id1 := c1.ID // capture before removal: the slab recycles Conn storage
 	tbl.Remove(c1, ExpireEvicted)
 	c2, created, _ := tbl.GetOrCreate(fwd, 100)
-	if !created || c1 == c2 {
+	if !created || id1 == c2.ID || c2.FirstTick != 100 {
 		t.Fatal("recreation after removal failed")
 	}
 	// The stale timer for c1 must not remove c2.
@@ -338,12 +339,14 @@ func TestPressureEvictionAdmitsNewConn(t *testing.T) {
 		tbl.Touch(c, ft("10.0.0.1", "10.0.0.2", uint16(i+1), 443), uint64(i), 60, 0, layers.TCPSyn)
 	}
 
-	var evicted []*Conn
+	// Field values are captured inside the handler: after GetOrCreate
+	// returns, the victim's recycled storage holds the new connection.
+	var evictedLast []uint64
 	tbl.SetEvictHandler(func(c *Conn, reason ExpireReason) {
 		if reason != ExpirePressure {
 			t.Fatalf("evict handler reason = %v, want ExpirePressure", reason)
 		}
-		evicted = append(evicted, c)
+		evictedLast = append(evictedLast, c.LastTick)
 	})
 
 	// A fifth connection at the bound must evict the longest-idle
@@ -361,11 +364,11 @@ func TestPressureEvictionAdmitsNewConn(t *testing.T) {
 	if tbl.PressureEvictions() != 1 {
 		t.Fatalf("PressureEvictions = %d, want 1", tbl.PressureEvictions())
 	}
-	if len(evicted) != 1 {
-		t.Fatalf("evict handler called %d times, want 1", len(evicted))
+	if len(evictedLast) != 1 {
+		t.Fatalf("evict handler called %d times, want 1", len(evictedLast))
 	}
-	if evicted[0].LastTick != 0 {
-		t.Fatalf("evicted LastTick = %d, want the longest-idle (0)", evicted[0].LastTick)
+	if evictedLast[0] != 0 {
+		t.Fatalf("evicted LastTick = %d, want the longest-idle (0)", evictedLast[0])
 	}
 	if err := tbl.CheckInvariants(); err != nil {
 		t.Fatalf("invariants after eviction: %v", err)

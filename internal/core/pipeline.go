@@ -140,8 +140,11 @@ type Core struct {
 	// have waited longest and are the least likely to still match).
 	// Entries go stale when a connection's buffer resolves; they are
 	// skipped on scan and compacted when the queue outgrows the live
-	// count (pendingCount).
-	pendingBuf   []*conntrack.Conn
+	// count (pendingCount). Entries carry the connection ID captured at
+	// enqueue: the conntrack slab recycles Conn storage, so a stale
+	// pointer can alias a newer connection — the never-reused ID exposes
+	// that (see pendingState).
+	pendingBuf   []pendingEntry
 	pendingCount int
 
 	parsed layers.Parsed
@@ -1813,6 +1816,26 @@ func (c *Core) emitStream(conn *conntrack.Conn, cs *connState, seq uint32, paylo
 	}
 }
 
+// pendingEntry is one shed-queue slot: the connection pointer plus the
+// ID it had when enqueued.
+type pendingEntry struct {
+	conn *conntrack.Conn
+	id   uint64
+}
+
+// pendingState resolves a shed-queue entry to its connection state,
+// reporting false for entries whose Conn storage has been recycled for
+// a different connection since enqueue (conntrack slab slots are
+// reused; connection IDs never are). The ID must be checked before
+// UserData: a recycled slot's UserData belongs to the new connection.
+func pendingState(e pendingEntry) (*connState, bool) {
+	if e.conn.ID != e.id {
+		return nil, false
+	}
+	es, ok := e.conn.UserData.(*connState)
+	return es, ok
+}
+
 // enqueuePending adds a connection to the packet-buffer shed queue,
 // compacting stale entries when they outnumber live ones.
 func (c *Core) enqueuePending(conn *conntrack.Conn) {
@@ -1820,13 +1843,13 @@ func (c *Core) enqueuePending(conn *conntrack.Conn) {
 	if len(c.pendingBuf) >= 64 && len(c.pendingBuf) >= 2*c.pendingCount {
 		kept := c.pendingBuf[:0]
 		for _, e := range c.pendingBuf {
-			if es, ok := e.UserData.(*connState); ok && es.inPending {
+			if es, ok := pendingState(e); ok && es.inPending {
 				kept = append(kept, e)
 			}
 		}
 		c.pendingBuf = kept
 	}
-	c.pendingBuf = append(c.pendingBuf, conn)
+	c.pendingBuf = append(c.pendingBuf, pendingEntry{conn: conn, id: conn.ID})
 }
 
 // reservePktBuf reserves n packet-buffer bytes for conn, shedding the
@@ -1854,15 +1877,15 @@ func (c *Core) shedOldestPending(except *conntrack.Conn) bool {
 	var victim *conntrack.Conn
 	for ; i < len(c.pendingBuf); i++ {
 		e := c.pendingBuf[i]
-		es, ok := e.UserData.(*connState)
+		es, ok := pendingState(e)
 		if !ok || !es.inPending {
-			continue // stale: buffer already resolved
+			continue // stale: buffer resolved or Conn storage recycled
 		}
-		if e == except {
+		if e.conn == except {
 			kept = append(kept, e)
 			continue
 		}
-		victim = e
+		victim = e.conn
 		i++
 		break
 	}

@@ -8,10 +8,17 @@ import "retina"
 // so figure/table reproductions can be compared across batch sizes.
 var BurstSize int
 
+// ConntrackTable overrides the connection-table backend for every
+// experiment in this package ("" = build default, "flat" or "map").
+// retina-bench's -conntrack flag sets it so figure reproductions can be
+// compared across index implementations (DESIGN.md §15).
+var ConntrackTable string
+
 // baseConfig is what experiments use in place of retina.DefaultConfig:
 // the paper defaults with the package-level burst override applied.
 func baseConfig() retina.Config {
 	cfg := retina.DefaultConfig()
 	cfg.BurstSize = BurstSize
+	cfg.ConntrackTable = ConntrackTable
 	return cfg
 }

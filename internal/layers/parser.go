@@ -211,6 +211,13 @@ func (ft FiveTuple) Canonical() (FiveTuple, bool) {
 	return ft.Reverse(), false
 }
 
+// IsCanonical reports whether the five-tuple is already in canonical
+// order, i.e. Canonical() would return it unchanged. The connection
+// table records this orientation bit at creation so later packets are
+// classified by direction without comparing whole tuples (which
+// misclassifies self-symmetric tuples: both directions compare equal).
+func (ft FiveTuple) IsCanonical() bool { return ft.endpointLess() }
+
 func (ft FiveTuple) endpointLess() bool {
 	for i := 0; i < 16; i++ {
 		if ft.SrcIP[i] != ft.DstIP[i] {

@@ -181,6 +181,12 @@ type Config struct {
 	// disabling it restores hard refusal (table_full) for every arrival
 	// past the bound.
 	NoPressureEvict bool
+	// ConntrackTable selects the connection-table backend: "flat" (the
+	// open-addressing, cache-line-bucketed table with slab-allocated
+	// connections — the default) or "map" (the original Go-map
+	// implementation, kept as a differential-testing oracle). Empty
+	// selects the build default. See DESIGN.md §15.
+	ConntrackTable string
 	// ReassemblyBudget, PacketBufBudget, and StreamBufBudget bound, per
 	// core, the bytes parked in out-of-order reassembly buffers, held in
 	// pre-verdict packet buffers, and copied into pre-verdict stream
@@ -275,6 +281,7 @@ func (c Config) conntrack() conntrack.Config {
 	}
 	cfg.MaxConns = c.MaxConns
 	cfg.PressureEvict = !c.NoPressureEvict
+	cfg.Backend = c.ConntrackTable
 	return cfg
 }
 
@@ -374,6 +381,12 @@ func build(cfg Config, sub *Subscription) (*Runtime, error) {
 	}
 	if cfg.BurstSize <= 0 {
 		cfg.BurstSize = core.DefaultBurstSize
+	}
+	switch cfg.ConntrackTable {
+	case "", conntrack.BackendFlat, conntrack.BackendMap:
+	default:
+		return nil, fmt.Errorf("retina: unknown ConntrackTable %q (want %q or %q)",
+			cfg.ConntrackTable, conntrack.BackendFlat, conntrack.BackendMap)
 	}
 
 	capModel := nic.CapabilityModel{}

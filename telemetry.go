@@ -109,6 +109,17 @@ func (r *Runtime) registerMetrics() {
 			func() float64 { return float64(c.Table().ConcurrentLen()) }, lbl)
 		reg.CounterFunc("retina_timer_rearms_total", "lazy timer re-arms (stale wheel entries rescheduled)",
 			func() uint64 { return c.Table().Rearmed() }, lbl)
+		// Connection-store health (DESIGN.md §15): occupancy vs bucket
+		// capacity, worst probe distance, rebuilds, and slab footprint.
+		// All zero on the map oracle except load_factor's Live input.
+		reg.GaugeFunc("retina_conntrack_load_factor", "connection-store occupancy / bucket-slot capacity",
+			func() float64 { return c.Table().IndexStats().LoadFactor }, lbl)
+		reg.GaugeFunc("retina_conntrack_probe_len", "worst insert probe length since start (buckets)",
+			func() float64 { return float64(c.Table().IndexStats().MaxProbe) }, lbl)
+		reg.CounterFunc("retina_conntrack_rehashes_total", "connection-store bucket-array rebuilds",
+			func() uint64 { return c.Table().IndexStats().Rehashes }, lbl)
+		reg.GaugeFunc("retina_conntrack_slab_bytes", "connection slab footprint in bytes",
+			func() float64 { return float64(c.Table().IndexStats().SlabBytes) }, lbl)
 		reg.CounterFunc("retina_core_epoch_swaps_total", "program-set epochs picked up at burst boundaries",
 			func() uint64 { return c.Stats().EpochSwaps }, lbl)
 		// Overload accountant: buffered bytes vs budget per class, so an

@@ -143,6 +143,10 @@ func TestServeMetricsExposition(t *testing.T) {
 		`retina_stage_invocations_total{stage="SW Packet Filter"}`,
 		`retina_stage_nanos_total{stage="App-layer Parsing"}`,
 		`retina_conns_expired_total{core="0",reason="termination"}`,
+		`retina_conntrack_load_factor{core="0"}`,
+		`retina_conntrack_probe_len{core="1"}`,
+		`retina_conntrack_rehashes_total{core="0"}`,
+		`retina_conntrack_slab_bytes{core="0"}`,
 		`retina_proto_failures_total{proto=`,
 		"retina_mbuf_pool_free",
 		`retina_trace_spans_total{state="started"}`,
