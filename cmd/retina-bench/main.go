@@ -39,13 +39,19 @@ func main() {
 	offloadIdle := flag.Duration("offload-idle", 0, "flow-offload idle eviction horizon in virtual time (0 = 5s default, negative = never)")
 	latency := flag.Bool("latency", false, "enable latency tracking for the -subs bench and print the observability report (rx→delivery percentiles, per-stage cycles, duty cycle, RSS skew)")
 	conntrackTable := flag.String("conntrack", "", "connection-table backend: flat (open-addressing, default) or map (oracle)")
+	rebalanceOn := flag.Bool("rebalance", false, "enable the adaptive RSS rebalancer for the -subs bench (periodic RETA bucket migration with conntrack handoff)")
+	rebalanceInterval := flag.Duration("rebalance-interval", 0, "rebalancer observation interval (0 = 100ms default)")
+	rebalanceMoves := flag.Int("rebalance-moves", 0, "max bucket moves per rebalance round (0 = 2 default)")
+	rebalanceHyst := flag.Float64("rebalance-hysteresis", 0, "hot-queue skew (hottest over mean) below which buckets stay put (0 = 1.2 default)")
 	flag.Parse()
 	experiments.BurstSize = *burst
 	experiments.ConntrackTable = *conntrackTable
 
 	if *subsFile != "" {
 		fo := retina.FlowOffloadConfig{Enable: *offload, MaxFlowRules: *offloadRules, IdleTimeout: *offloadIdle}
-		benchSubs(*subsFile, *scale, *seed, *burst, *cores, fo, *latency)
+		rb := retina.RebalanceConfig{Enable: *rebalanceOn, Interval: *rebalanceInterval,
+			MaxMovesPerRound: *rebalanceMoves, Hysteresis: *rebalanceHyst}
+		benchSubs(*subsFile, *scale, *seed, *burst, *cores, fo, rb, *latency)
 		return
 	}
 
@@ -107,7 +113,7 @@ func main() {
 
 // benchSubs runs a declarative multi-subscription set over the campus
 // mix and reports throughput next to the per-subscription counters.
-func benchSubs(subsFile string, scale float64, seed int64, burst, cores int, fo retina.FlowOffloadConfig, latency bool) {
+func benchSubs(subsFile string, scale float64, seed int64, burst, cores int, fo retina.FlowOffloadConfig, rb retina.RebalanceConfig, latency bool) {
 	specs, err := retina.LoadSubscriptionSpecs(subsFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -126,6 +132,7 @@ func benchSubs(subsFile string, scale float64, seed int64, burst, cores int, fo 
 	cfg.BurstSize = burst
 	cfg.ConntrackTable = experiments.ConntrackTable
 	cfg.FlowOffload = fo
+	cfg.Rebalance = rb
 	cfg.LatencyTracking = latency
 	rt, err := retina.NewDynamic(cfg)
 	if err != nil {
@@ -160,6 +167,11 @@ func benchSubs(subsFile string, scale float64, seed int64, burst, cores int, fo 
 		ms := mgr.Stats()
 		fmt.Printf("\nflow offload: %d frames dropped at the device, %d rules installed (peak %d live), %d evicted lru, %d evicted idle\n",
 			stats.NIC.HWOffloadDrop, ms.Installed, ms.PeakRules, ms.EvictedLRU, ms.EvictedIdle)
+	}
+	if reb := rt.Rebalancer(); reb != nil {
+		mv, cm := rt.ControlPlane().RebalanceStats()
+		fmt.Printf("\nrebalance: %d bucket moves, %d conns migrated, %d rounds (%d failed moves), last skew %.2f\n",
+			mv, cm, reb.Rounds(), reb.FailedMoves(), reb.LastSkew())
 	}
 	if latency {
 		printObservability(rt)

@@ -52,6 +52,11 @@ func main() {
 	offloadRules := flag.Int("offload-rules", 0, "flow-offload rule-table budget (0 = device capacity)")
 	offloadIdle := flag.Duration("offload-idle", 0, "flow-offload idle eviction horizon in virtual time (0 = 5s default, negative = never)")
 	latency := flag.Bool("latency", false, "enable latency tracking and print rx→delivery percentiles in the summary")
+	coresN := flag.Int("cores", 1, "processing cores; >1 replays the trace through the simulated NIC datapath (online mode) with RSS dispatch")
+	rebalanceOn := flag.Bool("rebalance", false, "enable the adaptive RSS rebalancer (needs -cores > 1); implies online mode")
+	rebalanceInterval := flag.Duration("rebalance-interval", 0, "rebalancer observation interval (0 = 100ms default)")
+	rebalanceMoves := flag.Int("rebalance-moves", 0, "max bucket moves per rebalance round (0 = 2 default)")
+	rebalanceHyst := flag.Float64("rebalance-hysteresis", 0, "hot-queue skew (hottest over mean) below which buckets stay put (0 = 1.2 default)")
 	flag.Parse()
 
 	if *explain {
@@ -70,7 +75,7 @@ func main() {
 
 	cfg := retina.DefaultConfig()
 	cfg.Filter = *filterSrc
-	cfg.Cores = 1
+	cfg.Cores = *coresN
 	cfg.Interpreted = *interpreted
 	cfg.TraceSample = *traceSample
 	cfg.MaxConns = *maxConns
@@ -85,6 +90,12 @@ func main() {
 		Enable:       *offload,
 		MaxFlowRules: *offloadRules,
 		IdleTimeout:  *offloadIdle,
+	}
+	cfg.Rebalance = retina.RebalanceConfig{
+		Enable:           *rebalanceOn,
+		Interval:         *rebalanceInterval,
+		MaxMovesPerRound: *rebalanceMoves,
+		Hysteresis:       *rebalanceHyst,
 	}
 
 	count := 0
@@ -162,11 +173,12 @@ func main() {
 	}
 	defer r.Close()
 
-	// The flow-offload fastpath lives in the device, which offline mode
-	// bypasses — with -offload the trace goes through the full online
-	// datapath instead.
+	// The flow-offload fastpath and the RSS rebalancer live in the
+	// device, which offline mode bypasses — with -offload, -rebalance,
+	// or -cores > 1 the trace goes through the full online datapath
+	// instead.
 	run := rt.RunOffline
-	if *offload {
+	if *offload || cfg.Rebalance.Enable || cfg.Cores > 1 {
 		run = rt.Run
 	}
 	stats := run(r)
@@ -180,6 +192,11 @@ func main() {
 	}
 	fmt.Printf("\n%d frames read, %d matched the filter, %d deliveries, %v elapsed\n",
 		r.Frames(), processed-filterDropped, count, stats.Elapsed)
+	if reb := rt.Rebalancer(); reb != nil {
+		mv, cm := rt.ControlPlane().RebalanceStats()
+		fmt.Printf("rebalance: %d bucket moves, %d conns migrated, %d rounds (%d failed moves), last skew %.2f\n",
+			mv, cm, reb.Rounds(), reb.FailedMoves(), reb.LastSkew())
+	}
 	if *latency {
 		printLatency(rt)
 	}
@@ -226,7 +243,7 @@ func runSpecs(cfg retina.Config, subsFile, path, metricsAddr string) {
 	defer r.Close()
 
 	run := rt.RunOffline
-	if cfg.FlowOffload.Enable {
+	if cfg.FlowOffload.Enable || cfg.Rebalance.Enable || cfg.Cores > 1 {
 		run = rt.Run
 	}
 	stats := run(r)

@@ -231,6 +231,14 @@ func render(w io.Writer, snap, prev *snapshot) {
 		fmt.Fprintf(w, "   rss-skew %.2f", skew)
 	}
 	fmt.Fprintln(w)
+	if moves := snap.sum("retina_rebalance_moves_total"); moves > 0 {
+		fmt.Fprintf(w, "rebalance  %s bucket moves   %s conns migrated",
+			fmtCount(moves), fmtCount(snap.sum("retina_rebalance_conns_migrated_total")))
+		if ls, ok := snap.value("retina_rebalance_last_skew"); ok {
+			fmt.Fprintf(w, "   window-skew %.2f", ls)
+		}
+		fmt.Fprintln(w)
+	}
 
 	if q := snap.latencyQuantiles(0.50, 0.99, 0.999); q != nil {
 		fmt.Fprintf(w, "latency rx→delivery  p50 %s   p99 %s   p99.9 %s\n",
@@ -241,7 +249,7 @@ func render(w io.Writer, snap, prev *snapshot) {
 	// Per-core table.
 	cores := snap.labelValues("retina_core_processed_total", "core")
 	if len(cores) > 0 {
-		fmt.Fprintln(w, "core     pkts     pkts/s   busy%   mean-occ   eleph%")
+		fmt.Fprintln(w, "core     pkts     pkts/s   busy%   mean-occ   eleph%   mig in/out")
 		for _, cs := range cores {
 			lbl := telemetry.L("core", cs)
 			p, _ := snap.value("retina_core_processed_total", lbl)
@@ -261,8 +269,11 @@ func render(w io.Writer, snap, prev *snapshot) {
 				occCol = fmt.Sprintf("%8.2f", occ)
 				elCol = fmt.Sprintf("%5.1f", eleph*100)
 			}
-			fmt.Fprintf(w, "%-4s %8s %10s   %5s   %8s   %6s\n",
-				cs, fmtCount(p), fmtCount(rate), busyCol, occCol, elCol)
+			migIn, _ := snap.value("retina_conntrack_migrated_in_total", lbl)
+			migOut, _ := snap.value("retina_conntrack_migrated_out_total", lbl)
+			fmt.Fprintf(w, "%-4s %8s %10s   %5s   %8s   %6s   %s/%s\n",
+				cs, fmtCount(p), fmtCount(rate), busyCol, occCol, elCol,
+				fmtCount(migIn), fmtCount(migOut))
 		}
 		fmt.Fprintln(w)
 	}
@@ -325,6 +336,14 @@ func startDemo(sync bool) (addr string, stop func(), err error) {
 	cfg := retina.DefaultConfig()
 	cfg.Cores = 4
 	cfg.LatencyTracking = true
+	// Run the adaptive rebalancer aggressively so its migration counters
+	// light up in the demo view.
+	cfg.Rebalance = retina.RebalanceConfig{
+		Enable:           true,
+		Interval:         5 * time.Millisecond,
+		MaxMovesPerRound: 4,
+		Hysteresis:       1.1,
+	}
 	// A session-protocol filter routes packets through the stateful
 	// pipeline, so the per-stage histograms and the elephant witness
 	// carry data — an empty filter would verdict at the packet layer and

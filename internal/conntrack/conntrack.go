@@ -201,6 +201,14 @@ type Conn struct {
 	// establishment falls back to a packet-count rule.
 	symmetric bool
 
+	// RSSHash is the device's symmetric Toeplitz hash for the
+	// connection's flow, stamped by the owning core at creation. It
+	// decides redirection-table bucket membership (hash mod table size),
+	// so bucket migrations can extract exactly the connections whose
+	// future frames the RETA swap redirects. Zero for flows the device
+	// never hashed (offline mode).
+	RSSHash uint32
+
 	// ExtraMem accounts buffers owned by reassembly/parsing for this
 	// connection, included in Table.MemoryBytes (Figure 8).
 	ExtraMem int
@@ -259,6 +267,16 @@ type Config struct {
 	// build default; the conntrack_map build tag flips that to the
 	// oracle so whole suites can be replayed against it.
 	Backend string
+	// IDBase and IDStride shape the connection-ID sequence: the n-th
+	// created connection gets IDBase + n*IDStride. Defaults (base 1,
+	// stride 1) reproduce the historical 1,2,3,… sequence. Multi-core
+	// runtimes stride by the core count with per-core bases so IDs stay
+	// globally unique — a precondition for migrating connections between
+	// tables while preserving their IDs (Inject refuses nothing, the
+	// id-index requires uniqueness). IDBase must be ≥ 1: the flat
+	// backend's id-index uses 0 as its empty-slot sentinel.
+	IDBase   uint64
+	IDStride uint64
 }
 
 // Ticks per time unit at the runtime's 1µs virtual tick.
@@ -300,6 +318,11 @@ type Table struct {
 	expired [NumExpireReasons]atomic.Uint64
 	rearmed atomic.Uint64 // stale timer entries revalidated and re-armed
 	full    atomic.Uint64 // GetOrCreate refusals at MaxConns
+	// migratedOut/migratedIn count connections handed to / received from
+	// another core's table by a RETA bucket migration. They extend the
+	// census invariant: created + migratedIn == live + expired + migratedOut.
+	migratedOut atomic.Uint64
+	migratedIn  atomic.Uint64
 
 	// evictFn runs for a connection evicted under pressure, before it
 	// leaves the table, so the owner can deliver records and release
@@ -323,6 +346,12 @@ func NewTable(cfg Config) *Table {
 	cfg.WheelGranularity = gran
 	if cfg.Backend == "" {
 		cfg.Backend = defaultBackend
+	}
+	if cfg.IDBase == 0 {
+		cfg.IDBase = 1
+	}
+	if cfg.IDStride == 0 {
+		cfg.IDStride = 1
 	}
 	var idx index
 	switch cfg.Backend {
@@ -434,8 +463,9 @@ func (t *Table) GetOrCreate(ft layers.FiveTuple, tick uint64) (c *Conn, created,
 			return nil, false, false
 		}
 	}
+	id := t.cfg.IDBase + t.nextID*t.cfg.IDStride
 	t.nextID++
-	c = t.idx.alloc(key, t.nextID)
+	c = t.idx.alloc(key, id)
 	c.Tuple = ft // orientation of the first packet
 	c.origCanonical = canonical
 	c.symmetric = key == key.Reverse()
@@ -714,9 +744,9 @@ func (t *Table) CheckInvariants() error {
 	for i := range t.expired {
 		totalExpired += t.expired[i].Load()
 	}
-	if created := t.created.Load(); created != uint64(live)+totalExpired {
-		return fmt.Errorf("conntrack: created %d != live %d + expired %d (leak or double-remove)",
-			created, live, totalExpired)
+	if in, out := t.migratedIn.Load(), t.migratedOut.Load(); t.created.Load()+in != uint64(live)+totalExpired+out {
+		return fmt.Errorf("conntrack: created %d + migrated-in %d != live %d + expired %d + migrated-out %d (leak or double-remove)",
+			t.created.Load(), in, live, totalExpired, out)
 	}
 	return t.wheel.CheckInvariants()
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"retina/internal/conntrack"
@@ -146,6 +147,16 @@ type Core struct {
 	// that (see pendingState).
 	pendingBuf   []pendingEntry
 	pendingCount int
+
+	// Migration coordination (DESIGN.md §16): the control plane posts
+	// bucket migrations to the involved cores; migFlag is the cheap
+	// burst-boundary signal. exportMig is the export awaiting ring
+	// drain (core goroutine only); migErrs counts import anomalies.
+	migMu     sync.Mutex
+	migQ      []*Migration
+	migFlag   atomic.Bool
+	exportMig *Migration
+	migErrs   atomic.Uint64
 
 	parsed layers.Parsed
 	now    uint64
@@ -784,6 +795,9 @@ func (c *Core) processStateful(p *layers.Parsed, m *mbuf.Mbuf, mr filter.MultiRe
 	if created {
 		c.ctr.connsCreated.Inc()
 		conn.PktMark = m.Mark
+		// The device's RSS hash decides redirection-table bucket
+		// membership; the rebalancer's bucket migrations extract by it.
+		conn.RSSHash = m.RSSHash
 		c.initConn(conn, mr)
 		cs = c.state(conn)
 	} else {
@@ -2155,8 +2169,12 @@ func (c *Core) Run(queue RxRing) {
 	buf := make([]*mbuf.Mbuf, c.burstSize)
 	for {
 		c.pickup()
+		if c.migFlag.Load() {
+			c.handleMigrations(queue)
+		}
 		n := queue.DequeueBurst(buf)
 		if n == 0 {
+			c.maybeCompleteExport(queue) // empty ring has trivially drained
 			if !queue.Wait() {
 				break
 			}
@@ -2167,8 +2185,13 @@ func (c *Core) Run(queue RxRing) {
 		} else {
 			c.ProcessBurst(buf[:n])
 		}
+		c.maybeCompleteExport(queue)
 	}
 	c.pickup()
+	if c.migFlag.Load() {
+		c.handleMigrations(queue)
+	}
+	c.maybeCompleteExport(queue)
 	c.Flush()
 }
 
@@ -2182,8 +2205,12 @@ func (c *Core) runAccounted(queue RxRing) {
 	last := metrics.NowNanos()
 	for {
 		c.pickup()
+		if c.migFlag.Load() {
+			c.handleMigrations(queue)
+		}
 		n := queue.DequeueBurst(buf)
 		if n == 0 {
+			c.maybeCompleteExport(queue) // empty ring has trivially drained
 			t0 := metrics.NowNanos()
 			c.duty.busyNs.Add(t0 - last)
 			ok := queue.Wait()
@@ -2205,6 +2232,7 @@ func (c *Core) runAccounted(queue RxRing) {
 		} else {
 			c.ProcessBurst(buf[:n])
 		}
+		c.maybeCompleteExport(queue)
 		now := metrics.NowNanos()
 		iter := now - last
 		c.duty.busyNs.Add(iter)
@@ -2213,5 +2241,9 @@ func (c *Core) runAccounted(queue RxRing) {
 		last = now
 	}
 	c.pickup()
+	if c.migFlag.Load() {
+		c.handleMigrations(queue)
+	}
+	c.maybeCompleteExport(queue)
 	c.Flush()
 }

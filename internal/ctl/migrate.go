@@ -1,0 +1,149 @@
+package ctl
+
+import (
+	"fmt"
+	"time"
+
+	"retina/internal/core"
+	"retina/internal/nic"
+)
+
+// Bucket migration orchestration (DESIGN.md §16). MoveBucket drives the
+// three-phase move with the plane's usual ack machinery — post, poll
+// with PokeAll, bounded by the swap timeout — while program-set
+// publishes stay concurrent: the fenced destination core keeps acking
+// epochs from inside its migration wait loop, so a swap and a migration
+// can overlap without deadlock.
+
+// MoveResult describes one completed (or attempted) bucket move.
+type MoveResult struct {
+	// Bucket is the redirection-table index moved; From/To the source
+	// and destination queues; Conns how many connections migrated.
+	Bucket int
+	From   int
+	To     int
+	Conns  int
+}
+
+// MoveBucket migrates one redirection-table bucket to queue dst:
+// fences the destination core, requests the producer-applied RETA
+// swap, waits for the source ring to drain past the swap's tail
+// snapshot, and completes the conntrack handoff. Serialized against
+// other moves; safe concurrently with Add/Remove program swaps. Only
+// meaningful while cores consume (between Start and Stop).
+func (p *Plane) MoveBucket(bucket, dst int) (MoveResult, error) {
+	res := MoveResult{Bucket: bucket, To: dst, From: -1}
+	if p.dev == nil || len(p.cores) == 0 {
+		return res, p.moveErr(fmt.Errorf("ctl: no device/cores attached"))
+	}
+	if !p.started.Load() {
+		return res, p.moveErr(fmt.Errorf("ctl: cores not running"))
+	}
+	if bucket < 0 || bucket >= p.dev.RetaSize() {
+		return res, p.moveErr(fmt.Errorf("ctl: bucket %d out of range [0,%d)", bucket, p.dev.RetaSize()))
+	}
+	if dst < 0 || dst >= len(p.cores) {
+		return res, p.moveErr(fmt.Errorf("ctl: destination queue %d out of range [0,%d)", dst, len(p.cores)))
+	}
+
+	p.migMu.Lock()
+	defer p.migMu.Unlock()
+	src := int(p.dev.RetaAssigned(bucket))
+	res.From = src
+	if src == dst {
+		return res, nil // already there; not a move
+	}
+	if p.dev.RetaEntry(bucket) == nic.SinkQueue {
+		return res, p.moveErr(fmt.Errorf("ctl: bucket %d is sunk", bucket))
+	}
+
+	m := core.NewMigration(bucket, p.dev.RetaSize(), src, dst)
+
+	// Phase 1 — fence: the destination core acks the migration at a
+	// burst boundary and stops dequeuing, so no post-swap frame of the
+	// bucket is processed before its connections arrive.
+	p.cores[dst].PostMigration(m)
+	if !p.waitMove(m.Acked) {
+		m.Cancel()
+		p.dev.PokeAll()
+		return res, p.moveErr(fmt.Errorf("ctl: migration fence timed out (core %d)", dst))
+	}
+
+	// Phase 2 — swap: queued to the producer, which flushes the staged
+	// burst, swaps the entry, and snapshots the source ring's tail.
+	// After Close the producer is gone and the plane applies directly.
+	req := p.dev.RequestAssign(bucket, int16(dst))
+	applied := p.waitMove(func() bool {
+		if req.Applied() {
+			return true
+		}
+		p.dev.ApplyAssignsClosed()
+		return req.Applied()
+	})
+	if !applied {
+		if p.dev.CancelAssign(req) {
+			m.Cancel()
+			p.dev.PokeAll()
+			return res, p.moveErr(fmt.Errorf("ctl: RETA swap not applied (idle producer?)"))
+		}
+		// The producer applied it just after the deadline: proceed.
+	}
+
+	// Phase 3 — drain + handoff: the source core processes every frame
+	// enqueued under the old assignment, extracts the bucket's
+	// connections, and publishes the package to the fenced destination.
+	m.TailSnap = req.TailSnap()
+	p.cores[src].PostMigration(m)
+	if !p.waitMove(m.Extracted) {
+		if m.Cancel() {
+			p.dev.PokeAll()
+			return res, p.moveErr(fmt.Errorf("ctl: source drain timed out (core %d)", src))
+		}
+		// The source committed concurrently; the handoff will finish.
+	}
+	if !p.waitMove(m.Imported) {
+		return res, p.moveErr(fmt.Errorf("ctl: import did not complete (core %d)", dst))
+	}
+	res.Conns = int(m.Moved())
+	p.movesTotal.Add(1)
+	p.connsMigrated.Add(uint64(res.Conns))
+	return res, nil
+}
+
+// waitMove polls cond with the plane's swap timeout, poking rings so
+// parked cores reach their burst-boundary migration checks.
+func (p *Plane) waitMove(cond func() bool) bool {
+	deadline := time.Now().Add(p.timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return cond()
+		}
+		p.dev.PokeAll()
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// moveErr records the most recent migration failure for the admin
+// status API and passes it through.
+func (p *Plane) moveErr(err error) error {
+	s := err.Error()
+	p.lastMoveErr.Store(&s)
+	return err
+}
+
+// RebalanceStats reports completed bucket moves and total connections
+// migrated. Safe from monitoring goroutines.
+func (p *Plane) RebalanceStats() (moves, conns uint64) {
+	return p.movesTotal.Load(), p.connsMigrated.Load()
+}
+
+// LastMoveError reports the most recent migration failure ("" if none).
+func (p *Plane) LastMoveError() string {
+	if s := p.lastMoveErr.Load(); s != nil {
+		return *s
+	}
+	return ""
+}

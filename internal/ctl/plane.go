@@ -121,6 +121,14 @@ type Plane struct {
 	// for: when both the grow and the shrink of one transition fail
 	// (same oversized set), the operator still sees one line.
 	loggedErrEpoch uint64
+
+	// migMu serializes bucket migrations (MoveBucket) separately from mu
+	// so program-set swaps genuinely race moves — the fenced destination
+	// core keeps acking epochs from its migration wait loop.
+	migMu         sync.Mutex
+	movesTotal    atomic.Uint64
+	connsMigrated atomic.Uint64
+	lastMoveErr   atomic.Pointer[string]
 }
 
 // NewSpec compiles one subscription's filter into a SubSpec the plane

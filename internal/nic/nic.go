@@ -130,6 +130,26 @@ type NIC struct {
 	ftbl      atomic.Pointer[flowTable]
 	flowTrims atomic.Uint64
 
+	// bucketPkts counts RSS-hashed frames per redirection-table bucket —
+	// the load signal the adaptive rebalancer reads (producer writes,
+	// rebalancer reads; hence atomic despite the single producer).
+	bucketPkts []atomic.Uint64
+	// retaEpoch advances once per applied redirection-table assignment,
+	// versioning the dispatch function the way program epochs version the
+	// filter set.
+	retaEpoch atomic.Uint64
+	// Queued Reta.Assign requests. The producer owns the redirection
+	// table on the hot path, so the control plane never swaps an entry
+	// directly — it queues a request (assignFlag is the cheap hot-path
+	// signal) and the producer applies it between frames, closing the
+	// race between a reta lookup and the subsequent ring enqueue and
+	// anchoring each swap to an exact ring-tail snapshot for drain
+	// detection.
+	assignMu   sync.Mutex
+	assignQ    []*AssignReq
+	assignFlag atomic.Bool
+	closed     atomic.Bool
+
 	rxFrames  atomic.Uint64
 	hwDropped atomic.Uint64
 	hwOffload atomic.Uint64
@@ -186,12 +206,13 @@ func New(cfg Config) *NIC {
 		reg = filter.DefaultRegistry()
 	}
 	n := &NIC{
-		cfg:   cfg,
-		reg:   reg,
-		key:   SymmetricKey(),
-		reta:  NewReta(cfg.RetaSize, cfg.Queues),
-		rings: make([]*Ring, cfg.Queues),
-		burst: cfg.Burst,
+		cfg:        cfg,
+		reg:        reg,
+		key:        SymmetricKey(),
+		reta:       NewReta(cfg.RetaSize, cfg.Queues),
+		rings:      make([]*Ring, cfg.Queues),
+		burst:      cfg.Burst,
+		bucketPkts: make([]atomic.Uint64, cfg.RetaSize),
 	}
 	for i := range n.rings {
 		n.rings[i] = NewRing(cfg.RingSize)
@@ -416,6 +437,9 @@ func (n *NIC) RingHighWater(i int) int {
 // producer calls it when the source goes idle or ends so no frame waits
 // for a burst that will never fill. Not safe concurrently with Deliver.
 func (n *NIC) FlushPending() {
+	if n.assignFlag.Load() {
+		n.applyAssigns()
+	}
 	for q := range n.pending {
 		n.flushQueue(q)
 	}
@@ -430,10 +454,16 @@ func (n *NIC) Close() {
 		mbuf.FreeBulk(n.cache[:n.cacheN])
 		n.cacheN = 0
 	}
+	n.closed.Store(true)
 	for _, r := range n.rings {
 		r.Close()
 	}
 }
+
+// Closed reports whether Close has run — the producer has finished and
+// will never touch producer-owned state again, so queued assignment
+// requests may be applied from another goroutine (ApplyAssignsClosed).
+func (n *NIC) Closed() bool { return n.closed.Load() }
 
 // Deliver offers one frame to the port at the given virtual tick. It
 // performs what the hardware would: header parse, flow-rule match, RSS
@@ -441,6 +471,9 @@ func (n *NIC) Close() {
 // concurrent use (a port has one wire).
 func (n *NIC) Deliver(frame []byte, tick uint64) {
 	n.rxFrames.Add(1)
+	if n.assignFlag.Load() {
+		n.applyAssigns()
+	}
 	if n.cfg.RxStamp {
 		n.nowNs = metrics.NowNanos()
 	}
@@ -473,6 +506,7 @@ func (n *NIC) deliver(frame []byte, tick uint64) {
 	if input, ok := RSSInput(&n.parsed, n.scratch[:]); ok {
 		hash = Toeplitz(n.key, input)
 		queue = n.reta.Lookup(hash)
+		n.bucketPkts[hash%uint32(len(n.bucketPkts))].Add(1)
 	} else {
 		n.nonRSS.Add(1)
 	}
@@ -511,6 +545,9 @@ func (n *NIC) deliver(frame []byte, tick uint64) {
 // staged rings and bulk buffer cache underneath.
 func (n *NIC) DeliverBurst(frames [][]byte, ticks []uint64) {
 	n.rxFrames.Add(uint64(len(frames)))
+	if n.assignFlag.Load() {
+		n.applyAssigns()
+	}
 	if n.cfg.RxStamp {
 		n.nowNs = metrics.NowNanos()
 	}

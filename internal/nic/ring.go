@@ -177,6 +177,17 @@ func (r *Ring) Occupancy() (used, capacity int) {
 	return int(d), int(r.capa)
 }
 
+// Head reports the consumer cursor: the count of frames dequeued over
+// the ring's lifetime. With Tail it gives migration drain detection a
+// precise fence — once Head catches a Tail snapshot taken at a RETA
+// swap, every frame enqueued before the swap has been dequeued. Safe
+// from any goroutine.
+func (r *Ring) Head() uint64 { return r.head.Load() }
+
+// Tail reports the producer cursor: the count of frames enqueued over
+// the ring's lifetime. Safe from any goroutine.
+func (r *Ring) Tail() uint64 { return r.tail.Load() }
+
 // HighWater reports the deepest occupancy the ring has ever reached —
 // the burstiness witness behind the retina_ring_high_water gauge. Safe
 // from any goroutine.

@@ -90,7 +90,12 @@ func RSSInput(p *layers.Parsed, buf []byte) ([]byte, bool) {
 // breaking flow consistency.
 type Reta struct {
 	entries []int16
-	queues  int
+	// assigned mirrors entries minus sinking: it remembers each
+	// bucket's queue assignment even while the entry is diverted to the
+	// sink, so SetSinkFraction can restore rebalanced placements instead
+	// of clobbering them back to the round-robin default.
+	assigned []int16
+	queues   int
 }
 
 // SinkQueue marks a redirection-table entry whose flows are discarded.
@@ -105,9 +110,10 @@ func NewReta(size, queues int) *Reta {
 	if size <= 0 || queues <= 0 {
 		panic("nic: reta size and queues must be positive")
 	}
-	r := &Reta{entries: make([]int16, size), queues: queues}
+	r := &Reta{entries: make([]int16, size), assigned: make([]int16, size), queues: queues}
 	for i := range r.entries {
 		r.entries[i] = int16(i % queues)
+		r.assigned[i] = r.entries[i]
 	}
 	return r
 }
@@ -115,6 +121,43 @@ func NewReta(size, queues int) *Reta {
 // Lookup maps an RSS hash to a queue, or SinkQueue.
 func (r *Reta) Lookup(hash uint32) int16 {
 	return r.entries[hash%uint32(len(r.entries))]
+}
+
+// Size reports the table's entry count.
+func (r *Reta) Size() int { return len(r.entries) }
+
+// Queues reports the queue count the table distributes over.
+func (r *Reta) Queues() int { return r.queues }
+
+// Entry reports bucket's live dispatch target (SinkQueue if sunk).
+func (r *Reta) Entry(bucket int) int16 { return r.entries[bucket] }
+
+// Assigned reports bucket's queue assignment, looking through any sink
+// diversion: the queue the bucket dispatches to (or would, once
+// un-sunk).
+func (r *Reta) Assigned(bucket int) int16 { return r.assigned[bucket] }
+
+// Assign moves bucket to queue. A sunk bucket keeps sinking — only its
+// remembered assignment changes, taking effect when the sink fraction
+// releases it. Assign is the rebalancer's primitive; on the live NIC it
+// must only run on the producer (see NIC.RequestAssign), which orders
+// it against in-flight ring enqueues.
+func (r *Reta) Assign(bucket int, queue int16) {
+	r.assigned[bucket] = queue
+	if r.entries[bucket] != SinkQueue {
+		r.entries[bucket] = queue
+	}
+}
+
+// Snapshot copies the live entries into out (allocating when out is
+// short) and returns it.
+func (r *Reta) Snapshot(out []int16) []int16 {
+	if cap(out) < len(r.entries) {
+		out = make([]int16, len(r.entries))
+	}
+	out = out[:len(r.entries)]
+	copy(out, r.entries)
+	return out
 }
 
 // SetSinkFraction redirects approximately frac of the table's entries to
@@ -132,12 +175,65 @@ func (r *Reta) SetSinkFraction(frac float64) {
 	for i := 0; i < n; i++ {
 		// Evenly spread: entry i is sunk iff the cumulative quota
 		// advances at i, which yields exactly `want` sunk entries.
+		// Un-sunk entries restore the remembered assignment rather than
+		// the round-robin default, so changing the sink fraction never
+		// undoes a rebalanced placement.
 		if ((i+1)*want)/n > (i*want)/n {
 			r.entries[i] = SinkQueue
 		} else {
-			r.entries[i] = int16(i % r.queues)
+			r.entries[i] = r.assigned[i]
 		}
 	}
+}
+
+// RSSInputTuple serializes the RSS hash input for a five-tuple exactly
+// as RSSInput does for the parsed packet the tuple came from: source
+// address, destination address, source port, destination port, with
+// IPv4 addresses at their wire length (4 bytes). It returns false for
+// protocols the NIC does not hash (no TCP/UDP ports). buf must have
+// capacity for 36 bytes.
+func RSSInputTuple(ft layers.FiveTuple, buf []byte) ([]byte, bool) {
+	switch ft.Proto {
+	case layers.IPProtoTCP, layers.IPProtoUDP:
+	default:
+		return nil, false
+	}
+	out := buf[:0]
+	if ft.IsIPv6 {
+		out = append(out, ft.SrcIP[:]...)
+		out = append(out, ft.DstIP[:]...)
+	} else {
+		out = append(out, ft.SrcIP[:4]...)
+		out = append(out, ft.DstIP[:4]...)
+	}
+	out = append(out, byte(ft.SrcPort>>8), byte(ft.SrcPort),
+		byte(ft.DstPort>>8), byte(ft.DstPort))
+	return out, true
+}
+
+// HashTuple computes the symmetric-key Toeplitz hash of a five-tuple —
+// the hash the device would compute for a packet of that flow. ok is
+// false for tuples the NIC does not hash.
+func HashTuple(ft layers.FiveTuple) (hash uint32, ok bool) {
+	var buf [36]byte
+	in, ok := RSSInputTuple(ft, buf[:])
+	if !ok {
+		return 0, false
+	}
+	return Toeplitz(SymmetricKey(), in), true
+}
+
+// BucketOf reports which bucket of a retaSize-entry redirection table a
+// five-tuple's flow indexes. With the symmetric key both directions of
+// the tuple land in the same bucket, so moving a bucket moves whole
+// connections (the flow-consistency property the migration protocol
+// relies on). ok is false for tuples the NIC does not hash.
+func BucketOf(ft layers.FiveTuple, retaSize int) (bucket int, ok bool) {
+	h, ok := HashTuple(ft)
+	if !ok {
+		return 0, false
+	}
+	return int(h % uint32(retaSize)), true
 }
 
 // SinkFraction reports the fraction of entries currently sunk.

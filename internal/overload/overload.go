@@ -163,6 +163,19 @@ func (a *Accountant) TryReserve(c Class, n int) bool {
 	return true
 }
 
+// ForceReserve reserves n bytes in class c unconditionally. Connection
+// migration uses it on the import side: the bytes were already
+// reserved (and released) on the exporting core, so the state exists
+// regardless — refusing would strand buffers with no reservation to
+// release against. The class may transiently exceed its budget; the
+// next TryReserve on this core sees the overshoot and sheds normally.
+func (a *Accountant) ForceReserve(c Class, n int) {
+	if a == nil {
+		return
+	}
+	a.used[c].Add(int64(n))
+}
+
 // Release returns n bytes to class c. Releasing more than was reserved
 // indicates an accounting bug; the gauge would go negative, which the
 // conntrack-style invariant checks in tests catch.

@@ -1,0 +1,262 @@
+// Package rebalance implements Retina's adaptive RSS rebalancer
+// (DESIGN.md §16): a control goroutine that periodically reads the
+// NIC's per-bucket packet counters, computes windowed per-queue loads
+// from the current redirection-table assignment, and — when the skew
+// exceeds a hysteresis threshold — migrates a bounded number of RETA
+// buckets from the hottest queue to the coldest via the control plane's
+// three-phase bucket move (fence, swap, conntrack handoff).
+//
+// The picker is pure (loads + assignment in, moves out) so the greedy
+// policy is unit-testable without a device; the orchestrator owns the
+// timing, the counter deltas, and the elephant guard.
+package rebalance
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults. The interval is long relative to a bucket move (tens of
+// microseconds) and short relative to traffic shifts; two moves per
+// round keeps each round's disruption bounded while still halving a
+// 2:1 imbalance in one round on typical bucket distributions.
+const (
+	DefaultInterval         = 100 * time.Millisecond
+	DefaultMaxMovesPerRound = 2
+	DefaultHysteresis       = 1.2
+)
+
+// Config tunes the rebalancer. Zero values select the defaults.
+type Config struct {
+	// Interval between load observations.
+	Interval time.Duration
+	// MaxMovesPerRound bounds bucket migrations per observation.
+	MaxMovesPerRound int
+	// Hysteresis is the skew (hottest queue's load over the mean) below
+	// which the table is left alone; must be > 1 to be meaningful.
+	Hysteresis float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.MaxMovesPerRound <= 0 {
+		c.MaxMovesPerRound = DefaultMaxMovesPerRound
+	}
+	if c.Hysteresis <= 1 {
+		c.Hysteresis = DefaultHysteresis
+	}
+	return c
+}
+
+// Move is one picked bucket migration.
+type Move struct {
+	Bucket int
+	From   int
+	To     int
+}
+
+// Pick greedily selects up to cfg.MaxMovesPerRound bucket moves that
+// reduce queue skew. loads are per-bucket packet counts for the
+// observation window; assigned is the redirection table's assignment
+// snapshot (entries outside [0,queues) — sunk buckets — are ignored);
+// elephant, when non-nil, reports buckets hosting a heavy-hitter flow,
+// which are never moved onto a queue already at or above the mean load
+// (dumping an elephant on a busy queue just relocates the hotspot).
+//
+// Per pick: take the hottest and coldest queues by projected load; stop
+// if the skew is under hysteresis; move the largest bucket that still
+// fits in half the hot–cold gap (larger would overshoot and oscillate).
+func Pick(loads []uint64, assigned []int16, queues int, cfg Config, elephant func(bucket int) bool) []Move {
+	cfg = cfg.withDefaults()
+	if queues < 2 || len(loads) == 0 || len(assigned) != len(loads) {
+		return nil
+	}
+	qload := make([]float64, queues)
+	var total float64
+	for b, q := range assigned {
+		if q >= 0 && int(q) < queues {
+			qload[q] += float64(loads[b])
+			total += float64(loads[b])
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	mean := total / float64(queues)
+	// Local assignment copy so successive picks see earlier moves.
+	cur := make([]int16, len(assigned))
+	copy(cur, assigned)
+	var moves []Move
+	for len(moves) < cfg.MaxMovesPerRound {
+		hot, cold := 0, 0
+		for q := 1; q < queues; q++ {
+			if qload[q] > qload[hot] {
+				hot = q
+			}
+			if qload[q] < qload[cold] {
+				cold = q
+			}
+		}
+		if qload[hot] < cfg.Hysteresis*mean {
+			break
+		}
+		gap := qload[hot] - qload[cold]
+		best, bestLoad := -1, float64(0)
+		for b, q := range cur {
+			if int(q) != hot {
+				continue
+			}
+			l := float64(loads[b])
+			if l <= 0 || l > gap/2 || l <= bestLoad {
+				continue
+			}
+			if elephant != nil && elephant(b) && qload[cold]+l >= mean {
+				continue
+			}
+			best, bestLoad = b, l
+		}
+		if best < 0 {
+			break
+		}
+		moves = append(moves, Move{Bucket: best, From: hot, To: cold})
+		cur[best] = int16(cold)
+		qload[hot] -= bestLoad
+		qload[cold] += bestLoad
+	}
+	return moves
+}
+
+// Skew computes the hot-queue skew (max load over mean) for a load
+// vector; 0 when the vector is empty or carries no load.
+func Skew(qload []float64) float64 {
+	if len(qload) == 0 {
+		return 0
+	}
+	var total, max float64
+	for _, l := range qload {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return max / (total / float64(len(qload)))
+}
+
+// Device is the rebalancer's view of the NIC (*nic.NIC satisfies it).
+type Device interface {
+	RetaSize() int
+	RetaAssigned(bucket int) int16
+	BucketPackets(out []uint64) []uint64
+}
+
+// Rebalancer periodically observes per-bucket load and requests bucket
+// moves through the control plane.
+type Rebalancer struct {
+	cfg      Config
+	dev      Device
+	queues   int
+	move     func(bucket, dst int) error
+	elephant func(bucket int) bool
+
+	prev, cur []uint64 // bucket-counter snapshots (loop goroutine only)
+
+	rounds   atomic.Uint64
+	failed   atomic.Uint64
+	lastSkew atomic.Uint64 // float64 bits
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a rebalancer over dev's queues. move executes one bucket
+// migration (ctl.Plane.MoveBucket, wrapped); elephant may be nil.
+func New(dev Device, queues int, move func(bucket, dst int) error, elephant func(bucket int) bool, cfg Config) *Rebalancer {
+	return &Rebalancer{
+		cfg:      cfg.withDefaults(),
+		dev:      dev,
+		queues:   queues,
+		move:     move,
+		elephant: elephant,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Run observes and rebalances until Stop; call in its own goroutine.
+func (r *Rebalancer) Run() {
+	defer close(r.done)
+	t := time.NewTicker(r.cfg.Interval)
+	defer t.Stop()
+	r.prev = r.dev.BucketPackets(r.prev) // baseline window
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.round()
+		}
+	}
+}
+
+// Stop halts the loop and waits for any in-flight round (and its bucket
+// moves) to finish. Call before tearing the cores down.
+func (r *Rebalancer) Stop() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	<-r.done
+}
+
+// round runs one observe/decide/act cycle.
+func (r *Rebalancer) round() {
+	r.rounds.Add(1)
+	r.cur = r.dev.BucketPackets(r.cur)
+	size := r.dev.RetaSize()
+	delta := make([]uint64, size)
+	assigned := make([]int16, size)
+	qload := make([]float64, r.queues)
+	for b := 0; b < size && b < len(r.cur); b++ {
+		d := r.cur[b]
+		if b < len(r.prev) && r.prev[b] <= d {
+			d -= r.prev[b]
+		}
+		delta[b] = d
+		q := r.dev.RetaAssigned(b)
+		assigned[b] = q
+		if q >= 0 && int(q) < r.queues {
+			qload[q] += float64(d)
+		}
+	}
+	r.prev, r.cur = r.cur, r.prev
+	r.lastSkew.Store(math.Float64bits(Skew(qload)))
+	for _, mv := range Pick(delta, assigned, r.queues, r.cfg, r.elephant) {
+		// Re-check stop between moves: once the producer goes idle each
+		// doomed move costs a full swap timeout, so a Stop mid-round must
+		// not wait out the rest of the batch.
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		if err := r.move(mv.Bucket, mv.To); err != nil {
+			r.failed.Add(1)
+		}
+	}
+}
+
+// LastSkew reports the skew observed in the most recent round.
+func (r *Rebalancer) LastSkew() float64 { return math.Float64frombits(r.lastSkew.Load()) }
+
+// Rounds reports completed observation rounds.
+func (r *Rebalancer) Rounds() uint64 { return r.rounds.Load() }
+
+// FailedMoves reports bucket moves the control plane rejected.
+func (r *Rebalancer) FailedMoves() uint64 { return r.failed.Load() }

@@ -1,0 +1,113 @@
+package rebalance
+
+import "testing"
+
+// evenAssign builds an i%queues assignment over n buckets.
+func evenAssign(n, queues int) []int16 {
+	a := make([]int16, n)
+	for i := range a {
+		a[i] = int16(i % queues)
+	}
+	return a
+}
+
+func TestPickNoLoadNoMoves(t *testing.T) {
+	if mv := Pick(make([]uint64, 8), evenAssign(8, 2), 2, Config{}, nil); mv != nil {
+		t.Fatalf("moves on an idle table: %v", mv)
+	}
+}
+
+func TestPickBalancedNoMoves(t *testing.T) {
+	loads := []uint64{10, 10, 10, 10, 10, 10, 10, 10}
+	if mv := Pick(loads, evenAssign(8, 4), 4, Config{}, nil); len(mv) != 0 {
+		t.Fatalf("moves on a balanced table: %v", mv)
+	}
+}
+
+func TestPickHysteresisHoldsSmallSkew(t *testing.T) {
+	// Queue 0 at 1.1x mean: under the 1.2 default, leave it alone.
+	loads := []uint64{115, 100, 100, 95}
+	if mv := Pick(loads, evenAssign(4, 4), 4, Config{}, nil); len(mv) != 0 {
+		t.Fatalf("moves under hysteresis: %v", mv)
+	}
+}
+
+func TestPickMovesHotToCold(t *testing.T) {
+	// Queue 0 holds buckets 0 and 2 and is far over; queue 1 is idle.
+	loads := []uint64{100, 0, 60, 0}
+	assigned := []int16{0, 1, 0, 1}
+	mv := Pick(loads, assigned, 2, Config{MaxMovesPerRound: 1}, nil)
+	if len(mv) != 1 {
+		t.Fatalf("got %d moves, want 1: %v", len(mv), mv)
+	}
+	// gap = 160, half-gap = 80: bucket 0 (100) would overshoot, bucket 2
+	// (60) is the largest that fits.
+	if mv[0] != (Move{Bucket: 2, From: 0, To: 1}) {
+		t.Fatalf("move %+v, want bucket 2 from 0 to 1", mv[0])
+	}
+}
+
+func TestPickRespectsMaxMoves(t *testing.T) {
+	loads := []uint64{50, 40, 30, 20, 0, 0, 0, 0}
+	assigned := []int16{0, 0, 0, 0, 1, 1, 1, 1}
+	mv := Pick(loads, assigned, 2, Config{MaxMovesPerRound: 2}, nil)
+	if len(mv) != 2 {
+		t.Fatalf("got %d moves, want 2: %v", len(mv), mv)
+	}
+}
+
+func TestPickProjectsEarlierMoves(t *testing.T) {
+	// After the first pick rebalances, the second round's skew may drop
+	// below hysteresis: the picker must not keep shoveling buckets.
+	loads := []uint64{60, 60, 0, 0}
+	assigned := []int16{0, 0, 1, 1}
+	mv := Pick(loads, assigned, 2, Config{MaxMovesPerRound: 8}, nil)
+	if len(mv) != 1 {
+		t.Fatalf("got %d moves, want exactly 1 (projected balance): %v", len(mv), mv)
+	}
+	if mv[0].From != 0 || mv[0].To != 1 {
+		t.Fatalf("move %+v, want from 0 to 1", mv[0])
+	}
+}
+
+func TestPickIgnoresSunkBuckets(t *testing.T) {
+	loads := []uint64{100, 0, 50, 0}
+	assigned := []int16{-1, 1, 0, 1} // bucket 0 sunk
+	mv := Pick(loads, assigned, 2, Config{MaxMovesPerRound: 4}, nil)
+	for _, m := range mv {
+		if m.Bucket == 0 {
+			t.Fatalf("picked the sunk bucket: %v", mv)
+		}
+	}
+}
+
+func TestPickElephantGuard(t *testing.T) {
+	// Queue 0 is hot; its only movable bucket (0, load 42 ≤ half the
+	// 85-point hot–cold gap) hosts an elephant, and landing it on the
+	// coldest queue (5 + 42 = 47) would push that queue past the mean
+	// (45). The guard must refuse, leaving no move at all.
+	loads := []uint64{42, 40, 5, 48}
+	assigned := []int16{0, 1, 2, 0}
+	elephant := func(b int) bool { return b == 0 }
+	mv := Pick(loads, assigned, 3, Config{MaxMovesPerRound: 1, Hysteresis: 1.05}, elephant)
+	if len(mv) != 0 {
+		t.Fatalf("elephant bucket moved onto a would-be-hot queue: %v", mv)
+	}
+	// Without the guard the same shape does move.
+	mv = Pick(loads, assigned, 3, Config{MaxMovesPerRound: 1, Hysteresis: 1.05}, nil)
+	if len(mv) != 1 || mv[0].Bucket != 0 {
+		t.Fatalf("control pick without guard: %v", mv)
+	}
+}
+
+func TestSkew(t *testing.T) {
+	if s := Skew(nil); s != 0 {
+		t.Fatalf("Skew(nil) = %v", s)
+	}
+	if s := Skew([]float64{10, 10}); s != 1 {
+		t.Fatalf("Skew(even) = %v", s)
+	}
+	if s := Skew([]float64{30, 10}); s != 1.5 {
+		t.Fatalf("Skew(30,10) = %v", s)
+	}
+}

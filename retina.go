@@ -36,6 +36,7 @@ import (
 	"retina/internal/offload"
 	"retina/internal/overload"
 	"retina/internal/proto"
+	"retina/internal/rebalance"
 	"retina/internal/telemetry"
 )
 
@@ -229,6 +230,13 @@ type Config struct {
 	// gauge inputs, and the elephant-flow witness. Costs under 3% of
 	// throughput (pinned by BenchmarkLatencyTracking); off by default.
 	LatencyTracking bool
+	// Rebalance configures the adaptive RSS rebalancer (DESIGN.md §16):
+	// a control goroutine that watches per-bucket load and migrates RETA
+	// buckets — with their tracked connections — from hot queues to cold
+	// ones. Subscription output is byte-identical with rebalancing on or
+	// off (connection IDs, records, and byte accounting all survive the
+	// move); only the core a connection is served from changes.
+	Rebalance RebalanceConfig
 }
 
 // FlowOffloadConfig are the dynamic flow-offload knobs.
@@ -245,6 +253,20 @@ type FlowOffloadConfig struct {
 	// time). 0 selects the default (5s); negative disables idle
 	// eviction.
 	IdleTimeout time.Duration
+}
+
+// RebalanceConfig are the adaptive RSS rebalancing knobs.
+type RebalanceConfig struct {
+	// Enable turns the rebalancer on (needs Cores > 1 to do anything).
+	Enable bool
+	// Interval between load observations (default 100ms wall clock).
+	Interval time.Duration
+	// MaxMovesPerRound bounds bucket migrations per observation
+	// (default 2).
+	MaxMovesPerRound int
+	// Hysteresis is the skew (hottest queue over the mean) below which
+	// the table is left alone (default 1.2); must exceed 1.
+	Hysteresis float64
 }
 
 // ProtocolModule bundles the two halves of a protocol extension: filter
@@ -346,9 +368,15 @@ type Runtime struct {
 	cores  []*core.Core
 	sub     *Subscription // initial subscription (nil for NewDynamic)
 	plane   *ctl.Plane
-	offload *offload.Manager // nil unless Config.FlowOffload.Enable
+	offload *offload.Manager       // nil unless Config.FlowOffload.Enable
+	rebal   *rebalance.Rebalancer  // nil unless Config.Rebalance.Enable
 	reg     *telemetry.Registry
 	tracer  *telemetry.ConnTracer
+
+	// skewMu/skewPrev hold the last per-core processed snapshot behind
+	// the windowed RSSSkew gauge.
+	skewMu   sync.Mutex
+	skewPrev []uint64
 }
 
 // New compiles the filter, builds the simulated device and the per-core
@@ -495,10 +523,17 @@ func build(cfg Config, sub *Subscription) (*Runtime, error) {
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		q := i
+		// Stride connection IDs across cores (core i mints IDBase+i,
+		// IDBase+i+Cores, ...) so IDs stay globally unique and survive
+		// bucket migration intact; a single core reproduces the
+		// historical 1,2,3,... sequence.
+		ctCfg := cfg.conntrack()
+		ctCfg.IDBase = uint64(i + 1)
+		ctCfg.IDStride = uint64(cfg.Cores)
 		coreCfg := core.Config{
 			Set:             ps,
 			BurstSize:       cfg.BurstSize,
-			Conntrack:       cfg.conntrack(),
+			Conntrack:       ctCfg,
 			MaxOutOfOrder:   cfg.MaxOutOfOrder,
 			Profile:         cfg.Profile,
 			PacketBufferCap: cfg.PacketBufferCap,
@@ -523,6 +558,19 @@ func build(cfg Config, sub *Subscription) (*Runtime, error) {
 		rt.cores = append(rt.cores, c)
 	}
 	plane.AttachCores(rt.cores, dev)
+	if cfg.Rebalance.Enable && cfg.Cores > 1 {
+		rt.rebal = rebalance.New(dev, cfg.Cores,
+			func(bucket, dst int) error {
+				_, err := plane.MoveBucket(bucket, dst)
+				return err
+			},
+			rt.elephantBucket,
+			rebalance.Config{
+				Interval:         cfg.Rebalance.Interval,
+				MaxMovesPerRound: cfg.Rebalance.MaxMovesPerRound,
+				Hysteresis:       cfg.Rebalance.Hysteresis,
+			})
+	}
 	rt.reg = telemetry.NewRegistry()
 	rt.registerMetrics()
 	for _, info := range plane.List() {
@@ -586,6 +634,38 @@ func (r *Runtime) Offload() *offload.Manager { return r.offload }
 // Cores exposes the per-core pipelines (benchmark harness access).
 func (r *Runtime) Cores() []*core.Core { return r.cores }
 
+// Rebalancer exposes the adaptive RSS rebalancer (nil unless
+// Config.Rebalance.Enable with Cores > 1).
+func (r *Runtime) Rebalancer() *rebalance.Rebalancer { return r.rebal }
+
+// elephantBucket is the rebalancer's guard: it reports whether bucket
+// hosts a witnessed heavy-hitter (a flow carrying ≥20% of some core's
+// processed packets). Heavy buckets are never migrated onto a queue
+// already at or above mean load. Without LatencyTracking there are no
+// witnesses and no bucket is considered heavy.
+func (r *Runtime) elephantBucket(bucket int) bool {
+	size := r.dev.RetaSize()
+	for _, c := range r.cores {
+		w := c.Witness()
+		if w == nil {
+			continue
+		}
+		processed := c.Stats().Processed
+		if processed == 0 {
+			continue
+		}
+		for _, f := range w.Top() {
+			if float64(f.Packets) < 0.2*float64(processed) {
+				break // sorted descending; the rest are smaller
+			}
+			if b, ok := nic.BucketOf(f.Tuple, size); ok && b == bucket {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Run pumps the source through the device and per-core pipelines until
 // the source is exhausted, then flushes remaining connections and
 // returns the run's statistics. Callbacks run inline on core
@@ -602,6 +682,9 @@ func (r *Runtime) Run(src Source) Stats {
 			defer wg.Done()
 			c.Run(r.dev.Queue(q))
 		}(c, i)
+	}
+	if r.rebal != nil {
+		go r.rebal.Run()
 	}
 
 	var lastTick uint64
@@ -624,6 +707,27 @@ func (r *Runtime) Run(src Source) Stats {
 			}
 			r.dev.Deliver(frame, tick)
 			lastTick = tick
+		}
+	}
+	// Stop the rebalancer before closing the device so no new migration
+	// starts against exiting cores. A move's RETA swap can only be
+	// applied from the producer goroutine — which is this one, now idle —
+	// so keep servicing queued swap requests while the in-flight round
+	// winds down instead of letting it burn the full swap timeout.
+	if r.rebal != nil {
+		stopped := make(chan struct{})
+		go func() {
+			r.rebal.Stop()
+			close(stopped)
+		}()
+		for waiting := true; waiting; {
+			select {
+			case <-stopped:
+				waiting = false
+			default:
+				r.dev.FlushPending()
+				time.Sleep(20 * time.Microsecond)
+			}
 		}
 	}
 	// Close flushes frames still staged in the NIC's per-queue burst
@@ -704,9 +808,39 @@ func (r *Runtime) RunOffline(src Source) Stats {
 
 // RSSSkew reports max/mean of the per-core packet share — 1.0 means
 // perfectly even RSS spread, N (the core count) means one core took
-// everything. 1.0 when no traffic has been processed. This is the gauge
-// the ROADMAP's NUMA/elephant-rebalancing item consumes.
+// everything — over the window since the previous RSSSkew call (the
+// first call covers the whole run, so a single post-run read matches
+// the old cumulative semantics). Windowing makes the gauge react to
+// traffic shifts instead of averaging them away, which is what the
+// adaptive rebalancer needs; RSSSkewCumulative keeps the whole-run
+// figure. 1.0 when the window saw no traffic.
 func (r *Runtime) RSSSkew() float64 {
+	r.skewMu.Lock()
+	defer r.skewMu.Unlock()
+	if r.skewPrev == nil {
+		r.skewPrev = make([]uint64, len(r.cores))
+	}
+	var total, max uint64
+	for i, c := range r.cores {
+		p := c.Stats().Processed
+		d := p - r.skewPrev[i]
+		r.skewPrev[i] = p
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	if total == 0 {
+		return 1.0
+	}
+	mean := float64(total) / float64(len(r.cores))
+	return float64(max) / mean
+}
+
+// RSSSkewCumulative is RSSSkew over the whole run (the pre-windowing
+// semantics); the retina_rss_skew gauge and the admin status report
+// read this, so existing dashboards see unchanged values.
+func (r *Runtime) RSSSkewCumulative() float64 {
 	var total, max uint64
 	for _, c := range r.cores {
 		p := c.Stats().Processed

@@ -300,8 +300,32 @@ func (r *Runtime) registerObservabilityMetrics() {
 	}
 
 	// RSS skew: max/mean per-core packet share (1.0 = perfectly even).
+	// The gauge stays cumulative (whole-run) so scrapes are idempotent;
+	// the windowed RSSSkew is for callers that own their window, like
+	// the rebalancer's telemetry below.
 	reg.GaugeFunc("retina_rss_skew", "max/mean per-core packet share (1.0 = even RSS spread)",
-		r.RSSSkew)
+		r.RSSSkewCumulative)
+
+	// Bucket-migration accounting: completed moves and migrated
+	// connections from the control plane (counted whether moves came
+	// from the rebalancer or a manual MoveBucket), plus the rebalancer's
+	// last observed windowed skew and per-core conntrack handoffs.
+	reg.CounterFunc("retina_rebalance_moves_total", "completed RETA bucket migrations",
+		func() uint64 { m, _ := r.plane.RebalanceStats(); return m })
+	reg.CounterFunc("retina_rebalance_conns_migrated_total", "connections handed between cores by bucket migrations",
+		func() uint64 { _, c := r.plane.RebalanceStats(); return c })
+	if r.rebal != nil {
+		reg.GaugeFunc("retina_rebalance_last_skew", "windowed per-queue load skew at the last rebalancer observation",
+			r.rebal.LastSkew)
+	}
+	for i, c := range r.cores {
+		c := c
+		lbl := telemetry.L("core", fmt.Sprintf("%d", i))
+		reg.CounterFunc("retina_conntrack_migrated_in_total", "connections imported by bucket migrations",
+			func() uint64 { in, _ := c.Table().Migrations(); return in }, lbl)
+		reg.CounterFunc("retina_conntrack_migrated_out_total", "connections exported by bucket migrations",
+			func() uint64 { _, out := c.Table().Migrations(); return out }, lbl)
+	}
 
 	// Flow-offload partition occupancy and hit ratio: how full the
 	// dynamic rule partition is and what fraction of offered frames the
@@ -575,10 +599,22 @@ type StatusReport struct {
 
 	Offload *OffloadStatus `json:"offload,omitempty"`
 
-	// RSSSkew is always reported (max/mean per-core packet share);
-	// Observability is present only when Config.LatencyTracking is on.
+	// RSSSkew is always reported (cumulative max/mean per-core packet
+	// share); Observability is present only when Config.LatencyTracking
+	// is on; Rebalance only when the adaptive rebalancer is enabled.
 	RSSSkew       float64              `json:"rss_skew"`
+	Rebalance     *RebalanceStatus     `json:"rebalance,omitempty"`
 	Observability *ObservabilityStatus `json:"observability,omitempty"`
+}
+
+// RebalanceStatus is the adaptive-rebalancer slice of StatusReport.
+type RebalanceStatus struct {
+	Moves         uint64  `json:"moves"`
+	ConnsMigrated uint64  `json:"conns_migrated"`
+	Rounds        uint64  `json:"rounds"`
+	FailedMoves   uint64  `json:"failed_moves"`
+	LastSkew      float64 `json:"last_skew"`
+	LastError     string  `json:"last_error,omitempty"`
 }
 
 // ObservabilityStatus is the latency/duty slice of StatusReport,
@@ -643,7 +679,18 @@ func (r *Runtime) Status() StatusReport {
 			StaleDropped:     os.StaleDropped,
 		}
 	}
-	st.RSSSkew = r.RSSSkew()
+	st.RSSSkew = r.RSSSkewCumulative()
+	if r.rebal != nil {
+		moves, conns := r.plane.RebalanceStats()
+		st.Rebalance = &RebalanceStatus{
+			Moves:         moves,
+			ConnsMigrated: conns,
+			Rounds:        r.rebal.Rounds(),
+			FailedMoves:   r.rebal.FailedMoves(),
+			LastSkew:      r.rebal.LastSkew(),
+			LastError:     r.plane.LastMoveError(),
+		}
+	}
 	if r.cfg.LatencyTracking {
 		obs := &ObservabilityStatus{Latency: r.LatencySummary()}
 		for i, c := range r.cores {
