@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"retina"
+	"retina/internal/aggregate"
 	"retina/internal/core"
 	"retina/internal/experiments"
 	"retina/internal/metrics"
@@ -43,6 +44,7 @@ func main() {
 	rebalanceInterval := flag.Duration("rebalance-interval", 0, "rebalancer observation interval (0 = 100ms default)")
 	rebalanceMoves := flag.Int("rebalance-moves", 0, "max bucket moves per rebalance round (0 = 2 default)")
 	rebalanceHyst := flag.Float64("rebalance-hysteresis", 0, "hot-queue skew (hottest over mean) below which buckets stay put (0 = 1.2 default)")
+	aggSrc := flag.String("agg", "", `for the -subs bench: attach an aggregation clause ("op[:key[:window[:k]]]" shorthand or JSON) to every packet-level subscription and print the merged reports`)
 	flag.Parse()
 	experiments.BurstSize = *burst
 	experiments.ConntrackTable = *conntrackTable
@@ -51,7 +53,7 @@ func main() {
 		fo := retina.FlowOffloadConfig{Enable: *offload, MaxFlowRules: *offloadRules, IdleTimeout: *offloadIdle}
 		rb := retina.RebalanceConfig{Enable: *rebalanceOn, Interval: *rebalanceInterval,
 			MaxMovesPerRound: *rebalanceMoves, Hysteresis: *rebalanceHyst}
-		benchSubs(*subsFile, *scale, *seed, *burst, *cores, fo, rb, *latency)
+		benchSubs(*subsFile, *aggSrc, *scale, *seed, *burst, *cores, fo, rb, *latency)
 		return
 	}
 
@@ -113,7 +115,7 @@ func main() {
 
 // benchSubs runs a declarative multi-subscription set over the campus
 // mix and reports throughput next to the per-subscription counters.
-func benchSubs(subsFile string, scale float64, seed int64, burst, cores int, fo retina.FlowOffloadConfig, rb retina.RebalanceConfig, latency bool) {
+func benchSubs(subsFile, aggSrc string, scale float64, seed int64, burst, cores int, fo retina.FlowOffloadConfig, rb retina.RebalanceConfig, latency bool) {
 	specs, err := retina.LoadSubscriptionSpecs(subsFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -122,6 +124,20 @@ func benchSubs(subsFile string, scale float64, seed int64, burst, cores int, fo 
 	if len(specs) == 0 {
 		fmt.Fprintf(os.Stderr, "%s holds no subscription specs\n", subsFile)
 		os.Exit(1)
+	}
+	if aggSrc != "" {
+		agg, err := aggregate.ParseShorthand(aggSrc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Attach the clause to every spec that doesn't carry its own; a
+		// clause/level mismatch surfaces as a per-spec Add error below.
+		for i := range specs {
+			if specs[i].Aggregate == nil {
+				specs[i].Aggregate = agg
+			}
+		}
 	}
 	flows := int(6000 * scale)
 	if flows < 500 {
@@ -175,6 +191,39 @@ func benchSubs(subsFile string, scale float64, seed int64, burst, cores int, fo 
 	}
 	if latency {
 		printObservability(rt)
+	}
+	printAggReports(rt)
+}
+
+// printAggReports renders every aggregation query's merged windowed
+// report (no-op when no subscription carries a clause).
+func printAggReports(rt *retina.Runtime) {
+	for _, rep := range rt.Aggregates() {
+		q := rep.Query
+		desc := q.Op
+		if q.Key != "" && q.Key != "none" {
+			desc += "(" + q.Key + ")"
+		}
+		if q.Window != "" {
+			desc += " window=" + q.Window
+		}
+		fmt.Printf("\naggregate %s: %s stage=%s — %d events, %d windows sealed\n",
+			q.Name, desc, q.Stage, rep.Totals.Events, rep.Totals.WindowsSealed)
+		for _, w := range rep.Windows {
+			switch {
+			case len(w.TopK) > 0:
+				fmt.Printf("  window %d:\n", w.Seq)
+				for i, g := range w.TopK {
+					fmt.Printf("    #%d %-40s %d\n", i+1, g.Key, g.Count)
+				}
+			case len(w.Groups) > 0:
+				fmt.Printf("  window %d: %d groups\n", w.Seq, len(w.Groups))
+			case q.Op == "distinct":
+				fmt.Printf("  window %d: distinct≈%d\n", w.Seq, w.Distinct)
+			default:
+				fmt.Printf("  window %d: count=%d sum=%d\n", w.Seq, w.Count, w.Sum)
+			}
+		}
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"retina"
+	"retina/internal/aggregate"
 	"retina/internal/export"
 	"retina/internal/filter"
 	"retina/internal/metrics"
@@ -57,6 +58,7 @@ func main() {
 	rebalanceInterval := flag.Duration("rebalance-interval", 0, "rebalancer observation interval (0 = 100ms default)")
 	rebalanceMoves := flag.Int("rebalance-moves", 0, "max bucket moves per rebalance round (0 = 2 default)")
 	rebalanceHyst := flag.Float64("rebalance-hysteresis", 0, "hot-queue skew (hottest over mean) below which buckets stay put (0 = 1.2 default)")
+	aggSrc := flag.String("agg", "", `aggregation clause attached to the subscription: shorthand "op[:key[:window[:k]]]" (e.g. "topk:src_ip:1s:5") or a JSON {"op":...} object; the merged windowed report prints after the run`)
 	flag.Parse()
 
 	if *explain {
@@ -155,7 +157,20 @@ func main() {
 		log.Fatalf("unknown subscription type %q", *subType)
 	}
 
-	rt, err := retina.New(cfg, sub)
+	var rt *retina.Runtime
+	var err error
+	if *aggSrc != "" {
+		agg, perr := aggregate.ParseShorthand(*aggSrc)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		rt, err = retina.NewDynamic(cfg)
+		if err == nil {
+			_, err = rt.AddSubscriptionWithAggregate("main", *filterSrc, sub, agg)
+		}
+	} else {
+		rt, err = retina.New(cfg, sub)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -196,6 +211,9 @@ func main() {
 		mv, cm := rt.ControlPlane().RebalanceStats()
 		fmt.Printf("rebalance: %d bucket moves, %d conns migrated, %d rounds (%d failed moves), last skew %.2f\n",
 			mv, cm, reb.Rounds(), reb.FailedMoves(), reb.LastSkew())
+	}
+	if *aggSrc != "" {
+		printAggregates(rt)
 	}
 	if *latency {
 		printLatency(rt)
@@ -257,6 +275,7 @@ func runSpecs(cfg retina.Config, subsFile, path, metricsAddr string) {
 		fmt.Printf("%-3d %-21s %-10s %10d %14d  %s\n",
 			info.ID, info.Name, info.Level, info.Delivered, info.MatchedConns, info.Filter)
 	}
+	printAggregates(rt)
 	if metricsAddr != "" {
 		rx := stats.NIC.RxFrames
 		if rx == 0 {
@@ -264,6 +283,55 @@ func runSpecs(cfg retina.Config, subsFile, path, metricsAddr string) {
 		}
 		printDropTable(rt, rx)
 	}
+}
+
+// printAggregates renders every query's merged windowed report.
+func printAggregates(rt *retina.Runtime) {
+	for _, rep := range rt.Aggregates() {
+		fmt.Printf("\naggregate %s: %s — %d events, %d windows sealed\n",
+			rep.Query.Name, queryDesc(rep), rep.Totals.Events, rep.Totals.WindowsSealed)
+		if rep.Totals.Late > 0 || rep.Totals.GroupOverflow > 0 {
+			fmt.Printf("  (%d late events dropped, %d group-table overflows)\n",
+				rep.Totals.Late, rep.Totals.GroupOverflow)
+		}
+		for _, w := range rep.Windows {
+			fmt.Printf("  window %d [%d..%d)us:", w.Seq, w.StartTick, w.EndTick)
+			switch {
+			case len(w.TopK) > 0:
+				fmt.Println()
+				for i, g := range w.TopK {
+					fmt.Printf("    #%d %-40s %d\n", i+1, g.Key, g.Count)
+				}
+			case len(w.Groups) > 0:
+				fmt.Printf(" %d groups\n", len(w.Groups))
+				for _, g := range w.Groups {
+					if rep.Query.Op == "sum" {
+						fmt.Printf("    %-42s count=%d sum=%d\n", g.Key, g.Count, g.Sum)
+					} else {
+						fmt.Printf("    %-42s %d\n", g.Key, g.Count)
+					}
+				}
+			case rep.Query.Op == "distinct":
+				fmt.Printf(" distinct≈%d\n", w.Distinct)
+			case rep.Query.Op == "sum":
+				fmt.Printf(" count=%d sum=%d\n", w.Count, w.Sum)
+			default:
+				fmt.Printf(" count=%d\n", w.Count)
+			}
+		}
+	}
+}
+
+func queryDesc(rep retina.AggregateReport) string {
+	q := rep.Query
+	s := q.Op
+	if q.Key != "" && q.Key != "none" {
+		s += "(" + q.Key + ")"
+	}
+	if q.Window != "" {
+		s += " window=" + q.Window
+	}
+	return s + " stage=" + q.Stage
 }
 
 // printLatency renders the rx→delivery percentile summary.

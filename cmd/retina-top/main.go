@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"retina"
+	"retina/internal/aggregate"
 	"retina/internal/metrics"
 	"retina/internal/telemetry"
 	"retina/internal/traffic"
@@ -278,6 +279,47 @@ func render(w io.Writer, snap, prev *snapshot) {
 		fmt.Fprintln(w)
 	}
 
+	// Aggregation queries (one row per query label on the family).
+	type aggRow struct {
+		query, stage string
+		id           telemetry.Label
+	}
+	var aggs []aggRow
+	seenAgg := map[string]bool{}
+	for _, p := range snap.samples {
+		if p.Name != "retina_aggregate_events_total" {
+			continue
+		}
+		id := p.Label("id")
+		if seenAgg[id] {
+			continue
+		}
+		seenAgg[id] = true
+		aggs = append(aggs, aggRow{p.Label("query"), p.Label("stage"), telemetry.L("id", id)})
+	}
+	sort.Slice(aggs, func(i, j int) bool { return aggs[i].query < aggs[j].query })
+	if len(aggs) > 0 {
+		fmt.Fprintln(w, "aggregate             stage       events   events/s   windows   keys   late   overflow")
+		for _, a := range aggs {
+			ev, _ := snap.value("retina_aggregate_events_total", a.id)
+			var rate float64
+			if prev != nil {
+				dt := snap.when.Sub(prev.when).Seconds()
+				if pe, ok := prev.value("retina_aggregate_events_total", a.id); ok && dt > 0 {
+					rate = (ev - pe) / dt
+				}
+			}
+			wins, _ := snap.value("retina_aggregate_windows_sealed_total", a.id)
+			keys, _ := snap.value("retina_aggregate_keys_tracked", a.id)
+			late, _ := snap.value("retina_aggregate_late_events_total", a.id)
+			ovf, _ := snap.value("retina_aggregate_group_overflow_total", a.id)
+			fmt.Fprintf(w, "%-21s %-9s %8s %10s   %7s %6s %6s %10s\n",
+				a.query, a.stage, fmtCount(ev), fmtCount(rate), fmtCount(wins),
+				fmtCount(keys), fmtCount(late), fmtCount(ovf))
+		}
+		fmt.Fprintln(w)
+	}
+
 	// Ring occupancy.
 	queues := snap.labelValues("retina_ring_occupancy", "queue")
 	if len(queues) > 0 {
@@ -344,13 +386,25 @@ func startDemo(sync bool) (addr string, stop func(), err error) {
 		MaxMovesPerRound: 4,
 		Hysteresis:       1.1,
 	}
+	rt, err := retina.NewDynamic(cfg)
+	if err != nil {
+		return "", nil, err
+	}
 	// A session-protocol filter routes packets through the stateful
 	// pipeline, so the per-stage histograms and the elephant witness
 	// carry data — an empty filter would verdict at the packet layer and
 	// leave those demo columns empty.
-	cfg.Filter = "tls"
-	rt, err := retina.New(cfg, retina.Packets(func(*retina.Packet) {}))
+	if _, err := rt.AddSubscription("tls", "tls", retina.Packets(func(*retina.Packet) {})); err != nil {
+		return "", nil, err
+	}
+	// A packet-decidable aggregation lights up the aggregate table (and
+	// exercises the below-conntrack push-down path).
+	agg, err := aggregate.ParseShorthand("topk:src_ip:50ms:5")
 	if err != nil {
+		return "", nil, err
+	}
+	if _, err := rt.AddSubscriptionWithAggregate("top-talkers", "ipv4",
+		retina.Packets(func(*retina.Packet) {}), agg); err != nil {
 		return "", nil, err
 	}
 	srv, err := rt.ServeMetrics("127.0.0.1:0")

@@ -1,0 +1,518 @@
+// Package aggregate is Retina's query-driven aggregation engine: a
+// declarative layer attached to subscriptions that turns per-event
+// callbacks into windowed answers — counts, sums, distinct-cardinality
+// estimates (HyperLogLog), heavy hitters (count-min + space-saving
+// candidates), and tumbling-window group-bys over keys extracted from
+// the traffic (five-tuple fields, SNI, identified service).
+//
+// The design follows Sonata-style query partitioning: each query is
+// compiled against the subscription it rides on and assigned the
+// earliest pipeline stage that can evaluate both its predicate and its
+// key. A packet-level subscription whose filter is fully decidable at
+// the packet stage aggregates below conntrack — straight out of the
+// software packet filter, with zero connection-tracking work for its
+// flows — and a pure count/sum over a hardware-expressible filter can
+// be pushed all the way into the NIC's flow-partition model. Everything
+// else aggregates where its events materialize (connection records,
+// parsed sessions).
+//
+// Execution is share-nothing: every (query, core) pair owns a CoreState
+// of allocation-free sketch state updated inline from the burst loop.
+// Windows are tumbling and assigned by each event's virtual tick — not
+// by which core processed it or when — so per-core partial windows are
+// position-independent; a Merger folds sealed windows under a mutex
+// taken only at window boundaries. The merged result is therefore
+// identical across burst sizes, RSS placements (including mid-run
+// rebalancing), and program-set epoch swaps; see DESIGN.md §17 for the
+// no-double-count argument under connection migration.
+package aggregate
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Op is an aggregation operator.
+type Op uint8
+
+const (
+	// OpCount counts events (packets, connection records, sessions).
+	OpCount Op = iota
+	// OpSum sums a value extracted from each event.
+	OpSum
+	// OpDistinct estimates the number of distinct keys (HyperLogLog).
+	OpDistinct
+	// OpTopK reports the K heaviest keys (count-min + space-saving
+	// candidate table).
+	OpTopK
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCount:
+		return "count"
+	case OpSum:
+		return "sum"
+	case OpDistinct:
+		return "distinct"
+	case OpTopK:
+		return "topk"
+	}
+	return "?"
+}
+
+// Key identifies the grouping key extracted from each event.
+type Key uint8
+
+const (
+	// KeyNone means scalar aggregation (no group-by).
+	KeyNone Key = iota
+	// KeySrcIP / KeyDstIP / KeySrcPort / KeyDstPort / KeyProto are
+	// five-tuple fields as seen in the event (packet direction for
+	// packet-stage queries, originator orientation for connection
+	// records).
+	KeySrcIP
+	KeyDstIP
+	KeySrcPort
+	KeyDstPort
+	KeyProto
+	// KeyFiveTuple is the direction-independent canonical five-tuple
+	// (both directions of a connection are one key).
+	KeyFiveTuple
+	// KeySNI is the TLS/QUIC server name of a parsed session.
+	KeySNI
+	// KeyService is the identified application protocol.
+	KeyService
+)
+
+func (k Key) String() string {
+	switch k {
+	case KeyNone:
+		return ""
+	case KeySrcIP:
+		return "src_ip"
+	case KeyDstIP:
+		return "dst_ip"
+	case KeySrcPort:
+		return "src_port"
+	case KeyDstPort:
+		return "dst_port"
+	case KeyProto:
+		return "proto"
+	case KeyFiveTuple:
+		return "5tuple"
+	case KeySNI:
+		return "sni"
+	case KeyService:
+		return "service"
+	}
+	return "?"
+}
+
+// Value identifies the summed quantity for OpSum (and the increment
+// weight for OpTopK).
+type Value uint8
+
+const (
+	// ValPackets weights every event 1 (for connection records: total
+	// packets both directions).
+	ValPackets Value = iota
+	// ValBytes is wire bytes (frame length at the packet/NIC stage,
+	// both-direction byte totals for connection records).
+	ValBytes
+	// ValPayload is L4 payload bytes.
+	ValPayload
+)
+
+func (v Value) String() string {
+	switch v {
+	case ValPackets:
+		return "packets"
+	case ValBytes:
+		return "bytes"
+	case ValPayload:
+		return "payload"
+	}
+	return "?"
+}
+
+// Stage is the pipeline stage a query executes at (Sonata-style
+// partitioning: the earliest stage that can evaluate key + predicate).
+type Stage uint8
+
+const (
+	// StageNIC counts at the device, inside the flow-partition model —
+	// before rings, cores, or any software filtering.
+	StageNIC Stage = iota
+	// StagePacket updates straight out of the software packet filter,
+	// below conntrack.
+	StagePacket
+	// StageConn updates from final connection records.
+	StageConn
+	// StageSession updates from parsed application-layer sessions.
+	StageSession
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageNIC:
+		return "nic"
+	case StagePacket:
+		return "packet"
+	case StageConn:
+		return "conn"
+	case StageSession:
+		return "session"
+	}
+	return "?"
+}
+
+// Source is the event source the attached subscription produces,
+// mirroring the subscription level without importing the core package.
+type Source uint8
+
+const (
+	SourcePacket Source = iota
+	SourceConn
+	SourceSession
+	SourceStream
+)
+
+// Spec is the declarative aggregation clause of a subscription spec
+// (the `"aggregate": {...}` JSON object).
+type Spec struct {
+	// Op is "count", "sum", "distinct", or "topk".
+	Op string `json:"op"`
+	// Key is the group-by / distinct / topk key: "src_ip", "dst_ip",
+	// "src_port", "dst_port", "proto", "5tuple", "sni", "service".
+	// Empty means scalar count/sum.
+	Key string `json:"key,omitempty"`
+	// Value selects the summed quantity for "sum" and the weight for
+	// "topk": "packets" (default), "bytes", "payload".
+	Value string `json:"value,omitempty"`
+	// Window is the tumbling-window duration in virtual time
+	// (time.ParseDuration syntax, 1 tick = 1µs). Empty or "0" selects a
+	// single whole-run window.
+	Window string `json:"window,omitempty"`
+	// K bounds the topk report (default 10).
+	K int `json:"k,omitempty"`
+	// MaxGroups bounds the per-core group table (default 1024). Events
+	// beyond the bound stay in the window's totals but are reported
+	// unattributed (group_overflow).
+	MaxGroups int `json:"max_groups,omitempty"`
+	// Stage pins the execution stage: "" / "auto" picks the earliest
+	// stage the query is evaluable at; "nic" forces NIC push-down and
+	// fails when the filter is not exactly hardware-expressible;
+	// "packet", "conn", "session" assert the auto choice.
+	Stage string `json:"stage,omitempty"`
+}
+
+// ParseShorthand parses the CLI -agg shorthand
+//
+//	op[:key[:window[:k]]]
+//
+// e.g. "count", "topk:src_ip:1s:5", "distinct:dst_ip:500ms",
+// "sum:dst_port" — or, when the string starts with '{', a full JSON
+// Spec.
+func ParseShorthand(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("aggregate: empty -agg spec")
+	}
+	if strings.HasPrefix(s, "{") {
+		var spec Spec
+		if err := json.Unmarshal([]byte(s), &spec); err != nil {
+			return nil, fmt.Errorf("aggregate: parsing -agg JSON: %w", err)
+		}
+		return &spec, nil
+	}
+	parts := strings.Split(s, ":")
+	spec := &Spec{Op: parts[0]}
+	if len(parts) > 1 {
+		spec.Key = parts[1]
+	}
+	if len(parts) > 2 && parts[2] != "" {
+		spec.Window = parts[2]
+	}
+	if len(parts) > 3 && parts[3] != "" {
+		k, err := strconv.Atoi(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("aggregate: bad k %q in -agg spec", parts[3])
+		}
+		spec.K = k
+	}
+	if len(parts) > 4 {
+		return nil, fmt.Errorf("aggregate: too many fields in -agg spec %q", s)
+	}
+	return spec, nil
+}
+
+// Query is a compiled aggregation: the validated operator, key, value,
+// window, and assigned stage.
+type Query struct {
+	Name        string
+	Op          Op
+	Key         Key
+	Val         Value
+	Stage       Stage
+	WindowTicks uint64 // 0 = single whole-run window
+	K           int    // topk report size
+	Cands       int    // topk per-core candidate capacity
+	MaxGroups   int
+	// GraceTicks keeps a window open (accepting late events) on each
+	// core after its span has passed; connection records arrive up to a
+	// conntrack idle timeout after their LastTick, so the conn stage
+	// needs a wide grace.
+	GraceTicks uint64
+}
+
+// grouped reports whether the query attributes events to keys.
+func (q *Query) grouped() bool { return q.Key != KeyNone }
+
+// String renders the query for operator-facing listings, e.g.
+// "topk(src_ip) k=5 window=1s stage=packet".
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString(q.Op.String())
+	if q.Key != KeyNone {
+		fmt.Fprintf(&b, "(%s)", q.Key)
+	}
+	if q.Op == OpSum || q.Op == OpTopK {
+		fmt.Fprintf(&b, " value=%s", q.Val)
+	}
+	if q.Op == OpTopK {
+		fmt.Fprintf(&b, " k=%d", q.K)
+	}
+	if q.WindowTicks > 0 {
+		fmt.Fprintf(&b, " window=%s", time.Duration(q.WindowTicks)*time.Microsecond)
+	}
+	fmt.Fprintf(&b, " stage=%s", q.Stage)
+	return b.String()
+}
+
+// Env describes the subscription a query is compiled against: what
+// events it produces and how far down its filter can be pushed.
+type Env struct {
+	// Source is the subscription's event source (mirrors its level).
+	Source Source
+	// PacketDecidable is true when the subscription's filter needs no
+	// connection tracking — every pattern resolves at the packet stage,
+	// so a packet-level aggregation can register below conntrack.
+	PacketDecidable bool
+	// NICExact is true when the filter is exactly expressible as
+	// hardware flow rules under the device's capability model (no
+	// widening), the precondition for NIC-stage push-down.
+	NICExact bool
+	// ConnGraceTicks is the conntrack idle timeout in ticks (how late a
+	// connection record can arrive after its last packet). Zero selects
+	// a default.
+	ConnGraceTicks uint64
+}
+
+// defaultConnGrace covers the conntrack default idle timeout (5 min
+// virtual) when the runtime doesn't say.
+const defaultConnGrace = 300_000_000
+
+// ValidateSpec checks the declarative clause without a subscription
+// context: operator, key, and value names, window syntax, bounds. Load
+// paths use it for early per-spec errors; Compile re-validates against
+// the subscription.
+func ValidateSpec(s *Spec) error {
+	if _, err := parseOp(s.Op); err != nil {
+		return err
+	}
+	if _, err := parseKey(s.Key); err != nil {
+		return err
+	}
+	if _, err := parseValue(s.Value); err != nil {
+		return err
+	}
+	if _, err := parseWindow(s.Window); err != nil {
+		return err
+	}
+	if s.K < 0 {
+		return fmt.Errorf("aggregate: negative k %d", s.K)
+	}
+	if s.MaxGroups < 0 {
+		return fmt.Errorf("aggregate: negative max_groups %d", s.MaxGroups)
+	}
+	switch s.Stage {
+	case "", "auto", "nic", "packet", "conn", "session":
+	default:
+		return fmt.Errorf("aggregate: unknown stage %q (want auto, nic, packet, conn, or session)", s.Stage)
+	}
+	return nil
+}
+
+func parseOp(s string) (Op, error) {
+	switch s {
+	case "count":
+		return OpCount, nil
+	case "sum":
+		return OpSum, nil
+	case "distinct":
+		return OpDistinct, nil
+	case "topk":
+		return OpTopK, nil
+	}
+	return 0, fmt.Errorf("aggregate: unknown op %q (want count, sum, distinct, or topk)", s)
+}
+
+func parseKey(s string) (Key, error) {
+	switch s {
+	case "":
+		return KeyNone, nil
+	case "src_ip":
+		return KeySrcIP, nil
+	case "dst_ip":
+		return KeyDstIP, nil
+	case "src_port":
+		return KeySrcPort, nil
+	case "dst_port":
+		return KeyDstPort, nil
+	case "proto":
+		return KeyProto, nil
+	case "5tuple":
+		return KeyFiveTuple, nil
+	case "sni":
+		return KeySNI, nil
+	case "service":
+		return KeyService, nil
+	}
+	return 0, fmt.Errorf("aggregate: unknown key %q", s)
+}
+
+func parseValue(s string) (Value, error) {
+	switch s {
+	case "", "packets":
+		return ValPackets, nil
+	case "bytes":
+		return ValBytes, nil
+	case "payload":
+		return ValPayload, nil
+	}
+	return 0, fmt.Errorf("aggregate: unknown value %q (want packets, bytes, or payload)", s)
+}
+
+func parseWindow(s string) (uint64, error) {
+	if s == "" || s == "0" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("aggregate: bad window %q: %w", s, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("aggregate: negative window %q", s)
+	}
+	return uint64(d / time.Microsecond), nil
+}
+
+// packetKey reports whether k is extractable at the packet stage.
+func packetKey(k Key) bool {
+	switch k {
+	case KeyNone, KeySrcIP, KeyDstIP, KeySrcPort, KeyDstPort, KeyProto, KeyFiveTuple:
+		return true
+	}
+	return false
+}
+
+// Compile validates the clause against the subscription it attaches to,
+// assigns the execution stage (push-down), and returns the live
+// Instance. name is the subscription name (query identity in reports
+// and metrics).
+func Compile(name string, spec *Spec, env Env) (*Instance, error) {
+	if err := ValidateSpec(spec); err != nil {
+		return nil, err
+	}
+	q := Query{Name: name}
+	q.Op, _ = parseOp(spec.Op)
+	q.Key, _ = parseKey(spec.Key)
+	q.Val, _ = parseValue(spec.Value)
+	q.WindowTicks, _ = parseWindow(spec.Window)
+
+	if q.Op == OpDistinct && q.Key == KeyNone {
+		return nil, fmt.Errorf("aggregate: distinct needs a key")
+	}
+	if q.Op == OpTopK && q.Key == KeyNone {
+		return nil, fmt.Errorf("aggregate: topk needs a key")
+	}
+	if (q.Op == OpCount || q.Op == OpDistinct) && spec.Value != "" && spec.Value != "packets" {
+		return nil, fmt.Errorf("aggregate: %s does not take value=%s", spec.Op, spec.Value)
+	}
+	q.K = spec.K
+	if q.K == 0 {
+		q.K = 10
+	}
+	q.MaxGroups = spec.MaxGroups
+	if q.MaxGroups == 0 {
+		q.MaxGroups = 1024
+	}
+	// Candidate capacity: 2K bounds the space-saving error at N/2K per
+	// window; never below 64 so small-k queries keep useful recall.
+	q.Cands = 2 * q.K
+	if q.Cands < 64 {
+		q.Cands = 64
+	}
+	if q.Cands > q.MaxGroups {
+		q.Cands = q.MaxGroups
+	}
+
+	// Stage assignment (push-down): the earliest stage that can evaluate
+	// both the key and the subscription's predicate.
+	switch env.Source {
+	case SourcePacket:
+		if !env.PacketDecidable {
+			return nil, fmt.Errorf("aggregate: subscription %q aggregates packets but its filter needs connection tracking; packet-stage aggregation requires a packet-decidable filter", name)
+		}
+		if !packetKey(q.Key) {
+			return nil, fmt.Errorf("aggregate: key %q is not extractable at the packet stage", q.Key)
+		}
+		if q.Op == OpSum && q.Val == ValPackets {
+			q.Val = ValBytes
+		}
+		q.Stage = StagePacket
+		q.GraceTicks = q.WindowTicks
+	case SourceConn:
+		if q.Key == KeySNI {
+			return nil, fmt.Errorf("aggregate: key \"sni\" needs a session-level subscription")
+		}
+		q.Stage = StageConn
+		grace := env.ConnGraceTicks
+		if grace == 0 {
+			grace = defaultConnGrace
+		}
+		q.GraceTicks = grace + q.WindowTicks
+	case SourceSession:
+		if q.Op == OpSum {
+			return nil, fmt.Errorf("aggregate: sum is not defined for session events")
+		}
+		q.Stage = StageSession
+		q.GraceTicks = q.WindowTicks
+	default:
+		return nil, fmt.Errorf("aggregate: stream subscriptions do not support aggregation")
+	}
+
+	switch spec.Stage {
+	case "", "auto":
+	case "nic":
+		if env.Source != SourcePacket {
+			return nil, fmt.Errorf("aggregate: NIC push-down needs a packet-level subscription")
+		}
+		if !env.NICExact {
+			return nil, fmt.Errorf("aggregate: NIC push-down needs a filter exactly expressible in hardware flow rules")
+		}
+		if q.Key != KeyNone || (q.Op != OpCount && !(q.Op == OpSum && q.Val == ValBytes)) {
+			return nil, fmt.Errorf("aggregate: NIC push-down supports only scalar count or sum of bytes")
+		}
+		q.Stage = StageNIC
+	default:
+		if spec.Stage != q.Stage.String() {
+			return nil, fmt.Errorf("aggregate: stage %q requested but query compiles to stage %q", spec.Stage, q.Stage)
+		}
+	}
+	return newInstance(q), nil
+}

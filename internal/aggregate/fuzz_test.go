@@ -1,0 +1,193 @@
+package aggregate
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// FuzzAggregateVsOracle replays a byte-encoded event stream through the
+// sketch pipeline and through an exact map-based oracle and checks:
+//
+//   - count/sum per window match the oracle exactly (they are exact
+//     counters, only the group attribution is approximate),
+//   - the HLL distinct estimate is within its error bound,
+//   - topk achieves the space-saving recall guarantee: every key whose
+//     true weight exceeds total/Cands + cms error appears in the
+//     candidate set, and reported counts never underestimate truth by
+//     more than the CMS width allows.
+//
+// Stream encoding: each event is 7 bytes — key(2) | weight(2, 1-based) |
+// tick(3). Trailing partial events are ignored.
+func FuzzAggregateVsOracle(f *testing.F) {
+	// Seed corpus: single event, one heavy key, two windows, key churn.
+	f.Add([]byte{0, 1, 0, 1, 0, 0, 1})
+	f.Add(repeatEvent(0x50, 3, 100, 64))
+	f.Add(append(repeatEvent(1, 1, 10, 8), repeatEvent(2, 1, 0x30_00, 8)...))
+	churn := make([]byte, 0, 7*64)
+	for i := 0; i < 64; i++ {
+		churn = append(churn, byte(i>>8), byte(i), 0, 1, 0, byte(i), 0)
+	}
+	f.Add(churn)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const winTicks = 4096 // window used by all three pipelines
+		type ev struct {
+			key  uint16
+			wt   uint64
+			tick uint64
+		}
+		var evs []ev
+		for off := 0; off+7 <= len(data) && len(evs) < 4096; off += 7 {
+			key := binary.BigEndian.Uint16(data[off:])
+			wt := uint64(binary.BigEndian.Uint16(data[off+2:]))%1000 + 1
+			tick := uint64(data[off+4])<<16 | uint64(data[off+5])<<8 | uint64(data[off+6])
+			evs = append(evs, ev{key, wt, tick})
+		}
+		if len(evs) == 0 {
+			return
+		}
+
+		mk := func(op, val string, k int) *Instance {
+			spec := &Spec{Op: op, Key: "dst_port", Value: val, Window: "4096us", K: k}
+			inst, err := Compile("fz", spec, packetEnv())
+			if err != nil {
+				t.Fatalf("compile %s: %v", op, err)
+			}
+			return inst
+		}
+		countI := mk("count", "", 0)
+		distinctI := mk("distinct", "", 0)
+		// value=bytes so the per-event weight (the oracle's wt) is what
+		// topk ranks, not the packet count.
+		topkI := mk("topk", "bytes", 5)
+
+		// Oracle: exact per-window, per-key tallies.
+		type wkey struct {
+			seq uint64
+			key uint16
+		}
+		oracleCount := map[wkey]uint64{}
+		oracleKeys := map[uint64]map[uint16]bool{}
+		oracleEvents := map[uint64]uint64{}
+
+		// Shard across 3 cores by key to exercise the merge path.
+		for _, e := range evs {
+			core := int(e.key) % 3
+			b := []byte{tagPort, byte(e.key >> 8), byte(e.key)}
+			k := keyRef{b: b, h: hashBytes(b)}
+			for _, inst := range []*Instance{countI, distinctI, topkI} {
+				inst.StateFor(core).update(&k, 1, e.wt, e.tick)
+			}
+			seq := e.tick / winTicks
+			oracleCount[wkey{seq, e.key}] += e.wt
+			if oracleKeys[seq] == nil {
+				oracleKeys[seq] = map[uint16]bool{}
+			}
+			oracleKeys[seq][e.key] = true
+			oracleEvents[seq]++
+		}
+		for _, inst := range []*Instance{countI, distinctI, topkI} {
+			for core := 0; core < 3; core++ {
+				inst.StateFor(core).FinalSeal()
+			}
+		}
+
+		// Exact scalar counts per window.
+		for _, w := range countI.Snapshot().Windows {
+			if got, want := w.Count, oracleEvents[w.Seq]; got != want {
+				t.Errorf("window %d: count %d, oracle %d", w.Seq, got, want)
+			}
+			var attributed uint64
+			for _, g := range w.Groups {
+				attributed += g.Count
+			}
+			if attributed+w.OverflowCount != oracleEvents[w.Seq] {
+				t.Errorf("window %d: groups(%d)+overflow(%d) != oracle %d",
+					w.Seq, attributed, w.OverflowCount, oracleEvents[w.Seq])
+			}
+		}
+
+		// HLL within bound. At p=12 the standard error is ~1.6%; allow
+		// 10% plus absolute slack 3 for tiny cardinalities.
+		for _, w := range distinctI.Snapshot().Windows {
+			truth := uint64(len(oracleKeys[w.Seq]))
+			slack := truth/10 + 3
+			if w.Distinct+slack < truth || w.Distinct > truth+slack {
+				t.Errorf("window %d: distinct %d, oracle %d (slack %d)", w.Seq, w.Distinct, truth, slack)
+			}
+		}
+
+		// TopK recall: any key with true weight > total/Cands + eps must
+		// be reported (space-saving guarantee, slackened by CMS error).
+		// Reported counts must never fall below truth (CMS and
+		// space-saving both overestimate, never underestimate).
+		cands := topkI.Q.Cands
+		for _, w := range topkI.Snapshot().Windows {
+			var total uint64
+			truthByKey := map[uint16]uint64{}
+			for k := range oracleKeys[w.Seq] {
+				wt := oracleCount[wkey{w.Seq, k}]
+				truthByKey[k] = wt
+				total += wt
+			}
+			type kv struct {
+				k  uint16
+				wt uint64
+			}
+			var ranked []kv
+			for k, wt := range truthByKey {
+				ranked = append(ranked, kv{k, wt})
+			}
+			sort.Slice(ranked, func(i, j int) bool {
+				if ranked[i].wt != ranked[j].wt {
+					return ranked[i].wt > ranked[j].wt
+				}
+				return ranked[i].k < ranked[j].k
+			})
+			reported := map[string]uint64{}
+			for _, g := range w.TopK {
+				reported[g.Key] = g.Count
+			}
+			threshold := total/uint64(cands) + total/cmsWidth + 1
+			// Keys tied with the (K+1)-th weight may legitimately lose
+			// the tie-break; only strictly-above-the-boundary keys are
+			// guaranteed a slot.
+			var kthWeight uint64
+			if len(ranked) > topkI.Q.K {
+				kthWeight = ranked[topkI.Q.K].wt
+			}
+			for i, r := range ranked {
+				if i >= topkI.Q.K {
+					break
+				}
+				if r.wt <= threshold || r.wt <= kthWeight {
+					continue // below guarantee line: recall not promised
+				}
+				name := renderKey(string([]byte{tagPort, byte(r.k >> 8), byte(r.k)}))
+				got, ok := reported[name]
+				if !ok {
+					t.Errorf("window %d: heavy key %s (weight %d > threshold %d) missing from topk %v",
+						w.Seq, name, r.wt, threshold, w.TopK)
+					continue
+				}
+				if got < r.wt {
+					t.Errorf("window %d: key %s reported %d < true %d (sketches must overestimate)",
+						w.Seq, name, got, r.wt)
+				}
+				if got > r.wt+total {
+					t.Errorf("window %d: key %s reported %d wildly above true %d", w.Seq, name, got, r.wt)
+				}
+			}
+		}
+	})
+}
+
+func repeatEvent(key uint16, wt uint16, tick uint32, n int) []byte {
+	out := make([]byte, 0, 7*n)
+	for i := 0; i < n; i++ {
+		out = append(out, byte(key>>8), byte(key), byte(wt>>8), byte(wt),
+			byte(tick>>16), byte(tick>>8), byte(tick))
+	}
+	return out
+}

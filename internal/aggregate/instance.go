@@ -1,0 +1,147 @@
+package aggregate
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// maxParticipants bounds the per-instance state array: one slot per
+// possible core plus one reserved for the NIC-stage tap. Lookup on the
+// hot path is a single atomic load off a fixed array — no map, no lock.
+const (
+	maxParticipants = 129
+	nicParticipant  = maxParticipants - 1
+)
+
+// Instance is one compiled aggregation query attached to a
+// subscription. It owns the merger and hands out per-core states on
+// demand; the instance itself is stable across epoch swaps (the control
+// plane carries it from the old SubSpec to the new one), which is what
+// keeps window accumulators intact while programs are republished.
+type Instance struct {
+	Q Query
+
+	merger   *Merger
+	states   [maxParticipants]atomic.Pointer[CoreState]
+	createMu sync.Mutex
+}
+
+func newInstance(q Query) *Instance {
+	return &Instance{Q: q, merger: newMerger()}
+}
+
+// StateFor returns the calling core's state, creating and registering
+// it on first use. The fast path is one atomic load; creation takes a
+// mutex once per (core, instance) lifetime. The returned state must
+// only be updated by its owning goroutine.
+func (in *Instance) StateFor(coreID int) *CoreState {
+	if coreID < 0 || coreID >= nicParticipant {
+		return nil
+	}
+	if cs := in.states[coreID].Load(); cs != nil {
+		return cs
+	}
+	return in.createState(coreID)
+}
+
+// NICState returns the dedicated NIC-tap participant state (StageNIC
+// queries; owned by the NIC producer goroutine).
+func (in *Instance) NICState() *CoreState {
+	if cs := in.states[nicParticipant].Load(); cs != nil {
+		return cs
+	}
+	return in.createState(nicParticipant)
+}
+
+func (in *Instance) createState(id int) *CoreState {
+	in.createMu.Lock()
+	defer in.createMu.Unlock()
+	if cs := in.states[id].Load(); cs != nil {
+		return cs
+	}
+	cs := newCoreState(in, id)
+	in.merger.register(id)
+	in.states[id].Store(cs)
+	return cs
+}
+
+// EventsTotal sums folded events across all participants.
+func (in *Instance) EventsTotal() uint64 {
+	var n uint64
+	for i := range in.states {
+		if cs := in.states[i].Load(); cs != nil {
+			n += cs.events.Load()
+		}
+	}
+	return n
+}
+
+// LateTotal sums events that arrived after their window sealed.
+func (in *Instance) LateTotal() uint64 {
+	var n uint64
+	for i := range in.states {
+		if cs := in.states[i].Load(); cs != nil {
+			n += cs.late.Load()
+		}
+	}
+	return n
+}
+
+// OverflowTotal sums group-table overflow events.
+func (in *Instance) OverflowTotal() uint64 {
+	var n uint64
+	for i := range in.states {
+		if cs := in.states[i].Load(); cs != nil {
+			n += cs.overflow.Load()
+		}
+	}
+	return n
+}
+
+// WindowsSealed reports per-core window seals folded into the merger.
+func (in *Instance) WindowsSealed() uint64 {
+	in.merger.mu.Lock()
+	defer in.merger.mu.Unlock()
+	return in.merger.windowsSealed
+}
+
+// LastSealedSeq reports the highest window sequence any participant has
+// sealed through (monitoring: "where is the window clock").
+func (in *Instance) LastSealedSeq() uint64 {
+	in.merger.mu.Lock()
+	defer in.merger.mu.Unlock()
+	var max uint64
+	for _, s := range in.merger.sealedThrough {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// KeysTracked reports distinct keys across merged windows (bounded by
+// participants × per-core table capacity × windows).
+func (in *Instance) KeysTracked() int {
+	in.merger.mu.Lock()
+	defer in.merger.mu.Unlock()
+	keys := map[string]bool{}
+	for _, acc := range in.merger.wins {
+		for k := range acc.groups {
+			keys[k] = true
+		}
+		for k := range acc.cands {
+			keys[k] = true
+		}
+	}
+	return len(keys)
+}
+
+// Snapshot renders the merged, windowed report. Safe to call
+// concurrently with live updates; only sealed windows appear.
+func (in *Instance) Snapshot() Report {
+	return in.merger.snapshot(&in.Q, Totals{
+		Events:        in.EventsTotal(),
+		Late:          in.LateTotal(),
+		GroupOverflow: in.OverflowTotal(),
+	})
+}

@@ -1,0 +1,169 @@
+package aggregate
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// event is one synthetic aggregation input: a key drawn from a small
+// universe plus a weight and a timestamp.
+type event struct {
+	key  uint32
+	wt   uint64
+	tick uint64
+}
+
+// randEvents draws n events with nondecreasing ticks — the virtual
+// clock is monotone per core in the real pipeline, and every sharded
+// subsequence of a sorted stream stays sorted, so no placement turns an
+// on-time event late.
+func randEvents(r *rand.Rand, n int, universe uint32, maxTick uint64) []event {
+	evs := make([]event, n)
+	for i := range evs {
+		evs[i] = event{
+			key:  r.Uint32() % universe,
+			wt:   uint64(r.Intn(1000) + 1),
+			tick: uint64(r.Int63n(int64(maxTick))),
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].tick < evs[j].tick })
+	return evs
+}
+
+func keyOf(e event) keyRef {
+	b := []byte{tagPort, byte(e.key >> 8), byte(e.key)}
+	return keyRef{b: b, h: hashBytes(b)}
+}
+
+// feed plays events into an instance the way the pipeline would: each
+// event goes to a core chosen by its key (stable, RSS-like — burst size
+// never changes placement), and Advance runs on every core at chunk
+// boundaries, which is the only thing burst size actually changes.
+func feed(inst *Instance, evs []event, cores []int, chunk int) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	for off, e := range evs {
+		cs := inst.StateFor(cores[int(e.key)%len(cores)])
+		k := keyOf(e)
+		cs.update(&k, 1, e.wt, e.tick)
+		if (off+1)%chunk == 0 {
+			for _, c := range cores {
+				inst.StateFor(c).Advance(e.tick)
+			}
+		}
+	}
+	for _, c := range cores {
+		inst.StateFor(c).FinalSeal()
+	}
+}
+
+func runSharded(t *testing.T, spec *Spec, evs []event, cores []int, chunk int) Report {
+	t.Helper()
+	inst := compileQ(t, spec, packetEnv())
+	feed(inst, evs, cores, chunk)
+	return inst.Snapshot()
+}
+
+// reportsEqual compares the placement-independent parts of two reports:
+// the per-window aggregates. Totals like Late are allowed to differ (a
+// different placement seals windows at different points in the stream).
+func reportsEqual(t *testing.T, label string, a, b Report) {
+	t.Helper()
+	if len(a.Windows) != len(b.Windows) {
+		t.Fatalf("%s: window count %d vs %d", label, len(a.Windows), len(b.Windows))
+	}
+	for i := range a.Windows {
+		wa, wb := a.Windows[i], b.Windows[i]
+		wa.Complete, wb.Complete = false, false
+		if !reflect.DeepEqual(wa, wb) {
+			t.Errorf("%s: window %d differs:\n  a=%+v\n  b=%+v", label, i, wa, wb)
+		}
+	}
+}
+
+// TestMergeOrderIndependence: folding the same event stream through
+// different core placements and burst sizes must produce identical
+// window results — this is the property that makes reports survive RSS
+// rebalancing and epoch swaps. Keys stay within candidate capacity so
+// the sketch answers are exact and comparison can be strict.
+func TestMergeOrderIndependence(t *testing.T) {
+	specs := []Spec{
+		{Op: "count", Key: "dst_port", Window: "1ms"},
+		{Op: "sum", Key: "dst_port", Window: "1ms"},
+		{Op: "distinct", Key: "dst_port", Window: "1ms"},
+		{Op: "topk", Key: "dst_port", Window: "1ms", K: 8},
+	}
+	r := rand.New(rand.NewSource(7))
+	evs := randEvents(r, 5000, 50, 10_000) // 50 keys << Cands=64
+	placements := []struct {
+		name  string
+		cores []int
+		chunk int
+	}{
+		{"1core-burst1", []int{0}, 1},
+		{"1core-burst32", []int{0}, 32},
+		{"4core-burst1", []int{0, 1, 2, 3}, 1},
+		{"4core-burst32", []int{0, 1, 2, 3}, 32},
+		{"8core-burst32", []int{0, 1, 2, 3, 4, 5, 6, 7}, 32},
+	}
+	for _, spec := range specs {
+		spec := spec
+		base := runSharded(t, &spec, evs, placements[0].cores, placements[0].chunk)
+		for _, p := range placements[1:] {
+			got := runSharded(t, &spec, evs, p.cores, p.chunk)
+			reportsEqual(t, spec.Op+"/"+p.name, base, got)
+		}
+	}
+}
+
+// TestMergeCommutativeAssociative drives mergeWindow directly: merging
+// per-core windows into the accumulator in any order, and any grouping,
+// yields the same accumulated window.
+func TestMergeCommutativeAssociative(t *testing.T) {
+	spec := Spec{Op: "topk", Key: "dst_port", Window: "1ms", K: 5}
+
+	build := func(order []int) Report {
+		inst := compileQ(t, &spec, packetEnv())
+		// Deterministic per-core event sets, replayed in the given seal order.
+		for _, core := range order {
+			cs := inst.StateFor(core)
+			cr := rand.New(rand.NewSource(int64(core) * 101))
+			for i := 0; i < 500; i++ {
+				e := event{key: cr.Uint32() % 40, wt: uint64(cr.Intn(100) + 1), tick: uint64(cr.Int63n(3000))}
+				k := keyOf(e)
+				cs.update(&k, 1, e.wt, e.tick)
+			}
+			cs.FinalSeal() // seals this core's windows into the accumulator now
+		}
+		return inst.Snapshot()
+	}
+
+	orders := [][]int{
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{2, 0, 3, 1},
+	}
+	base := build(orders[0])
+	for _, ord := range orders[1:] {
+		reportsEqual(t, "seal order", base, build(ord))
+	}
+}
+
+// TestWindowBoundaryFoldBurst1Vs32 is the satellite-mandated pairing:
+// an interleaved multi-window stream folded at burst=1 and burst=32
+// must agree window by window, including which events land in which
+// window and the overflow accounting.
+func TestWindowBoundaryFoldBurst1Vs32(t *testing.T) {
+	spec := Spec{Op: "count", Key: "dst_port", Window: "500us", MaxGroups: 16}
+	r := rand.New(rand.NewSource(23))
+	evs := randEvents(r, 8000, 200, 20_000) // 200 keys >> MaxGroups: overflow paths exercised
+	a := runSharded(t, &spec, evs, []int{0, 1}, 1)
+	b := runSharded(t, &spec, evs, []int{0, 1}, 32)
+	reportsEqual(t, "burst1-vs-32", a, b)
+	if a.Totals.Events != b.Totals.Events {
+		t.Errorf("events %d vs %d", a.Totals.Events, b.Totals.Events)
+	}
+}

@@ -1,0 +1,253 @@
+package aggregate
+
+import "math"
+
+// The engine hashes keys once with FNV-1a 64 and derives every sketch
+// position from that hash: HLL register/rank from the top bits, the
+// count-min rows from the (h1 + i·h2) double-hashing split, the group
+// table probe sequence from the low bits. One deterministic hash keeps
+// per-core sketches mergeable cell-for-cell: the same key lands in the
+// same cells on every core, so folding per-core windows is pure
+// addition (count-min), max (HLL), or keyed sums (groups) — independent
+// of packet placement.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hashBytes is FNV-1a 64 over b, finished with a murmur3-style fmix64.
+// Raw FNV has weak avalanche for short keys that differ only in
+// trailing bytes — the difference never reaches the top bits, which is
+// exactly where the HLL register index comes from — so the finalizer is
+// load-bearing, not cosmetic.
+func hashBytes(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// keyBufCap bounds stored key bytes. The widest binary key is the
+// canonical five-tuple (37 bytes); string keys (SNI, service) are
+// truncated to fit — long SNIs keep their first keyBufCap bytes, which
+// also defines group identity for them.
+const keyBufCap = 40
+
+// keyRef is a borrowed reference to one event's extracted key: the raw
+// bytes (valid only for the duration of the update) and their hash.
+type keyRef struct {
+	b []byte
+	h uint64
+}
+
+// --- HyperLogLog ---------------------------------------------------
+
+// hllP trades memory for accuracy: 2^12 registers = 4 KiB per window
+// per core, standard error 1.04/√4096 ≈ 1.6%.
+const (
+	hllP = 12
+	hllM = 1 << hllP
+)
+
+// hllUpdate folds one hashed key into the register file.
+func hllUpdate(reg []uint8, h uint64) {
+	idx := h >> (64 - hllP)
+	rest := h<<hllP | 1<<(hllP-1) // low bits, padded so rank is defined
+	rank := uint8(1)
+	for rest&(1<<63) == 0 {
+		rank++
+		rest <<= 1
+	}
+	if rank > reg[idx] {
+		reg[idx] = rank
+	}
+}
+
+// hllEstimate computes the cardinality estimate with the standard
+// small-range (linear counting) correction, rounded to an integer.
+func hllEstimate(reg []uint8) uint64 {
+	var sum float64
+	zeros := 0
+	for _, r := range reg {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/float64(hllM))
+	est := alpha * hllM * hllM / sum
+	if est <= 2.5*hllM && zeros > 0 {
+		est = float64(hllM) * math.Log(float64(hllM)/float64(zeros))
+	}
+	return uint64(est + 0.5)
+}
+
+// --- count-min sketch ----------------------------------------------
+
+// cmsRows×cmsWidth uint64 cells = 32 KiB per window per core. Width
+// 1024 bounds each row's overestimate at ~e/1024 of the window's total
+// weight; the min over 4 rows makes large errors unlikely.
+const (
+	cmsRows  = 4
+	cmsWidth = 1024
+	cmsCells = cmsRows * cmsWidth
+)
+
+// cmsIndex derives row i's cell from the key hash by double hashing.
+func cmsIndex(h uint64, row int) int {
+	h1 := uint32(h)
+	h2 := uint32(h>>32) | 1 // odd, so the derived sequence cycles fully
+	return row*cmsWidth + int((h1+uint32(row)*h2)&(cmsWidth-1))
+}
+
+func cmsUpdate(cells []uint64, h uint64, w uint64) {
+	for i := 0; i < cmsRows; i++ {
+		cells[cmsIndex(h, i)] += w
+	}
+}
+
+func cmsEstimate(cells []uint64, h uint64) uint64 {
+	est := cells[cmsIndex(h, 0)]
+	for i := 1; i < cmsRows; i++ {
+		if v := cells[cmsIndex(h, i)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// --- bounded group table -------------------------------------------
+
+// groupEntry is one tracked key with its accumulated count and sum.
+type groupEntry struct {
+	hash  uint64
+	count uint64
+	sum   uint64
+	klen  uint8
+	key   [keyBufCap]byte
+}
+
+// groupTable is a fixed-capacity key→(count,sum) map: dense entry
+// storage plus an open-addressing index, both preallocated — the hot
+// path never allocates. Two overflow modes: group-by tables refuse new
+// keys when full (the caller accounts the event as unattributed), topk
+// candidate tables evict the minimum-count entry space-saving style
+// (the newcomer inherits min+weight, an overestimate that keeps every
+// key with true weight above total/capacity in the table).
+type groupTable struct {
+	entries []groupEntry
+	idx     []int32 // slot+1; 0 = empty
+	mask    uint32
+	n       int
+	evict   bool
+}
+
+func newGroupTable(capacity int, evict bool) *groupTable {
+	if capacity < 1 {
+		capacity = 1
+	}
+	idxSize := 2
+	for idxSize < 2*capacity {
+		idxSize *= 2
+	}
+	return &groupTable{
+		entries: make([]groupEntry, 0, capacity),
+		idx:     make([]int32, idxSize),
+		mask:    uint32(idxSize - 1),
+		evict:   evict,
+	}
+}
+
+// find returns the entry for k, or nil.
+func (g *groupTable) find(k *keyRef) *groupEntry {
+	pos := uint32(k.h) & g.mask
+	for {
+		s := g.idx[pos]
+		if s == 0 {
+			return nil
+		}
+		e := &g.entries[s-1]
+		if e.hash == k.h && int(e.klen) == len(k.b) && string(e.key[:e.klen]) == string(k.b) {
+			return e
+		}
+		pos = (pos + 1) & g.mask
+	}
+}
+
+// add accumulates (count, sum) under k, returning false when the table
+// is full and not evicting (the event stays unattributed).
+func (g *groupTable) add(k *keyRef, count, sum uint64) bool {
+	if e := g.find(k); e != nil {
+		e.count += count
+		e.sum += sum
+		return true
+	}
+	if g.n < cap(g.entries) {
+		g.entries = g.entries[:g.n+1]
+		e := &g.entries[g.n]
+		g.n++
+		g.set(e, k, count, sum)
+		g.index(int32(g.n))
+		return true
+	}
+	if !g.evict {
+		return false
+	}
+	// Space-saving replacement: the newcomer takes over the minimum
+	// entry's counts (an overestimate bounded by the evicted minimum).
+	min := 0
+	for i := 1; i < g.n; i++ {
+		if g.entries[i].count < g.entries[min].count {
+			min = i
+		}
+	}
+	e := &g.entries[min]
+	g.set(e, k, e.count+count, e.sum+sum)
+	g.reindex()
+	return true
+}
+
+func (g *groupTable) set(e *groupEntry, k *keyRef, count, sum uint64) {
+	e.hash = k.h
+	e.klen = uint8(copy(e.key[:], k.b))
+	e.count = count
+	e.sum = sum
+}
+
+// index inserts dense slot s (1-based) into the probe index.
+func (g *groupTable) index(s int32) {
+	pos := uint32(g.entries[s-1].hash) & g.mask
+	for g.idx[pos] != 0 {
+		pos = (pos + 1) & g.mask
+	}
+	g.idx[pos] = s
+}
+
+// reindex rebuilds the probe index after an eviction replaced a key in
+// place (open addressing cannot delete cheaply; evictions only happen
+// once the candidate table is saturated, and capacity is small).
+func (g *groupTable) reindex() {
+	for i := range g.idx {
+		g.idx[i] = 0
+	}
+	for s := 1; s <= g.n; s++ {
+		g.index(int32(s))
+	}
+}
+
+// reset clears the table for window reuse without releasing storage.
+func (g *groupTable) reset() {
+	for i := range g.idx {
+		g.idx[i] = 0
+	}
+	g.entries = g.entries[:0]
+	g.n = 0
+}

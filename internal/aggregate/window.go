@@ -1,0 +1,402 @@
+package aggregate
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+
+	"retina/internal/layers"
+)
+
+// window is one tumbling window's per-core sketch state. Only the
+// structures the query's operator needs are allocated (once, at window
+// creation; sealed windows return to a free list, so the steady state
+// allocates nothing).
+type window struct {
+	seq    uint64
+	events uint64
+	count  uint64
+	sum    uint64
+	// overflowCount/overflowSum hold events whose key could not be
+	// attributed — group-table overflow or an event without an
+	// extractable key — so window totals stay exact regardless.
+	overflowCount uint64
+	overflowSum   uint64
+	groups        *groupTable // grouped count/sum, topk candidates
+	hll           []uint8     // distinct
+	cms           []uint64    // topk
+	next          *window     // free list link
+}
+
+func (q *Query) newWindow(seq uint64) *window {
+	w := &window{seq: seq}
+	switch q.Op {
+	case OpCount, OpSum:
+		if q.grouped() {
+			w.groups = newGroupTable(q.MaxGroups, false)
+		}
+	case OpDistinct:
+		w.hll = make([]uint8, hllM)
+	case OpTopK:
+		w.groups = newGroupTable(q.Cands, true)
+		w.cms = make([]uint64, cmsCells)
+	}
+	return w
+}
+
+// recycle prepares a sealed window for reuse at a new sequence.
+func (w *window) recycle(seq uint64) {
+	w.seq = seq
+	w.events, w.count, w.sum = 0, 0, 0
+	w.overflowCount, w.overflowSum = 0, 0
+	if w.groups != nil {
+		w.groups.reset()
+	}
+	for i := range w.hll {
+		w.hll[i] = 0
+	}
+	for i := range w.cms {
+		w.cms[i] = 0
+	}
+	w.next = nil
+}
+
+// CoreState is one (query, core) pair's live aggregation state. It is
+// owned by a single goroutine (the core's burst loop, or the NIC
+// producer for NIC-stage queries); only the events counter is read
+// concurrently (monitoring), so it is the one atomic on the path.
+type CoreState struct {
+	inst   *Instance
+	q      *Query
+	coreID int
+
+	// cur is the fast-path window (the one the clock is in); open holds
+	// every unsealed window including cur, keyed by sequence. Windows
+	// stay open for GraceTicks past their span to absorb events whose
+	// tick trails the core clock (connection records most of all), then
+	// seal into the instance's merger.
+	cur     *window
+	open    map[uint64]*window
+	free    *window
+	minOpen uint64
+
+	events    atomic.Uint64
+	late      atomic.Uint64
+	overflow  atomic.Uint64
+	finalized bool
+}
+
+func newCoreState(inst *Instance, coreID int) *CoreState {
+	cs := &CoreState{
+		inst:   inst,
+		q:      &inst.Q,
+		coreID: coreID,
+		open:   map[uint64]*window{},
+	}
+	cs.cur = cs.q.newWindow(0)
+	cs.open[0] = cs.cur
+	return cs
+}
+
+// windowFor returns the open window owning tick's sequence, creating it
+// if the clock hasn't passed its grace; nil means the event is late
+// (its window already sealed).
+func (cs *CoreState) windowFor(seq uint64) *window {
+	if w := cs.open[seq]; w != nil {
+		return w
+	}
+	if seq < cs.minOpen {
+		return nil
+	}
+	var w *window
+	if cs.free != nil {
+		w = cs.free
+		cs.free = w.next
+		w.recycle(seq)
+	} else {
+		w = cs.q.newWindow(seq)
+	}
+	cs.open[seq] = w
+	return w
+}
+
+// update is the common event path: attribute (count, sum) weight under
+// key k (k.b nil for scalar events) in tick's window.
+func (cs *CoreState) update(k *keyRef, count, sum uint64, tick uint64) {
+	cs.events.Add(1)
+	w := cs.cur
+	if cs.q.WindowTicks != 0 {
+		seq := tick / cs.q.WindowTicks
+		if seq != w.seq {
+			if w = cs.windowFor(seq); w == nil {
+				cs.late.Add(1)
+				return
+			}
+			if seq > cs.cur.seq {
+				cs.cur = w
+			}
+		}
+	} else if cs.finalized {
+		cs.late.Add(1)
+		return
+	}
+	w.events++
+	switch cs.q.Op {
+	case OpCount:
+		w.count += count
+		if k != nil {
+			if !w.groups.add(k, count, 0) {
+				w.overflowCount += count
+				cs.overflow.Add(1)
+			}
+		}
+	case OpSum:
+		w.count += count
+		w.sum += sum
+		if k != nil {
+			if !w.groups.add(k, count, sum) {
+				w.overflowCount += count
+				w.overflowSum += sum
+				cs.overflow.Add(1)
+			}
+		}
+	case OpDistinct:
+		w.count += count
+		if k != nil {
+			hllUpdate(w.hll, k.h)
+		}
+	case OpTopK:
+		w.count += count
+		if k != nil {
+			weight := count
+			if cs.q.Val != ValPackets {
+				weight = sum
+			}
+			cmsUpdate(w.cms, k.h, weight)
+			w.groups.add(k, weight, 0)
+		}
+	}
+	if cs.q.grouped() && k == nil {
+		// No extractable key (e.g. non-IP frame on a keyed query): the
+		// event stays in the window totals, unattributed.
+		w.overflowCount += count
+		w.overflowSum += sum
+	}
+}
+
+// Advance seals every open window whose grace has passed at the given
+// core-clock tick. Called at burst boundaries; the fast path is one
+// compare.
+func (cs *CoreState) Advance(now uint64) {
+	if cs.q.WindowTicks == 0 || cs.finalized {
+		return
+	}
+	endOfGrace := (cs.minOpen+1)*cs.q.WindowTicks + cs.q.GraceTicks
+	if now < endOfGrace {
+		return
+	}
+	cs.sweep(now)
+}
+
+func (cs *CoreState) sweep(now uint64) {
+	min := ^uint64(0)
+	for seq, w := range cs.open {
+		if (seq+1)*cs.q.WindowTicks+cs.q.GraceTicks <= now {
+			cs.seal(w)
+			delete(cs.open, seq)
+			continue
+		}
+		if seq < min {
+			min = seq
+		}
+	}
+	if len(cs.open) == 0 {
+		// Keep a live cur window at the clock's current sequence so the
+		// fast path stays valid.
+		seq := now / cs.q.WindowTicks
+		cs.minOpen = seq
+		cs.cur = cs.windowFor(seq)
+	} else {
+		cs.minOpen = min
+		if cs.open[cs.cur.seq] == nil {
+			cs.cur = cs.open[min]
+		}
+	}
+	if cs.minOpen > 0 {
+		cs.inst.merger.noteSealedThrough(cs.coreID, cs.minOpen-1)
+	}
+}
+
+// seal folds a window into the instance's merger and recycles it.
+func (cs *CoreState) seal(w *window) {
+	if w.events > 0 {
+		cs.inst.merger.mergeWindow(cs.q, cs.coreID, w)
+	}
+	w.next = cs.free
+	cs.free = w
+}
+
+// FinalSeal seals every open window (end of run, or the state's owner
+// is going away) and marks the participant finalized in the merger.
+// Idempotent; events arriving afterwards count as late.
+func (cs *CoreState) FinalSeal() {
+	if cs.finalized {
+		return
+	}
+	cs.finalized = true
+	for seq, w := range cs.open {
+		cs.seal(w)
+		delete(cs.open, seq)
+	}
+	// Dead-end: stragglers fail the sequence match (windowed) or the
+	// finalized check (whole-run) and count as late, never touching the
+	// recycled windows on the free list.
+	cs.cur = &window{seq: ^uint64(0)}
+	cs.minOpen = ^uint64(0)
+	cs.inst.merger.finalize(cs.coreID)
+}
+
+// --- per-stage event entry points ----------------------------------
+
+// UpdatePacket folds one filtered packet: key from the packet's own
+// direction, wire length as ValBytes, L4 payload length as ValPayload.
+func (cs *CoreState) UpdatePacket(p *layers.Parsed, wire int, tick uint64) {
+	var sum uint64
+	switch cs.q.Val {
+	case ValBytes:
+		sum = uint64(wire)
+	case ValPayload:
+		sum = uint64(len(p.Payload()))
+	}
+	if !cs.q.grouped() {
+		cs.update(nil, 1, sum, tick)
+		return
+	}
+	var buf [keyBufCap]byte
+	ft, ok := layers.FiveTupleFrom(p)
+	if !ok {
+		cs.update(nil, 1, sum, tick)
+		return
+	}
+	k := tupleKey(cs.q.Key, &ft, buf[:0])
+	cs.update(&k, 1, sum, tick)
+}
+
+// UpdateConn folds one final connection record (originator-oriented
+// totals; the record's LastTick keys the window so results are
+// independent of when — and where — the record was delivered).
+func (cs *CoreState) UpdateConn(t *layers.FiveTuple, service string, pkts, bytes, payload uint64, tick uint64) {
+	var sum uint64
+	switch cs.q.Val {
+	case ValPackets:
+		sum = pkts
+	case ValBytes:
+		sum = bytes
+	case ValPayload:
+		sum = payload
+	}
+	if !cs.q.grouped() {
+		cs.update(nil, 1, sum, tick)
+		return
+	}
+	var buf [keyBufCap]byte
+	var k keyRef
+	if cs.q.Key == KeyService {
+		k = stringKey(service, buf[:0])
+	} else {
+		k = tupleKey(cs.q.Key, t, buf[:0])
+	}
+	cs.update(&k, 1, sum, tick)
+}
+
+// UpdateSession folds one parsed session event.
+func (cs *CoreState) UpdateSession(t *layers.FiveTuple, service, sni string, tick uint64) {
+	if !cs.q.grouped() {
+		cs.update(nil, 1, 0, tick)
+		return
+	}
+	var buf [keyBufCap]byte
+	var k keyRef
+	switch cs.q.Key {
+	case KeySNI:
+		k = stringKey(sni, buf[:0])
+	case KeyService:
+		k = stringKey(service, buf[:0])
+	default:
+		k = tupleKey(cs.q.Key, t, buf[:0])
+	}
+	cs.update(&k, 1, 0, tick)
+}
+
+// UpdateScalar folds one keyless event with an explicit byte weight
+// (the NIC-stage tap: count or sum-of-bytes at the wire).
+func (cs *CoreState) UpdateScalar(wire int, tick uint64) {
+	cs.update(nil, 1, uint64(wire), tick)
+}
+
+// Events reports how many events this state has folded (monitoring;
+// safe concurrently).
+func (cs *CoreState) Events() uint64 { return cs.events.Load() }
+
+// --- key encoding ---------------------------------------------------
+
+// Key wire format, byte 0 is the kind tag from encodeKind; renderKey
+// reverses it for reports. IPs carry a family byte so v4/v6 render
+// correctly.
+const (
+	tagIP = iota
+	tagPort
+	tagProto
+	tagTuple
+	tagString
+)
+
+func tupleKey(k Key, ft *layers.FiveTuple, b []byte) keyRef {
+	switch k {
+	case KeySrcIP:
+		b = appendIP(b, ft.SrcIP, ft.IsIPv6)
+	case KeyDstIP:
+		b = appendIP(b, ft.DstIP, ft.IsIPv6)
+	case KeySrcPort:
+		b = append(b, tagPort)
+		b = binary.BigEndian.AppendUint16(b, ft.SrcPort)
+	case KeyDstPort:
+		b = append(b, tagPort)
+		b = binary.BigEndian.AppendUint16(b, ft.DstPort)
+	case KeyProto:
+		b = append(b, tagProto, ft.Proto)
+	case KeyFiveTuple:
+		ct, _ := ft.Canonical()
+		b = append(b, tagTuple)
+		if ct.IsIPv6 {
+			b = append(b, 6)
+		} else {
+			b = append(b, 4)
+		}
+		b = append(b, ct.SrcIP[:]...)
+		b = append(b, ct.DstIP[:]...)
+		b = binary.BigEndian.AppendUint16(b, ct.SrcPort)
+		b = binary.BigEndian.AppendUint16(b, ct.DstPort)
+		b = append(b, ct.Proto)
+	}
+	return keyRef{b: b, h: hashBytes(b)}
+}
+
+func appendIP(b []byte, ip [16]byte, v6 bool) []byte {
+	b = append(b, tagIP)
+	if v6 {
+		b = append(b, 6)
+		return append(b, ip[:]...)
+	}
+	b = append(b, 4)
+	return append(b, ip[:4]...)
+}
+
+func stringKey(s string, b []byte) keyRef {
+	b = append(b, tagString)
+	n := len(s)
+	if n > keyBufCap-1 {
+		n = keyBufCap - 1
+	}
+	b = append(b, s[:n]...)
+	return keyRef{b: b, h: hashBytes(b)}
+}

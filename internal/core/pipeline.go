@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"retina/internal/aggregate"
 	"retina/internal/conntrack"
 	"retina/internal/filter"
 	"retina/internal/layers"
@@ -208,6 +209,16 @@ type Core struct {
 	// overhead. AdvanceTime and Flush still fold unconditionally, so
 	// idle and end-of-run snapshots are exact.
 	obsBursts uint64
+
+	// Aggregation state (rebuilt on epoch pickup): aggBySlot mirrors
+	// ps.Slots for packet-stage queries (nil otherwise) so the burst loop
+	// indexes it straight off the match mask; aggStates lists every
+	// aggregation state this core updates at any stage, for clock
+	// advancement and final sealing. States belong to the Instance (which
+	// outlives program sets), so a swap re-resolves pointers without
+	// losing window contents.
+	aggBySlot []*aggregate.CoreState
+	aggStates []*aggregate.CoreState
 }
 
 // obsFlushEvery is the observability fold interval in bursts (power of
@@ -477,7 +488,48 @@ func NewCore(id int, cfg Config) (*Core, error) {
 	// Pressure evictions flow through the same teardown as timer-driven
 	// expiry so buffered state is freed and counted.
 	c.table.SetEvictHandler(c.onExpire)
+	c.rebuildAgg()
 	return c, nil
+}
+
+// rebuildAgg re-resolves this core's aggregation states from the
+// current program set. Instances persist across program sets, so a
+// retained subscription's state (and its open windows) carries over; a
+// newly attached query creates state on first resolve. States tracked
+// before the swap stay tracked — a removed query's open windows must
+// still advance to their seal even though its slot is gone. NIC-stage
+// queries are excluded: their participant is the NIC tap, not a core.
+func (c *Core) rebuildAgg() {
+	if c.aggBySlot == nil || len(c.aggBySlot) < len(c.ps.Slots) {
+		c.aggBySlot = make([]*aggregate.CoreState, len(c.ps.Slots))
+	}
+	for i := range c.aggBySlot {
+		c.aggBySlot[i] = nil
+	}
+	for i, sp := range c.ps.Slots {
+		if sp == nil || sp.Agg == nil || sp.Agg.Q.Stage == aggregate.StageNIC {
+			continue
+		}
+		st := sp.Agg.StateFor(c.ID)
+		if st == nil {
+			continue
+		}
+		c.trackAgg(st)
+		if sp.Agg.Q.Stage == aggregate.StagePacket {
+			c.aggBySlot[i] = st
+		}
+	}
+}
+
+// trackAgg registers a state for clock advancement and final sealing
+// (idempotent; the list is at most a few entries).
+func (c *Core) trackAgg(st *aggregate.CoreState) {
+	for _, s := range c.aggStates {
+		if s == st {
+			return
+		}
+	}
+	c.aggStates = append(c.aggStates, st)
 }
 
 // SetProgramSet publishes a new program set to the core (RCU publish
@@ -511,6 +563,7 @@ func (c *Core) pickup() {
 	c.ps = ps
 	c.ctr.epochSwaps.Inc()
 	c.acked.Store(ps.Epoch)
+	c.rebuildAgg()
 }
 
 // Stats returns a snapshot of the core's packet counters. Safe to call
@@ -673,6 +726,19 @@ func (c *Core) processFiltered(p *layers.Parsed, m *mbuf.Mbuf, mr filter.MultiRe
 	first := bits.TrailingZeros64(mr.Mask)
 	m.Mark = uint32(mr.Res[first].Node)
 
+	// Packet-stage aggregation (Sonata push-down): queries whose filter
+	// is packet-decidable fold here, straight off the filter verdict,
+	// before any conntrack or session work runs for them.
+	if agg := mr.Mask & c.ps.aggPkt; agg != 0 {
+		for rem := agg; rem != 0; {
+			i := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			if mr.Res[i].Terminal {
+				c.aggBySlot[i].UpdatePacket(p, m.Len(), m.RxTick)
+			}
+		}
+	}
+
 	// Fast path: when every matching subscription is packet-level with a
 	// terminal match and no session protocols, the callbacks run
 	// immediately and all stateful processing is bypassed (§5.1). The
@@ -703,9 +769,27 @@ func (c *Core) processFiltered(p *layers.Parsed, m *mbuf.Mbuf, mr filter.MultiRe
 	c.processStateful(p, m, mr)
 }
 
-// advance moves the connection table's clock, firing expirations.
+// advance moves the connection table's clock, firing expirations, and
+// seals aggregation windows whose grace has passed (each state's fast
+// path is a single compare).
 func (c *Core) advance() {
 	c.table.Advance(c.now, c.onExpire)
+	for _, st := range c.aggStates {
+		st.Advance(c.now)
+	}
+}
+
+// aggState resolves a subscription's aggregation state for this core,
+// tracking it for clock advancement and final sealing. Draining specs
+// leave the slot table but keep delivering connection records, so their
+// states resolve through here rather than the slot mirror.
+func (c *Core) aggState(sp *SubSpec) *aggregate.CoreState {
+	st := sp.Agg.StateFor(c.ID)
+	if st == nil {
+		return nil
+	}
+	c.trackAgg(st)
+	return st
 }
 
 // AdvanceTime explicitly moves the virtual clock (idle periods, end of
@@ -2072,6 +2156,19 @@ func (c *Core) finishConn(conn *conntrack.Conn, cs *connState, reason conntrack.
 			c.stages.Time(StageCallback, func() { spec.Sub.OnConn(rec) })
 			c.ctr.deliveredConns.Inc()
 			spec.Delivered.Inc()
+			// Connection-stage aggregation folds the final record, keyed
+			// by the connection's last-activity tick — the same tick on
+			// whichever core finishes the conn, so a migrated connection
+			// contributes exactly once to exactly one window.
+			if spec.Agg != nil && spec.Agg.Q.Stage == aggregate.StageConn {
+				if st := c.aggState(spec); st != nil {
+					st.UpdateConn(&conn.Tuple, conn.Service,
+						conn.PktsOrig+conn.PktsResp,
+						conn.BytesOrig+conn.BytesResp,
+						conn.PayloadOrig+conn.PayloadResp,
+						conn.LastTick)
+				}
+			}
 		}
 		s.spec.LiveConns.Add(-1)
 	}
@@ -2119,6 +2216,11 @@ func (c *Core) Flush() {
 		c.queueOffloadRemove(conn, cs)
 	}
 	c.flushOffload()
+	// Seal all aggregation windows: input has ended for this core, so
+	// every open window's contents are final and must reach the merger.
+	for _, st := range c.aggStates {
+		st.FinalSeal()
+	}
 	if c.lat != nil {
 		c.lat.flush()
 		c.wit.publish()
@@ -2154,6 +2256,15 @@ func (c *Core) deliverSessionTo(spec *SubSpec, conn *conntrack.Conn, s *proto.Se
 	c.stages.Time(StageCallback, func() { spec.Sub.OnSession(ev) })
 	c.ctr.deliveredSessions.Inc()
 	spec.Delivered.Inc()
+	if spec.Agg != nil && spec.Agg.Q.Stage == aggregate.StageSession {
+		if st := c.aggState(spec); st != nil {
+			sni := ""
+			if s.Data != nil {
+				sni, _ = s.Data.StringField("sni")
+			}
+			st.UpdateSession(&conn.Tuple, conn.Service, sni, c.now)
+		}
+	}
 }
 
 // Run consumes bursts from a receive ring until it closes, then flushes.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"retina/internal/aggregate"
 	"retina/internal/filter"
 	"retina/internal/proto"
 	"retina/internal/telemetry"
@@ -45,6 +46,12 @@ type SubSpec struct {
 	// subscription — the drain-progress signal (a draining subscription
 	// is fully retired once this reaches zero).
 	LiveConns atomic.Int64
+
+	// Agg is the subscription's compiled aggregation query, or nil. The
+	// instance (and its merged window state) is carried from spec to spec
+	// across epoch swaps by the control plane, so republishing programs
+	// never resets accumulators.
+	Agg *aggregate.Instance
 }
 
 // wantsParsing reports whether the subscription needs application-layer
@@ -78,6 +85,10 @@ type ProgramSet struct {
 	// fastSlots has bit i set when slot i can take the stateless fast
 	// path (packet-level subscription with no session protocols).
 	fastSlots uint64
+	// aggPkt has bit i set when slot i carries a packet-stage
+	// aggregation: the burst loop updates its sketches directly from the
+	// filter result, below conntrack (the Sonata push-down).
+	aggPkt uint64
 	// hasPacket/hasStream report whether any slot subscribes at that
 	// level (gates for the per-packet dispatch loops).
 	hasPacket bool
@@ -120,6 +131,9 @@ func NewProgramSet(epoch uint64, slots []*SubSpec, extraParsers map[string]proto
 			}
 		case LevelStream:
 			ps.hasStream = true
+		}
+		if sp.Agg != nil && sp.Agg.Q.Stage == aggregate.StagePacket {
+			ps.aggPkt |= 1 << uint(i)
 		}
 	}
 	multi, err := filter.NewMultiProgram(epoch, fslots)

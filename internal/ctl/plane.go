@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"retina/internal/aggregate"
 	"retina/internal/core"
 	"retina/internal/filter"
 	"retina/internal/nic"
@@ -51,6 +52,11 @@ type Options struct {
 	ExtraParsers map[string]proto.Factory
 	// SwapTimeout overrides DefaultSwapTimeout (0 = default).
 	SwapTimeout time.Duration
+	// AggConnGrace is the conntrack inactivity timeout in ticks, used as
+	// the window grace for connection-stage aggregations (a connection
+	// record arrives at most this long after its last packet). Zero
+	// selects the aggregate package default.
+	AggConnGrace uint64
 	// Logf receives operator-facing control-plane warnings (hardware
 	// reconcile failures); nil selects log.Printf.
 	Logf func(format string, args ...any)
@@ -79,6 +85,9 @@ type SubInfo struct {
 	Delivered    uint64 `json:"delivered"`
 	MatchedConns uint64 `json:"matched_conns"`
 	LiveConns    int64  `json:"live_conns"`
+	// Aggregate renders the subscription's compiled aggregation query
+	// ("" when none), e.g. "topk(src_ip) k=5 window=1s stage=packet".
+	Aggregate string `json:"aggregate,omitempty"`
 }
 
 // Plane manages the live subscription set for a fleet of cores. All
@@ -155,6 +164,46 @@ func NewSpec(name, filterSrc string, sub *core.Subscription, opts Options) (*cor
 		Prog:      prog,
 		NeedsConn: prog.NeedsConnTracking(),
 	}, nil
+}
+
+// NewSpecAgg is NewSpec plus an optional aggregation clause: the query
+// is compiled against the subscription's filter and level, which
+// decides its push-down stage (aggregate.Compile).
+func NewSpecAgg(name, filterSrc string, sub *core.Subscription, agg *aggregate.Spec, opts Options) (*core.SubSpec, error) {
+	spec, err := NewSpec(name, filterSrc, sub, opts)
+	if err != nil {
+		return nil, err
+	}
+	if agg == nil {
+		return spec, nil
+	}
+	env := aggregate.Env{
+		Source:          sourceOf(sub.Level),
+		PacketDecidable: !spec.NeedsConn,
+		ConnGraceTicks:  opts.AggConnGrace,
+	}
+	if opts.HW != nil {
+		env.NICExact = filter.HWExact(spec.Prog.Trie, opts.HW)
+	}
+	inst, err := aggregate.Compile(name, agg, env)
+	if err != nil {
+		return nil, err
+	}
+	spec.Agg = inst
+	return spec, nil
+}
+
+// sourceOf maps a subscription level to the aggregation event source.
+func sourceOf(l core.Level) aggregate.Source {
+	switch l {
+	case core.LevelPacket:
+		return aggregate.SourcePacket
+	case core.LevelConnection:
+		return aggregate.SourceConn
+	case core.LevelSession:
+		return aggregate.SourceSession
+	}
+	return aggregate.SourceStream
 }
 
 // New builds a plane and its epoch-0 program set from the initial slots.
@@ -236,7 +285,13 @@ func (p *Plane) Swaps() uint64 { return p.swaps.Load() }
 // identification point when the subscription attaches are best-effort
 // (decidable only from packet-terminal marks or an identified service).
 func (p *Plane) Add(name, filterSrc string, sub *core.Subscription) (SubInfo, error) {
-	spec, err := NewSpec(name, filterSrc, sub, p.opts)
+	return p.AddWithAggregate(name, filterSrc, sub, nil)
+}
+
+// AddWithAggregate is Add with an optional aggregation clause compiled
+// against the subscription (nil agg behaves exactly like Add).
+func (p *Plane) AddWithAggregate(name, filterSrc string, sub *core.Subscription, agg *aggregate.Spec) (SubInfo, error) {
+	spec, err := NewSpecAgg(name, filterSrc, sub, agg, p.opts)
 	if err != nil {
 		return SubInfo{}, err
 	}
@@ -348,7 +403,7 @@ func (p *Plane) List() []SubInfo {
 }
 
 func (p *Plane) infoLocked(sp *core.SubSpec) SubInfo {
-	return SubInfo{
+	info := SubInfo{
 		ID:           sp.ID,
 		Name:         sp.Name,
 		Filter:       sp.Filter,
@@ -358,6 +413,10 @@ func (p *Plane) infoLocked(sp *core.SubSpec) SubInfo {
 		MatchedConns: sp.MatchedConns.Value(),
 		LiveConns:    sp.LiveConns.Load(),
 	}
+	if sp.Agg != nil {
+		info.Aggregate = sp.Agg.Q.String()
+	}
+	return info
 }
 
 // pruneDrainingLocked retires drained subscriptions: removed, no

@@ -68,6 +68,32 @@ func GenerateFlowRules(t *Trie, cap Capability) []FlowRule {
 	return minimizeRules(rules)
 }
 
+// HWExact reports whether the hardware rule set generated from the trie
+// matches the filter exactly — every pattern lives entirely in the
+// packet layer and every non-eth predicate is supported by the device,
+// so no widening occurs. Only then can a NIC-stage aggregation trust
+// the flow rules as the complete predicate: a widened rule would count
+// packets the software filter rejects.
+func HWExact(t *Trie, cap Capability) bool {
+	exact := true
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if !exact {
+			return
+		}
+		isEth := n.Pred.Unary() && n.Pred.Proto == "eth"
+		if n.Layer != LayerPacket || (!isEth && !cap.Supports(n.Pred)) {
+			exact = false
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return exact
+}
+
 // minimizeRules removes duplicates and rules subsumed by broader ones
 // (rule A subsumes B when A's predicates are a subset of B's). If any
 // rule is a catch-all, it is the only rule that survives.

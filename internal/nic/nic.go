@@ -130,6 +130,12 @@ type NIC struct {
 	ftbl      atomic.Pointer[flowTable]
 	flowTrims atomic.Uint64
 
+	// Aggregation taps (tap.go): per-frame counter callbacks placed
+	// before the drop stages, modeling hardware flow counters. Same
+	// copy-on-write discipline as the rule tables.
+	taps   atomic.Pointer[tapTable]
+	tapSeq atomic.Uint64
+
 	// bucketPkts counts RSS-hashed frames per redirection-table bucket —
 	// the load signal the adaptive rebalancer reads (producer writes,
 	// rebalancer reads; hence atomic despite the single producer).
@@ -485,6 +491,13 @@ func (n *NIC) deliver(frame []byte, tick uint64) {
 	if err := n.parsed.DecodeLayers(frame); err != nil {
 		n.malformed.Add(1)
 		return
+	}
+
+	// NIC-stage aggregation counters run first: a hardware flow counter
+	// observes every admitted frame, even ones the offload or static
+	// tables drop before reaching any core.
+	if tt := n.taps.Load(); tt != nil && len(tt.taps) > 0 {
+		n.runTaps(tt, &n.parsed, len(frame), tick)
 	}
 
 	// Dynamic per-flow offload rules are more specific than the static

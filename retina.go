@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"retina/internal/aggregate"
 	"retina/internal/conntrack"
 	"retina/internal/core"
 	"retina/internal/ctl"
@@ -60,6 +61,11 @@ type (
 	DNSMessage = proto.DNSMessage
 	// Subscription couples a callback with a data level.
 	Subscription = core.Subscription
+	// AggregateSpec is the declarative aggregation clause a subscription
+	// may carry (SubscriptionSpec.Aggregate, internal/aggregate.Spec).
+	AggregateSpec = aggregate.Spec
+	// AggregateReport is one query's merged, windowed result set.
+	AggregateReport = aggregate.Report
 )
 
 // Packets subscribes to raw frames (L2–L3 view, §3.2.2).
@@ -377,6 +383,13 @@ type Runtime struct {
 	// the windowed RSSSkew gauge.
 	skewMu   sync.Mutex
 	skewPrev []uint64
+
+	// aggMu guards the NIC push-down bookkeeping: per-subscription tap
+	// handles (for removal) and the NIC participant states owed a final
+	// seal when the producer stops.
+	aggMu   sync.Mutex
+	aggTaps map[string]int
+	nicAggs []*aggregate.CoreState
 }
 
 // New compiles the filter, builds the simulated device and the per-core
@@ -456,6 +469,10 @@ func build(cfg Config, sub *Subscription) (*Runtime, error) {
 		HW:           hwCap,
 		Registry:     freg,
 		ExtraParsers: extraParsers,
+		// Connection-stage aggregations keep windows open long enough for
+		// records to arrive: at most the conntrack inactivity timeout
+		// after the connection's last packet.
+		AggConnGrace: cfg.conntrack().InactivityTimeout,
 	}
 	var slots []*core.SubSpec
 	var prog *filter.Program
@@ -602,6 +619,65 @@ func (r *Runtime) AddSubscription(name, filterSrc string, sub *Subscription) (Su
 	return info, err
 }
 
+// AddSubscriptionWithAggregate is AddSubscription plus a declarative
+// aggregation clause compiled against the subscription's filter and
+// level: the query registers at the earliest stage that can evaluate it
+// (aggregate.Compile), and a NIC-stage query additionally installs a
+// device tap over the filter's exact hardware rules.
+func (r *Runtime) AddSubscriptionWithAggregate(name, filterSrc string, sub *Subscription, agg *AggregateSpec) (SubscriptionInfo, error) {
+	info, err := r.plane.AddWithAggregate(name, filterSrc, sub, agg)
+	spec := r.plane.Spec(name)
+	if spec != nil {
+		r.registerSubscriptionMetrics(spec)
+		if spec.Agg != nil {
+			r.registerAggregateMetrics(spec)
+		}
+	}
+	if err != nil {
+		return info, err
+	}
+	if spec != nil && spec.Agg != nil && spec.Agg.Q.Stage == aggregate.StageNIC {
+		if tapErr := r.installNICTap(name, spec); tapErr != nil {
+			// Roll the subscription back: a NIC-stage query without its
+			// tap would silently report zeros.
+			_ = r.plane.Remove(name)
+			return info, tapErr
+		}
+	}
+	return info, nil
+}
+
+// installNICTap installs the device counter for a NIC-stage query: the
+// filter's exact hardware rules feed the instance's NIC participant.
+func (r *Runtime) installNICTap(name string, spec *core.SubSpec) error {
+	rules := filter.GenerateFlowRules(spec.Prog.Trie, r.dev.Capability())
+	st := spec.Agg.NICState()
+	id, err := r.dev.AddAggTap(rules, st.UpdateScalar)
+	if err != nil {
+		return fmt.Errorf("retina: installing NIC aggregation tap for %q: %w", name, err)
+	}
+	r.aggMu.Lock()
+	if r.aggTaps == nil {
+		r.aggTaps = map[string]int{}
+	}
+	r.aggTaps[name] = id
+	r.nicAggs = append(r.nicAggs, st)
+	r.aggMu.Unlock()
+	return nil
+}
+
+// sealNICAggs finalizes every NIC-tap participant. Called from the
+// producer goroutine after the device closes (the tap can no longer
+// fire), so the single-owner discipline on the states holds.
+func (r *Runtime) sealNICAggs() {
+	r.aggMu.Lock()
+	states := append([]*aggregate.CoreState(nil), r.nicAggs...)
+	r.aggMu.Unlock()
+	for _, st := range states {
+		st.FinalSeal()
+	}
+}
+
 // RemoveSubscription removes a named subscription from the live set.
 // New connections stop matching it as soon as each core picks up the
 // swap; connections that already matched drain — they still deliver
@@ -609,7 +685,28 @@ func (r *Runtime) AddSubscription(name, filterSrc string, sub *Subscription) (Su
 // ListSubscriptions (draining) until its live-connection count reaches
 // zero.
 func (r *Runtime) RemoveSubscription(name string) error {
+	r.aggMu.Lock()
+	if id, ok := r.aggTaps[name]; ok {
+		delete(r.aggTaps, name)
+		r.aggMu.Unlock()
+		r.dev.RemoveAggTap(id)
+	} else {
+		r.aggMu.Unlock()
+	}
 	return r.plane.Remove(name)
+}
+
+// Aggregates snapshots every live or draining aggregation query's
+// merged, windowed report, in subscription ID order. Safe to call while
+// traffic is processing; only sealed windows appear.
+func (r *Runtime) Aggregates() []AggregateReport {
+	var out []AggregateReport
+	for _, info := range r.plane.List() {
+		if spec := r.plane.Spec(info.Name); spec != nil && spec.Agg != nil {
+			out = append(out, spec.Agg.Snapshot())
+		}
+	}
+	return out
 }
 
 // ListSubscriptions reports every live and draining subscription with
@@ -733,6 +830,7 @@ func (r *Runtime) Run(src Source) Stats {
 	// Close flushes frames still staged in the NIC's per-queue burst
 	// buffers before closing the rings, so nothing is silently lost.
 	r.dev.Close()
+	r.sealNICAggs()
 	wg.Wait()
 	return r.stats(start, lastTick)
 }

@@ -404,6 +404,30 @@ func (r *Runtime) registerSubscriptionMetrics(spec *core.SubSpec) {
 		func() float64 { return float64(spec.LiveConns.Load()) }, lbls...)
 }
 
+// registerAggregateMetrics registers one aggregation query's series.
+// Called once per SubSpec carrying an Agg instance; the query label is
+// the subscription name, id keeps series distinct across name reuse.
+func (r *Runtime) registerAggregateMetrics(spec *core.SubSpec) {
+	inst := spec.Agg
+	lbls := []telemetry.Label{
+		telemetry.L("query", spec.Name),
+		telemetry.L("id", strconv.Itoa(spec.ID)),
+		telemetry.L("stage", inst.Q.Stage.String()),
+	}
+	r.reg.CounterFunc("retina_aggregate_events_total", "events folded into the query's sketches across all cores",
+		inst.EventsTotal, lbls...)
+	r.reg.CounterFunc("retina_aggregate_windows_sealed_total", "per-core windows sealed into the merger",
+		inst.WindowsSealed, lbls...)
+	r.reg.CounterFunc("retina_aggregate_late_events_total", "events that arrived after their window sealed",
+		inst.LateTotal, lbls...)
+	r.reg.CounterFunc("retina_aggregate_group_overflow_total", "events unattributed because the per-core group table was full",
+		inst.OverflowTotal, lbls...)
+	r.reg.GaugeFunc("retina_aggregate_keys_tracked", "distinct keys across merged windows",
+		func() float64 { return float64(inst.KeysTracked()) }, lbls...)
+	r.reg.GaugeFunc("retina_aggregate_last_window_seq", "highest window sequence sealed by any participant",
+		func() float64 { return float64(inst.LastSealedSeq()) }, lbls...)
+}
+
 // DropBreakdown sums every per-reason drop counter across the NIC and
 // all cores. Keys are the telemetry.Drop* reason strings; zero-valued
 // reasons are omitted.
@@ -479,8 +503,11 @@ func (m *MetricsServer) Close() error { return m.srv.Close() }
 //	/status               control-plane health: epoch, swaps, hardware
 //	                      state, reconcile errors, flow-offload table
 
-//	/subscriptions        GET: list (JSON); POST: add {"name","filter","callback"}
+//	/subscriptions        GET: list (JSON); POST: add
+//	                      {"name","filter","callback","aggregate":{...}}
 //	/subscriptions/{name} GET: one subscription; DELETE: remove (drain)
+//	/aggregates           GET: every aggregation query's merged windowed
+//	                      report (aggregate.Report JSON)
 //
 // The POST body's "callback" is a kind name accepted by
 // SubscriptionForKind ("packets", "connections", "sessions", "streams",
@@ -506,6 +533,7 @@ func (r *Runtime) ServeMetrics(addr string) (*MetricsServer, error) {
 	mux.HandleFunc("/status", r.handleStatus)
 	mux.HandleFunc("/subscriptions", r.handleSubscriptions)
 	mux.HandleFunc("/subscriptions/", r.handleSubscription)
+	mux.HandleFunc("/aggregates", r.handleAggregates)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -523,11 +551,7 @@ func (r *Runtime) handleSubscriptions(w http.ResponseWriter, req *http.Request) 
 	case http.MethodGet:
 		writeJSON(w, http.StatusOK, r.ListSubscriptions())
 	case http.MethodPost:
-		var spec struct {
-			Name     string `json:"name"`
-			Filter   string `json:"filter"`
-			Callback string `json:"callback"`
-		}
+		var spec SubscriptionSpec
 		if err := json.NewDecoder(req.Body).Decode(&spec); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
 			return
@@ -541,7 +565,7 @@ func (r *Runtime) handleSubscriptions(w http.ResponseWriter, req *http.Request) 
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		info, err := r.AddSubscription(spec.Name, spec.Filter, sub)
+		info, err := r.AddSubscriptionWithAggregate(spec.Name, spec.Filter, sub, spec.Aggregate)
 		if err != nil {
 			httpError(w, http.StatusConflict, err)
 			return
@@ -605,6 +629,26 @@ type StatusReport struct {
 	RSSSkew       float64              `json:"rss_skew"`
 	Rebalance     *RebalanceStatus     `json:"rebalance,omitempty"`
 	Observability *ObservabilityStatus `json:"observability,omitempty"`
+
+	// Aggregates lists the active aggregation queries (present only when
+	// at least one subscription carries an aggregation clause).
+	Aggregates []AggregateStatus `json:"aggregates,omitempty"`
+}
+
+// AggregateStatus is one aggregation query's health slice of
+// StatusReport (full windowed results live at /aggregates).
+type AggregateStatus struct {
+	Query string `json:"query"`
+	// Spec renders the compiled query, e.g. "topk(src_ip) k=5
+	// window=1s stage=packet".
+	Spec string `json:"spec"`
+	// Stage is where the query executes (push-down placement).
+	Stage       string `json:"stage"`
+	Events      uint64 `json:"events"`
+	WindowSeq   uint64 `json:"window_seq"`
+	KeysTracked int    `json:"keys_tracked"`
+	Late        uint64 `json:"late,omitempty"`
+	Draining    bool   `json:"draining,omitempty"`
 }
 
 // RebalanceStatus is the adaptive-rebalancer slice of StatusReport.
@@ -712,7 +756,47 @@ func (r *Runtime) Status() StatusReport {
 		}
 		st.Observability = obs
 	}
+	st.Aggregates = r.aggregateStatuses()
 	return st
+}
+
+// aggregateStatuses assembles the per-query health slice for /status
+// and retina-top.
+func (r *Runtime) aggregateStatuses() []AggregateStatus {
+	var out []AggregateStatus
+	for _, info := range r.plane.List() {
+		spec := r.plane.Spec(info.Name)
+		if spec == nil || spec.Agg == nil {
+			continue
+		}
+		inst := spec.Agg
+		out = append(out, AggregateStatus{
+			Query:       spec.Name,
+			Spec:        inst.Q.String(),
+			Stage:       inst.Q.Stage.String(),
+			Events:      inst.EventsTotal(),
+			WindowSeq:   inst.LastSealedSeq(),
+			KeysTracked: inst.KeysTracked(),
+			Late:        inst.LateTotal(),
+			Draining:    info.Draining,
+		})
+	}
+	return out
+}
+
+// handleAggregates serves every aggregation query's merged windowed
+// report.
+func (r *Runtime) handleAggregates(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", req.Method))
+		return
+	}
+	reports := r.Aggregates()
+	if reports == nil {
+		reports = []AggregateReport{}
+	}
+	writeJSON(w, http.StatusOK, reports)
 }
 
 // handleStatus serves the admin status snapshot.
